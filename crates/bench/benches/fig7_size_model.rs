@@ -1,0 +1,58 @@
+//! Figure 7 bench: the analytic broadcast-size model of §3 (the figure
+//! itself is printed by `reproduce -- fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bpush_broadcast::size_model::{SizeModel, SizeParams};
+
+fn bench_size_model(c: &mut Criterion) {
+    let model = SizeModel::new(1000, SizeParams::default());
+    let mut group = c.benchmark_group("fig7/size-model");
+    for (name, f) in [
+        (
+            "invalidation-only",
+            Box::new(|m: &SizeModel| m.invalidation_only_extra(50))
+                as Box<dyn Fn(&SizeModel) -> u64>,
+        ),
+        (
+            "multiversion-overflow",
+            Box::new(|m: &SizeModel| m.multiversion_overflow_extra(50, 3)),
+        ),
+        (
+            "multiversion-clustered",
+            Box::new(|m: &SizeModel| m.multiversion_clustered_extra(50, 3)),
+        ),
+        ("sgt", Box::new(|m: &SizeModel| m.sgt_extra(10, 25, 50))),
+        (
+            "multiversion-caching",
+            Box::new(|m: &SizeModel| m.multiversion_caching_extra(50, 3)),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            b.iter(|| f(&model));
+        });
+    }
+    group.finish();
+
+    // the full Figure-7 sweep as one unit
+    c.bench_function("fig7/full-sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for span in 1..=8 {
+                for step in 1..=10 {
+                    let u = 50 * step;
+                    acc = acc
+                        .wrapping_add(model.multiversion_overflow_extra(u, span))
+                        .wrapping_add(model.multiversion_clustered_extra(u, span))
+                        .wrapping_add(model.invalidation_only_extra(u))
+                        .wrapping_add(model.sgt_extra(10, u / 2, u))
+                        .wrapping_add(model.multiversion_caching_extra(u, span));
+                }
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_size_model);
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! Substrate microbenchmarks: the building blocks every experiment rests
+//! on — serialization-graph operations, cache operations, workload
+//! sampling, bcast assembly, and the per-cycle server loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use bpush_broadcast::organization::{Flat, MultiversionOverflow};
+use bpush_broadcast::{ControlInfo, ItemRecord};
+use bpush_client::{CacheParams, ClientCache};
+use bpush_core::CacheMode;
+use bpush_server::{BroadcastServer, ServerOptions};
+use bpush_sgraph::{Node, SerializationGraph};
+use bpush_types::config::MultiversionLayout;
+use bpush_types::zipf::AccessPattern;
+use bpush_types::{Cycle, ItemId, ItemValue, QueryId, ServerConfig, TxnId};
+
+fn bench_sgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/sgraph");
+
+    // a layered graph shaped like real SGT state: 32 cycles x 10 txns,
+    // edges forward between adjacent cycles
+    let build = || {
+        let mut g = SerializationGraph::new();
+        for cy in 1..32u64 {
+            for seq in 0..10u32 {
+                let from = TxnId::new(Cycle::new(cy - 1), seq);
+                let to = TxnId::new(Cycle::new(cy), (seq + 1) % 10);
+                g.add_edge(Node::Txn(from), Node::Txn(to));
+            }
+        }
+        g
+    };
+
+    group.bench_function("build-320-txn-graph", |b| b.iter(build));
+
+    let g = build();
+    group.bench_function("cycle-check-miss", |b| {
+        // query with one outgoing edge near the end: short search
+        let mut g = g.clone();
+        let q = Node::Query(QueryId::new(0));
+        g.add_edge(q, Node::Txn(TxnId::new(Cycle::new(30), 0)));
+        b.iter(|| g.would_close_cycle(Node::Txn(TxnId::new(Cycle::new(5), 0)), q));
+    });
+    group.bench_function("cycle-check-hit", |b| {
+        // query implicated early: the DFS must walk the layers
+        let mut g = g.clone();
+        let q = Node::Query(QueryId::new(0));
+        g.add_edge(q, Node::Txn(TxnId::new(Cycle::new(1), 0)));
+        b.iter(|| g.would_close_cycle(Node::Txn(TxnId::new(Cycle::new(31), 1)), q));
+    });
+    group.bench_function("prune-half", |b| {
+        b.iter_batched(
+            build,
+            |mut g| {
+                g.prune_before(Cycle::new(16));
+                g
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/cache");
+    for mode in [CacheMode::Plain, CacheMode::Multiversion] {
+        group.bench_with_input(
+            BenchmarkId::new("lookup-insert-churn", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter_batched(
+                    || {
+                        ClientCache::new(CacheParams {
+                            mode,
+                            current_capacity: 125,
+                            old_capacity: if mode == CacheMode::Multiversion {
+                                30
+                            } else {
+                                0
+                            },
+                            items_per_bucket: 1,
+                        })
+                    },
+                    |mut cache| {
+                        for i in 0..500u32 {
+                            let item = ItemId::new(i % 200);
+                            let rec = ItemRecord::new(item, ItemValue::initial(), None);
+                            cache.insert_from_broadcast(&rec, Cycle::new(u64::from(i / 50)));
+                            cache.lookup(ItemId::new((i * 7) % 200), Cycle::new(u64::from(i / 50)));
+                        }
+                        cache.stats().hits
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/workload");
+    let pattern = AccessPattern::new(500, 0.95, 100).expect("valid pattern");
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("zipf-sample", |b| b.iter(|| pattern.sample(&mut rng)));
+    group.bench_function("zipf-50-distinct", |b| {
+        b.iter(|| pattern.sample_distinct(&mut rng, 50))
+    });
+    group.finish();
+}
+
+fn bench_bcast_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/bcast-assembly");
+    let records: Vec<ItemRecord> = (0..1000)
+        .map(|i| ItemRecord::new(ItemId::new(i), ItemValue::initial(), None))
+        .collect();
+    group.bench_function("flat-1000-items", |b| {
+        b.iter(|| {
+            Flat::new(1)
+                .assemble(
+                    Cycle::ZERO,
+                    ControlInfo::empty(Cycle::ZERO),
+                    records.clone(),
+                    Vec::new(),
+                )
+                .total_slots()
+        });
+    });
+    let old: Vec<(ItemId, Vec<ItemValue>)> = (0..100)
+        .map(|i| (ItemId::new(i), vec![ItemValue::initial()]))
+        .collect();
+    let versioned: Vec<ItemRecord> = (0..1000)
+        .map(|i| {
+            let v = if i < 100 {
+                ItemValue::written_by(TxnId::new(Cycle::new(3), 0))
+            } else {
+                ItemValue::initial()
+            };
+            ItemRecord::new(ItemId::new(i), v, None)
+        })
+        .collect();
+    group.bench_function("overflow-1000-items-100-old", |b| {
+        b.iter(|| {
+            MultiversionOverflow::new(1)
+                .assemble(
+                    Cycle::new(4),
+                    ControlInfo::empty(Cycle::new(4)),
+                    versioned.clone(),
+                    old.clone(),
+                )
+                .total_slots()
+        });
+    });
+    group.finish();
+}
+
+fn bench_server_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/server-cycle");
+    group.sample_size(20);
+    let config = ServerConfig::default(); // D = 1000, the paper's size
+    for (name, opts) in [
+        ("plain", ServerOptions::plain()),
+        ("sgt", ServerOptions::sgt()),
+        (
+            "multiversion",
+            ServerOptions::multiversion(MultiversionLayout::Overflow),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter_batched(
+                || BroadcastServer::new(config.clone(), opts.clone(), 1).expect("valid"),
+                |mut server| {
+                    for _ in 0..10 {
+                        server.run_cycle();
+                    }
+                    server.next_cycle()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    use bpush_broadcast::wire::{decode_invalidation, encode_invalidation, WireParams};
+    use bpush_broadcast::InvalidationReport;
+    use bpush_types::Granularity;
+
+    let mut group = c.benchmark_group("substrate/wire");
+    let params = WireParams::derive(1000, 1, 10, 8);
+    let report = InvalidationReport::new(
+        Cycle::new(5),
+        1,
+        (0..50).map(|i| ItemId::new(i * 17 % 1000)),
+        Granularity::Item,
+        1,
+    );
+    group.bench_function("encode-50-entry-report", |b| {
+        b.iter(|| encode_invalidation(&report, params).len());
+    });
+    let bytes = encode_invalidation(&report, params);
+    group.bench_function("decode-50-entry-report", |b| {
+        b.iter(|| {
+            decode_invalidation(&bytes, params, Cycle::new(5), 1, Granularity::Item, 1)
+                .expect("valid stream")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sgraph,
+    bench_cache,
+    bench_workload,
+    bench_bcast_assembly,
+    bench_server_cycle,
+    bench_wire
+);
+criterion_main!(benches);

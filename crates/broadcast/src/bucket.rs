@@ -1,0 +1,230 @@
+//! Buckets, bucket headers and the records they carry.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bpush_types::{Cycle, ItemId, ItemValue, TxnId};
+
+/// The header every bucket carries (§2.1): its position within the bcast
+/// as an offset from the beginning, and the offset to the beginning of the
+/// next bcast, which lets a client that tuned in mid-cycle find the next
+/// cycle start even when the bcast size varies.
+///
+/// # Example
+/// ```
+/// use bpush_broadcast::BucketHeader;
+/// use bpush_types::Cycle;
+/// let h = BucketHeader::new(Cycle::new(2), 5, 100);
+/// assert_eq!(h.offset(), 5);
+/// assert_eq!(h.slots_to_next_bcast(), 95);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BucketHeader {
+    cycle: Cycle,
+    offset: u64,
+    bcast_len: u64,
+}
+
+impl BucketHeader {
+    /// Creates a header for the bucket at `offset` within a bcast of
+    /// `bcast_len` total buckets, broadcast during `cycle`.
+    ///
+    /// # Panics
+    /// Panics if `offset >= bcast_len`.
+    pub fn new(cycle: Cycle, offset: u64, bcast_len: u64) -> Self {
+        assert!(offset < bcast_len, "bucket offset outside its bcast");
+        BucketHeader {
+            cycle,
+            offset,
+            bcast_len,
+        }
+    }
+
+    /// The broadcast cycle this bucket belongs to.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Offset of this bucket from the beginning of the bcast, in buckets.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Total length of the bcast this bucket belongs to, in buckets.
+    pub fn bcast_len(&self) -> u64 {
+        self.bcast_len
+    }
+
+    /// Buckets remaining until the beginning of the next bcast.
+    pub fn slots_to_next_bcast(&self) -> u64 {
+        self.bcast_len - self.offset
+    }
+}
+
+/// One data item as it appears on air: its identifier, the (current)
+/// committed value, optionally the identifier of the last transaction that
+/// wrote it (broadcast only when the SGT method is active, §3.3), and
+/// optionally a pointer to its old versions in the overflow area
+/// (multiversion overflow organization, Figure 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ItemRecord {
+    item: ItemId,
+    value: ItemValue,
+    last_writer: Option<TxnId>,
+    overflow_ptr: Option<u64>,
+}
+
+impl ItemRecord {
+    /// Creates a record carrying `value` for `item`. `last_writer` is the
+    /// SGT tag; use `None` when the SGT method is not in use (the writer
+    /// recorded inside [`ItemValue`] is simulation-internal ground truth,
+    /// while this field models what is actually transmitted).
+    pub fn new(item: ItemId, value: ItemValue, last_writer: Option<TxnId>) -> Self {
+        ItemRecord {
+            item,
+            value,
+            last_writer,
+            overflow_ptr: None,
+        }
+    }
+
+    /// Attaches the overflow pointer (offset of the item's old-version
+    /// chain from the start of the overflow area).
+    #[must_use]
+    pub fn with_overflow_ptr(mut self, ptr: u64) -> Self {
+        self.overflow_ptr = Some(ptr);
+        self
+    }
+
+    /// The item this record carries.
+    pub fn item(&self) -> ItemId {
+        self.item
+    }
+
+    /// The committed value.
+    pub fn value(&self) -> ItemValue {
+        self.value
+    }
+
+    /// The transmitted last-writer tag, if the bcast carries one.
+    pub fn last_writer(&self) -> Option<TxnId> {
+        self.last_writer
+    }
+
+    /// Offset of this item's old versions within the overflow area, if any.
+    pub fn overflow_ptr(&self) -> Option<u64> {
+        self.overflow_ptr
+    }
+}
+
+impl fmt::Display for ItemRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.item, self.value)
+    }
+}
+
+/// An old version of an item, as stored in overflow buckets or clustered
+/// next to the current version (§3.2). Old versions are broadcast in
+/// reverse chronological order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OldVersion {
+    item: ItemId,
+    value: ItemValue,
+}
+
+impl OldVersion {
+    /// Pairs an item with one of its superseded values.
+    pub fn new(item: ItemId, value: ItemValue) -> Self {
+        OldVersion { item, value }
+    }
+
+    /// The item.
+    pub fn item(&self) -> ItemId {
+        self.item
+    }
+
+    /// The superseded value.
+    pub fn value(&self) -> ItemValue {
+        self.value
+    }
+}
+
+/// A transmitted bucket: a header plus the data records that fit in it.
+///
+/// The simulation mostly works at whole-bcast granularity, but buckets are
+/// exposed so tests can verify the self-descriptiveness properties of
+/// §2.1 (a client waking at any bucket can locate the next bcast).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    header: BucketHeader,
+    records: Vec<ItemRecord>,
+}
+
+impl Bucket {
+    /// Creates a bucket.
+    pub fn new(header: BucketHeader, records: Vec<ItemRecord>) -> Self {
+        Bucket { header, records }
+    }
+
+    /// The bucket header.
+    pub fn header(&self) -> BucketHeader {
+        self.header
+    }
+
+    /// The records carried by this bucket.
+    pub fn records(&self) -> &[ItemRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_offsets() {
+        let h = BucketHeader::new(Cycle::new(1), 0, 10);
+        assert_eq!(h.slots_to_next_bcast(), 10);
+        assert_eq!(h.cycle(), Cycle::new(1));
+        assert_eq!(h.bcast_len(), 10);
+        let last = BucketHeader::new(Cycle::new(1), 9, 10);
+        assert_eq!(last.slots_to_next_bcast(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its bcast")]
+    fn header_rejects_out_of_range_offset() {
+        let _ = BucketHeader::new(Cycle::ZERO, 10, 10);
+    }
+
+    #[test]
+    fn record_builders() {
+        let t = TxnId::new(Cycle::new(2), 0);
+        let rec =
+            ItemRecord::new(ItemId::new(7), ItemValue::written_by(t), Some(t)).with_overflow_ptr(4);
+        assert_eq!(rec.item(), ItemId::new(7));
+        assert_eq!(rec.last_writer(), Some(t));
+        assert_eq!(rec.overflow_ptr(), Some(4));
+        assert_eq!(rec.value().version(), Cycle::new(3));
+        assert_eq!(rec.to_string(), "item#7=v3<-T2.0");
+    }
+
+    #[test]
+    fn old_version_accessors() {
+        let ov = OldVersion::new(ItemId::new(1), ItemValue::initial());
+        assert_eq!(ov.item(), ItemId::new(1));
+        assert_eq!(ov.value(), ItemValue::initial());
+    }
+
+    #[test]
+    fn bucket_accessors() {
+        let h = BucketHeader::new(Cycle::ZERO, 0, 1);
+        let b = Bucket::new(
+            h,
+            vec![ItemRecord::new(ItemId::new(0), ItemValue::initial(), None)],
+        );
+        assert_eq!(b.header(), h);
+        assert_eq!(b.records().len(), 1);
+    }
+}

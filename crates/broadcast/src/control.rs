@@ -1,0 +1,499 @@
+//! Control information broadcast ahead of the data (§3).
+//!
+//! Every bcast is preceded by an [`InvalidationReport`]; when the SGT
+//! method is active the server additionally broadcasts an
+//! [`AugmentedReport`] (item → first writer of the cycle) and the
+//! serialization-graph difference ([`bpush_sgraph::GraphDiff`]).
+//! [`ControlInfo`] bundles all three and knows its own on-air size.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bpush_sgraph::GraphDiff;
+use bpush_types::{BucketId, Cycle, Granularity, ItemId, TxnId};
+
+/// The invalidation report broadcast at the beginning of a cycle (§3.1):
+/// the items updated at the server during the covered window of previous
+/// cycles (window 1 — just the previous cycle — is the paper's default;
+/// larger windows are the §5.2.2 resynchronization extension).
+///
+/// The report supports both granularities of §7: at
+/// [`Granularity::Bucket`] a client sees only which *buckets* changed, so
+/// membership tests are conservative.
+///
+/// # Example
+/// ```
+/// use bpush_broadcast::InvalidationReport;
+/// use bpush_types::{Cycle, Granularity, ItemId};
+///
+/// let report = InvalidationReport::new(
+///     Cycle::new(5),
+///     1,
+///     [ItemId::new(3), ItemId::new(8)],
+///     Granularity::Item,
+///     4, // items per bucket
+/// );
+/// assert!(report.invalidates(ItemId::new(3)));
+/// assert!(!report.invalidates(ItemId::new(4)));
+///
+/// let coarse = report.clone().at_granularity(Granularity::Bucket);
+/// // item 1 shares bucket 0 with updated item 3 -> conservatively stale
+/// assert!(coarse.invalidates(ItemId::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvalidationReport {
+    cycle: Cycle,
+    window: u32,
+    granularity: Granularity,
+    items_per_bucket: u32,
+    /// Updated item -> the latest cycle (within the window) during which
+    /// it was updated. The per-entry cycle is what lets windowed reports
+    /// re-announce old updates without causing false aborts (§5.2.2).
+    items: BTreeMap<ItemId, Cycle>,
+    buckets: BTreeMap<BucketId, Cycle>,
+}
+
+impl InvalidationReport {
+    /// Builds the report broadcast at the beginning of `cycle`, covering
+    /// updates from the previous `window` cycles.
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `items_per_bucket == 0`.
+    pub fn new(
+        cycle: Cycle,
+        window: u32,
+        updated: impl IntoIterator<Item = ItemId>,
+        granularity: Granularity,
+        items_per_bucket: u32,
+    ) -> Self {
+        let prev = cycle.checked_sub(1).unwrap_or(Cycle::ZERO);
+        InvalidationReport::with_dated(
+            cycle,
+            window,
+            updated.into_iter().map(|x| (x, prev)),
+            granularity,
+            items_per_bucket,
+        )
+    }
+
+    /// The general constructor: every updated item is paired with the
+    /// latest cycle during which it was updated (which must lie within
+    /// the window).
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `items_per_bucket == 0`.
+    pub fn with_dated(
+        cycle: Cycle,
+        window: u32,
+        updated: impl IntoIterator<Item = (ItemId, Cycle)>,
+        granularity: Granularity,
+        items_per_bucket: u32,
+    ) -> Self {
+        assert!(window > 0, "report window must cover at least one cycle");
+        assert!(items_per_bucket > 0, "items_per_bucket must be positive");
+        let mut items: BTreeMap<ItemId, Cycle> = BTreeMap::new();
+        for (x, c) in updated {
+            let slot = items.entry(x).or_insert(c);
+            *slot = (*slot).max(c);
+        }
+        let mut buckets: BTreeMap<BucketId, Cycle> = BTreeMap::new();
+        for (x, &c) in &items {
+            let b = BucketId::new(x.index() / items_per_bucket);
+            let slot = buckets.entry(b).or_insert(c);
+            *slot = (*slot).max(c);
+        }
+        InvalidationReport {
+            cycle,
+            window,
+            granularity,
+            items_per_bucket,
+            items,
+            buckets,
+        }
+    }
+
+    /// An empty report for `cycle` (no updates).
+    pub fn empty(cycle: Cycle) -> Self {
+        InvalidationReport::new(cycle, 1, [], Granularity::Item, 1)
+    }
+
+    /// The cycle at whose beginning this report is broadcast.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// How many previous cycles of updates this report covers.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The report's granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Returns the same report re-expressed at a different granularity.
+    #[must_use]
+    pub fn at_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Whether this report mentions an update of `item` at all.
+    /// Conservative at bucket granularity.
+    pub fn invalidates(&self, item: ItemId) -> bool {
+        self.update_cycle(item).is_some()
+    }
+
+    /// The latest update cycle this report records for `item`
+    /// (granularity-aware; at bucket granularity the bucket's latest).
+    pub fn update_cycle(&self, item: ItemId) -> Option<Cycle> {
+        match self.granularity {
+            Granularity::Item => self.items.get(&item).copied(),
+            Granularity::Bucket => self
+                .buckets
+                .get(&BucketId::new(item.index() / self.items_per_bucket))
+                .copied(),
+        }
+    }
+
+    /// Whether a value of `item` known current at database state `state`
+    /// is invalidated by this report: true iff the report records an
+    /// update during cycle `state` or later (an update before `state`
+    /// was already reflected in the value).
+    pub fn stale_at(&self, item: ItemId, state: Cycle) -> bool {
+        self.update_cycle(item).is_some_and(|u| u >= state)
+    }
+
+    /// Whether the bucket as a whole was invalidated (used for cache-page
+    /// invalidation, which is always at bucket/page granularity, §4).
+    pub fn invalidates_bucket(&self, bucket: BucketId) -> bool {
+        self.buckets.contains_key(&bucket)
+    }
+
+    /// The latest update cycle recorded for a bucket.
+    pub fn bucket_update_cycle(&self, bucket: BucketId) -> Option<Cycle> {
+        self.buckets.get(&bucket).copied()
+    }
+
+    /// The exact updated items (ground truth; what an item-granularity
+    /// report transmits).
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.items.keys().copied()
+    }
+
+    /// Updated items with their latest update cycle.
+    pub fn dated_items(&self) -> impl Iterator<Item = (ItemId, Cycle)> + '_ {
+        self.items.iter().map(|(&x, &c)| (x, c))
+    }
+
+    /// The updated buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = BucketId> + '_ {
+        self.buckets.keys().copied()
+    }
+
+    /// Number of transmitted entries at the configured granularity.
+    pub fn len(&self) -> usize {
+        match self.granularity {
+            Granularity::Item => self.items.len(),
+            Granularity::Bucket => self.buckets.len(),
+        }
+    }
+
+    /// Whether the report lists nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// On-air size in abstract units: one key per entry (§3.1's
+    /// `⌈u·k / b⌉` numerator).
+    pub fn size_units(&self, key_size: u32) -> u64 {
+        self.len() as u64 * u64::from(key_size)
+    }
+}
+
+/// The augmented invalidation report of the SGT method (§3.3): every item
+/// written during the covered cycle together with the *first* transaction
+/// that wrote it in that cycle (Claim 2 shows one precedence edge to the
+/// first writer suffices).
+///
+/// # Example
+/// ```
+/// use bpush_broadcast::AugmentedReport;
+/// use bpush_types::{Cycle, ItemId, TxnId};
+/// let c = Cycle::new(2);
+/// let report = AugmentedReport::new(c, [(ItemId::new(1), TxnId::new(c, 0))]);
+/// assert_eq!(report.first_writer(ItemId::new(1)), Some(TxnId::new(c, 0)));
+/// assert_eq!(report.first_writer(ItemId::new(2)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AugmentedReport {
+    cycle: Cycle,
+    first_writers: BTreeMap<ItemId, TxnId>,
+}
+
+impl AugmentedReport {
+    /// Builds the report for updates committed during `cycle` (broadcast
+    /// at the beginning of the following cycle).
+    pub fn new(cycle: Cycle, entries: impl IntoIterator<Item = (ItemId, TxnId)>) -> Self {
+        let first_writers: BTreeMap<ItemId, TxnId> = entries.into_iter().collect();
+        debug_assert!(
+            first_writers.values().all(|t| t.cycle() == cycle),
+            "first writers must have committed during the covered cycle"
+        );
+        AugmentedReport {
+            cycle,
+            first_writers,
+        }
+    }
+
+    /// The cycle whose updates this report describes.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The first transaction that wrote `item` during the covered cycle.
+    pub fn first_writer(&self, item: ItemId) -> Option<TxnId> {
+        self.first_writers.get(&item).copied()
+    }
+
+    /// All `(item, first writer)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (ItemId, TxnId)> + '_ {
+        self.first_writers.iter().map(|(&x, &t)| (x, t))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.first_writers.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.first_writers.is_empty()
+    }
+
+    /// On-air size in units: a key plus a transaction id per entry
+    /// (§3.3's `⌈u(k + log N) / b⌉` numerator).
+    pub fn size_units(&self, key_size: u32, tid_size: u32) -> u64 {
+        self.len() as u64 * u64::from(key_size + tid_size)
+    }
+}
+
+/// Everything broadcast ahead of the data segment of one bcast.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlInfo {
+    cycle: Cycle,
+    invalidation: InvalidationReport,
+    augmented: Option<AugmentedReport>,
+    graph_diff: Option<GraphDiff>,
+}
+
+impl ControlInfo {
+    /// Bundles the control information for `cycle`.
+    ///
+    /// # Panics
+    /// Panics if any constituent report is stamped with a different cycle
+    /// (the invalidation report is stamped with the cycle it *precedes*;
+    /// the augmented report and diff with the cycle they *describe*, i.e.
+    /// the previous one).
+    pub fn new(
+        cycle: Cycle,
+        invalidation: InvalidationReport,
+        augmented: Option<AugmentedReport>,
+        graph_diff: Option<GraphDiff>,
+    ) -> Self {
+        assert_eq!(
+            invalidation.cycle(),
+            cycle,
+            "invalidation report cycle mismatch"
+        );
+        if let Some(aug) = &augmented {
+            assert_eq!(
+                aug.cycle().next(),
+                cycle,
+                "augmented report must describe the previous cycle"
+            );
+        }
+        if let Some(diff) = &graph_diff {
+            assert_eq!(
+                diff.cycle().next(),
+                cycle,
+                "graph diff must describe the previous cycle"
+            );
+        }
+        ControlInfo {
+            cycle,
+            invalidation,
+            augmented,
+            graph_diff,
+        }
+    }
+
+    /// Control info carrying an empty invalidation report and nothing else.
+    pub fn empty(cycle: Cycle) -> Self {
+        ControlInfo::new(cycle, InvalidationReport::empty(cycle), None, None)
+    }
+
+    /// The cycle this control segment precedes.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The invalidation report.
+    pub fn invalidation(&self) -> &InvalidationReport {
+        &self.invalidation
+    }
+
+    /// The SGT augmented report, when broadcast.
+    pub fn augmented(&self) -> Option<&AugmentedReport> {
+        self.augmented.as_ref()
+    }
+
+    /// The SGT serialization-graph difference, when broadcast.
+    pub fn graph_diff(&self) -> Option<&GraphDiff> {
+        self.graph_diff.as_ref()
+    }
+
+    /// On-air size of the whole control segment, in buckets of payload
+    /// size `bucket_size` units.
+    ///
+    /// # Panics
+    /// Panics if `bucket_size` is zero.
+    pub fn slots(&self, bucket_size: u32, key_size: u32, tid_size: u32) -> u64 {
+        assert!(bucket_size > 0, "bucket size must be positive");
+        let mut units = self.invalidation.size_units(key_size);
+        if let Some(aug) = &self.augmented {
+            units += aug.size_units(key_size, tid_size);
+        }
+        if let Some(diff) = &self.graph_diff {
+            units += diff.size_units(tid_size);
+        }
+        units.div_ceil(u64::from(bucket_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycle: u64, items: &[u32]) -> InvalidationReport {
+        InvalidationReport::new(
+            Cycle::new(cycle),
+            1,
+            items.iter().map(|&i| ItemId::new(i)),
+            Granularity::Item,
+            1,
+        )
+    }
+
+    #[test]
+    fn invalidation_membership_item_granularity() {
+        let r = report(3, &[1, 5, 9]);
+        assert!(r.invalidates(ItemId::new(5)));
+        assert!(!r.invalidates(ItemId::new(4)));
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.size_units(1), 3);
+        assert_eq!(r.size_units(2), 6);
+        assert_eq!(r.cycle(), Cycle::new(3));
+        assert_eq!(r.window(), 1);
+    }
+
+    #[test]
+    fn invalidation_bucket_granularity_is_conservative() {
+        let r = InvalidationReport::new(Cycle::ZERO, 1, [ItemId::new(5)], Granularity::Bucket, 4);
+        // bucket 1 holds items 4..8
+        assert!(r.invalidates(ItemId::new(4)));
+        assert!(r.invalidates(ItemId::new(7)));
+        assert!(!r.invalidates(ItemId::new(3)));
+        assert!(r.invalidates_bucket(BucketId::new(1)));
+        assert!(!r.invalidates_bucket(BucketId::new(0)));
+        assert_eq!(r.len(), 1, "one bucket entry transmitted");
+    }
+
+    #[test]
+    fn bucket_report_can_be_smaller() {
+        let fine = InvalidationReport::new(
+            Cycle::ZERO,
+            1,
+            (0..8).map(ItemId::new),
+            Granularity::Item,
+            4,
+        );
+        let coarse = fine.clone().at_granularity(Granularity::Bucket);
+        assert_eq!(fine.len(), 8);
+        assert_eq!(coarse.len(), 2);
+        assert!(coarse.size_units(1) < fine.size_units(1));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = InvalidationReport::empty(Cycle::new(9));
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(!r.invalidates(ItemId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = InvalidationReport::new(Cycle::ZERO, 0, [], Granularity::Item, 1);
+    }
+
+    #[test]
+    fn augmented_report_lookup() {
+        let c = Cycle::new(4);
+        let r = AugmentedReport::new(
+            c,
+            [
+                (ItemId::new(1), TxnId::new(c, 2)),
+                (ItemId::new(3), TxnId::new(c, 0)),
+            ],
+        );
+        assert_eq!(r.first_writer(ItemId::new(3)), Some(TxnId::new(c, 0)));
+        assert_eq!(r.first_writer(ItemId::new(2)), None);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.size_units(1, 1), 4);
+        assert_eq!(r.entries().count(), 2);
+    }
+
+    #[test]
+    fn control_info_slot_accounting() {
+        let c = Cycle::new(5);
+        let prev = c.prev();
+        let inv = report(5, &[1, 2, 3, 4, 5]);
+        let aug = AugmentedReport::new(prev, [(ItemId::new(1), TxnId::new(prev, 0))]);
+        let diff = GraphDiff::new(
+            prev,
+            vec![TxnId::new(prev, 0)],
+            vec![(TxnId::new(Cycle::new(3), 0), TxnId::new(prev, 0))],
+        );
+        let ctrl = ControlInfo::new(c, inv.clone(), Some(aug), Some(diff));
+        // units: inv 5*1 + aug 1*(1+1) + diff (1*1 + 1*2*1) = 5 + 2 + 3 = 10
+        assert_eq!(ctrl.slots(5, 1, 1), 2);
+        assert_eq!(ctrl.slots(10, 1, 1), 1);
+        assert_eq!(ctrl.cycle(), c);
+        assert!(ctrl.augmented().is_some());
+        assert!(ctrl.graph_diff().is_some());
+
+        let bare = ControlInfo::new(c, inv, None, None);
+        assert_eq!(bare.slots(5, 1, 1), 1);
+    }
+
+    #[test]
+    fn control_info_empty_has_zero_slots() {
+        let ctrl = ControlInfo::empty(Cycle::new(1));
+        assert_eq!(ctrl.slots(5, 1, 1), 0);
+        assert!(ctrl.invalidation().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "previous cycle")]
+    fn control_info_rejects_misaligned_diff() {
+        let c = Cycle::new(5);
+        let diff = GraphDiff::empty(c); // must be c - 1
+        let _ = ControlInfo::new(c, InvalidationReport::empty(c), None, Some(diff));
+    }
+}

@@ -1,0 +1,99 @@
+//! The broadcast directory (index) mapping items to their positions.
+//!
+//! Organizations with fixed item positions (flat, multiversion-overflow)
+//! let clients keep a locally-stored directory across cycles; the
+//! clustered multiversion organization shifts positions every cycle, so
+//! the server must rebuild the directory and broadcast it ahead of the
+//! data (§3.2, "Multiversion Broadcast Organization").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use bpush_types::{Cycle, ItemId};
+
+/// An index from item to the slot (bucket offset from the beginning of the
+/// bcast) where the item's current version is broadcast.
+///
+/// # Example
+/// ```
+/// use bpush_broadcast::Directory;
+/// use bpush_types::{Cycle, ItemId};
+/// let dir = Directory::new(Cycle::new(1), [(ItemId::new(4), 7u64)]);
+/// assert_eq!(dir.slot_of(ItemId::new(4)), Some(7));
+/// assert_eq!(dir.slot_of(ItemId::new(5)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Directory {
+    cycle: Cycle,
+    slots: HashMap<ItemId, u64>,
+}
+
+impl Directory {
+    /// Builds a directory valid for `cycle`.
+    pub fn new(cycle: Cycle, entries: impl IntoIterator<Item = (ItemId, u64)>) -> Self {
+        Directory {
+            cycle,
+            slots: entries.into_iter().collect(),
+        }
+    }
+
+    /// The cycle this directory describes. A locally cached directory is
+    /// usable at a later cycle only under fixed-position organizations.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The slot of `item`'s current version, if the item is on air.
+    pub fn slot_of(&self, item: ItemId) -> Option<u64> {
+        self.slots.get(&item).copied()
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// On-air size of the directory in buckets: one key plus one offset
+    /// per entry.
+    ///
+    /// # Panics
+    /// Panics if `bucket_size` is zero.
+    pub fn slots_on_air(&self, bucket_size: u32, key_size: u32, ptr_size: u32) -> u64 {
+        assert!(bucket_size > 0, "bucket size must be positive");
+        (self.len() as u64 * u64::from(key_size + ptr_size)).div_ceil(u64::from(bucket_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_len() {
+        let dir = Directory::new(
+            Cycle::new(2),
+            (0..10).map(|i| (ItemId::new(i), u64::from(i) + 3)),
+        );
+        assert_eq!(dir.len(), 10);
+        assert!(!dir.is_empty());
+        assert_eq!(dir.cycle(), Cycle::new(2));
+        assert_eq!(dir.slot_of(ItemId::new(9)), Some(12));
+        assert_eq!(dir.slot_of(ItemId::new(10)), None);
+    }
+
+    #[test]
+    fn on_air_size_rounds_up() {
+        let dir = Directory::new(Cycle::ZERO, (0..7).map(|i| (ItemId::new(i), 0u64)));
+        // 7 entries * (1 + 2) units = 21 units; bucket of 5 -> 5 buckets
+        assert_eq!(dir.slots_on_air(5, 1, 2), 5);
+        let empty = Directory::new(Cycle::ZERO, []);
+        assert!(empty.is_empty());
+        assert_eq!(empty.slots_on_air(5, 1, 2), 0);
+    }
+}

@@ -1,0 +1,848 @@
+//! Broadcast organizations: how a cycle's content is laid out on air.
+//!
+//! Four organizations are provided:
+//!
+//! * [`Flat`] — §5.1's default: every item exactly once per cycle, in item
+//!   order, at positions that never change across cycles.
+//! * [`MultiversionOverflow`] — Figure 2(b): current versions at fixed
+//!   positions carrying pointers into trailing overflow buckets that hold
+//!   the old versions in reverse chronological order.
+//! * [`MultiversionClustered`] — Figure 2(a): all retained versions of an
+//!   item broadcast successively; positions shift, so a rebuilt
+//!   [`Directory`] is broadcast with the control segment every cycle.
+//! * [`BroadcastDisks`] — the §7 extension: items partitioned onto virtual
+//!   "disks" spinning at different speeds, so hot items appear several
+//!   times per (major) cycle.
+
+use std::collections::HashMap;
+
+use bpush_types::{Cycle, ItemId, ItemValue};
+
+use crate::bcast::Bcast;
+use crate::bucket::ItemRecord;
+use crate::control::ControlInfo;
+use crate::directory::Directory;
+use crate::size_model::SizeParams;
+
+/// Old versions of one item, most recent first.
+pub type OldVersions = (ItemId, Vec<ItemValue>);
+
+fn occurrence_map(
+    records: &[ItemRecord],
+    slot_of_index: impl Fn(usize) -> u64,
+) -> (HashMap<ItemId, ItemRecord>, HashMap<ItemId, Vec<u64>>) {
+    let mut map = HashMap::with_capacity(records.len());
+    let mut occ = HashMap::with_capacity(records.len());
+    for (idx, rec) in records.iter().enumerate() {
+        map.insert(rec.item(), *rec);
+        occ.insert(rec.item(), vec![slot_of_index(idx)]);
+    }
+    (map, occ)
+}
+
+/// The flat organization: each item once per cycle at a fixed position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flat {
+    items_per_bucket: u32,
+    sizes: SizeParams,
+}
+
+impl Flat {
+    /// Creates a flat organization packing `items_per_bucket` records per
+    /// bucket.
+    ///
+    /// # Panics
+    /// Panics if `items_per_bucket` is zero.
+    pub fn new(items_per_bucket: u32) -> Self {
+        assert!(items_per_bucket > 0, "items_per_bucket must be positive");
+        Flat {
+            items_per_bucket,
+            sizes: SizeParams::default(),
+        }
+    }
+
+    /// Overrides the abstract size parameters used for control-segment
+    /// slot accounting.
+    #[must_use]
+    pub fn with_sizes(mut self, sizes: SizeParams) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Assembles the bcast for `cycle`. `records` must be sorted by item
+    /// id (fixed positions depend on it); `old_versions` must be empty —
+    /// the flat organization carries no old versions.
+    ///
+    /// # Panics
+    /// Panics if `records` is not sorted by item id, or if old versions
+    /// are supplied.
+    pub fn assemble(
+        &self,
+        cycle: Cycle,
+        control: ControlInfo,
+        records: Vec<ItemRecord>,
+        old_versions: Vec<OldVersions>,
+    ) -> Bcast {
+        assert!(
+            old_versions.is_empty(),
+            "flat organization cannot carry old versions"
+        );
+        assert!(
+            records.windows(2).all(|w| w[0].item() < w[1].item()),
+            "records must be sorted by item id"
+        );
+        let control_slots = control.slots(self.sizes.bucket, self.sizes.key, self.sizes.tid);
+        let ipb = u64::from(self.items_per_bucket);
+        let data_slots = (records.len() as u64).div_ceil(ipb);
+        let (map, occ) = occurrence_map(&records, |idx| control_slots + idx as u64 / ipb);
+        Bcast::from_parts(
+            cycle,
+            control,
+            control_slots,
+            data_slots,
+            0,
+            map,
+            occ,
+            HashMap::new(),
+            None,
+        )
+    }
+}
+
+/// The flat organization with replicated on-air indexes — the (1, m)
+/// indexing of §2.1's self-descriptive broadcast: the full directory is
+/// broadcast `m` times per cycle, each copy preceding `1/m` of the data,
+/// so a client *without* a locally stored directory tunes to the next
+/// index copy (instead of scanning up to a whole cycle) before jumping to
+/// its item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedFlat {
+    segments: u32,
+    items_per_bucket: u32,
+    sizes: SizeParams,
+}
+
+impl IndexedFlat {
+    /// Creates the organization with `segments` replicated index copies.
+    ///
+    /// # Panics
+    /// Panics if `segments` or `items_per_bucket` is zero.
+    pub fn new(segments: u32, items_per_bucket: u32) -> Self {
+        assert!(segments > 0, "at least one index segment required");
+        assert!(items_per_bucket > 0, "items_per_bucket must be positive");
+        IndexedFlat {
+            segments,
+            items_per_bucket,
+            sizes: SizeParams::default(),
+        }
+    }
+
+    /// Overrides the abstract size parameters.
+    #[must_use]
+    pub fn with_sizes(mut self, sizes: SizeParams) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Number of replicated index copies per cycle.
+    pub fn segments(&self) -> u32 {
+        self.segments
+    }
+
+    /// Slots one index copy occupies for `n` items.
+    pub fn index_copy_slots(&self, n: usize) -> u64 {
+        (n as u64 * u64::from(self.sizes.key + self.sizes.ptr))
+            .div_ceil(u64::from(self.sizes.bucket))
+    }
+
+    /// Assembles the bcast: control, then `m` repetitions of
+    /// (index copy, data chunk). `records` must be sorted by item id;
+    /// old versions are not supported.
+    ///
+    /// # Panics
+    /// Panics if `records` is unsorted or old versions are supplied.
+    pub fn assemble(
+        &self,
+        cycle: Cycle,
+        control: ControlInfo,
+        records: Vec<ItemRecord>,
+        old_versions: Vec<OldVersions>,
+    ) -> Bcast {
+        assert!(
+            old_versions.is_empty(),
+            "indexed flat organization cannot carry old versions"
+        );
+        assert!(
+            records.windows(2).all(|w| w[0].item() < w[1].item()),
+            "records must be sorted by item id"
+        );
+        let control_slots = control.slots(self.sizes.bucket, self.sizes.key, self.sizes.tid);
+        let ipb = u64::from(self.items_per_bucket);
+        let idx_slots = self.index_copy_slots(records.len());
+        let m = u64::from(self.segments);
+        let chunk_items = (records.len() as u64).div_ceil(m);
+
+        let mut index_slots = Vec::with_capacity(self.segments as usize);
+        let mut map = HashMap::with_capacity(records.len());
+        let mut occ = HashMap::with_capacity(records.len());
+        let mut slot = control_slots;
+        for (chunk_idx, chunk) in records.chunks(chunk_items.max(1) as usize).enumerate() {
+            let _ = chunk_idx;
+            index_slots.push(slot);
+            slot += idx_slots;
+            for (i, rec) in chunk.iter().enumerate() {
+                map.insert(rec.item(), *rec);
+                occ.insert(rec.item(), vec![slot + i as u64 / ipb]);
+            }
+            slot += (chunk.len() as u64).div_ceil(ipb);
+        }
+        let data_slots = slot - control_slots;
+        Bcast::from_parts(
+            cycle,
+            control,
+            control_slots,
+            data_slots,
+            0,
+            map,
+            occ,
+            HashMap::new(),
+            None,
+        )
+        .with_index_slots(index_slots)
+    }
+}
+
+/// The multiversion overflow organization (Figure 2b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiversionOverflow {
+    items_per_bucket: u32,
+    sizes: SizeParams,
+}
+
+impl MultiversionOverflow {
+    /// Creates the organization packing `items_per_bucket` current records
+    /// per bucket. Old versions are packed at the same density into the
+    /// overflow area.
+    ///
+    /// # Panics
+    /// Panics if `items_per_bucket` is zero.
+    pub fn new(items_per_bucket: u32) -> Self {
+        assert!(items_per_bucket > 0, "items_per_bucket must be positive");
+        MultiversionOverflow {
+            items_per_bucket,
+            sizes: SizeParams::default(),
+        }
+    }
+
+    /// Overrides the abstract size parameters.
+    #[must_use]
+    pub fn with_sizes(mut self, sizes: SizeParams) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Assembles the bcast: fixed-position data segment followed by
+    /// overflow buckets holding `old_versions` (each inner vector most
+    /// recent first). Records gain overflow pointers.
+    ///
+    /// # Panics
+    /// Panics if `records` is not sorted by item id or an old-version
+    /// chain is not in reverse chronological order.
+    pub fn assemble(
+        &self,
+        cycle: Cycle,
+        control: ControlInfo,
+        mut records: Vec<ItemRecord>,
+        old_versions: Vec<OldVersions>,
+    ) -> Bcast {
+        assert!(
+            records.windows(2).all(|w| w[0].item() < w[1].item()),
+            "records must be sorted by item id"
+        );
+        let control_slots = control.slots(self.sizes.bucket, self.sizes.key, self.sizes.tid);
+        let ipb = u64::from(self.items_per_bucket);
+        let data_slots = (records.len() as u64).div_ceil(ipb);
+        let overflow_start = control_slots + data_slots;
+
+        // Lay out the overflow area and attach pointers.
+        let mut old_map: HashMap<ItemId, Vec<(u64, ItemValue)>> = HashMap::new();
+        let mut index_of: HashMap<ItemId, usize> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.item(), i))
+            .collect();
+        let mut next_entry = 0u64;
+        for (item, versions) in &old_versions {
+            assert!(
+                versions.windows(2).all(|w| w[0].version() > w[1].version()),
+                "old versions must be in reverse chronological order"
+            );
+            if versions.is_empty() {
+                continue;
+            }
+            if let Some(&idx) = index_of.get(item) {
+                records[idx] = records[idx].with_overflow_ptr(next_entry);
+            }
+            let chain = old_map.entry(*item).or_default();
+            for v in versions {
+                chain.push((overflow_start + next_entry / ipb, *v));
+                next_entry += 1;
+            }
+        }
+        index_of.clear();
+        let overflow_slots = next_entry.div_ceil(ipb);
+        let (map, occ) = occurrence_map(&records, |idx| control_slots + idx as u64 / ipb);
+        Bcast::from_parts(
+            cycle,
+            control,
+            control_slots,
+            data_slots,
+            overflow_slots,
+            map,
+            occ,
+            old_map,
+            None,
+        )
+    }
+}
+
+/// The multiversion clustered organization (Figure 2a): all versions of an
+/// item adjacent, a rebuilt directory broadcast every cycle.
+///
+/// Entries (current or old version) occupy one slot each; the
+/// `items_per_bucket` packing of the fixed-position organizations does not
+/// apply because entries per item vary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiversionClustered {
+    sizes: SizeParams,
+}
+
+impl MultiversionClustered {
+    /// Creates the organization.
+    pub fn new() -> Self {
+        MultiversionClustered {
+            sizes: SizeParams::default(),
+        }
+    }
+
+    /// Overrides the abstract size parameters.
+    #[must_use]
+    pub fn with_sizes(mut self, sizes: SizeParams) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Assembles the bcast: for each item (in id order) the current
+    /// version followed by its old versions, with the directory appended
+    /// to the control segment.
+    ///
+    /// # Panics
+    /// Panics if `records` is not sorted by item id or an old-version
+    /// chain is out of order.
+    pub fn assemble(
+        &self,
+        cycle: Cycle,
+        control: ControlInfo,
+        records: Vec<ItemRecord>,
+        old_versions: Vec<OldVersions>,
+    ) -> Bcast {
+        assert!(
+            records.windows(2).all(|w| w[0].item() < w[1].item()),
+            "records must be sorted by item id"
+        );
+        let old_by_item: HashMap<ItemId, &Vec<ItemValue>> =
+            old_versions.iter().map(|(x, vs)| (*x, vs)).collect();
+        for vs in old_by_item.values() {
+            assert!(
+                vs.windows(2).all(|w| w[0].version() > w[1].version()),
+                "old versions must be in reverse chronological order"
+            );
+        }
+
+        // First pass: positions relative to the start of the data segment.
+        let mut rel = 0u64;
+        let mut dir_entries = Vec::with_capacity(records.len());
+        let mut rel_old: HashMap<ItemId, Vec<(u64, ItemValue)>> = HashMap::new();
+        let mut rel_occ: HashMap<ItemId, u64> = HashMap::new();
+        for rec in &records {
+            dir_entries.push((rec.item(), rel));
+            rel_occ.insert(rec.item(), rel);
+            rel += 1;
+            if let Some(vs) = old_by_item.get(&rec.item()) {
+                let chain = rel_old.entry(rec.item()).or_default();
+                for v in vs.iter() {
+                    chain.push((rel, *v));
+                    rel += 1;
+                }
+            }
+        }
+        let data_slots = rel;
+
+        // The directory itself is broadcast with the control segment; its
+        // entries point at data-segment offsets, which the client resolves
+        // against `data_start`.
+        let directory = Directory::new(cycle, dir_entries);
+        let control_slots = control.slots(self.sizes.bucket, self.sizes.key, self.sizes.tid)
+            + directory.slots_on_air(self.sizes.bucket, self.sizes.key, self.sizes.ptr);
+
+        let mut map = HashMap::with_capacity(records.len());
+        let mut occ = HashMap::with_capacity(records.len());
+        for rec in &records {
+            map.insert(rec.item(), *rec);
+            occ.insert(rec.item(), vec![control_slots + rel_occ[&rec.item()]]);
+        }
+        let old_map = rel_old
+            .into_iter()
+            .map(|(x, chain)| {
+                (
+                    x,
+                    chain
+                        .into_iter()
+                        .map(|(r, v)| (control_slots + r, v))
+                        .collect(),
+                )
+            })
+            .collect();
+        Bcast::from_parts(
+            cycle,
+            control,
+            control_slots,
+            data_slots,
+            0,
+            map,
+            occ,
+            old_map,
+            Some(directory),
+        )
+    }
+}
+
+impl Default for MultiversionClustered {
+    fn default() -> Self {
+        MultiversionClustered::new()
+    }
+}
+
+/// One virtual disk of a [`BroadcastDisks`] organization: how many of the
+/// (id-ordered) items it holds and its relative spin speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskSpec {
+    /// Number of consecutive items (taken in id order) on this disk.
+    pub items: u32,
+    /// Relative broadcast frequency (1 = once per major cycle).
+    pub rel_freq: u32,
+}
+
+/// The broadcast-disk organization of Acharya et al., referenced by the
+/// paper's §7 as the non-flat extension: items are partitioned onto disks
+/// spinning at different relative frequencies, and the bcast interleaves
+/// fixed-size chunks so that a disk with relative frequency `f` appears
+/// `f` times per major cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastDisks {
+    disks: Vec<DiskSpec>,
+    sizes: SizeParams,
+}
+
+impl BroadcastDisks {
+    /// Creates the organization from disk specifications. Items are
+    /// assigned to disks in id order (put the hot range first).
+    ///
+    /// # Panics
+    /// Panics if no disk is given, or any disk has zero items or zero
+    /// frequency.
+    pub fn new(disks: Vec<DiskSpec>) -> Self {
+        assert!(!disks.is_empty(), "at least one disk required");
+        assert!(
+            disks.iter().all(|d| d.items > 0 && d.rel_freq > 0),
+            "disks must have items and a positive frequency"
+        );
+        BroadcastDisks {
+            disks,
+            sizes: SizeParams::default(),
+        }
+    }
+
+    /// Overrides the abstract size parameters.
+    #[must_use]
+    pub fn with_sizes(mut self, sizes: SizeParams) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Total items the disks expect.
+    pub fn expected_items(&self) -> u32 {
+        self.disks.iter().map(|d| d.items).sum()
+    }
+
+    /// Assembles the bcast using the standard chunk-interleaving schedule:
+    /// with `L = lcm(rel_freq)`, disk `i` is split into `L / rel_freq_i`
+    /// chunks and minor cycle `j` broadcasts chunk `j mod chunks_i` of
+    /// every disk.
+    ///
+    /// # Panics
+    /// Panics if `records` is not sorted by item id, does not match
+    /// [`BroadcastDisks::expected_items`], or old versions are supplied
+    /// (the disk organization carries current versions only).
+    pub fn assemble(
+        &self,
+        cycle: Cycle,
+        control: ControlInfo,
+        records: Vec<ItemRecord>,
+        old_versions: Vec<OldVersions>,
+    ) -> Bcast {
+        assert!(
+            old_versions.is_empty(),
+            "broadcast disks carry current versions only"
+        );
+        assert!(
+            records.windows(2).all(|w| w[0].item() < w[1].item()),
+            "records must be sorted by item id"
+        );
+        assert_eq!(
+            records.len() as u32,
+            self.expected_items(),
+            "record count must match the disk partitioning"
+        );
+        let control_slots = control.slots(self.sizes.bucket, self.sizes.key, self.sizes.tid);
+
+        let l = self
+            .disks
+            .iter()
+            .map(|d| u64::from(d.rel_freq))
+            .fold(1u64, lcm);
+        // Split each disk into chunks.
+        struct DiskLayout<'a> {
+            records: &'a [ItemRecord],
+            num_chunks: u64,
+            chunk_size: u64,
+        }
+        let mut layouts = Vec::with_capacity(self.disks.len());
+        let mut start = 0usize;
+        for d in &self.disks {
+            let slice = &records[start..start + d.items as usize];
+            start += d.items as usize;
+            let num_chunks = l / u64::from(d.rel_freq);
+            let chunk_size = (slice.len() as u64).div_ceil(num_chunks);
+            layouts.push(DiskLayout {
+                records: slice,
+                num_chunks,
+                chunk_size,
+            });
+        }
+
+        let mut occ: HashMap<ItemId, Vec<u64>> = HashMap::with_capacity(records.len());
+        let mut slot = control_slots;
+        for minor in 0..l {
+            for layout in &layouts {
+                let chunk = minor % layout.num_chunks;
+                let len = layout.records.len() as u64;
+                let lo = (chunk * layout.chunk_size).min(len) as usize;
+                let hi = ((chunk + 1) * layout.chunk_size).min(len) as usize;
+                for rec in &layout.records[lo..hi] {
+                    occ.entry(rec.item()).or_default().push(slot);
+                    slot += 1;
+                }
+                // a short final chunk still occupies full chunk_size slots
+                // (padding), matching the fixed-chunk schedule
+                slot += layout.chunk_size - (hi - lo) as u64;
+            }
+        }
+        let data_slots = slot - control_slots;
+        let map: HashMap<ItemId, ItemRecord> = records.iter().map(|r| (r.item(), *r)).collect();
+        Bcast::from_parts(
+            cycle,
+            control,
+            control_slots,
+            data_slots,
+            0,
+            map,
+            occ,
+            HashMap::new(),
+            None,
+        )
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpush_types::TxnId;
+
+    fn records(n: u32) -> Vec<ItemRecord> {
+        (0..n)
+            .map(|i| ItemRecord::new(ItemId::new(i), ItemValue::initial(), None))
+            .collect()
+    }
+
+    #[test]
+    fn flat_packs_items_per_bucket() {
+        let b = Flat::new(4).assemble(
+            Cycle::ZERO,
+            ControlInfo::empty(Cycle::ZERO),
+            records(10),
+            Vec::new(),
+        );
+        assert_eq!(b.data_slots(), 3);
+        assert_eq!(b.slot_of_current(ItemId::new(0)), Some(0));
+        assert_eq!(b.slot_of_current(ItemId::new(3)), Some(0));
+        assert_eq!(b.slot_of_current(ItemId::new(4)), Some(1));
+        assert_eq!(b.slot_of_current(ItemId::new(9)), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn flat_rejects_unsorted_records() {
+        let mut recs = records(3);
+        recs.swap(0, 1);
+        let _ = Flat::new(1).assemble(
+            Cycle::ZERO,
+            ControlInfo::empty(Cycle::ZERO),
+            recs,
+            Vec::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "old versions")]
+    fn flat_rejects_old_versions() {
+        let _ = Flat::new(1).assemble(
+            Cycle::ZERO,
+            ControlInfo::empty(Cycle::ZERO),
+            records(1),
+            vec![(ItemId::new(0), vec![ItemValue::initial()])],
+        );
+    }
+
+    fn old_chain(cycles: &[u64]) -> Vec<ItemValue> {
+        cycles
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    ItemValue::initial()
+                } else {
+                    ItemValue::written_by(TxnId::new(Cycle::new(c - 1), 0))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overflow_layout_places_old_versions_at_end() {
+        let mut recs = records(5);
+        recs[2] = ItemRecord::new(
+            ItemId::new(2),
+            ItemValue::written_by(TxnId::new(Cycle::new(4), 0)),
+            None,
+        );
+        let old = vec![
+            (ItemId::new(2), old_chain(&[3, 0])),
+            (ItemId::new(4), old_chain(&[2])),
+        ];
+        let b = MultiversionOverflow::new(1).assemble(
+            Cycle::new(5),
+            ControlInfo::empty(Cycle::new(5)),
+            recs,
+            old,
+        );
+        assert_eq!(b.data_slots(), 5);
+        assert_eq!(b.overflow_slots(), 3);
+        assert_eq!(b.total_slots(), 8);
+        // fixed positions preserved
+        assert_eq!(b.slot_of_current(ItemId::new(2)), Some(2));
+        // old versions in overflow area, most recent first
+        let chain = b.old_versions_of(ItemId::new(2));
+        assert_eq!(chain.len(), 2);
+        assert!(chain[0].0 >= 5 && chain[1].0 >= 5);
+        assert!(chain[0].1.version() > chain[1].1.version());
+        // the record carries an overflow pointer
+        assert_eq!(b.current(ItemId::new(2)).unwrap().overflow_ptr(), Some(0));
+        assert_eq!(b.current(ItemId::new(4)).unwrap().overflow_ptr(), Some(2));
+        assert_eq!(b.current(ItemId::new(0)).unwrap().overflow_ptr(), None);
+    }
+
+    #[test]
+    fn clustered_layout_shifts_positions_and_indexes() {
+        let mut recs = records(4);
+        recs[1] = ItemRecord::new(
+            ItemId::new(1),
+            ItemValue::written_by(TxnId::new(Cycle::new(2), 0)),
+            None,
+        );
+        let old = vec![(ItemId::new(1), old_chain(&[1]))];
+        let b = MultiversionClustered::new().assemble(
+            Cycle::new(3),
+            ControlInfo::empty(Cycle::new(3)),
+            recs,
+            old,
+        );
+        // data: x0, x1, x1(old), x2, x3 -> 5 slots
+        assert_eq!(b.data_slots(), 5);
+        let dir = b.directory().expect("clustered broadcasts a directory");
+        assert_eq!(dir.len(), 4);
+        // item 2 shifted one slot right of where flat would put it
+        let base = b.data_start();
+        assert_eq!(b.slot_of_current(ItemId::new(1)), Some(base + 1));
+        assert_eq!(b.slot_of_current(ItemId::new(2)), Some(base + 3));
+        // old version of item 1 sits right after its current version
+        assert_eq!(b.old_versions_of(ItemId::new(1))[0].0, base + 2);
+        // directory agrees with actual positions
+        assert_eq!(dir.slot_of(ItemId::new(2)), Some(3));
+        // control segment includes the directory
+        assert!(b.control_slots() > 0);
+    }
+
+    #[test]
+    fn disks_hot_items_appear_more_often() {
+        let org = BroadcastDisks::new(vec![
+            DiskSpec {
+                items: 2,
+                rel_freq: 2,
+            },
+            DiskSpec {
+                items: 4,
+                rel_freq: 1,
+            },
+        ]);
+        assert_eq!(org.expected_items(), 6);
+        let b = org.assemble(
+            Cycle::ZERO,
+            ControlInfo::empty(Cycle::ZERO),
+            records(6),
+            Vec::new(),
+        );
+        // L = 2 minor cycles; hot disk (1 chunk of 2) appears twice; cold
+        // disk split into 2 chunks of 2.
+        assert_eq!(b.occurrences_of(ItemId::new(0)).len(), 2);
+        assert_eq!(b.occurrences_of(ItemId::new(5)).len(), 1);
+        // schedule: [0,1, 2,3] [0,1, 4,5] -> 8 slots
+        assert_eq!(b.data_slots(), 8);
+        assert_eq!(b.occurrences_of(ItemId::new(0)), &[0, 4]);
+        assert_eq!(b.occurrences_of(ItemId::new(4)), &[6]);
+    }
+
+    #[test]
+    fn disks_mean_wait_is_lower_for_hot_items() {
+        // With frequency 2, expected wait for a hot item is ~1/4 of the
+        // major cycle vs ~1/2 for a cold item.
+        let org = BroadcastDisks::new(vec![
+            DiskSpec {
+                items: 4,
+                rel_freq: 4,
+            },
+            DiskSpec {
+                items: 16,
+                rel_freq: 1,
+            },
+        ]);
+        let b = org.assemble(
+            Cycle::ZERO,
+            ControlInfo::empty(Cycle::ZERO),
+            records(20),
+            Vec::new(),
+        );
+        let mean_wait = |item: ItemId| -> f64 {
+            let occ = b.occurrences_of(item);
+            let total = b.total_slots();
+            // average over all starting slots of distance to next occurrence
+            let mut sum = 0u64;
+            for start in 0..total {
+                let d = occ
+                    .iter()
+                    .map(|&s| {
+                        if s >= start {
+                            s - start
+                        } else {
+                            s + total - start
+                        }
+                    })
+                    .min()
+                    .unwrap();
+                sum += d;
+            }
+            sum as f64 / total as f64
+        };
+        assert!(mean_wait(ItemId::new(0)) < mean_wait(ItemId::new(19)) / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the disk partitioning")]
+    fn disks_reject_wrong_item_count() {
+        let org = BroadcastDisks::new(vec![DiskSpec {
+            items: 3,
+            rel_freq: 1,
+        }]);
+        let _ = org.assemble(
+            Cycle::ZERO,
+            ControlInfo::empty(Cycle::ZERO),
+            records(2),
+            Vec::new(),
+        );
+    }
+
+    #[test]
+    fn indexed_flat_interleaves_index_copies() {
+        let org = IndexedFlat::new(4, 1);
+        assert_eq!(org.segments(), 4);
+        let b = org.assemble(
+            Cycle::ZERO,
+            ControlInfo::empty(Cycle::ZERO),
+            records(20),
+            Vec::new(),
+        );
+        assert_eq!(b.index_slots().len(), 4);
+        let idx = org.index_copy_slots(20);
+        // segments are evenly spread: chunk of 5 items after each copy
+        let expected: Vec<u64> = (0..4).map(|i| i * (idx + 5)).collect();
+        assert_eq!(b.index_slots(), expected.as_slice());
+        // all items present, all within the data region
+        for i in 0..20u32 {
+            let s = b.slot_of_current(ItemId::new(i)).unwrap();
+            assert!(s < b.total_slots());
+        }
+        // next_index_slot wraps correctly
+        assert_eq!(b.next_index_slot(0), Some(expected[0]));
+        assert_eq!(b.next_index_slot(expected[1] + 1), Some(expected[2]));
+        assert_eq!(b.next_index_slot(expected[3] + 1), None);
+        // total length = data + 4 index copies
+        assert_eq!(b.total_slots(), 20 + 4 * idx);
+    }
+
+    #[test]
+    fn indexed_flat_single_segment_is_flat_plus_one_index() {
+        let org = IndexedFlat::new(1, 1);
+        let b = org.assemble(
+            Cycle::ZERO,
+            ControlInfo::empty(Cycle::ZERO),
+            records(10),
+            Vec::new(),
+        );
+        assert_eq!(b.index_slots().len(), 1);
+        assert_eq!(b.total_slots(), 10 + org.index_copy_slots(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "index segment")]
+    fn indexed_flat_rejects_zero_segments() {
+        let _ = IndexedFlat::new(0, 1);
+    }
+
+    #[test]
+    fn lcm_gcd_helpers() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 7), 7);
+    }
+}

@@ -1,0 +1,402 @@
+//! Bit-exact wire encoding of the control information.
+//!
+//! The size model of [`crate::size_model`] *counts* bits; this module
+//! actually produces them, so the `⌈·/b⌉` expressions of §3 are backed by
+//! a real codec: invalidation reports, augmented reports and graph diffs
+//! round-trip through packed bit streams whose lengths match the model.
+//!
+//! Field widths follow the paper's economies: item keys use `log₂ D`
+//! bits, update ages `log₂(w + 1)` bits relative to the report cycle
+//! ("instead of broadcasting the number of the cycle ... we can broadcast
+//! the difference", §3.2), and transaction identifiers `log₂ N` bits of
+//! sequence plus `log₂ S` bits of cycle age (§3.3).
+
+use bpush_types::{BpushError, Cycle, Granularity, ItemId, TxnId};
+
+use crate::control::{AugmentedReport, InvalidationReport};
+
+/// Fixed field widths for one deployment, derived from the broadcast
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireParams {
+    /// Bits per item key: `⌈log₂ D⌉`.
+    pub key_bits: u32,
+    /// Bits per update age: `⌈log₂(window + 1)⌉`.
+    pub age_bits: u32,
+    /// Bits per in-cycle transaction sequence number: `⌈log₂ N⌉`.
+    pub seq_bits: u32,
+    /// Bits per transaction cycle age: `⌈log₂(S + 1)⌉`.
+    pub txn_age_bits: u32,
+    /// Bits for entry counts (report/diff lengths).
+    pub count_bits: u32,
+}
+
+impl WireParams {
+    /// Derives widths for a broadcast of `d_items` items, report window
+    /// `window`, `n_txns` transactions per cycle and a transaction
+    /// relevance horizon of `span` cycles.
+    pub fn derive(d_items: u32, window: u32, n_txns: u32, span: u32) -> Self {
+        let bits = |n: u64| -> u32 { crate::size_model::bits_for(n) };
+        WireParams {
+            key_bits: bits(u64::from(d_items.saturating_sub(1))),
+            age_bits: bits(u64::from(window)),
+            seq_bits: bits(u64::from(n_txns.saturating_sub(1))),
+            txn_age_bits: bits(u64::from(span)),
+            count_bits: 24,
+        }
+    }
+}
+
+/// An append-only bit stream.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the last byte (0 = byte boundary).
+    partial: u32,
+}
+
+impl BitWriter {
+    /// An empty stream.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds 64, or if `value` does not fit.
+    pub fn put(&mut self, value: u64, width: u32) {
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1;
+            if self.partial == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("just ensured");
+            *last |= (bit as u8) << (7 - self.partial);
+            self.partial = (self.partial + 1) % 8;
+        }
+    }
+
+    /// Total bits written.
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 - u64::from((8 - self.partial) % 8)
+    }
+
+    /// Finishes the stream, returning the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A sequential bit-stream reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from packed bytes.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `width` bits, most significant first.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] on stream underflow.
+    pub fn take(&mut self, width: u32) -> Result<u64, BpushError> {
+        if self.pos + u64::from(width) > self.bytes.len() as u64 * 8 {
+            return Err(BpushError::invalid_config("bit stream underflow"));
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+/// Encodes an invalidation report: count, then per entry the item key and
+/// the update age (report cycle − update cycle).
+pub fn encode_invalidation(report: &InvalidationReport, params: WireParams) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let entries: Vec<(ItemId, Cycle)> = report.dated_items().collect();
+    w.put(entries.len() as u64, params.count_bits);
+    for (item, update_cycle) in entries {
+        w.put(u64::from(item.index()), params.key_bits);
+        let age = report.cycle().number() - update_cycle.number();
+        w.put(age.min((1 << params.age_bits) - 1), params.age_bits);
+    }
+    w.into_bytes()
+}
+
+/// Decodes an invalidation report broadcast at `cycle` with window
+/// `window`.
+///
+/// # Errors
+/// Returns [`BpushError::InvalidConfig`] on a truncated stream.
+pub fn decode_invalidation(
+    bytes: &[u8],
+    params: WireParams,
+    cycle: Cycle,
+    window: u32,
+    granularity: Granularity,
+    items_per_bucket: u32,
+) -> Result<InvalidationReport, BpushError> {
+    let mut r = BitReader::new(bytes);
+    let count = r.take(params.count_bits)?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let item = ItemId::new(r.take(params.key_bits)? as u32);
+        let age = r.take(params.age_bits)?;
+        let update = Cycle::new(cycle.number().saturating_sub(age));
+        entries.push((item, update));
+    }
+    Ok(InvalidationReport::with_dated(
+        cycle,
+        window,
+        entries,
+        granularity,
+        items_per_bucket,
+    ))
+}
+
+fn put_txn(w: &mut BitWriter, t: TxnId, now: Cycle, params: WireParams) {
+    let age = now.number() - t.cycle().number();
+    w.put(age.min((1 << params.txn_age_bits) - 1), params.txn_age_bits);
+    w.put(u64::from(t.seq()), params.seq_bits);
+}
+
+fn take_txn(r: &mut BitReader<'_>, now: Cycle, params: WireParams) -> Result<TxnId, BpushError> {
+    let age = r.take(params.txn_age_bits)?;
+    let seq = r.take(params.seq_bits)? as u32;
+    Ok(TxnId::new(
+        Cycle::new(now.number().saturating_sub(age)),
+        seq,
+    ))
+}
+
+/// Encodes an augmented report (item → first writer, §3.3): writers are
+/// transmitted as (cycle age, sequence) pairs relative to `now`, the
+/// cycle at whose beginning the report airs.
+pub fn encode_augmented(report: &AugmentedReport, now: Cycle, params: WireParams) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let entries: Vec<(ItemId, TxnId)> = report.entries().collect();
+    w.put(entries.len() as u64, params.count_bits);
+    for (item, txn) in entries {
+        w.put(u64::from(item.index()), params.key_bits);
+        put_txn(&mut w, txn, now, params);
+    }
+    w.into_bytes()
+}
+
+/// Decodes an augmented report describing the cycle before `now`.
+///
+/// # Errors
+/// Returns [`BpushError::InvalidConfig`] on a truncated stream.
+pub fn decode_augmented(
+    bytes: &[u8],
+    params: WireParams,
+    now: Cycle,
+) -> Result<AugmentedReport, BpushError> {
+    let mut r = BitReader::new(bytes);
+    let count = r.take(params.count_bits)?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let item = ItemId::new(r.take(params.key_bits)? as u32);
+        let txn = take_txn(&mut r, now, params)?;
+        entries.push((item, txn));
+    }
+    Ok(AugmentedReport::new(now.prev(), entries))
+}
+
+/// Encodes a graph diff (§3.3): the committed transactions, then the
+/// conflict edges as transaction-id pairs.
+pub fn encode_diff(diff: &bpush_sgraph::GraphDiff, now: Cycle, params: WireParams) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.put(diff.committed().len() as u64, params.count_bits);
+    for &t in diff.committed() {
+        put_txn(&mut w, t, now, params);
+    }
+    w.put(diff.edges().len() as u64, params.count_bits);
+    for &(a, b) in diff.edges() {
+        put_txn(&mut w, a, now, params);
+        put_txn(&mut w, b, now, params);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a graph diff describing the cycle before `now`.
+///
+/// # Errors
+/// Returns [`BpushError::InvalidConfig`] on a truncated stream.
+pub fn decode_diff(
+    bytes: &[u8],
+    params: WireParams,
+    now: Cycle,
+) -> Result<bpush_sgraph::GraphDiff, BpushError> {
+    let mut r = BitReader::new(bytes);
+    let n_committed = r.take(params.count_bits)?;
+    let mut committed = Vec::with_capacity(n_committed as usize);
+    for _ in 0..n_committed {
+        committed.push(take_txn(&mut r, now, params)?);
+    }
+    let n_edges = r.take(params.count_bits)?;
+    let mut edges = Vec::with_capacity(n_edges as usize);
+    for _ in 0..n_edges {
+        let a = take_txn(&mut r, now, params)?;
+        let b = take_txn(&mut r, now, params)?;
+        edges.push((a, b));
+    }
+    Ok(bpush_sgraph::GraphDiff::new(now.prev(), committed, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_writer_reader_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0xFFFF, 16);
+        w.put(0, 1);
+        w.put(42, 13);
+        assert_eq!(w.bit_len(), 33);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.take(3).unwrap(), 0b101);
+        assert_eq!(r.take(16).unwrap(), 0xFFFF);
+        assert_eq!(r.take(1).unwrap(), 0);
+        assert_eq!(r.take(13).unwrap(), 42);
+        assert_eq!(r.position(), 33);
+        assert!(r.take(8).is_err(), "underflow detected");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn writer_rejects_oversized_values() {
+        let mut w = BitWriter::new();
+        w.put(8, 3);
+    }
+
+    fn params() -> WireParams {
+        WireParams::derive(1000, 4, 10, 8)
+    }
+
+    #[test]
+    fn derived_widths_are_logarithmic() {
+        let p = params();
+        assert_eq!(p.key_bits, 10); // log2(999) -> 10
+        assert_eq!(p.age_bits, 3); // window 4
+        assert_eq!(p.seq_bits, 4); // N = 10
+        assert_eq!(p.txn_age_bits, 4); // span 8
+    }
+
+    #[test]
+    fn invalidation_report_roundtrip() {
+        let cycle = Cycle::new(20);
+        let report = InvalidationReport::with_dated(
+            cycle,
+            4,
+            [
+                (ItemId::new(3), Cycle::new(19)),
+                (ItemId::new(999), Cycle::new(17)),
+                (ItemId::new(0), Cycle::new(18)),
+            ],
+            Granularity::Item,
+            1,
+        );
+        let bytes = encode_invalidation(&report, params());
+        let decoded =
+            decode_invalidation(&bytes, params(), cycle, 4, Granularity::Item, 1).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn encoded_size_matches_model_scale() {
+        // 50 entries at 10 + 3 bits each, plus a 24-bit count
+        let cycle = Cycle::new(5);
+        let report = InvalidationReport::with_dated(
+            cycle,
+            1,
+            (0..50).map(|i| (ItemId::new(i * 7), Cycle::new(4))),
+            Granularity::Item,
+            1,
+        );
+        let bytes = encode_invalidation(&report, params());
+        let bits: usize = 24 + 50 * (10 + 3);
+        assert_eq!(bytes.len(), bits.div_ceil(8));
+    }
+
+    #[test]
+    fn augmented_report_roundtrip() {
+        let now = Cycle::new(9);
+        let prev = now.prev();
+        let report = AugmentedReport::new(
+            prev,
+            [
+                (ItemId::new(1), TxnId::new(prev, 0)),
+                (ItemId::new(500), TxnId::new(prev, 9)),
+            ],
+        );
+        let bytes = encode_augmented(&report, now, params());
+        let decoded = decode_augmented(&bytes, params(), now).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn graph_diff_roundtrip() {
+        let now = Cycle::new(9);
+        let prev = now.prev();
+        let t0 = TxnId::new(prev, 0);
+        let t1 = TxnId::new(prev, 1);
+        let old = TxnId::new(Cycle::new(5), 3);
+        let diff = bpush_sgraph::GraphDiff::new(prev, vec![t0, t1], vec![(old, t0), (t0, t1)]);
+        let bytes = encode_diff(&diff, now, params());
+        let decoded = decode_diff(&bytes, params(), now).unwrap();
+        assert_eq!(decoded, diff);
+    }
+
+    #[test]
+    fn empty_payloads_roundtrip() {
+        let now = Cycle::new(3);
+        let report = InvalidationReport::empty(now);
+        let bytes = encode_invalidation(&report, params());
+        let decoded = decode_invalidation(&bytes, params(), now, 1, Granularity::Item, 1).unwrap();
+        assert!(decoded.is_empty());
+
+        let diff = bpush_sgraph::GraphDiff::empty(now.prev());
+        let bytes = encode_diff(&diff, now, params());
+        assert_eq!(decode_diff(&bytes, params(), now).unwrap(), diff);
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected() {
+        let cycle = Cycle::new(20);
+        let report = InvalidationReport::with_dated(
+            cycle,
+            1,
+            [(ItemId::new(3), Cycle::new(19))],
+            Granularity::Item,
+            1,
+        );
+        let mut bytes = encode_invalidation(&report, params());
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_invalidation(&bytes, params(), cycle, 1, Granularity::Item, 1).is_err());
+    }
+}

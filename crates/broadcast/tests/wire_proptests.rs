@@ -1,0 +1,117 @@
+//! Property tests for the wire codec: arbitrary control information
+//! round-trips bit-exactly, and encoded lengths match the closed-form
+//! accounting.
+
+use proptest::prelude::*;
+
+use bpush_broadcast::wire::{
+    decode_augmented, decode_diff, decode_invalidation, encode_augmented, encode_diff,
+    encode_invalidation, BitReader, BitWriter, WireParams,
+};
+use bpush_broadcast::{AugmentedReport, InvalidationReport};
+use bpush_sgraph::GraphDiff;
+use bpush_types::{Cycle, Granularity, ItemId, TxnId};
+
+fn params() -> WireParams {
+    WireParams::derive(1024, 8, 16, 16)
+}
+
+proptest! {
+    /// Arbitrary (value, width) sequences round-trip through the bit
+    /// stream.
+    #[test]
+    fn bit_stream_roundtrip(fields in proptest::collection::vec((0u64..u64::MAX, 1u32..64), 0..64)) {
+        let mut w = BitWriter::new();
+        let masked: Vec<(u64, u32)> = fields
+            .iter()
+            .map(|&(v, width)| (v & ((1u64 << width) - 1), width))
+            .collect();
+        for &(v, width) in &masked {
+            w.put(v, width);
+        }
+        let expected_bits: u64 = masked.iter().map(|&(_, w)| u64::from(w)).sum();
+        prop_assert_eq!(w.bit_len(), expected_bits);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len() as u64, expected_bits.div_ceil(8));
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in &masked {
+            prop_assert_eq!(r.take(width).unwrap(), v);
+        }
+    }
+
+    /// Invalidation reports round-trip for any update set within the
+    /// window.
+    #[test]
+    fn invalidation_roundtrip(
+        cycle in 8u64..100,
+        window in 1u32..8,
+        raw in proptest::collection::vec((0u32..1024, 0u32..8), 0..64),
+    ) {
+        let entries: Vec<(ItemId, Cycle)> = raw
+            .iter()
+            .map(|&(i, age)| {
+                (ItemId::new(i), Cycle::new(cycle - u64::from(age.min(window - 1))))
+            })
+            .collect();
+        let report = InvalidationReport::with_dated(
+            Cycle::new(cycle),
+            window,
+            entries,
+            Granularity::Item,
+            1,
+        );
+        let bytes = encode_invalidation(&report, params());
+        let decoded = decode_invalidation(
+            &bytes,
+            params(),
+            Cycle::new(cycle),
+            window,
+            Granularity::Item,
+            1,
+        )
+        .unwrap();
+        prop_assert_eq!(decoded, report);
+    }
+
+    /// Augmented reports round-trip for any first-writer assignment.
+    #[test]
+    fn augmented_roundtrip(
+        now in 1u64..100,
+        raw in proptest::collection::vec((0u32..1024, 0u32..16), 0..32),
+    ) {
+        let prev = Cycle::new(now - 1);
+        let entries: Vec<(ItemId, TxnId)> = raw
+            .iter()
+            .map(|&(i, seq)| (ItemId::new(i), TxnId::new(prev, seq)))
+            .collect();
+        let report = AugmentedReport::new(prev, entries);
+        let bytes = encode_augmented(&report, Cycle::new(now), params());
+        let decoded = decode_augmented(&bytes, params(), Cycle::new(now)).unwrap();
+        prop_assert_eq!(decoded, report);
+    }
+
+    /// Graph diffs round-trip for any edge set within the age horizon.
+    #[test]
+    fn diff_roundtrip(
+        now in 16u64..100,
+        seqs in proptest::collection::btree_set(0u32..16, 0..8),
+        raw_edges in proptest::collection::vec((1u32..16, 0u32..16, 0u32..16), 0..16),
+    ) {
+        let prev = Cycle::new(now - 1);
+        let committed: Vec<TxnId> = seqs.iter().map(|&s| TxnId::new(prev, s)).collect();
+        let edges: Vec<(TxnId, TxnId)> = raw_edges
+            .iter()
+            .map(|&(age, s1, s2)| {
+                (
+                    TxnId::new(Cycle::new(now - 1 - u64::from(age.min(15))), s1),
+                    TxnId::new(prev, s2),
+                )
+            })
+            .filter(|(a, b)| a < b)
+            .collect();
+        let diff = GraphDiff::new(prev, committed, edges);
+        let bytes = encode_diff(&diff, Cycle::new(now), params());
+        let decoded = decode_diff(&bytes, params(), Cycle::new(now)).unwrap();
+        prop_assert_eq!(decoded, diff);
+    }
+}

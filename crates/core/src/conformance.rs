@@ -1,0 +1,280 @@
+//! A conformance battery for [`ReadOnlyProtocol`] implementations.
+//!
+//! Downstream implementations of the trait (a new processing method, an
+//! instrumented wrapper, a port) can run [`check`] against a factory for
+//! their protocol to verify the contract every client runtime relies on:
+//!
+//! 1. query lifecycle discipline (begin/finish, no id reuse tolerated),
+//! 2. doomed queries stay doomed and reject further reads,
+//! 3. accepted reads are recorded (a later directive still succeeds),
+//! 4. safety against torn reads: a protocol must never accept a read
+//!    that provably violates its own constraint,
+//! 5. control-stream tolerance: empty reports and idle cycles are
+//!    harmless.
+//!
+//! The battery is *necessarily* partial — full consistency is checked by
+//! the simulation validators — but it catches contract violations early
+//! and documents the expected call patterns executable-y.
+
+use bpush_broadcast::{ControlInfo, InvalidationReport};
+use bpush_types::{Cycle, Granularity, ItemId, ItemValue, QueryId, TxnId};
+
+use crate::protocol::{ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome, Source};
+
+/// A single conformance failure: which rule broke and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable identifier of the violated rule.
+    pub rule: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+fn empty_ctrl(cycle: u64) -> ControlInfo {
+    ControlInfo::empty(Cycle::new(cycle))
+}
+
+fn report_ctrl(cycle: u64, items: &[u32]) -> ControlInfo {
+    let c = Cycle::new(cycle);
+    ControlInfo::new(
+        c,
+        InvalidationReport::new(
+            c,
+            1,
+            items.iter().map(|&i| ItemId::new(i)),
+            Granularity::Item,
+            1,
+        ),
+        None,
+        None,
+    )
+}
+
+fn current_candidate(version_cycle: Option<u64>) -> ReadCandidate {
+    let value = match version_cycle {
+        None => ItemValue::initial(),
+        Some(c) => ItemValue::written_by(TxnId::new(Cycle::new(c), 0)),
+    };
+    ReadCandidate {
+        value,
+        last_writer_tag: value.writer(),
+        valid_from: value.version(),
+        valid_until: None,
+        source: Source::BroadcastCurrent,
+    }
+}
+
+/// Runs the battery against fresh protocol instances from `factory`.
+/// Returns every violation found (empty = conformant).
+pub fn check(factory: &dyn Fn() -> Box<dyn ReadOnlyProtocol>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut fail = |rule: &'static str, detail: String| {
+        violations.push(Violation { rule, detail });
+    };
+
+    // 1. Lifecycle: a fresh query gets a directive; finish releases it.
+    {
+        let mut p = factory();
+        p.on_control(&empty_ctrl(0));
+        let q = QueryId::new(0);
+        p.begin_query(q, Cycle::new(0));
+        match p.read_directive(q, ItemId::new(1), Cycle::new(0)) {
+            ReadDirective::Read(c) => {
+                if c.state > Cycle::new(0) {
+                    fail(
+                        "lifecycle/initial-state",
+                        format!("initial constraint targets future state {}", c.state),
+                    );
+                }
+            }
+            ReadDirective::Doom(r) => {
+                fail("lifecycle/fresh-doomed", format!("fresh query doomed: {r}"));
+            }
+        }
+        p.finish_query(q);
+        // a new query id works after finishing the old one
+        p.begin_query(QueryId::new(1), Cycle::new(0));
+        p.finish_query(QueryId::new(1));
+    }
+
+    // 2. Accepted reads are recorded and the query stays usable.
+    {
+        let mut p = factory();
+        p.on_control(&empty_ctrl(0));
+        let q = QueryId::new(0);
+        p.begin_query(q, Cycle::new(0));
+        match p.apply_read(q, ItemId::new(1), &current_candidate(None), Cycle::new(0)) {
+            ReadOutcome::Accepted => {
+                if let ReadDirective::Doom(r) = p.read_directive(q, ItemId::new(2), Cycle::new(0)) {
+                    fail(
+                        "reads/accept-then-doom",
+                        format!("query doomed right after an accepted read: {r}"),
+                    );
+                }
+            }
+            ReadOutcome::Rejected(r) => fail(
+                "reads/initial-rejected",
+                format!("read of an initial value rejected on a fresh query: {r}"),
+            ),
+        }
+        p.finish_query(q);
+    }
+
+    // 3. A candidate that violates the constraint must not be accepted.
+    {
+        let mut p = factory();
+        p.on_control(&empty_ctrl(0));
+        let q = QueryId::new(0);
+        p.begin_query(q, Cycle::new(0));
+        if let ReadDirective::Read(c) = p.read_directive(q, ItemId::new(1), Cycle::new(0)) {
+            // a value that only becomes current far in the future
+            let bogus = ReadCandidate {
+                value: ItemValue::written_by(TxnId::new(Cycle::new(99), 0)),
+                last_writer_tag: Some(TxnId::new(Cycle::new(99), 0)),
+                valid_from: Cycle::new(100),
+                valid_until: None,
+                source: Source::BroadcastCurrent,
+            };
+            if !bogus.current_at(c.state) {
+                if let ReadOutcome::Accepted =
+                    p.apply_read(q, ItemId::new(1), &bogus, Cycle::new(0))
+                {
+                    fail(
+                        "safety/future-value-accepted",
+                        "accepted a value not current at the constrained state".to_owned(),
+                    );
+                }
+            }
+        }
+        p.finish_query(q);
+    }
+
+    // 4. Doomed queries stay doomed.
+    {
+        let mut p = factory();
+        p.on_control(&empty_ctrl(0));
+        let q = QueryId::new(0);
+        p.begin_query(q, Cycle::new(0));
+        let _ = p.apply_read(q, ItemId::new(1), &current_candidate(None), Cycle::new(0));
+        // hammer the query with invalidations of everything it read, plus
+        // a missed cycle — methods differ in whether this dooms it, but
+        // once Doom is reported it must be sticky
+        p.on_control(&report_ctrl(1, &[1]));
+        p.on_missed_cycle(Cycle::new(2));
+        p.on_control(&report_ctrl(3, &[1]));
+        if let ReadDirective::Doom(first) = p.read_directive(q, ItemId::new(2), Cycle::new(3)) {
+            match p.read_directive(q, ItemId::new(2), Cycle::new(3)) {
+                ReadDirective::Doom(second) => {
+                    if first != second {
+                        fail(
+                            "doom/unstable-reason",
+                            format!("doom reason changed: {first} then {second}"),
+                        );
+                    }
+                }
+                ReadDirective::Read(_) => {
+                    fail("doom/undoomed", "doomed query came back to life".to_owned());
+                }
+            }
+            if let ReadOutcome::Accepted = p.apply_read(
+                q,
+                ItemId::new(2),
+                &current_candidate(Some(2)),
+                Cycle::new(3),
+            ) {
+                fail(
+                    "doom/accepts-reads",
+                    "doomed query accepted a further read".to_owned(),
+                );
+            }
+        }
+        p.finish_query(q);
+    }
+
+    // 5. Idle control streams are harmless.
+    {
+        let mut p = factory();
+        for n in 0..32 {
+            p.on_control(&empty_ctrl(n));
+        }
+        let q = QueryId::new(0);
+        p.begin_query(q, Cycle::new(32));
+        if let ReadDirective::Doom(r) = p.read_directive(q, ItemId::new(0), Cycle::new(32)) {
+            fail(
+                "control/idle-dooms",
+                format!("query doomed by an idle control stream: {r}"),
+            );
+        }
+        p.finish_query(q);
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Method;
+
+    #[test]
+    fn all_shipped_methods_conform() {
+        for method in Method::ALL {
+            let violations = check(&|| method.build_protocol());
+            assert!(
+                violations.is_empty(),
+                "{method} violates the protocol contract: {violations:?}"
+            );
+        }
+        // including the disconnection-enhanced SGT variant
+        let violations = check(&|| Method::SgtVersionedItems.build_protocol());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn a_broken_protocol_is_caught() {
+        /// Accepts everything, forever — flagrantly violates rule 3.
+        #[derive(Debug)]
+        struct YesMan;
+        impl ReadOnlyProtocol for YesMan {
+            fn name(&self) -> &'static str {
+                "yes-man"
+            }
+            fn cache_mode(&self) -> crate::CacheMode {
+                crate::CacheMode::None
+            }
+            fn on_control(&mut self, _: &ControlInfo) {}
+            fn on_missed_cycle(&mut self, _: Cycle) {}
+            fn begin_query(&mut self, _: QueryId, _: Cycle) {}
+            fn read_directive(&self, _: QueryId, _: ItemId, now: Cycle) -> ReadDirective {
+                ReadDirective::Read(crate::ReadConstraint {
+                    state: now,
+                    cache_only: false,
+                })
+            }
+            fn apply_read(
+                &mut self,
+                _: QueryId,
+                _: ItemId,
+                _: &ReadCandidate,
+                _: Cycle,
+            ) -> ReadOutcome {
+                ReadOutcome::Accepted
+            }
+            fn finish_query(&mut self, _: QueryId) {}
+        }
+        let violations = check(&|| Box::new(YesMan) as Box<dyn ReadOnlyProtocol>);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "safety/future-value-accepted"),
+            "the yes-man must be caught: {violations:?}"
+        );
+        assert!(violations[0].to_string().contains('['));
+    }
+}

@@ -1,0 +1,180 @@
+//! A transparent instrumentation decorator for protocols.
+//!
+//! [`Instrumented`] wraps any [`ReadOnlyProtocol`] and counts its
+//! operations without changing behaviour — the decorator pattern the
+//! trait is designed to support (and a worked example for downstream
+//! implementors; the conformance battery accepts the wrapped protocol
+//! iff it accepts the inner one).
+
+use bpush_broadcast::ControlInfo;
+use bpush_types::{Cycle, ItemId, QueryId};
+
+use crate::protocol::{
+    CacheMode, ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome,
+};
+
+/// Operation counters accumulated by [`Instrumented`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Control segments processed.
+    pub controls: u64,
+    /// Cycles missed.
+    pub missed_cycles: u64,
+    /// Queries begun.
+    pub queries: u64,
+    /// Reads accepted.
+    pub accepts: u64,
+    /// Reads rejected.
+    pub rejects: u64,
+    /// Directives answered with `Doom`.
+    pub dooms: u64,
+}
+
+/// Wraps a protocol, transparently counting its operations.
+///
+/// # Example
+/// ```
+/// use bpush_core::instrument::Instrumented;
+/// use bpush_core::{Method, ReadOnlyProtocol};
+/// use bpush_types::{Cycle, QueryId};
+///
+/// let mut p = Instrumented::new(Method::Sgt.build_protocol());
+/// p.begin_query(QueryId::new(0), Cycle::ZERO);
+/// p.finish_query(QueryId::new(0));
+/// assert_eq!(p.stats().queries, 1);
+/// assert_eq!(p.name(), "sgt");
+/// ```
+#[derive(Debug)]
+pub struct Instrumented {
+    inner: Box<dyn ReadOnlyProtocol>,
+    stats: ProtocolStats,
+}
+
+impl Instrumented {
+    /// Wraps `inner`.
+    pub fn new(inner: Box<dyn ReadOnlyProtocol>) -> Self {
+        Instrumented {
+            inner,
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> ProtocolStats {
+        self.stats
+    }
+
+    /// Unwraps the inner protocol.
+    pub fn into_inner(self) -> Box<dyn ReadOnlyProtocol> {
+        self.inner
+    }
+}
+
+impl ReadOnlyProtocol for Instrumented {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn cache_mode(&self) -> CacheMode {
+        self.inner.cache_mode()
+    }
+
+    fn on_control(&mut self, ctrl: &ControlInfo) {
+        self.stats.controls += 1;
+        self.inner.on_control(ctrl);
+    }
+
+    fn on_missed_cycle(&mut self, cycle: Cycle) {
+        self.stats.missed_cycles += 1;
+        self.inner.on_missed_cycle(cycle);
+    }
+
+    fn begin_query(&mut self, q: QueryId, now: Cycle) {
+        self.stats.queries += 1;
+        self.inner.begin_query(q, now);
+    }
+
+    fn read_directive(&self, q: QueryId, item: ItemId, now: Cycle) -> ReadDirective {
+        self.inner.read_directive(q, item, now)
+    }
+
+    fn apply_read(
+        &mut self,
+        q: QueryId,
+        item: ItemId,
+        candidate: &ReadCandidate,
+        now: Cycle,
+    ) -> ReadOutcome {
+        let outcome = self.inner.apply_read(q, item, candidate, now);
+        match outcome {
+            ReadOutcome::Accepted => self.stats.accepts += 1,
+            ReadOutcome::Rejected(_) => self.stats.rejects += 1,
+        }
+        outcome
+    }
+
+    fn finish_query(&mut self, q: QueryId) {
+        self.inner.finish_query(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+    use crate::protocol::Source;
+    use crate::Method;
+    use bpush_types::{ItemValue, TxnId};
+
+    #[test]
+    fn wrapped_protocols_still_conform() {
+        for method in Method::ALL {
+            let violations =
+                conformance::check(&|| Box::new(Instrumented::new(method.build_protocol())));
+            assert!(violations.is_empty(), "{method}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut p = Instrumented::new(Method::InvalidationOnly.build_protocol());
+        p.on_control(&ControlInfo::empty(Cycle::ZERO));
+        let q = QueryId::new(0);
+        p.begin_query(q, Cycle::ZERO);
+        let good = ReadCandidate {
+            value: ItemValue::initial(),
+            last_writer_tag: None,
+            valid_from: Cycle::ZERO,
+            valid_until: None,
+            source: Source::BroadcastCurrent,
+        };
+        assert_eq!(
+            p.apply_read(q, ItemId::new(1), &good, Cycle::ZERO),
+            ReadOutcome::Accepted
+        );
+        let bad = ReadCandidate {
+            valid_from: Cycle::new(9),
+            value: ItemValue::written_by(TxnId::new(Cycle::new(8), 0)),
+            ..good
+        };
+        assert!(matches!(
+            p.apply_read(q, ItemId::new(2), &bad, Cycle::ZERO),
+            ReadOutcome::Rejected(_)
+        ));
+        p.on_missed_cycle(Cycle::new(1));
+        p.finish_query(q);
+        let stats = p.stats();
+        assert_eq!(stats.controls, 1);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.accepts, 1);
+        assert_eq!(stats.rejects, 1);
+        assert_eq!(stats.missed_cycles, 1);
+        assert_eq!(p.into_inner().name(), "inv-only");
+    }
+
+    #[test]
+    fn delegates_cache_mode() {
+        let p = Instrumented::new(Method::MultiversionCaching.build_protocol());
+        assert_eq!(p.cache_mode(), CacheMode::Multiversion);
+    }
+}

@@ -1,0 +1,246 @@
+//! The protocol abstraction shared by all processing methods.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bpush_broadcast::ControlInfo;
+use bpush_types::{Cycle, ItemId, ItemValue, QueryId, TxnId};
+
+/// Why a query was (or must be) aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AbortReason {
+    /// An item the query had read was updated (invalidation-only method).
+    Invalidated,
+    /// The version the query needs is no longer obtainable (multiversion
+    /// methods: fell off air and not in cache).
+    VersionUnavailable,
+    /// Accepting the read would close a serialization-graph cycle (SGT).
+    CycleDetected,
+    /// The client missed a broadcast cycle the method cannot tolerate.
+    Disconnected,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::Invalidated => "a read item was invalidated",
+            AbortReason::VersionUnavailable => "required version unavailable",
+            AbortReason::CycleDetected => "serialization cycle detected",
+            AbortReason::Disconnected => "missed broadcast cycle",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for AbortReason {}
+
+/// Where a read candidate came from; used for latency accounting and for
+/// `cache_only` constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// A coherent (current) cache entry.
+    CacheCurrent,
+    /// An old-version cache entry (multiversion caching, §4.2) or a
+    /// stale-but-tagged entry (versioned cache, §4.1).
+    CacheOld,
+    /// The current version from the data segment of the broadcast.
+    BroadcastCurrent,
+    /// An old version from the broadcast (overflow buckets or clustered
+    /// chains, §3.2).
+    BroadcastOld,
+}
+
+impl Source {
+    /// Whether the candidate came from the local cache.
+    pub const fn is_cache(self) -> bool {
+        matches!(self, Source::CacheCurrent | Source::CacheOld)
+    }
+}
+
+/// A concrete value offered to the protocol to satisfy a read.
+///
+/// `valid_from` / `valid_until` bound the database states at which the
+/// value is known to be current: `valid_from` is the value's version (or,
+/// for version-less cache entries, the cycle it was fetched — a
+/// conservative later bound), and `valid_until` is the state at which it
+/// is known superseded (`None` = still current as far as the source
+/// knows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCandidate {
+    /// The committed value.
+    pub value: ItemValue,
+    /// The last-writer tag transmitted with the item (SGT mode), if any.
+    pub last_writer_tag: Option<TxnId>,
+    /// Earliest state at which the value is known current.
+    pub valid_from: Cycle,
+    /// Exclusive state bound at which the value is known superseded.
+    pub valid_until: Option<Cycle>,
+    /// Provenance.
+    pub source: Source,
+}
+
+impl ReadCandidate {
+    /// A candidate for the current version taken straight off the
+    /// broadcast data segment at `cycle`.
+    pub fn from_broadcast(record: &bpush_broadcast::ItemRecord) -> Self {
+        ReadCandidate {
+            value: record.value(),
+            last_writer_tag: record.last_writer(),
+            valid_from: record.value().version(),
+            valid_until: None,
+            source: Source::BroadcastCurrent,
+        }
+    }
+
+    /// Whether this value is (known) current at database state `state`.
+    pub fn current_at(&self, state: Cycle) -> bool {
+        self.valid_from <= state && self.valid_until.map_or(true, |w| state < w)
+    }
+}
+
+/// What a read must satisfy, handed from the protocol to the client
+/// runtime before each read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadConstraint {
+    /// The query must read the value current at this database state:
+    /// the current cycle for current-state methods, the first-read cycle
+    /// `c_0` for multiversion broadcast, `u − 1` / `c_u − 1` for the
+    /// versioned-cache and multiversion-caching methods.
+    pub state: Cycle,
+    /// Only the local cache may serve the read (versioned-cache rule of
+    /// §4.1 and the strict form of multiversion caching, §4.2).
+    pub cache_only: bool,
+}
+
+/// The protocol's answer to "may query `q` read item `x` now?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadDirective {
+    /// Proceed, fetching a value that satisfies the constraint.
+    Read(ReadConstraint),
+    /// The query is already doomed; abort it.
+    Doom(AbortReason),
+}
+
+/// Result of offering a candidate to the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The read is accepted and recorded in the query's readset.
+    Accepted,
+    /// The read is rejected; the query must abort with this reason.
+    Rejected(AbortReason),
+}
+
+/// What the client cache must provide for a method to work (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheMode {
+    /// No cache.
+    None,
+    /// Plain coherent cache (invalidation + autoprefetch).
+    Plain,
+    /// Entries additionally tagged with their fetch cycle and invalidation
+    /// cycle (§4.1).
+    Versioned,
+    /// Split cache retaining old versions (§4.2).
+    Multiversion,
+}
+
+/// A client-side read-only transaction processing method.
+///
+/// One instance serves one client (all state is client-local — the
+/// scalability property of §1); it may interleave any number of queries.
+///
+/// # Contract
+///
+/// For each cycle the client hears, [`ReadOnlyProtocol::on_control`] is
+/// called exactly once, before any read of that cycle; for each cycle the
+/// client misses, [`ReadOnlyProtocol::on_missed_cycle`] is called instead.
+/// Each read is a [`ReadOnlyProtocol::read_directive`] /
+/// [`ReadOnlyProtocol::apply_read`] pair. A query ends with
+/// [`ReadOnlyProtocol::finish_query`], after which its id must not be
+/// reused.
+pub trait ReadOnlyProtocol: fmt::Debug {
+    /// A short stable name for reports ("inv-only", "sgt", ...).
+    fn name(&self) -> &'static str;
+
+    /// The cache support this method requires.
+    fn cache_mode(&self) -> CacheMode;
+
+    /// Processes the control information at the beginning of a cycle.
+    fn on_control(&mut self, ctrl: &ControlInfo);
+
+    /// The client missed `cycle` entirely (disconnection, §5.2.2).
+    fn on_missed_cycle(&mut self, cycle: Cycle);
+
+    /// Registers a new query first scheduled at cycle `now`.
+    fn begin_query(&mut self, q: QueryId, now: Cycle);
+
+    /// What (if anything) query `q` may read of `item` at cycle `now`.
+    fn read_directive(&self, q: QueryId, item: ItemId, now: Cycle) -> ReadDirective;
+
+    /// Offers a candidate satisfying the last directive; the protocol
+    /// validates it, records the read, and reports the outcome.
+    fn apply_read(
+        &mut self,
+        q: QueryId,
+        item: ItemId,
+        candidate: &ReadCandidate,
+        now: Cycle,
+    ) -> ReadOutcome;
+
+    /// Ends a query (committed or aborted), releasing its state.
+    fn finish_query(&mut self, q: QueryId);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_current_at_ranges() {
+        let c = ReadCandidate {
+            value: ItemValue::initial(),
+            last_writer_tag: None,
+            valid_from: Cycle::new(3),
+            valid_until: Some(Cycle::new(6)),
+            source: Source::CacheOld,
+        };
+        assert!(!c.current_at(Cycle::new(2)));
+        assert!(c.current_at(Cycle::new(3)));
+        assert!(c.current_at(Cycle::new(5)));
+        assert!(!c.current_at(Cycle::new(6)));
+
+        let open = ReadCandidate {
+            valid_until: None,
+            ..c
+        };
+        assert!(open.current_at(Cycle::new(100)));
+    }
+
+    #[test]
+    fn candidate_from_broadcast_record() {
+        let t = TxnId::new(Cycle::new(2), 0);
+        let rec =
+            bpush_broadcast::ItemRecord::new(ItemId::new(1), ItemValue::written_by(t), Some(t));
+        let c = ReadCandidate::from_broadcast(&rec);
+        assert_eq!(c.valid_from, Cycle::new(3));
+        assert_eq!(c.valid_until, None);
+        assert_eq!(c.last_writer_tag, Some(t));
+        assert_eq!(c.source, Source::BroadcastCurrent);
+        assert!(!c.source.is_cache());
+        assert!(Source::CacheOld.is_cache());
+    }
+
+    #[test]
+    fn abort_reason_messages() {
+        for r in [
+            AbortReason::Invalidated,
+            AbortReason::VersionUnavailable,
+            AbortReason::CycleDetected,
+            AbortReason::Disconnected,
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

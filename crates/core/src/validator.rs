@@ -1,0 +1,304 @@
+//! After-the-fact serializability checking — the executable form of the
+//! paper's correctness criterion (§2.2).
+//!
+//! A committed read-only transaction is correct iff its readset is a
+//! subset of a consistent database state, i.e. iff there is a point in
+//! the server's serial history at which *all* the values it read were
+//! simultaneously current. Because the server executes update
+//! transactions serially (and [`bpush_types::TxnId`]'s order *is* that
+//! serial order), the check reduces to an interval intersection: the
+//! value read for item `x` is current from its writer until the next
+//! write of `x`; the transaction is serializable iff the intersection of
+//! those intervals over the whole readset is non-empty.
+//!
+//! Every protocol in this crate is exercised against this validator in
+//! the integration and property tests: no committed readset may ever
+//! fail it, whatever the workload, cache behaviour or disconnection
+//! pattern.
+
+use std::fmt;
+
+use bpush_server::WriteHistory;
+use bpush_types::{ItemId, ItemValue, TxnId};
+
+/// One read of a committed query: the item and the exact value observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// The item read.
+    pub item: ItemId,
+    /// The value observed.
+    pub value: ItemValue,
+}
+
+impl ReadRecord {
+    /// Pairs an item with the value a query read for it.
+    pub fn new(item: ItemId, value: ItemValue) -> Self {
+        ReadRecord { item, value }
+    }
+}
+
+/// The serial interval over which a readset is simultaneously current:
+/// strictly after `after` committed (or from the initial load if `None`)
+/// and strictly before `before` committed (or forever if `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidInterval {
+    /// The latest writer among the values read.
+    pub after: Option<TxnId>,
+    /// The earliest transaction that overwrote any value read.
+    pub before: Option<TxnId>,
+}
+
+/// A readset that corresponds to no consistent database state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsistencyViolation {
+    /// A value whose writer commits at-or-after `stale_overwrite` —
+    /// the witness pair proving the intervals cannot intersect.
+    pub fresh_writer: TxnId,
+    /// The overwrite that superseded another value read, before
+    /// `fresh_writer` committed.
+    pub stale_overwrite: TxnId,
+}
+
+impl fmt::Display for ConsistencyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "readset mixes a value written by {} with a value already overwritten by {}",
+            self.fresh_writer, self.stale_overwrite
+        )
+    }
+}
+
+impl std::error::Error for ConsistencyViolation {}
+
+/// Checks committed readsets against the server's ground-truth history.
+#[derive(Debug, Clone, Copy)]
+pub struct SerializabilityValidator<'a> {
+    history: &'a WriteHistory,
+}
+
+impl<'a> SerializabilityValidator<'a> {
+    /// Creates a validator over `history`.
+    pub fn new(history: &'a WriteHistory) -> Self {
+        SerializabilityValidator { history }
+    }
+
+    /// Verifies that `reads` is a subset of some consistent database
+    /// state, returning the witnessing serial interval.
+    ///
+    /// # Errors
+    /// Returns [`ConsistencyViolation`] with a witness pair when the
+    /// intervals cannot intersect.
+    ///
+    /// # Panics
+    /// Panics if a read value was never committed according to the
+    /// history — that would be a broadcast-substrate bug, not a protocol
+    /// anomaly.
+    pub fn check(&self, reads: &[ReadRecord]) -> Result<ValidInterval, ConsistencyViolation> {
+        // after = max over writers (None = initial load = -inf)
+        let mut after: Option<TxnId> = None;
+        // before = min over next-overwrites (None = +inf)
+        let mut before: Option<TxnId> = None;
+        for r in reads {
+            after = after.max(r.value.writer());
+            if let Some(over) = self.history.next_overwrite(r.item, r.value) {
+                let over = over.writer().expect("overwrites are committed writes");
+                before = Some(match before {
+                    Some(b) => b.min(over),
+                    None => over,
+                });
+            }
+        }
+        match (after, before) {
+            (Some(a), Some(b)) if a >= b => Err(ConsistencyViolation {
+                fresh_writer: a,
+                stale_overwrite: b,
+            }),
+            _ => Ok(ValidInterval { after, before }),
+        }
+    }
+
+    /// Convenience: `check` but a plain boolean.
+    pub fn is_consistent(&self, reads: &[ReadRecord]) -> bool {
+        self.check(reads).is_ok()
+    }
+
+    /// The paper's exact correctness criterion (§2.2): the readset must
+    /// correspond to a state produced by *some serializable execution* of
+    /// server transactions — not necessarily a prefix of the actual
+    /// commit order. This is weaker than [`SerializabilityValidator::check`]:
+    /// the SGT method (§3.3) commits readsets that pass this test but can
+    /// fail the prefix-snapshot test, because non-conflicting server
+    /// transactions may be reordered around the query.
+    ///
+    /// Given the server's conflict graph, the query closes a cycle iff
+    /// some transaction that *overwrote* a value it read reaches (or is)
+    /// some transaction whose value it read.
+    ///
+    /// # Errors
+    /// Returns [`ConsistencyViolation`] with a witnessing pair when a
+    /// cycle through the query exists.
+    pub fn check_serializable(
+        &self,
+        graph: &bpush_sgraph::SerializationGraph,
+        reads: &[ReadRecord],
+    ) -> Result<(), ConsistencyViolation> {
+        use bpush_sgraph::Node;
+        // in-edges to the query: writers of values read
+        let writers: std::collections::HashSet<TxnId> =
+            reads.iter().filter_map(|r| r.value.writer()).collect();
+        // out-edges from the query: the first overwrite of each value read
+        let overwriters: Vec<TxnId> = reads
+            .iter()
+            .filter_map(|r| self.history.next_overwrite(r.item, r.value))
+            .map(|v| v.writer().expect("overwrites are committed writes"))
+            .collect();
+        for &o in &overwriters {
+            if writers.contains(&o) {
+                return Err(ConsistencyViolation {
+                    fresh_writer: o,
+                    stale_overwrite: o,
+                });
+            }
+            // DFS from the overwriter through the server conflict graph
+            let mut stack = vec![Node::Txn(o)];
+            let mut seen = std::collections::HashSet::new();
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n) {
+                    continue;
+                }
+                if let Some(t) = n.as_txn() {
+                    if t != o && writers.contains(&t) {
+                        return Err(ConsistencyViolation {
+                            fresh_writer: t,
+                            stale_overwrite: o,
+                        });
+                    }
+                }
+                stack.extend_from_slice(graph.successors(n));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpush_types::Cycle;
+
+    fn t(cycle: u64, seq: u32) -> TxnId {
+        TxnId::new(Cycle::new(cycle), seq)
+    }
+
+    fn v(writer: TxnId) -> ItemValue {
+        ItemValue::written_by(writer)
+    }
+
+    fn x(i: u32) -> ItemId {
+        ItemId::new(i)
+    }
+
+    /// History: x0 written by T1.0 then T3.0; x1 written by T2.0.
+    fn history() -> WriteHistory {
+        let mut h = WriteHistory::new();
+        h.record(x(0), v(t(1, 0)));
+        h.record(x(1), v(t(2, 0)));
+        h.record(x(0), v(t(3, 0)));
+        h
+    }
+
+    #[test]
+    fn empty_readset_is_consistent() {
+        let h = history();
+        let val = SerializabilityValidator::new(&h);
+        let interval = val.check(&[]).unwrap();
+        assert_eq!(
+            interval,
+            ValidInterval {
+                after: None,
+                before: None
+            }
+        );
+    }
+
+    #[test]
+    fn all_initial_values_are_consistent() {
+        let h = history();
+        let val = SerializabilityValidator::new(&h);
+        let reads = [
+            ReadRecord::new(x(0), ItemValue::initial()),
+            ReadRecord::new(x(1), ItemValue::initial()),
+        ];
+        let interval = val.check(&reads).unwrap();
+        assert_eq!(interval.after, None);
+        assert_eq!(
+            interval.before,
+            Some(t(1, 0)),
+            "valid until the first write"
+        );
+    }
+
+    #[test]
+    fn snapshot_readsets_are_consistent() {
+        let h = history();
+        let val = SerializabilityValidator::new(&h);
+        // state after T2.0: x0 = T1.0's value, x1 = T2.0's value
+        let reads = [
+            ReadRecord::new(x(0), v(t(1, 0))),
+            ReadRecord::new(x(1), v(t(2, 0))),
+        ];
+        let interval = val.check(&reads).unwrap();
+        assert_eq!(interval.after, Some(t(2, 0)));
+        assert_eq!(interval.before, Some(t(3, 0)));
+        assert!(val.is_consistent(&reads));
+    }
+
+    #[test]
+    fn torn_readset_is_rejected() {
+        let h = history();
+        let val = SerializabilityValidator::new(&h);
+        // x0's *old* value (overwritten by T3.0)... fine so far
+        // combined with nothing newer: consistent
+        assert!(val.is_consistent(&[ReadRecord::new(x(0), v(t(1, 0)))]));
+        // but initial x0 (overwritten by T1.0) + x1 from T2.0 is torn:
+        // x1's value requires being after T2.0, x0's initial value
+        // requires being before T1.0.
+        let torn = [
+            ReadRecord::new(x(0), ItemValue::initial()),
+            ReadRecord::new(x(1), v(t(2, 0))),
+        ];
+        let err = val.check(&torn).unwrap_err();
+        assert_eq!(err.fresh_writer, t(2, 0));
+        assert_eq!(err.stale_overwrite, t(1, 0));
+        assert!(err.to_string().contains("overwritten"));
+    }
+
+    #[test]
+    fn current_values_are_consistent() {
+        let h = history();
+        let val = SerializabilityValidator::new(&h);
+        let reads = [
+            ReadRecord::new(x(0), v(t(3, 0))),
+            ReadRecord::new(x(1), v(t(2, 0))),
+        ];
+        let interval = val.check(&reads).unwrap();
+        assert_eq!(interval.after, Some(t(3, 0)));
+        assert_eq!(interval.before, None);
+    }
+
+    #[test]
+    fn boundary_equal_is_rejected() {
+        // reading a value written by T and a value overwritten by T means
+        // the point must be both >= T and < T: impossible.
+        let mut h = WriteHistory::new();
+        h.record(x(0), v(t(1, 0))); // overwrites x0's initial value
+        h.record(x(1), v(t(1, 0))); // same txn writes x1
+        let val = SerializabilityValidator::new(&h);
+        let torn = [
+            ReadRecord::new(x(0), ItemValue::initial()),
+            ReadRecord::new(x(1), v(t(1, 0))),
+        ];
+        assert!(!val.is_consistent(&torn));
+    }
+}

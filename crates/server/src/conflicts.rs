@@ -1,0 +1,255 @@
+//! Conflict tracking among committed server transactions.
+//!
+//! The SGT method (§3.3) needs, each cycle, the *difference* of the
+//! server's conflict serialization graph: for every transaction committed
+//! during the cycle, the edges connecting it to previously committed
+//! transactions, plus the augmented invalidation report mapping every
+//! updated item to the *first* transaction that wrote it during the cycle
+//! (Claim 2). [`ConflictTracker`] derives both from the committed
+//! transactions as they are fed through it in serial order.
+//!
+//! Edge rules (standard conflict serializability, with histories strict
+//! and serial):
+//!
+//! * dependency: `last_writer(x) → T` when `T` reads `x`,
+//! * write–write: `last_writer(x) → T` when `T` writes `x`,
+//! * precedence (anti-dependency): `R' → T` for every transaction `R'`
+//!   that read `x` since its last write, when `T` writes `x`.
+
+use std::collections::{HashMap, HashSet};
+
+use bpush_sgraph::GraphDiff;
+use bpush_types::{Cycle, ItemId, TxnId};
+
+use crate::txn::ServerTxn;
+
+/// Derives per-cycle SGT control information from the serial commit
+/// stream.
+#[derive(Debug, Clone)]
+pub struct ConflictTracker {
+    last_writer: HashMap<ItemId, TxnId>,
+    readers_since_write: HashMap<ItemId, HashSet<TxnId>>,
+    /// Readers older than this many cycles are pruned at cycle end; any
+    /// precedence edge they could still induce would be pruned at the
+    /// client anyway (Lemma 1 keeps only the last `S` subgraphs).
+    reader_horizon: u32,
+    // per-cycle accumulation
+    cycle_edges: Vec<(TxnId, TxnId)>,
+    cycle_edge_set: HashSet<(TxnId, TxnId)>,
+    cycle_committed: Vec<TxnId>,
+    cycle_first_writers: HashMap<ItemId, TxnId>,
+}
+
+impl ConflictTracker {
+    /// Creates a tracker. `reader_horizon` bounds how many cycles a
+    /// read-item record is retained for precedence-edge derivation; it
+    /// must be at least the largest client span of interest.
+    ///
+    /// # Panics
+    /// Panics if `reader_horizon` is zero.
+    pub fn new(reader_horizon: u32) -> Self {
+        assert!(reader_horizon > 0, "reader horizon must be positive");
+        ConflictTracker {
+            last_writer: HashMap::new(),
+            readers_since_write: HashMap::new(),
+            reader_horizon,
+            cycle_edges: Vec::new(),
+            cycle_edge_set: HashSet::new(),
+            cycle_committed: Vec::new(),
+            cycle_first_writers: HashMap::new(),
+        }
+    }
+
+    fn push_edge(&mut self, from: TxnId, to: TxnId) {
+        if from == to {
+            return;
+        }
+        debug_assert!(
+            from < to,
+            "conflict edges run old -> new in a serial history"
+        );
+        if self.cycle_edge_set.insert((from, to)) {
+            self.cycle_edges.push((from, to));
+        }
+    }
+
+    /// Processes a committed transaction. Transactions must be fed in
+    /// serial order; all of a cycle's transactions must be committed
+    /// before [`ConflictTracker::end_cycle`] is called for it.
+    pub fn commit(&mut self, txn: &ServerTxn) {
+        let id = txn.id();
+        self.cycle_committed.push(id);
+        for &x in txn.reads() {
+            if let Some(&w) = self.last_writer.get(&x) {
+                self.push_edge(w, id);
+            }
+            self.readers_since_write.entry(x).or_default().insert(id);
+        }
+        for &x in txn.writes() {
+            if let Some(readers) = self.readers_since_write.get(&x) {
+                let edges: Vec<TxnId> = readers.iter().copied().filter(|&r| r != id).collect();
+                for r in edges {
+                    self.push_edge(r, id);
+                }
+            }
+            if let Some(&w) = self.last_writer.get(&x) {
+                self.push_edge(w, id);
+            }
+            self.last_writer.insert(x, id);
+            self.readers_since_write.insert(x, HashSet::from([id]));
+            self.cycle_first_writers.entry(x).or_insert(id);
+        }
+    }
+
+    /// Closes `cycle`, returning the graph difference and the
+    /// `(item → first writer)` entries for the augmented report. Both are
+    /// broadcast at the beginning of cycle `cycle + 1`.
+    pub fn end_cycle(&mut self, cycle: Cycle) -> (GraphDiff, Vec<(ItemId, TxnId)>) {
+        debug_assert!(
+            self.cycle_committed.iter().all(|t| t.cycle() == cycle),
+            "all buffered commits must belong to the closing cycle"
+        );
+        let diff = GraphDiff::new(
+            cycle,
+            std::mem::take(&mut self.cycle_committed),
+            std::mem::take(&mut self.cycle_edges),
+        );
+        self.cycle_edge_set.clear();
+        let mut first_writers: Vec<(ItemId, TxnId)> = std::mem::take(&mut self.cycle_first_writers)
+            .into_iter()
+            .collect();
+        first_writers.sort();
+
+        // prune stale readers
+        if let Some(horizon_start) = cycle.checked_sub(u64::from(self.reader_horizon)) {
+            for readers in self.readers_since_write.values_mut() {
+                readers.retain(|t| t.cycle() >= horizon_start);
+            }
+            self.readers_since_write.retain(|_, r| !r.is_empty());
+        }
+        (diff, first_writers)
+    }
+
+    /// The last committed writer of `item`, if any.
+    pub fn last_writer(&self, item: ItemId) -> Option<TxnId> {
+        self.last_writer.get(&item).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(cycle: u64, seq: u32) -> TxnId {
+        TxnId::new(Cycle::new(cycle), seq)
+    }
+
+    fn x(i: u32) -> ItemId {
+        ItemId::new(i)
+    }
+
+    #[test]
+    fn dependency_edge_from_last_writer() {
+        let mut tr = ConflictTracker::new(8);
+        tr.commit(&ServerTxn::new(id(0, 0), vec![x(1)], vec![x(1)]));
+        let (d0, fw0) = tr.end_cycle(Cycle::new(0));
+        assert_eq!(d0.committed(), &[id(0, 0)]);
+        assert!(d0.edges().is_empty(), "first writer conflicts with nobody");
+        assert_eq!(fw0, vec![(x(1), id(0, 0))]);
+
+        // next cycle: a reader of x(1) depends on the writer
+        tr.commit(&ServerTxn::new(id(1, 0), vec![x(1)], vec![]));
+        let (d1, fw1) = tr.end_cycle(Cycle::new(1));
+        assert_eq!(d1.edges(), &[(id(0, 0), id(1, 0))]);
+        assert!(fw1.is_empty());
+    }
+
+    #[test]
+    fn precedence_edge_from_earlier_reader() {
+        let mut tr = ConflictTracker::new(8);
+        tr.commit(&ServerTxn::new(id(0, 0), vec![x(5)], vec![])); // reads x5
+        tr.end_cycle(Cycle::new(0));
+        tr.commit(&ServerTxn::new(id(1, 0), vec![x(5)], vec![x(5)])); // overwrites it
+        let (d, fw) = tr.end_cycle(Cycle::new(1));
+        assert_eq!(d.edges(), &[(id(0, 0), id(1, 0))]);
+        assert_eq!(fw, vec![(x(5), id(1, 0))]);
+    }
+
+    #[test]
+    fn write_write_edge_and_first_writer_per_cycle() {
+        let mut tr = ConflictTracker::new(8);
+        tr.commit(&ServerTxn::new(id(0, 0), vec![x(2)], vec![x(2)]));
+        tr.commit(&ServerTxn::new(id(0, 1), vec![x(2)], vec![x(2)]));
+        let (d, fw) = tr.end_cycle(Cycle::new(0));
+        // T0.1 read x2 (from T0.0) and overwrote it: one deduped edge
+        assert_eq!(d.edges(), &[(id(0, 0), id(0, 1))]);
+        // the first writer of the cycle is T0.0, not the last
+        assert_eq!(fw, vec![(x(2), id(0, 0))]);
+        assert_eq!(tr.last_writer(x(2)), Some(id(0, 1)));
+    }
+
+    #[test]
+    fn no_self_edges() {
+        let mut tr = ConflictTracker::new(8);
+        // reads then writes the same item: reader set contains itself
+        tr.commit(&ServerTxn::new(id(0, 0), vec![x(1)], vec![x(1)]));
+        let (d, _) = tr.end_cycle(Cycle::new(0));
+        assert!(d.edges().is_empty());
+    }
+
+    #[test]
+    fn edges_are_deduped() {
+        let mut tr = ConflictTracker::new(8);
+        tr.commit(&ServerTxn::new(
+            id(0, 0),
+            vec![x(1), x(2)],
+            vec![x(1), x(2)],
+        ));
+        tr.end_cycle(Cycle::new(0));
+        // reads both items written by T0.0 -> still a single edge
+        tr.commit(&ServerTxn::new(id(1, 0), vec![x(1), x(2)], vec![]));
+        let (d, _) = tr.end_cycle(Cycle::new(1));
+        assert_eq!(d.edges().len(), 1);
+    }
+
+    #[test]
+    fn reader_horizon_prunes_stale_readers() {
+        let mut tr = ConflictTracker::new(2);
+        tr.commit(&ServerTxn::new(id(0, 0), vec![x(9)], vec![]));
+        tr.end_cycle(Cycle::new(0));
+        for c in 1..5u64 {
+            tr.end_cycle(Cycle::new(c));
+        }
+        // the cycle-0 reader is long outside the horizon; overwriting x9
+        // yields no precedence edge anymore
+        tr.commit(&ServerTxn::new(id(5, 0), vec![x(9)], vec![x(9)]));
+        let (d, _) = tr.end_cycle(Cycle::new(5));
+        assert!(d.edges().is_empty());
+    }
+
+    #[test]
+    fn multi_cycle_chain_builds_transitive_path() {
+        let mut tr = ConflictTracker::new(8);
+        tr.commit(&ServerTxn::new(id(0, 0), vec![x(1)], vec![x(1)]));
+        tr.end_cycle(Cycle::new(0));
+        tr.commit(&ServerTxn::new(id(1, 0), vec![x(1), x(2)], vec![x(2)]));
+        let (d1, _) = tr.end_cycle(Cycle::new(1));
+        tr.commit(&ServerTxn::new(id(2, 0), vec![x(2), x(3)], vec![x(3)]));
+        let (d2, _) = tr.end_cycle(Cycle::new(2));
+        // apply both diffs to a graph: path T0.0 -> T1.0 -> T2.0
+        let mut g = bpush_sgraph::SerializationGraph::new();
+        g.apply_diff(&d1);
+        g.apply_diff(&d2);
+        assert!(g.path_exists(
+            bpush_sgraph::Node::Txn(id(0, 0)),
+            bpush_sgraph::Node::Txn(id(2, 0))
+        ));
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_horizon_rejected() {
+        let _ = ConflictTracker::new(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Server update transactions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bpush_types::{ItemId, TxnId};
+
+/// One committed server update transaction: its identifier, the items it
+/// read and the items it wrote.
+///
+/// Following §3.3, the readset includes the writeset (every transaction
+/// reads an item before writing it).
+///
+/// # Example
+/// ```
+/// use bpush_server::ServerTxn;
+/// use bpush_types::{Cycle, ItemId, TxnId};
+/// let t = ServerTxn::new(
+///     TxnId::new(Cycle::new(1), 0),
+///     vec![ItemId::new(1), ItemId::new(2)],
+///     vec![ItemId::new(1)],
+/// );
+/// assert!(t.reads_item(ItemId::new(2)));
+/// assert!(t.writes_item(ItemId::new(1)));
+/// assert_eq!(t.ops(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerTxn {
+    id: TxnId,
+    reads: Vec<ItemId>,
+    writes: Vec<ItemId>,
+}
+
+impl ServerTxn {
+    /// Creates a transaction.
+    ///
+    /// # Panics
+    /// Panics if the readset does not include the writeset.
+    pub fn new(id: TxnId, reads: Vec<ItemId>, writes: Vec<ItemId>) -> Self {
+        assert!(
+            writes.iter().all(|w| reads.contains(w)),
+            "readset must include writeset (transactions read before writing)"
+        );
+        ServerTxn { id, reads, writes }
+    }
+
+    /// The transaction identifier (commit cycle + serial position).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Items read (a superset of the items written).
+    pub fn reads(&self) -> &[ItemId] {
+        &self.reads
+    }
+
+    /// Items written.
+    pub fn writes(&self) -> &[ItemId] {
+        &self.writes
+    }
+
+    /// Whether the transaction read `item`.
+    pub fn reads_item(&self, item: ItemId) -> bool {
+        self.reads.contains(&item)
+    }
+
+    /// Whether the transaction wrote `item`.
+    pub fn writes_item(&self, item: ItemId) -> bool {
+        self.writes.contains(&item)
+    }
+
+    /// Total operations (`c` in the paper's size model): reads plus
+    /// writes.
+    pub fn ops(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+}
+
+impl fmt::Display for ServerTxn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[r:{} w:{}]",
+            self.id,
+            self.reads.len(),
+            self.writes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpush_types::Cycle;
+
+    #[test]
+    fn accessors() {
+        let t = ServerTxn::new(
+            TxnId::new(Cycle::new(2), 1),
+            vec![ItemId::new(0), ItemId::new(1)],
+            vec![ItemId::new(0)],
+        );
+        assert_eq!(t.id(), TxnId::new(Cycle::new(2), 1));
+        assert_eq!(t.reads().len(), 2);
+        assert_eq!(t.writes(), &[ItemId::new(0)]);
+        assert!(t.reads_item(ItemId::new(1)));
+        assert!(!t.writes_item(ItemId::new(1)));
+        assert_eq!(t.ops(), 3);
+        assert_eq!(t.to_string(), "T2.1[r:2 w:1]");
+    }
+
+    #[test]
+    #[should_panic(expected = "readset must include writeset")]
+    fn blind_writes_rejected() {
+        let _ = ServerTxn::new(
+            TxnId::new(Cycle::ZERO, 0),
+            vec![ItemId::new(1)],
+            vec![ItemId::new(2)],
+        );
+    }
+
+    #[test]
+    fn read_only_server_txn_is_allowed() {
+        let t = ServerTxn::new(TxnId::new(Cycle::ZERO, 0), vec![ItemId::new(1)], vec![]);
+        assert_eq!(t.ops(), 1);
+        assert!(t.writes().is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! The per-cycle serialization-graph difference the server broadcasts.
+
+use serde::{Deserialize, Serialize};
+
+use bpush_types::{Cycle, TxnId};
+
+/// The difference between consecutive server serialization graphs (§3.3):
+/// the transactions committed during one broadcast cycle together with
+/// their conflict edges to (earlier or same-cycle) committed transactions.
+///
+/// Because server histories are strict, all edges run from earlier to
+/// later transactions in the serial order (Claim 1), so a diff never
+/// carries an edge into a previous cycle's subgraph.
+///
+/// # Example
+/// ```
+/// use bpush_sgraph::GraphDiff;
+/// use bpush_types::{Cycle, TxnId};
+/// let c = Cycle::new(3);
+/// let t0 = TxnId::new(c, 0);
+/// let t1 = TxnId::new(c, 1);
+/// let diff = GraphDiff::new(c, vec![t0, t1], vec![(t0, t1)]);
+/// assert_eq!(diff.cycle(), c);
+/// assert_eq!(diff.committed().len(), 2);
+/// assert_eq!(diff.edges(), &[(t0, t1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphDiff {
+    cycle: Cycle,
+    committed: Vec<TxnId>,
+    edges: Vec<(TxnId, TxnId)>,
+}
+
+impl GraphDiff {
+    /// Creates a diff for the transactions committed during `cycle`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if a listed commit or an edge endpoint
+    /// violates the strict-history direction invariant (`from < to`, and
+    /// every `to` committed during `cycle`).
+    pub fn new(cycle: Cycle, committed: Vec<TxnId>, edges: Vec<(TxnId, TxnId)>) -> Self {
+        debug_assert!(committed.iter().all(|t| t.cycle() == cycle));
+        debug_assert!(edges.iter().all(|&(from, to)| from < to));
+        debug_assert!(edges.iter().all(|&(_, to)| to.cycle() == cycle));
+        GraphDiff {
+            cycle,
+            committed,
+            edges,
+        }
+    }
+
+    /// An empty diff (a cycle with no commits).
+    pub fn empty(cycle: Cycle) -> Self {
+        GraphDiff::new(cycle, Vec::new(), Vec::new())
+    }
+
+    /// The broadcast cycle whose commits this diff describes.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Transactions committed during [`GraphDiff::cycle`].
+    pub fn committed(&self) -> &[TxnId] {
+        &self.committed
+    }
+
+    /// Conflict edges `(older, newer)` incident to the new commits.
+    pub fn edges(&self) -> &[(TxnId, TxnId)] {
+        &self.edges
+    }
+
+    /// Whether the diff carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty() && self.edges.is_empty()
+    }
+
+    /// Broadcast size of this diff in abstract units, per the §3.3 size
+    /// model: each edge is a pair of transaction identifiers; identifiers
+    /// cost `log(N)` bits within a known cycle plus `log(S)` bits of cycle
+    /// version, rounded up to whole units of size `tid_size`.
+    pub fn size_units(&self, tid_size: u32) -> u64 {
+        self.committed.len() as u64 * u64::from(tid_size)
+            + self.edges.len() as u64 * 2 * u64::from(tid_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(cycle: u64, seq: u32) -> TxnId {
+        TxnId::new(Cycle::new(cycle), seq)
+    }
+
+    #[test]
+    fn empty_diff() {
+        let d = GraphDiff::empty(Cycle::new(4));
+        assert!(d.is_empty());
+        assert_eq!(d.cycle(), Cycle::new(4));
+        assert_eq!(d.size_units(1), 0);
+    }
+
+    #[test]
+    fn accessors_and_size() {
+        let d = GraphDiff::new(
+            Cycle::new(2),
+            vec![t(2, 0), t(2, 1)],
+            vec![(t(1, 3), t(2, 0)), (t(2, 0), t(2, 1))],
+        );
+        assert!(!d.is_empty());
+        assert_eq!(d.committed(), &[t(2, 0), t(2, 1)]);
+        assert_eq!(d.edges().len(), 2);
+        // 2 commits * 1 + 2 edges * 2 = 6 units at tid_size 1
+        assert_eq!(d.size_units(1), 6);
+        assert_eq!(d.size_units(2), 12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn edge_direction_invariant_checked_in_debug() {
+        let _ = GraphDiff::new(Cycle::new(2), vec![t(2, 0)], vec![(t(2, 0), t(1, 0))]);
+    }
+}

@@ -1,0 +1,583 @@
+//! The serialization graph proper.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use bpush_types::{Cycle, QueryId, TxnId};
+
+use crate::diff::GraphDiff;
+use crate::node::Node;
+
+/// A conflict serialization graph (§3.3).
+///
+/// Nodes are committed server transactions plus, in client copies, the
+/// client's active read-only queries. An edge `a → b` means one of `a`'s
+/// operations precedes and conflicts with one of `b`'s. The graph keeps a
+/// per-commit-cycle membership index so the client can implement the
+/// paper's space optimization (Lemma 1): only the subgraphs `SG^k` with
+/// `k ≥ c_o` — the cycle when the oldest active query first had an item
+/// overwritten — need to be retained.
+///
+/// Cycle checks are the paper's acceptance test: a read creating edge
+/// `T_l → R` is accepted iff no path `R →* T_l` exists
+/// ([`SerializationGraph::would_close_cycle`]).
+#[derive(Debug, Clone, Default)]
+pub struct SerializationGraph {
+    /// Outgoing adjacency. Presence in the map also records node
+    /// membership (nodes may have no edges).
+    out_edges: HashMap<Node, Vec<Node>>,
+    /// Commit-cycle index of transaction nodes, for pruning.
+    by_cycle: BTreeMap<Cycle, Vec<TxnId>>,
+    /// Total number of directed edges.
+    edge_count: usize,
+}
+
+impl SerializationGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        SerializationGraph::default()
+    }
+
+    /// Number of nodes currently in the graph.
+    pub fn node_count(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Number of directed edges currently in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.out_edges.is_empty()
+    }
+
+    /// Whether `node` is present.
+    pub fn contains(&self, node: Node) -> bool {
+        self.out_edges.contains_key(&node)
+    }
+
+    /// Inserts a node (idempotent).
+    pub fn add_node(&mut self, node: Node) {
+        if self.out_edges.contains_key(&node) {
+            return;
+        }
+        self.out_edges.insert(node, Vec::new());
+        if let Node::Txn(t) = node {
+            self.by_cycle.entry(t.cycle()).or_default().push(t);
+        }
+    }
+
+    /// Inserts a directed edge `from → to`, inserting the endpoints if
+    /// needed. Returns `true` if the edge is new.
+    pub fn add_edge(&mut self, from: Node, to: Node) -> bool {
+        self.add_node(from);
+        self.add_node(to);
+        let succ = self
+            .out_edges
+            .get_mut(&from)
+            .expect("endpoint inserted above");
+        if succ.contains(&to) {
+            return false;
+        }
+        succ.push(to);
+        self.edge_count += 1;
+        true
+    }
+
+    /// The successors of `node`, or an empty slice for unknown nodes.
+    pub fn successors(&self, node: Node) -> &[Node] {
+        self.out_edges.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether a directed path `from →* to` exists (including the trivial
+    /// path when `from == to` only if a real cycle through it exists —
+    /// i.e. `path_exists(n, n)` is `true` only when `n` lies on a cycle).
+    pub fn path_exists(&self, from: Node, to: Node) -> bool {
+        if !self.contains(from) || !self.contains(to) {
+            return false;
+        }
+        let mut stack: Vec<Node> = self.successors(from).to_vec();
+        let mut visited: HashSet<Node> = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if visited.insert(n) {
+                stack.extend_from_slice(self.successors(n));
+            }
+        }
+        false
+    }
+
+    /// Whether inserting the edge `from → to` would close a cycle —
+    /// the SGT acceptance test. The edge is *not* inserted.
+    pub fn would_close_cycle(&self, from: Node, to: Node) -> bool {
+        if from == to {
+            return true;
+        }
+        self.path_exists(to, from)
+    }
+
+    /// Inserts `from → to` only if it closes no cycle.
+    ///
+    /// Returns `Ok(inserted)` where `inserted` is false for a duplicate
+    /// edge, or `Err(CycleDetected)` if the edge would create a cycle (the
+    /// graph is left unchanged).
+    pub fn try_add_edge(&mut self, from: Node, to: Node) -> Result<bool, CycleDetected> {
+        if self.would_close_cycle(from, to) {
+            return Err(CycleDetected { from, to });
+        }
+        Ok(self.add_edge(from, to))
+    }
+
+    /// Whether the whole graph is acyclic (serialization theorem check).
+    pub fn is_acyclic(&self) -> bool {
+        // Iterative three-color DFS.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<Node, Color> =
+            self.out_edges.keys().map(|&n| (n, Color::White)).collect();
+        for &start in self.out_edges.keys() {
+            if color[&start] != Color::White {
+                continue;
+            }
+            // stack of (node, next-successor-index)
+            let mut stack: Vec<(Node, usize)> = vec![(start, 0)];
+            color.insert(start, Color::Gray);
+            while let Some(&mut (n, ref mut idx)) = stack.last_mut() {
+                let succ = self.successors(n);
+                if *idx < succ.len() {
+                    let next = succ[*idx];
+                    *idx += 1;
+                    match color[&next] {
+                        Color::Gray => return false,
+                        Color::White => {
+                            color.insert(next, Color::Gray);
+                            stack.push((next, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(n, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies a broadcast [`GraphDiff`]: inserts the newly committed
+    /// transactions and their conflict edges.
+    pub fn apply_diff(&mut self, diff: &GraphDiff) {
+        for &t in diff.committed() {
+            self.add_node(Node::Txn(t));
+        }
+        for &(from, to) in diff.edges() {
+            self.add_edge(Node::Txn(from), Node::Txn(to));
+        }
+    }
+
+    /// Removes a query node and all its incident edges.
+    pub fn remove_query(&mut self, query: QueryId) {
+        let node = Node::Query(query);
+        if let Some(succ) = self.out_edges.remove(&node) {
+            self.edge_count -= succ.len();
+        }
+        for succ in self.out_edges.values_mut() {
+            let before = succ.len();
+            succ.retain(|&n| n != node);
+            self.edge_count -= before - succ.len();
+        }
+    }
+
+    /// Lemma-1 pruning: drops every transaction committed before `bound`
+    /// together with its incident edges.
+    ///
+    /// Edges between server transactions always point from earlier to
+    /// later commits (Claim 1: strict histories admit no edges *into* a
+    /// previous cycle's subgraph), so cycles through an active query that
+    /// was first invalidated at cycle `c_o` only involve transactions of
+    /// cycles `≥ c_o`; pruning below `min c_o` keeps the acceptance test
+    /// exact. See [`crate::SerializationGraph::would_close_cycle`].
+    pub fn prune_before(&mut self, bound: Cycle) {
+        let stale: Vec<TxnId> = {
+            let mut stale = Vec::new();
+            for (&cycle, txns) in self.by_cycle.range(..bound) {
+                debug_assert!(cycle < bound);
+                stale.extend_from_slice(txns);
+            }
+            stale
+        };
+        if stale.is_empty() {
+            return;
+        }
+        let stale_nodes: HashSet<Node> = stale.iter().map(|&t| Node::Txn(t)).collect();
+        for node in &stale_nodes {
+            if let Some(succ) = self.out_edges.remove(node) {
+                self.edge_count -= succ.len();
+            }
+        }
+        for succ in self.out_edges.values_mut() {
+            let before = succ.len();
+            succ.retain(|n| !stale_nodes.contains(n));
+            self.edge_count -= before - succ.len();
+        }
+        self.by_cycle = self.by_cycle.split_off(&bound);
+    }
+
+    /// Drops the entire graph content. Equivalent to pruning past the last
+    /// cycle; used when no query has been invalidated (the paper's "if no
+    /// items are updated, there is no space or processing overhead").
+    pub fn clear(&mut self) {
+        self.out_edges.clear();
+        self.by_cycle.clear();
+        self.edge_count = 0;
+    }
+
+    /// Iterates over all nodes in unspecified order.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        self.out_edges.keys().copied()
+    }
+
+    /// The earliest commit cycle still retained, if any transaction nodes
+    /// exist.
+    pub fn earliest_cycle(&self) -> Option<Cycle> {
+        self.by_cycle.keys().next().copied()
+    }
+
+    /// The strongly connected components with more than one node — i.e.
+    /// the actual cycles. Empty iff the graph is acyclic (up to
+    /// self-loops, which [`SerializationGraph::add_edge`] cannot create).
+    /// Useful for diagnosing validator failures.
+    pub fn cycles(&self) -> Vec<Vec<Node>> {
+        // Iterative Tarjan SCC.
+        #[derive(Clone, Copy)]
+        struct Info {
+            index: usize,
+            lowlink: usize,
+            on_stack: bool,
+        }
+        let mut info: HashMap<Node, Info> = HashMap::new();
+        let mut stack: Vec<Node> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out = Vec::new();
+
+        for &root in self.out_edges.keys() {
+            if info.contains_key(&root) {
+                continue;
+            }
+            // call stack: (node, successor cursor)
+            let mut call: Vec<(Node, usize)> = vec![(root, 0)];
+            info.insert(
+                root,
+                Info {
+                    index: next_index,
+                    lowlink: next_index,
+                    on_stack: true,
+                },
+            );
+            stack.push(root);
+            next_index += 1;
+            while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+                let succ = self.successors(v);
+                if *cursor < succ.len() {
+                    let w = succ[*cursor];
+                    *cursor += 1;
+                    match info.get(&w) {
+                        None => {
+                            info.insert(
+                                w,
+                                Info {
+                                    index: next_index,
+                                    lowlink: next_index,
+                                    on_stack: true,
+                                },
+                            );
+                            stack.push(w);
+                            next_index += 1;
+                            call.push((w, 0));
+                        }
+                        Some(wi) if wi.on_stack => {
+                            let w_index = wi.index;
+                            let vi = info.get_mut(&v).expect("visited");
+                            vi.lowlink = vi.lowlink.min(w_index);
+                        }
+                        Some(_) => {}
+                    }
+                } else {
+                    call.pop();
+                    let vi = *info.get(&v).expect("visited");
+                    if let Some(&(parent, _)) = call.last() {
+                        let pi = info.get_mut(&parent).expect("visited");
+                        pi.lowlink = pi.lowlink.min(vi.lowlink);
+                    }
+                    if vi.lowlink == vi.index {
+                        let mut component = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            info.get_mut(&w).expect("on stack").on_stack = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if component.len() > 1 {
+                            out.push(component);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Error returned by [`SerializationGraph::try_add_edge`] when the edge
+/// would make the graph cyclic — i.e. the corresponding read must be
+/// rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleDetected {
+    /// Source of the offending edge.
+    pub from: Node,
+    /// Target of the offending edge.
+    pub to: Node,
+}
+
+impl fmt::Display for CycleDetected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "edge {} -> {} would close a serialization cycle",
+            self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for CycleDetected {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(cycle: u64, seq: u32) -> TxnId {
+        TxnId::new(Cycle::new(cycle), seq)
+    }
+
+    fn nt(cycle: u64, seq: u32) -> Node {
+        Node::Txn(t(cycle, seq))
+    }
+
+    fn nq(q: u64) -> Node {
+        Node::Query(QueryId::new(q))
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = SerializationGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_acyclic());
+        assert!(!g.path_exists(nt(0, 0), nt(0, 1)));
+        assert_eq!(g.earliest_cycle(), None);
+    }
+
+    #[test]
+    fn add_edge_dedupes() {
+        let mut g = SerializationGraph::new();
+        assert!(g.add_edge(nt(0, 0), nt(1, 0)));
+        assert!(!g.add_edge(nt(0, 0), nt(1, 0)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.successors(nt(0, 0)), &[nt(1, 0)]);
+    }
+
+    #[test]
+    fn path_queries() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nt(0, 0), nt(1, 0));
+        g.add_edge(nt(1, 0), nt(2, 0));
+        g.add_edge(nt(2, 0), nt(3, 0));
+        g.add_node(nt(9, 9));
+        assert!(g.path_exists(nt(0, 0), nt(3, 0)));
+        assert!(!g.path_exists(nt(3, 0), nt(0, 0)));
+        assert!(!g.path_exists(nt(0, 0), nt(9, 9)));
+        // no self-path without a cycle
+        assert!(!g.path_exists(nt(1, 0), nt(1, 0)));
+    }
+
+    #[test]
+    fn would_close_cycle_matches_paper_scenario() {
+        // Figure 3: R read x from T_k; T_f (cycle o) overwrote an item R
+        // had read; a conflict path T_f ->* T_l exists; reading from T_l
+        // must be rejected.
+        let mut g = SerializationGraph::new();
+        let r = nq(0);
+        let t_f = nt(2, 0);
+        let mid = nt(3, 1);
+        let t_l = nt(4, 0);
+        g.add_edge(t_f, mid);
+        g.add_edge(mid, t_l);
+        g.add_edge(r, t_f); // precedence: T_f overwrote an item R read
+        assert!(g.would_close_cycle(t_l, r), "dependency edge closes cycle");
+        // a writer not reachable from T_f is fine
+        let other = nt(4, 1);
+        g.add_node(other);
+        assert!(!g.would_close_cycle(other, r));
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let g = SerializationGraph::new();
+        assert!(g.would_close_cycle(nt(0, 0), nt(0, 0)));
+    }
+
+    #[test]
+    fn try_add_edge_rejects_and_preserves() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nt(0, 0), nt(1, 0));
+        let err = g.try_add_edge(nt(1, 0), nt(0, 0)).unwrap_err();
+        assert_eq!(err.from, nt(1, 0));
+        assert_eq!(err.to, nt(0, 0));
+        assert_eq!(g.edge_count(), 1, "graph unchanged after rejection");
+        assert!(g.is_acyclic());
+        assert!(err.to_string().contains("serialization cycle"));
+        assert!(g.try_add_edge(nt(0, 0), nt(2, 0)).unwrap());
+    }
+
+    #[test]
+    fn is_acyclic_detects_long_cycle() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nt(0, 0), nt(1, 0));
+        g.add_edge(nt(1, 0), nt(2, 0));
+        assert!(g.is_acyclic());
+        g.add_edge(nt(2, 0), nt(0, 0));
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn remove_query_drops_incident_edges() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nq(1), nt(1, 0));
+        g.add_edge(nt(0, 0), nq(1));
+        g.add_edge(nt(0, 0), nt(1, 0));
+        assert_eq!(g.edge_count(), 3);
+        g.remove_query(QueryId::new(1));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.contains(nq(1)));
+        assert!(g.contains(nt(0, 0)) && g.contains(nt(1, 0)));
+    }
+
+    #[test]
+    fn prune_before_drops_old_cycles_only() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nt(0, 0), nt(1, 0));
+        g.add_edge(nt(1, 0), nt(2, 0));
+        g.add_edge(nt(2, 0), nt(3, 0));
+        g.prune_before(Cycle::new(2));
+        assert!(!g.contains(nt(0, 0)));
+        assert!(!g.contains(nt(1, 0)));
+        assert!(g.contains(nt(2, 0)) && g.contains(nt(3, 0)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.earliest_cycle(), Some(Cycle::new(2)));
+        // path query within the retained window is unaffected
+        assert!(g.path_exists(nt(2, 0), nt(3, 0)));
+    }
+
+    #[test]
+    fn prune_before_noop_when_nothing_old() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nt(5, 0), nt(6, 0));
+        let edges = g.edge_count();
+        g.prune_before(Cycle::new(3));
+        assert_eq!(g.edge_count(), edges);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn prune_keeps_query_nodes() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nq(0), nt(1, 0));
+        g.prune_before(Cycle::new(5));
+        assert!(g.contains(nq(0)), "query nodes are never pruned by cycle");
+        assert!(!g.contains(nt(1, 0)));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nt(0, 0), nt(1, 0));
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.earliest_cycle(), None);
+    }
+
+    #[test]
+    fn apply_diff_inserts_nodes_and_edges() {
+        let mut g = SerializationGraph::new();
+        let diff = GraphDiff::new(
+            Cycle::new(2),
+            vec![t(2, 0), t(2, 1)],
+            vec![(t(1, 0), t(2, 0)), (t(2, 0), t(2, 1))],
+        );
+        g.apply_diff(&diff);
+        assert!(g.contains(nt(2, 0)) && g.contains(nt(2, 1)) && g.contains(nt(1, 0)));
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.path_exists(nt(1, 0), nt(2, 1)));
+        // re-applying is idempotent
+        g.apply_diff(&diff);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn cycles_reports_sccs() {
+        let mut g = SerializationGraph::new();
+        // acyclic graph: no cycles
+        g.add_edge(nt(0, 0), nt(1, 0));
+        g.add_edge(nt(1, 0), nt(2, 0));
+        assert!(g.cycles().is_empty());
+        // close a 3-cycle through a query node
+        g.add_edge(nt(2, 0), nq(0));
+        g.add_edge(nq(0), nt(0, 0));
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        let mut comp = cycles[0].clone();
+        comp.sort();
+        assert_eq!(comp, vec![nt(0, 0), nt(1, 0), nt(2, 0), nq(0)]);
+        // two disjoint cycles
+        let mut g2 = SerializationGraph::new();
+        g2.add_edge(nt(0, 0), nt(0, 1));
+        g2.add_edge(nt(0, 1), nt(0, 0));
+        g2.add_edge(nt(5, 0), nt(5, 1));
+        g2.add_edge(nt(5, 1), nt(5, 0));
+        assert_eq!(g2.cycles().len(), 2);
+    }
+
+    #[test]
+    fn cycles_agrees_with_is_acyclic() {
+        let mut g = SerializationGraph::new();
+        for i in 0..6u32 {
+            g.add_edge(nt(0, i), nt(1, (i + 1) % 6));
+            g.add_edge(nt(1, i), nt(2, (i * 2) % 6));
+        }
+        assert_eq!(g.cycles().is_empty(), g.is_acyclic());
+        g.add_edge(nt(2, 0), nt(0, 0)); // may close a cycle
+        assert_eq!(g.cycles().is_empty(), g.is_acyclic());
+    }
+
+    #[test]
+    fn nodes_iterator_covers_all() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nt(0, 0), nq(0));
+        let mut nodes: Vec<Node> = g.nodes().collect();
+        nodes.sort();
+        assert_eq!(nodes, vec![nt(0, 0), nq(0)]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Conflict serialization graphs for the SGT read-only transaction method.
+//!
+//! §3.3 of *Pitoura & Chrysanthis 1999* validates client queries by
+//! **serialization-graph testing**: the server broadcasts, each cycle, the
+//! *difference* of its conflict serialization graph (the edges incident to
+//! transactions committed during the previous cycle), and every client
+//! maintains a local copy of the graph extended with its own active
+//! read-only transactions. A read is accepted only if it closes no cycle.
+//!
+//! This crate provides:
+//!
+//! * [`SerializationGraph`] — the graph itself, with incremental edge
+//!   insertion, cycle/path queries, per-cycle subgraph bookkeeping
+//!   (`SG^i` in the paper), and the Lemma-1 pruning rule
+//!   ([`SerializationGraph::prune_before`]),
+//! * [`GraphDiff`] — the per-cycle difference the server broadcasts,
+//! * [`Node`] — graph nodes: committed server transactions or local
+//!   read-only queries.
+//!
+//! # Example
+//!
+//! ```
+//! use bpush_sgraph::{Node, SerializationGraph};
+//! use bpush_types::{Cycle, QueryId, TxnId};
+//!
+//! let mut g = SerializationGraph::new();
+//! let t1 = TxnId::new(Cycle::new(1), 0);
+//! let t2 = TxnId::new(Cycle::new(2), 0);
+//! let r = QueryId::new(0);
+//!
+//! g.add_edge(Node::Txn(t1), Node::Txn(t2)); // server conflict t1 -> t2
+//! g.add_edge(Node::Query(r), Node::Txn(t1)); // t1 overwrote something r read
+//!
+//! // r now wants to read a value written by t2: edge t2 -> r would close
+//! // the cycle r -> t1 -> t2 -> r, so the read must be rejected.
+//! assert!(g.would_close_cycle(Node::Txn(t2), Node::Query(r)));
+//! // and reading from t1 directly closes r -> t1 -> r as well.
+//! assert!(g.would_close_cycle(Node::Txn(t1), Node::Query(r)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod diff;
+mod graph;
+mod node;
+
+pub use diff::GraphDiff;
+pub use graph::{CycleDetected, SerializationGraph};
+pub use node::Node;

@@ -1,0 +1,114 @@
+//! Graph nodes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bpush_types::{QueryId, TxnId};
+
+/// A node of the serialization graph: either a committed server (update)
+/// transaction, or a client-local read-only transaction.
+///
+/// Query nodes only ever exist in *client* copies of the graph — the
+/// server graph (and the broadcast [`crate::GraphDiff`]) contains only
+/// committed server transactions.
+///
+/// # Example
+/// ```
+/// use bpush_sgraph::Node;
+/// use bpush_types::{Cycle, QueryId, TxnId};
+/// let t = Node::Txn(TxnId::new(Cycle::new(2), 1));
+/// let q = Node::Query(QueryId::new(4));
+/// assert!(t.is_txn() && !t.is_query());
+/// assert!(q.is_query());
+/// assert_eq!(format!("{t}"), "T2.1");
+/// assert_eq!(format!("{q}"), "Q4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// A committed server update transaction.
+    Txn(TxnId),
+    /// A local active read-only transaction.
+    Query(QueryId),
+}
+
+impl Node {
+    /// Whether this node is a server transaction.
+    pub const fn is_txn(self) -> bool {
+        matches!(self, Node::Txn(_))
+    }
+
+    /// Whether this node is a read-only query.
+    pub const fn is_query(self) -> bool {
+        matches!(self, Node::Query(_))
+    }
+
+    /// The server transaction id, if this is a transaction node.
+    pub const fn as_txn(self) -> Option<TxnId> {
+        match self {
+            Node::Txn(t) => Some(t),
+            Node::Query(_) => None,
+        }
+    }
+
+    /// The query id, if this is a query node.
+    pub const fn as_query(self) -> Option<QueryId> {
+        match self {
+            Node::Query(q) => Some(q),
+            Node::Txn(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Txn(t) => write!(f, "{t}"),
+            Node::Query(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+impl From<TxnId> for Node {
+    fn from(t: TxnId) -> Self {
+        Node::Txn(t)
+    }
+}
+
+impl From<QueryId> for Node {
+    fn from(q: QueryId) -> Self {
+        Node::Query(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpush_types::Cycle;
+
+    #[test]
+    fn accessors_and_conversions() {
+        let t = TxnId::new(Cycle::new(1), 2);
+        let q = QueryId::new(3);
+        let nt = Node::from(t);
+        let nq = Node::from(q);
+        assert_eq!(nt.as_txn(), Some(t));
+        assert_eq!(nt.as_query(), None);
+        assert_eq!(nq.as_query(), Some(q));
+        assert_eq!(nq.as_txn(), None);
+        assert!(nt.is_txn());
+        assert!(nq.is_query());
+    }
+
+    #[test]
+    fn ordering_puts_txns_before_queries() {
+        // The derived order is only used for deterministic iteration; it
+        // must at least be a total order.
+        let mut v = [
+            Node::Query(QueryId::new(0)),
+            Node::Txn(TxnId::new(Cycle::new(0), 0)),
+        ];
+        v.sort();
+        assert!(v[0].is_txn());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the serialization graph.
+
+use proptest::prelude::*;
+
+use bpush_sgraph::{Node, SerializationGraph};
+use bpush_types::{Cycle, QueryId, TxnId};
+
+/// Strategy: a random "server history" of edges that always point from an
+/// earlier transaction to a later one — strict histories can produce
+/// nothing else (Claim 1).
+fn forward_edges() -> impl Strategy<Value = Vec<(TxnId, TxnId)>> {
+    proptest::collection::vec((0u64..8, 0u32..4, 0u64..8, 0u32..4), 0..64).prop_map(|raw| {
+        raw.into_iter()
+            .filter_map(|(c1, s1, c2, s2)| {
+                let a = TxnId::new(Cycle::new(c1), s1);
+                let b = TxnId::new(Cycle::new(c2), s2);
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Less => Some((a, b)),
+                    std::cmp::Ordering::Greater => Some((b, a)),
+                    std::cmp::Ordering::Equal => None,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// A pure server graph (edges only from older to newer transactions)
+    /// is always acyclic — the serialization-theorem precondition the SGT
+    /// method relies on.
+    #[test]
+    fn forward_only_graphs_are_acyclic(edges in forward_edges()) {
+        let mut g = SerializationGraph::new();
+        for (a, b) in edges {
+            g.add_edge(Node::Txn(a), Node::Txn(b));
+        }
+        prop_assert!(g.is_acyclic());
+    }
+
+    /// try_add_edge never lets the graph become cyclic, whatever edges are
+    /// attempted (including backward ones).
+    #[test]
+    fn try_add_edge_preserves_acyclicity(
+        raw in proptest::collection::vec((0u64..6, 0u32..3, 0u64..6, 0u32..3), 0..64),
+    ) {
+        let mut g = SerializationGraph::new();
+        for (c1, s1, c2, s2) in raw {
+            let a = Node::Txn(TxnId::new(Cycle::new(c1), s1));
+            let b = Node::Txn(TxnId::new(Cycle::new(c2), s2));
+            let _ = g.try_add_edge(a, b);
+            prop_assert!(g.is_acyclic());
+        }
+    }
+
+    /// Pruning below the earliest cycle touched by any path query never
+    /// changes the outcome of path queries within the retained window.
+    #[test]
+    fn prune_preserves_window_reachability(
+        edges in forward_edges(),
+        bound in 0u64..8,
+    ) {
+        let mut g = SerializationGraph::new();
+        for (a, b) in &edges {
+            g.add_edge(Node::Txn(*a), Node::Txn(*b));
+        }
+        // record all pairwise reachability among retained nodes
+        let bound = Cycle::new(bound);
+        let retained: Vec<Node> = g
+            .nodes()
+            .filter(|n| n.as_txn().map_or(true, |t| t.cycle() >= bound))
+            .collect();
+        let before: Vec<Vec<bool>> = retained
+            .iter()
+            .map(|&a| retained.iter().map(|&b| g.path_exists(a, b)).collect())
+            .collect();
+        g.prune_before(bound);
+        // Forward-only edges mean any path between retained (>= bound)
+        // nodes only traverses retained nodes, so reachability must match.
+        let after: Vec<Vec<bool>> = retained
+            .iter()
+            .map(|&a| retained.iter().map(|&b| g.path_exists(a, b)).collect())
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Edge and node counts stay consistent under arbitrary interleavings
+    /// of inserts, query removals and prunes.
+    #[test]
+    fn counts_stay_consistent(
+        ops in proptest::collection::vec((0u8..4, 0u64..6, 0u32..3, 0u64..6), 0..80),
+    ) {
+        let mut g = SerializationGraph::new();
+        for (op, c, s, q) in ops {
+            match op {
+                0 => {
+                    g.add_edge(
+                        Node::Txn(TxnId::new(Cycle::new(c), s)),
+                        Node::Query(QueryId::new(q)),
+                    );
+                }
+                1 => {
+                    g.add_edge(
+                        Node::Query(QueryId::new(q)),
+                        Node::Txn(TxnId::new(Cycle::new(c), s)),
+                    );
+                }
+                2 => g.remove_query(QueryId::new(q)),
+                _ => g.prune_before(Cycle::new(c)),
+            }
+            // recount ground truth
+            let truth: usize = g.nodes().map(|n| g.successors(n).len()).sum();
+            prop_assert_eq!(g.edge_count(), truth);
+            // no dangling successors
+            for n in g.nodes() {
+                for &m in g.successors(n) {
+                    prop_assert!(g.contains(m), "dangling edge target {m}");
+                }
+            }
+        }
+    }
+}

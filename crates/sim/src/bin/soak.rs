@@ -1,0 +1,116 @@
+//! Long-running randomized consistency soak: hammers every method with
+//! random configurations and verifies that not a single committed readset
+//! is ever inconsistent. Complements the bounded proptest suites.
+//!
+//! ```text
+//! soak [ITERATIONS]   # default 50
+//! ```
+//!
+//! Exits non-zero on the first violation, printing the offending
+//! configuration for reproduction.
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bpush_core::Method;
+use bpush_sim::Simulation;
+use bpush_types::{CacheConfig, ClientConfig, Granularity, ServerConfig, SimConfig};
+
+fn random_config(rng: &mut StdRng) -> SimConfig {
+    let broadcast_size = rng.gen_range(50..600);
+    let update_range = rng.gen_range(10..=broadcast_size);
+    let read_range = rng.gen_range(10..=broadcast_size);
+    let reads_per_query = rng.gen_range(2..=12.min(read_range));
+    SimConfig {
+        server: ServerConfig {
+            broadcast_size,
+            update_range,
+            server_read_range: broadcast_size,
+            theta: rng.gen_range(0.0..1.4),
+            offset: rng.gen_range(0..update_range),
+            txns_per_cycle: rng.gen_range(1..20),
+            updates_per_cycle: rng.gen_range(1..=update_range.min(80)),
+            versions_retained: rng.gen_range(1..32),
+            items_per_bucket: *[1u32, 1, 1, 4].get(rng.gen_range(0..4)).expect("in range"),
+            report_window: rng.gen_range(1..4),
+            granularity: if rng.gen_bool(0.25) {
+                Granularity::Bucket
+            } else {
+                Granularity::Item
+            },
+            ..ServerConfig::default()
+        },
+        client: ClientConfig {
+            read_range,
+            theta: rng.gen_range(0.0..1.4),
+            reads_per_query,
+            think_time: rng.gen_range(0..8),
+            cache: CacheConfig {
+                capacity: rng.gen_range(0..60),
+                old_version_fraction: rng.gen_range(0.0..0.6),
+            },
+            has_directory: rng.gen_bool(0.9),
+            disconnect_prob: if rng.gen_bool(0.3) {
+                rng.gen_range(0.0..0.4)
+            } else {
+                0.0
+            },
+            ..ClientConfig::default()
+        },
+        n_clients: rng.gen_range(1..4),
+        queries_per_client: rng.gen_range(4..16),
+        warmup_cycles: rng.gen_range(0..4),
+        max_cycles: 200_000,
+        seed: rng.gen(),
+    }
+}
+
+fn main() -> ExitCode {
+    let iterations: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let mut rng = StdRng::seed_from_u64(
+        std::env::var("SOAK_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xDEAD_BEEF),
+    );
+    let mut total_queries = 0u64;
+    for i in 0..iterations {
+        let config = random_config(&mut rng);
+        for method in Method::ALL {
+            let sim = match Simulation::new(config.clone(), method) {
+                Ok(sim) => sim,
+                Err(e) => {
+                    eprintln!("iteration {i} {method}: rejected config ({e}); skipping");
+                    continue;
+                }
+            };
+            match sim.run() {
+                Ok(metrics) => {
+                    total_queries += metrics.queries;
+                    if metrics.violations > 0 {
+                        eprintln!(
+                            "iteration {i}: {method} committed {} INCONSISTENT readsets\n{config:#?}",
+                            metrics.violations
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("iteration {i} {method}: {e}\n{config:#?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if (i + 1) % 10 == 0 {
+            eprintln!("soak: {}/{iterations} configurations clean", i + 1);
+        }
+    }
+    println!("soak complete: {iterations} configurations x {} methods, {total_queries} queries, 0 violations",
+             Method::ALL.len());
+    ExitCode::SUCCESS
+}

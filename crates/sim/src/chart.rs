@@ -1,0 +1,155 @@
+//! Terminal line charts for experiment tables — the "figure" rendering of
+//! the reproduction harness.
+
+use crate::table::Table;
+
+/// Renders the numeric series of a [`Table`] (first column = x axis, each
+/// further column = one curve) as an ASCII chart.
+///
+/// # Example
+/// ```
+/// use bpush_sim::{chart::render, Table};
+/// let mut t = Table::new("demo", "demo", ["x", "a"]);
+/// t.push_row(["0", "0.0"]);
+/// t.push_row(["1", "10.0"]);
+/// let plot = render(&t, 20, 8);
+/// assert!(plot.contains('a'), "legend present");
+/// ```
+pub fn render(table: &Table, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let series: Vec<(String, Vec<f64>)> = (1..table.columns.len())
+        .filter_map(|col| {
+            let values: Option<Vec<f64>> = table
+                .rows
+                .iter()
+                .map(|row| row[col].parse::<f64>().ok())
+                .collect();
+            values.map(|v| (table.columns[col].clone(), v))
+        })
+        .collect();
+    if series.is_empty() || table.rows.is_empty() {
+        return String::from("(no numeric series to plot)\n");
+    }
+
+    let n = table.rows.len();
+    let y_max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
+    let y_min = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let span = (y_max - y_min).max(1e-9);
+
+    let marks: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (i, &v) in values.iter().enumerate() {
+            let x = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let yf = (v - y_min) / span;
+            let y = ((1.0 - yf) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n", table.id, table.title));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>9.2} |")
+        } else if i == height - 1 {
+            format!("{y_min:>9.2} |")
+        } else {
+            "          |".to_owned()
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("          +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "           {} .. {} ({})\n",
+        table.rows.first().map(|r| r[0].as_str()).unwrap_or(""),
+        table.rows.last().map(|r| r[0].as_str()).unwrap_or(""),
+        table.columns[0],
+    ));
+    out.push_str("           legend: ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        if si > 0 {
+            out.push_str("  ");
+        }
+        out.push(marks[si % marks.len()]);
+        out.push('=');
+        out.push_str(name);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("fig", "two curves", ["x", "up", "down"]);
+        for i in 0..5 {
+            t.push_row([
+                i.to_string(),
+                format!("{}", i * 10),
+                format!("{}", 40 - i * 10),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let plot = render(&sample_table(), 40, 10);
+        assert!(plot.contains("*=up"));
+        assert!(plot.contains("o=down"));
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("40.00"), "y max labelled: {plot}");
+        assert!(plot.contains("0 .. 4"));
+    }
+
+    #[test]
+    fn non_numeric_columns_are_skipped() {
+        let mut t = Table::new("t", "mixed", ["x", "num", "text"]);
+        t.push_row(["0", "1.0", "hello"]);
+        t.push_row(["1", "2.0", "world"]);
+        let plot = render(&t, 30, 6);
+        assert!(plot.contains("*=num"));
+        assert!(!plot.contains("text"), "text column skipped: {plot}");
+    }
+
+    #[test]
+    fn empty_table_is_harmless() {
+        let t = Table::new("t", "empty", ["x", "y"]);
+        assert!(render(&t, 30, 6).contains("no numeric series"));
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let mut t = Table::new("t", "one", ["x", "y"]);
+        t.push_row(["5", "3.5"]);
+        let plot = render(&t, 30, 6);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn flat_series_renders_at_bottom_band() {
+        let mut t = Table::new("t", "flat", ["x", "y"]);
+        t.push_row(["0", "0.0"]);
+        t.push_row(["1", "0.0"]);
+        let plot = render(&t, 30, 6);
+        assert!(plot.contains('*'));
+    }
+}

@@ -1,0 +1,360 @@
+//! Ablations of the design choices the paper discusses qualitatively:
+//! multiversion on-air layout (Figure 2a vs 2b), read-order optimization
+//! (§2.2), cache size (§4), control-information granularity (§7) and the
+//! broadcast-disk organization (§7).
+
+use bpush_core::Method;
+use bpush_server::BroadcastMode;
+use bpush_types::config::{MultiversionLayout, ReadOrder};
+use bpush_types::{BpushError, Granularity};
+
+use super::{config_for, defaults, Scale};
+use crate::runner::{run_replicated, Job};
+use crate::simulation::Simulation;
+use crate::table::{fnum, Table};
+
+/// Figure 2a vs 2b: the clustered layout pays a rebuilt on-air index
+/// every cycle and shifts every item's position; the overflow layout
+/// keeps positions fixed and defers old versions to the end of the
+/// bcast. Expected: clustered carries more overhead slots; both accept
+/// everything; latency differs by where old versions sit.
+pub fn layout(scale: Scale) -> Result<Table, BpushError> {
+    let mut jobs = Vec::new();
+    for layout in [MultiversionLayout::Overflow, MultiversionLayout::Clustered] {
+        let cfg = config_for(Method::MultiversionBroadcast, defaults(scale));
+        jobs.push(Job {
+            method: Method::MultiversionBroadcast,
+            config: cfg,
+            layout,
+        });
+    }
+    let metrics = run_replicated(jobs, 1)?;
+    let mut table = Table::new(
+        "ablation_layout",
+        "multiversion on-air layout (Figure 2a vs 2b)",
+        [
+            "layout",
+            "accepted %",
+            "latency (cycles)",
+            "overhead %",
+            "span",
+        ],
+    );
+    for (name, m) in [("overflow", &metrics[0]), ("clustered", &metrics[1])] {
+        table.push_row([
+            name.to_owned(),
+            fnum(100.0 - m.abort_pct(), 2),
+            fnum(m.latency_cycles.mean(), 2),
+            fnum(m.overhead_pct(), 2),
+            fnum(m.span.mean(), 2),
+        ]);
+    }
+    Ok(table)
+}
+
+/// §2.2's transaction optimization: issuing reads in broadcast order
+/// shrinks the span (and with it, the invalidation window). Expected:
+/// lower span, lower latency, fewer aborts.
+pub fn read_order(scale: Scale) -> Result<Table, BpushError> {
+    let mut jobs = Vec::new();
+    for order in [ReadOrder::AsIssued, ReadOrder::BroadcastOrder] {
+        for method in [Method::InvalidationOnly, Method::Sgt] {
+            let mut cfg = defaults(scale);
+            cfg.client.read_order = order;
+            jobs.push(Job::new(method, cfg));
+        }
+    }
+    let metrics = run_replicated(jobs, 1)?;
+    let mut table = Table::new(
+        "ablation_read_order",
+        "read-order transaction optimization (§2.2)",
+        ["order", "method", "accepted %", "latency (cycles)", "span"],
+    );
+    let names = [
+        "as-issued",
+        "as-issued",
+        "broadcast-order",
+        "broadcast-order",
+    ];
+    for (name, m) in names.iter().zip(&metrics) {
+        table.push_row([
+            (*name).to_owned(),
+            m.method.name().to_owned(),
+            fnum(100.0 - m.abort_pct(), 2),
+            fnum(m.latency_cycles.mean(), 2),
+            fnum(m.span.mean(), 2),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Cache size sweep (§4): more cache, more hits, shorter spans, fewer
+/// aborts — and for multiversion caching, more old versions retained.
+pub fn cache_size(scale: Scale) -> Result<Table, BpushError> {
+    let base = defaults(scale);
+    let full = base.client.cache.capacity;
+    let points: Vec<u32> = [full / 8, full / 4, full / 2, full, full * 2]
+        .into_iter()
+        .filter(|&c| c > 0)
+        .collect();
+    let methods = [
+        Method::InvalidationCache,
+        Method::InvalidationVersionedCache,
+        Method::MultiversionCaching,
+    ];
+    let mut jobs = Vec::new();
+    for &capacity in &points {
+        for method in methods {
+            let mut cfg = defaults(scale);
+            cfg.client.cache.capacity = capacity;
+            jobs.push(Job::new(method, cfg));
+        }
+    }
+    let metrics = run_replicated(jobs, 1)?;
+    let mut columns = vec!["cache pages".to_owned()];
+    for m in methods {
+        columns.push(format!("{} acc%", m.name()));
+        columns.push(format!("{} hit%", m.name()));
+    }
+    let mut table = Table::new(
+        "ablation_cache",
+        "cache size vs. acceptance and hit rate (§4)",
+        columns,
+    );
+    for (i, &capacity) in points.iter().enumerate() {
+        let mut row = vec![capacity.to_string()];
+        for j in 0..methods.len() {
+            let m = &metrics[i * methods.len() + j];
+            row.push(fnum(100.0 - m.abort_pct(), 2));
+            row.push(
+                m.cache_hit_rate
+                    .map_or_else(|| "-".into(), |r| fnum(r * 100.0, 1)),
+            );
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// §7's granularity extension: bucket-grained reports are smaller but
+/// conservatively abort more. Expected: fewer control slots, lower
+/// acceptance, never an inconsistency.
+pub fn granularity(scale: Scale) -> Result<Table, BpushError> {
+    let mut jobs = Vec::new();
+    for (grain, ipb) in [(Granularity::Item, 4u32), (Granularity::Bucket, 4)] {
+        let mut cfg = defaults(scale);
+        cfg.server.granularity = grain;
+        cfg.server.items_per_bucket = ipb;
+        jobs.push(Job::new(Method::InvalidationOnly, cfg));
+    }
+    let metrics = run_replicated(jobs, 1)?;
+    let mut table = Table::new(
+        "ablation_granularity",
+        "control-information granularity (§7, 4 items/bucket)",
+        [
+            "granularity",
+            "accepted %",
+            "overhead %",
+            "latency (cycles)",
+        ],
+    );
+    for (name, m) in [("item", &metrics[0]), ("bucket", &metrics[1])] {
+        table.push_row([
+            name.to_owned(),
+            fnum(100.0 - m.abort_pct(), 2),
+            fnum(m.overhead_pct(), 4),
+            fnum(m.latency_cycles.mean(), 2),
+        ]);
+    }
+    Ok(table)
+}
+
+/// §7's broadcast-disk organization: placing the client-hot range on a
+/// fast disk cuts latency for skewed access at the cost of a longer
+/// major cycle. Compared against the flat organization under the
+/// invalidation-only method.
+pub fn disks(scale: Scale) -> Result<Table, BpushError> {
+    use bpush_broadcast::organization::DiskSpec;
+    let base = defaults(scale);
+    let d = base.server.broadcast_size;
+    let hot = d / 10;
+
+    let flat = Simulation::new(base.clone(), Method::InvalidationOnly)?.run()?;
+
+    let mut cfg = base;
+    cfg.max_cycles *= 2; // major cycles are longer
+    let mut sim = Simulation::new(cfg, Method::InvalidationOnly)?;
+    // rebuild with a disk-mode server: two disks, hot range spinning 3x
+    let specs = vec![
+        DiskSpec {
+            items: hot,
+            rel_freq: 3,
+        },
+        DiskSpec {
+            items: d - hot,
+            rel_freq: 1,
+        },
+    ];
+    sim = sim.with_server_mode(BroadcastMode::Disks(specs))?;
+    let disk = sim.run()?;
+
+    let mut table = Table::new(
+        "disks",
+        "flat vs. broadcast-disk organization (§7; hot 10% at 3x)",
+        [
+            "organization",
+            "accepted %",
+            "latency (cycles)",
+            "cycle slots",
+        ],
+    );
+    for (name, m) in [("flat", &flat), ("2-disk", &disk)] {
+        table.push_row([
+            name.to_owned(),
+            fnum(100.0 - m.abort_pct(), 2),
+            fnum(m.latency_cycles.mean(), 2),
+            fnum(m.mean_bcast_slots, 0),
+        ]);
+    }
+    Ok(table)
+}
+
+/// §2.1's self-descriptive broadcast, quantified: a client without a
+/// locally stored directory either scans the channel for its items
+/// (maximal tuning time) or uses replicated (1, m) index copies —
+/// more copies mean shorter probes but a longer cycle. Compared against
+/// the stored-directory baseline.
+pub fn indexing(scale: Scale) -> Result<Table, BpushError> {
+    let base = defaults(scale);
+    let mut rows: Vec<(String, crate::simulation::MethodMetrics)> = Vec::new();
+
+    // stored directory (the default elsewhere)
+    let dir = Simulation::new(base.clone(), Method::InvalidationOnly)?.run()?;
+    rows.push(("stored directory".to_owned(), dir));
+
+    // channel scanning: no directory, no on-air index
+    let mut scan_cfg = base.clone();
+    scan_cfg.client.has_directory = false;
+    let scan = Simulation::new(scan_cfg, Method::InvalidationOnly)?.run()?;
+    rows.push(("scan (no index)".to_owned(), scan));
+
+    // (1, m) indexing
+    for m in [1u32, 2, 4, 8] {
+        let mut cfg = base.clone();
+        cfg.client.has_directory = false;
+        let sim = Simulation::new(cfg, Method::InvalidationOnly)?
+            .with_server_mode(BroadcastMode::IndexedFlat { segments: m })?;
+        let metrics = sim.run()?;
+        rows.push((format!("(1,{m}) index"), metrics));
+    }
+
+    let mut table = Table::new(
+        "indexing",
+        "selective tuning without a stored directory (§2.1)",
+        [
+            "mode",
+            "latency (slots)",
+            "tuning slots",
+            "cycle slots",
+            "accepted %",
+        ],
+    );
+    for (name, m) in rows {
+        table.push_row([
+            name,
+            fnum(m.latency_slots.mean(), 1),
+            fnum(m.tuning_slots.mean(), 1),
+            fnum(m.mean_bcast_slots, 0),
+            fnum(100.0 - m.abort_pct(), 2),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_clustered_costs_more_air() {
+        let t = layout(Scale::Quick).unwrap();
+        let overflow: f64 = t.rows[0][3].parse().unwrap();
+        let clustered: f64 = t.rows[1][3].parse().unwrap();
+        assert!(
+            clustered > overflow,
+            "clustered must pay for the rebuilt index: {clustered} vs {overflow}"
+        );
+        // both accept everything
+        assert_eq!(t.rows[0][1], "100.00");
+        assert_eq!(t.rows[1][1], "100.00");
+    }
+
+    #[test]
+    fn read_order_optimization_shrinks_span() {
+        let t = read_order(Scale::Quick).unwrap();
+        // rows: [as-issued inv, as-issued sgt, bcast-order inv, bcast-order sgt]
+        let span_unopt: f64 = t.rows[0][4].parse().unwrap();
+        let span_opt: f64 = t.rows[2][4].parse().unwrap();
+        assert!(
+            span_opt <= span_unopt,
+            "broadcast-order must not widen spans: {span_opt} vs {span_unopt}"
+        );
+    }
+
+    #[test]
+    fn bigger_caches_hit_more() {
+        let t = cache_size(Scale::Quick).unwrap();
+        let first_hit: f64 = t.rows.first().unwrap()[2].parse().unwrap();
+        let last_hit: f64 = t.rows.last().unwrap()[2].parse().unwrap();
+        assert!(
+            last_hit >= first_hit,
+            "hit rate grows with capacity: {first_hit} -> {last_hit}"
+        );
+    }
+
+    #[test]
+    fn bucket_granularity_is_conservative() {
+        let t = granularity(Scale::Quick).unwrap();
+        let item_acc: f64 = t.rows[0][1].parse().unwrap();
+        let bucket_acc: f64 = t.rows[1][1].parse().unwrap();
+        assert!(
+            bucket_acc <= item_acc + 1e-9,
+            "bucket grain must not accept more: {bucket_acc} vs {item_acc}"
+        );
+    }
+
+    #[test]
+    fn indexing_cuts_scan_tuning() {
+        let t = indexing(Scale::Quick).unwrap();
+        let col = |name: &str| -> usize { t.columns.iter().position(|c| c == name).unwrap() };
+        let tuning = |mode: &str| -> f64 {
+            t.rows.iter().find(|r| r[0].starts_with(mode)).unwrap()[col("tuning slots")]
+                .parse()
+                .unwrap()
+        };
+        let scan = tuning("scan");
+        let indexed = tuning("(1,4)");
+        let stored = tuning("stored");
+        assert!(
+            indexed < scan,
+            "an on-air index must beat scanning: {indexed} vs {scan}"
+        );
+        assert!(
+            stored <= indexed,
+            "a stored directory is at least as good: {stored} vs {indexed}"
+        );
+    }
+
+    #[test]
+    fn disks_help_hot_readers() {
+        let t = disks(Scale::Quick).unwrap();
+        let flat_lat: f64 = t.rows[0][2].parse().unwrap();
+        let disk_lat: f64 = t.rows[1][2].parse().unwrap();
+        // hot items dominate the Zipf read pattern, so the 2-disk layout
+        // should not be slower despite the longer major cycle
+        assert!(
+            disk_lat <= flat_lat * 1.2,
+            "disks should help skewed readers: {disk_lat} vs {flat_lat}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! The §5.2.2 disconnection study: commit rate vs. per-cycle
+//! disconnection probability.
+
+use bpush_core::Method;
+use bpush_types::BpushError;
+
+use super::{config_for, defaults, Scale};
+use crate::runner::{run_replicated, Job};
+use crate::table::{fnum, Table};
+
+/// Methods compared in the disconnection study: the intolerant baselines
+/// (invalidation-only, SGT), the paper's tolerant variants (multiversion
+/// broadcast, versioned cache, multiversion caching, SGT with item
+/// versions) and the windowed-report resynchronization extension.
+pub const METHODS: [Method; 6] = [
+    Method::InvalidationOnly,
+    Method::Sgt,
+    Method::SgtVersionedItems,
+    Method::MultiversionBroadcast,
+    Method::InvalidationVersionedCache,
+    Method::MultiversionCaching,
+];
+
+/// Commit rate (%) as the per-cycle disconnection probability grows.
+/// Expected shape (Table 1's tolerance column, quantified):
+/// invalidation-only and plain SGT collapse fastest; SGT with item
+/// versions, the versioned cache and multiversion caching degrade
+/// gracefully; multiversion broadcast tolerates gaps up to its span
+/// budget. A final column shows invalidation-only with a `w = 4` report
+/// window (the §5.2.2 resynchronization extension).
+pub fn run(scale: Scale) -> Result<Table, BpushError> {
+    let points: Vec<f64> = match scale {
+        Scale::Paper => vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.5],
+        Scale::Quick => vec![0.0, 0.2],
+    };
+    let mut jobs = Vec::new();
+    for &p in &points {
+        for method in METHODS {
+            let mut cfg = defaults(scale);
+            cfg.client.disconnect_prob = p;
+            // give the multiversion server headroom for gap-stretched spans
+            let mut cfg = config_for(method, cfg);
+            if method == Method::MultiversionBroadcast {
+                cfg.server.versions_retained = cfg.server.versions_retained.max(24);
+            }
+            jobs.push(Job::new(method, cfg));
+        }
+        // the windowed-report variant of invalidation-only
+        let mut cfg = defaults(scale);
+        cfg.client.disconnect_prob = p;
+        cfg.server.report_window = 4;
+        jobs.push(Job::new(Method::InvalidationOnly, cfg));
+    }
+    let metrics = run_replicated(jobs, 1)?;
+
+    let mut columns: Vec<String> = vec!["disconnect p".to_owned()];
+    columns.extend(METHODS.iter().map(|m| m.name().to_owned()));
+    columns.push("inv-only w=4".to_owned());
+    let mut table = Table::new(
+        "disconnect",
+        "commit rate (%) vs. per-cycle disconnection probability",
+        columns,
+    );
+    let stride = METHODS.len() + 1;
+    for (i, &p) in points.iter().enumerate() {
+        let mut row = vec![fnum(p, 2)];
+        for j in 0..stride {
+            row.push(fnum(100.0 - metrics[i * stride + j].abort_pct(), 2));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disconnections_hurt_intolerant_methods_most() {
+        let t = run(Scale::Quick).unwrap();
+        assert_eq!(t.len(), 2);
+        let col = |name: &str| -> usize { t.columns.iter().position(|c| c == name).unwrap() };
+        let at = |row: usize, name: &str| -> f64 { t.rows[row][col(name)].parse().unwrap() };
+        // with p = 0.2, multiversion must hold up better than inv-only
+        assert!(
+            at(1, "multiversion") > at(1, "inv-only"),
+            "multiversion: {} vs inv-only: {}",
+            at(1, "multiversion"),
+            at(1, "inv-only")
+        );
+        // the versioned-items SGT variant must beat plain SGT
+        assert!(at(1, "sgt+versions") >= at(1, "sgt"));
+        // windowed reports help invalidation-only
+        assert!(at(1, "inv-only w=4") >= at(1, "inv-only"));
+    }
+}

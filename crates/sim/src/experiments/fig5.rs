@@ -1,0 +1,129 @@
+//! Figure 5: abort rate vs. query size (left) and vs. offset (right).
+
+use bpush_core::Method;
+use bpush_types::BpushError;
+
+use super::{config_for, defaults, Scale};
+use crate::runner::{run_replicated, Job};
+use crate::table::{fnum, Table};
+
+/// The methods compared in Figure 5's abort-rate panels.
+pub const METHODS: [Method; 6] = [
+    Method::InvalidationOnly,
+    Method::InvalidationCache,
+    Method::InvalidationVersionedCache,
+    Method::Sgt,
+    Method::SgtCache,
+    Method::MultiversionBroadcast,
+];
+
+fn sweep_points(scale: Scale, paper: &[u32], quick: &[u32]) -> Vec<u32> {
+    match scale {
+        Scale::Paper => paper.to_vec(),
+        Scale::Quick => quick.to_vec(),
+    }
+}
+
+fn abort_table(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    points: &[u32],
+    configure: impl Fn(u32) -> bpush_types::SimConfig,
+) -> Result<Table, BpushError> {
+    let mut jobs = Vec::new();
+    for &p in points {
+        for method in METHODS {
+            jobs.push(Job::new(method, config_for(method, configure(p))));
+        }
+    }
+    let metrics = run_replicated(jobs, 1)?;
+    let mut columns = vec![x_label.to_owned()];
+    columns.extend(METHODS.iter().map(|m| m.name().to_owned()));
+    let mut table = Table::new(id, title, columns);
+    for (i, &p) in points.iter().enumerate() {
+        let mut row = vec![p.to_string()];
+        for j in 0..METHODS.len() {
+            row.push(fnum(metrics[i * METHODS.len() + j].abort_pct(), 2));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// Figure 5 (left): abort rate (%) as the number of read operations per
+/// query grows. Expected shape: monotone growth for the invalidation
+/// family, SGT(+cache) lowest among aborting methods, multiversion ≡ 0,
+/// and the versioned cache competitive below ~30 reads.
+pub fn left(scale: Scale) -> Result<Table, BpushError> {
+    let points = sweep_points(scale, &[4, 8, 16, 24, 32, 40, 48], &[4, 12, 24]);
+    abort_table(
+        "fig5_left",
+        "abort rate (%) vs. reads per query",
+        "reads/query",
+        &points,
+        |reads| {
+            let mut cfg = defaults(scale);
+            cfg.client.reads_per_query = reads;
+            cfg
+        },
+    )
+}
+
+/// Figure 5 (right): abort rate (%) as the offset between the client
+/// read pattern and the server update pattern grows (0 = maximum
+/// overlap). Expected shape: all methods decline with offset; SGT
+/// reaches ~0 first.
+pub fn right(scale: Scale) -> Result<Table, BpushError> {
+    let base = defaults(scale);
+    let max_offset = base.server.update_range / 2;
+    let points = sweep_points(
+        scale,
+        &[0, 50, 100, 150, 200, 250],
+        &[0, max_offset / 2, max_offset],
+    );
+    abort_table(
+        "fig5_right",
+        "abort rate (%) vs. update/read offset",
+        "offset",
+        &points,
+        |offset| {
+            let mut cfg = defaults(scale);
+            cfg.server.offset = offset;
+            cfg
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_produces_full_grid() {
+        let t = left(Scale::Quick).unwrap();
+        assert_eq!(t.columns.len(), 1 + METHODS.len());
+        assert_eq!(t.len(), 3);
+        // multiversion column is all zeros
+        let mv_col = 1 + METHODS
+            .iter()
+            .position(|m| *m == Method::MultiversionBroadcast)
+            .unwrap();
+        for row in &t.rows {
+            assert_eq!(row[mv_col], "0.00", "multiversion accepts everything");
+        }
+    }
+
+    #[test]
+    fn right_declines_with_offset() {
+        let t = right(Scale::Quick).unwrap();
+        // invalidation-only abort rate at max offset is below the
+        // zero-offset rate
+        let first: f64 = t.rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(
+            last <= first,
+            "abort rate must not grow with offset: {first} -> {last}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 6: abort rate vs. the number of updates per cycle.
+
+use bpush_types::BpushError;
+
+use super::{config_for, defaults, Scale};
+use crate::experiments::fig5::METHODS;
+use crate::runner::{run_replicated, Job};
+use crate::table::{fnum, Table};
+
+/// Figure 6: abort rate (%) as the server update volume `U` grows from
+/// 50 to 500 (= `UpdateRange`). Expected shape: every aborting method
+/// degrades; the SGT advantage over invalidation-only shrinks from ~2× to
+/// ~10% as the conflict graph densifies, and the invalidation-only method
+/// with versioned cache becomes the best non-multiversion method once
+/// updates exceed roughly a quarter of the broadcast set.
+pub fn run(scale: Scale) -> Result<Table, BpushError> {
+    let base = defaults(scale);
+    let points: Vec<u32> = match scale {
+        Scale::Paper => vec![50, 100, 200, 300, 400, 500],
+        Scale::Quick => {
+            let max = base.server.update_range;
+            vec![max / 10, max / 2, max]
+        }
+    };
+    let mut jobs = Vec::new();
+    for &u in &points {
+        for method in METHODS {
+            let mut cfg = defaults(scale);
+            cfg.server.updates_per_cycle = u;
+            jobs.push(Job::new(method, config_for(method, cfg)));
+        }
+    }
+    let metrics = run_replicated(jobs, 1)?;
+    let mut columns = vec!["updates/cycle".to_owned()];
+    columns.extend(METHODS.iter().map(|m| m.name().to_owned()));
+    let mut table = Table::new("fig6", "abort rate (%) vs. updates per cycle", columns);
+    for (i, &u) in points.iter().enumerate() {
+        let mut row = vec![u.to_string()];
+        for j in 0..METHODS.len() {
+            row.push(fnum(metrics[i * METHODS.len() + j].abort_pct(), 2));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpush_core::Method;
+
+    #[test]
+    fn abort_rate_grows_with_updates() {
+        let t = run(Scale::Quick).unwrap();
+        assert_eq!(t.len(), 3);
+        let inv = 1 + METHODS
+            .iter()
+            .position(|m| *m == Method::InvalidationOnly)
+            .unwrap();
+        let lo: f64 = t.rows.first().unwrap()[inv].parse().unwrap();
+        let hi: f64 = t.rows.last().unwrap()[inv].parse().unwrap();
+        assert!(
+            hi >= lo,
+            "more updates must not reduce aborts: {lo} -> {hi}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 7: broadcast-size increase, from the analytic model of §3.
+
+use bpush_broadcast::size_model::{SizeModel, SizeParams};
+use bpush_types::BpushError;
+
+use super::{defaults, Scale};
+use crate::table::{fnum, Table};
+
+/// Figure 7: percentage increase of the broadcast size per method, using
+/// the closed-form size expressions of §3.1–§3.3 and §4.2 — (a) as a
+/// function of the maximum transaction span `S` at `U = 50`, and (b) as a
+/// function of the update volume `U` at `S = 3`. Expected shape:
+/// invalidation-only < multiversion-caching < SGT < multiversion, with
+/// the multiversion cost growing in both `S` and `U` and the clustered
+/// layout costlier than the overflow layout (rebuilt index every cycle).
+pub fn run(scale: Scale) -> Result<Vec<Table>, BpushError> {
+    let cfg = defaults(scale);
+    let model = SizeModel::new(cfg.server.broadcast_size, SizeParams::default());
+    let n = cfg.server.txns_per_cycle;
+    let columns = [
+        "x",
+        "inv-only",
+        "mv-overflow",
+        "mv-clustered",
+        "sgt",
+        "mv-caching",
+    ];
+
+    let u_default = cfg.server.updates_per_cycle;
+    let mut by_span = Table::new(
+        "fig7_span",
+        format!("broadcast size increase (%) vs. span (U = {u_default})"),
+        columns,
+    );
+    for span in 1..=8u32 {
+        let ops = (u_default * 5).div_ceil(n);
+        by_span.push_row([
+            span.to_string(),
+            fnum(
+                model.percent_increase(model.invalidation_only_extra(u_default)),
+                2,
+            ),
+            fnum(
+                model.percent_increase(model.multiversion_overflow_extra(u_default, span)),
+                2,
+            ),
+            fnum(
+                model.percent_increase(model.multiversion_clustered_extra(u_default, span)),
+                2,
+            ),
+            fnum(
+                model.percent_increase(model.sgt_extra(n, ops, u_default)),
+                2,
+            ),
+            fnum(
+                model.percent_increase(model.multiversion_caching_extra(u_default, span)),
+                2,
+            ),
+        ]);
+    }
+
+    let span = 3u32;
+    let mut by_updates = Table::new(
+        "fig7_updates",
+        format!("broadcast size increase (%) vs. updates (span = {span})"),
+        columns,
+    );
+    let max_u = cfg.server.update_range;
+    for step in 1..=10u32 {
+        let u = max_u * step / 10;
+        let ops = (u * 5).div_ceil(n);
+        by_updates.push_row([
+            u.to_string(),
+            fnum(model.percent_increase(model.invalidation_only_extra(u)), 2),
+            fnum(
+                model.percent_increase(model.multiversion_overflow_extra(u, span)),
+                2,
+            ),
+            fnum(
+                model.percent_increase(model.multiversion_clustered_extra(u, span)),
+                2,
+            ),
+            fnum(model.percent_increase(model.sgt_extra(n, ops, u)), 2),
+            fnum(
+                model.percent_increase(model.multiversion_caching_extra(u, span)),
+                2,
+            ),
+        ]);
+    }
+    Ok(vec![by_span, by_updates])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: &Table, name: &str) -> usize {
+        t.columns.iter().position(|c| c == name).unwrap()
+    }
+
+    #[test]
+    fn ordering_matches_table1() {
+        let tables = run(Scale::Paper).unwrap();
+        let by_span = &tables[0];
+        // at span 3 (row index 2): inv < mc < sgt-ish < mv, clustered > overflow
+        let row = &by_span.rows[2];
+        let get = |name: &str| -> f64 { row[col(by_span, name)].parse().unwrap() };
+        assert!(get("inv-only") < get("mv-caching"));
+        assert!(get("mv-caching") < get("mv-overflow"));
+        assert!(get("mv-overflow") < get("mv-clustered"));
+        assert!(get("inv-only") < get("sgt"));
+    }
+
+    #[test]
+    fn multiversion_grows_with_span_and_updates() {
+        let tables = run(Scale::Paper).unwrap();
+        let spans: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[col(&tables[0], "mv-overflow")].parse().unwrap())
+            .collect();
+        assert!(spans.windows(2).all(|w| w[0] <= w[1]));
+        let updates: Vec<f64> = tables[1]
+            .rows
+            .iter()
+            .map(|r| r[col(&tables[1], "mv-overflow")].parse().unwrap())
+            .collect();
+        assert!(updates.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 8: latency of accepted queries.
+
+use bpush_core::Method;
+use bpush_types::config::MultiversionLayout;
+use bpush_types::BpushError;
+
+use super::{config_for, defaults, Scale};
+use crate::runner::{run_replicated, Job};
+use crate::table::{fnum, Table};
+
+/// Methods compared in Figure 8 (left).
+pub const METHODS: [Method; 4] = [
+    Method::InvalidationOnly,
+    Method::InvalidationCache,
+    Method::Sgt,
+    Method::MultiversionBroadcast,
+];
+
+/// Figure 8 (left): mean latency of accepted queries, in broadcast
+/// cycles, as the query size grows. Expected shape: roughly half a cycle
+/// per read for the current-state methods (less with caching), with
+/// multiversion broadcast (overflow layout) paying extra for old-version
+/// reads at the end of the bcast.
+pub fn left(scale: Scale) -> Result<Table, BpushError> {
+    let points: Vec<u32> = match scale {
+        Scale::Paper => vec![4, 8, 16, 24, 32, 40, 48],
+        Scale::Quick => vec![4, 12, 24],
+    };
+    let mut jobs = Vec::new();
+    for &reads in &points {
+        for method in METHODS {
+            let mut cfg = defaults(scale);
+            cfg.client.reads_per_query = reads;
+            jobs.push(Job {
+                method,
+                config: config_for(method, cfg),
+                layout: MultiversionLayout::Overflow,
+            });
+        }
+    }
+    let metrics = run_replicated(jobs, 1)?;
+    let mut columns = vec!["reads/query".to_owned()];
+    columns.extend(METHODS.iter().map(|m| m.name().to_owned()));
+    let mut table = Table::new(
+        "fig8_left",
+        "latency of accepted queries (cycles) vs. reads per query",
+        columns,
+    );
+    for (i, &p) in points.iter().enumerate() {
+        let mut row = vec![p.to_string()];
+        for j in 0..METHODS.len() {
+            let m = &metrics[i * METHODS.len() + j];
+            if m.latency_cycles.count() == 0 {
+                row.push("-".to_owned()); // nothing committed at this size
+            } else {
+                row.push(fnum(m.latency_cycles.mean(), 2));
+            }
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// Figure 8 (right): multiversion-broadcast latency vs. the update/read
+/// offset. Expected shape: declining — the smaller the overlap between
+/// the server update pattern and the client read pattern, the fewer reads
+/// must detour to old versions at the end of the bcast.
+pub fn right(scale: Scale) -> Result<Table, BpushError> {
+    let base = defaults(scale);
+    let points: Vec<u32> = match scale {
+        Scale::Paper => vec![0, 50, 100, 150, 200, 250],
+        Scale::Quick => vec![0, base.server.update_range / 2],
+    };
+    let mut jobs = Vec::new();
+    for &offset in &points {
+        let mut cfg = defaults(scale);
+        cfg.server.offset = offset;
+        jobs.push(Job {
+            method: Method::MultiversionBroadcast,
+            config: config_for(Method::MultiversionBroadcast, cfg),
+            layout: MultiversionLayout::Overflow,
+        });
+    }
+    let metrics = run_replicated(jobs, 1)?;
+    let mut table = Table::new(
+        "fig8_right",
+        "multiversion broadcast latency (cycles) vs. offset",
+        ["offset", "latency (cycles)", "span"],
+    );
+    for (i, &offset) in points.iter().enumerate() {
+        table.push_row([
+            offset.to_string(),
+            fnum(metrics[i].latency_cycles.mean(), 2),
+            fnum(metrics[i].span.mean(), 2),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_query_size() {
+        let t = left(Scale::Quick).unwrap();
+        // the multiversion column always commits, so it always reports a
+        // latency (aborting methods may have no committed queries at the
+        // largest sizes)
+        let mv = 1 + METHODS
+            .iter()
+            .position(|m| *m == Method::MultiversionBroadcast)
+            .unwrap();
+        let first: f64 = t.rows.first().unwrap()[mv].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[mv].parse().unwrap();
+        assert!(
+            last > first,
+            "bigger queries take longer: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn right_has_expected_columns() {
+        let t = right(Scale::Quick).unwrap();
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.len(), 2);
+        for row in &t.rows {
+            let lat: f64 = row[1].parse().unwrap();
+            assert!(lat > 0.0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Table 1: the overall comparison of the proposed approaches.
+
+use bpush_broadcast::size_model::{SizeModel, SizeParams};
+use bpush_core::Method;
+use bpush_types::BpushError;
+
+use super::{config_for, defaults, Scale};
+use crate::runner::{run_replicated, Job};
+use crate::table::{fnum, Table};
+
+/// The currency column of Table 1, verbatim from the paper.
+pub fn currency_of(method: Method) -> &'static str {
+    match method {
+        Method::InvalidationOnly | Method::InvalidationCache => "state at last read",
+        Method::InvalidationVersionedCache | Method::MultiversionCaching => {
+            "state at first overwrite"
+        }
+        Method::MultiversionBroadcast => "state at first read",
+        Method::Sgt | Method::SgtCache | Method::SgtVersionedItems => "between first and last read",
+        _ => "unspecified",
+    }
+}
+
+/// The disconnection-tolerance column of Table 1.
+pub fn tolerance_of(method: Method) -> &'static str {
+    match method {
+        Method::InvalidationOnly | Method::InvalidationCache => "none (unless windowed)",
+        Method::InvalidationVersionedCache => "some (cache)",
+        Method::MultiversionBroadcast => "some (span <= V)",
+        Method::Sgt | Method::SgtCache => "none",
+        Method::SgtVersionedItems => "some (versions)",
+        Method::MultiversionCaching => "some (cache)",
+        _ => "unspecified",
+    }
+}
+
+/// Table 1: per-method summary at default parameters — measured
+/// concurrency (percent accepted), measured broadcast-size overhead,
+/// analytic size increase, latency, span, plus the qualitative currency
+/// and disconnection-tolerance columns. Expected shape: multiversion
+/// accepts everything at the highest size cost; invalidation-only is the
+/// cheapest and most current but aborts the most; SGT sits in between
+/// with client-side processing cost.
+pub fn run(scale: Scale) -> Result<Table, BpushError> {
+    let base = defaults(scale);
+    let jobs: Vec<Job> = Method::ALL
+        .iter()
+        .map(|&m| Job::new(m, config_for(m, base.clone())))
+        .collect();
+    let metrics = run_replicated(jobs, 1)?;
+
+    let model = SizeModel::new(base.server.broadcast_size, SizeParams::default());
+    let u = base.server.updates_per_cycle;
+    let span = base.server.versions_retained;
+    let ops = base.server.ops_per_txn();
+    let n = base.server.txns_per_cycle;
+
+    let mut table = Table::new(
+        "table1",
+        "comparison of the proposed approaches (defaults)",
+        [
+            "method",
+            "accepted %",
+            "overhead % (measured)",
+            "overhead % (model)",
+            "latency (cycles)",
+            "latency p95",
+            "span",
+            "cache hit %",
+            "currency",
+            "disconnections",
+        ],
+    );
+    for m in &metrics {
+        let model_pct = match m.method {
+            Method::InvalidationOnly | Method::InvalidationCache => {
+                model.percent_increase(model.invalidation_only_extra(u))
+            }
+            Method::InvalidationVersionedCache => {
+                model.percent_increase(model.invalidation_only_extra(u))
+            }
+            Method::MultiversionBroadcast => {
+                model.percent_increase(model.multiversion_overflow_extra(u, span))
+            }
+            Method::Sgt | Method::SgtCache | Method::SgtVersionedItems => {
+                model.percent_increase(model.sgt_extra(n, ops, u))
+            }
+            Method::MultiversionCaching => {
+                model.percent_increase(model.multiversion_caching_extra(u, span))
+            }
+            _ => 0.0,
+        };
+        table.push_row([
+            m.method.name().to_owned(),
+            fnum(100.0 - m.abort_pct(), 2),
+            fnum(m.overhead_pct(), 2),
+            fnum(model_pct, 2),
+            fnum(m.latency_cycles.mean(), 2),
+            fnum(m.latency_hist.quantile(0.95), 2),
+            fnum(m.span.mean(), 2),
+            m.cache_hit_rate
+                .map_or_else(|| "-".to_owned(), |r| fnum(r * 100.0, 1)),
+            currency_of(m.method).to_owned(),
+            tolerance_of(m.method).to_owned(),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_methods() {
+        let t = run(Scale::Quick).unwrap();
+        assert_eq!(t.len(), Method::ALL.len());
+        // multiversion accepts 100%
+        let mv_row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "multiversion")
+            .expect("multiversion row");
+        assert_eq!(mv_row[1], "100.00");
+        // every accepted % parses and is a percentage
+        for row in &t.rows {
+            let pct: f64 = row[1].parse().unwrap();
+            assert!((0.0..=100.0).contains(&pct));
+        }
+    }
+
+    #[test]
+    fn qualitative_columns_are_stable() {
+        assert_eq!(currency_of(Method::InvalidationOnly), "state at last read");
+        assert_eq!(
+            currency_of(Method::MultiversionBroadcast),
+            "state at first read"
+        );
+        assert_eq!(tolerance_of(Method::Sgt), "none");
+        assert_eq!(tolerance_of(Method::SgtVersionedItems), "some (versions)");
+    }
+}

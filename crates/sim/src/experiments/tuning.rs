@@ -1,0 +1,94 @@
+//! Selective-tuning (energy) study: §2.1 motivates letting battery-bound
+//! clients doze between reads; what each method forces the client to
+//! *listen* to is part of its price.
+//!
+//! Active listening per query = the control segments heard during its
+//! lifetime plus the data buckets actually read. Methods with bulkier
+//! control information (SGT) or longer bcasts (multiversion) cost more
+//! awake-time per query; caching cuts both reads and lifetime.
+
+use bpush_core::Method;
+use bpush_types::BpushError;
+
+use super::{config_for, defaults, Scale};
+use crate::runner::{run_replicated, Job};
+use crate::table::{fnum, Table};
+
+/// Methods compared in the tuning study.
+pub const METHODS: [Method; 5] = [
+    Method::InvalidationOnly,
+    Method::InvalidationCache,
+    Method::Sgt,
+    Method::SgtCache,
+    Method::MultiversionBroadcast,
+];
+
+/// Mean active-listening slots per committed query, per method, with the
+/// accepted rate for context. Expected shape: caching reduces listening;
+/// SGT pays for its control volume every cycle a query spans;
+/// multiversion pays for longer bcasts on long queries.
+pub fn run(scale: Scale) -> Result<Table, BpushError> {
+    let jobs: Vec<Job> = METHODS
+        .iter()
+        .map(|&m| Job::new(m, config_for(m, defaults(scale))))
+        .collect();
+    let metrics = run_replicated(jobs, 1)?;
+    let mut table = Table::new(
+        "tuning",
+        "active listening per committed query (selective tuning, §2.1)",
+        [
+            "method",
+            "tuning slots",
+            "of which control",
+            "latency (slots)",
+            "awake fraction %",
+        ],
+    );
+    for m in &metrics {
+        let tuning = m.tuning_slots.mean();
+        let data = m.broadcast_reads.mean();
+        let control = (tuning - data).max(0.0);
+        let awake = if m.latency_slots.mean() > 0.0 {
+            tuning / m.latency_slots.mean() * 100.0
+        } else {
+            0.0
+        };
+        table.push_row([
+            m.method.name().to_owned(),
+            fnum(tuning, 2),
+            fnum(control, 2),
+            fnum(m.latency_slots.mean(), 1),
+            fnum(awake.min(100.0), 2),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgt_listens_more_than_invalidation_only() {
+        let t = run(Scale::Quick).unwrap();
+        let col = |name: &str| -> usize { t.columns.iter().position(|c| c == name).unwrap() };
+        let tuning_of = |method: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == method).unwrap()[col("tuning slots")]
+                .parse()
+                .unwrap()
+        };
+        // SGT's control segment (diff + augmented report + tags) costs
+        // strictly more listening than a bare invalidation report
+        assert!(
+            tuning_of("sgt") > tuning_of("inv-only"),
+            "sgt {} vs inv {}",
+            tuning_of("sgt"),
+            tuning_of("inv-only")
+        );
+        // a client is asleep most of the time under every method
+        for row in &t.rows {
+            let awake: f64 = row[col("awake fraction %")].parse().unwrap();
+            assert!(awake < 60.0, "{}: awake {awake}%", row[0]);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Parallel execution of simulation jobs (parameter sweeps).
+
+use parking_lot::Mutex;
+
+use bpush_core::Method;
+use bpush_types::config::MultiversionLayout;
+use bpush_types::{BpushError, SimConfig};
+
+use crate::simulation::{MethodMetrics, Simulation};
+
+/// One simulation to run: a method under a configuration.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The method to simulate.
+    pub method: Method,
+    /// The full configuration.
+    pub config: SimConfig,
+    /// Multiversion on-air layout, where applicable.
+    pub layout: MultiversionLayout,
+}
+
+impl Job {
+    /// A job with the default (overflow) layout.
+    pub fn new(method: Method, config: SimConfig) -> Self {
+        Job {
+            method,
+            config,
+            layout: MultiversionLayout::Overflow,
+        }
+    }
+}
+
+/// Runs all jobs, in parallel across the machine's cores, returning the
+/// metrics in job order.
+///
+/// # Errors
+/// Returns the first configuration or budget error encountered.
+pub fn run_jobs(jobs: Vec<Job>) -> Result<Vec<MethodMetrics>, BpushError> {
+    let n = jobs.len();
+    let results: Mutex<Vec<Option<Result<MethodMetrics, BpushError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    if *guard >= n {
+                        break;
+                    }
+                    let idx = *guard;
+                    *guard += 1;
+                    idx
+                };
+                let job = &jobs[idx];
+                let outcome = Simulation::with_layout(job.config.clone(), job.method, job.layout)
+                    .and_then(Simulation::run);
+                results.lock()[idx] = Some(outcome);
+            });
+        }
+    })
+    .expect("simulation workers must not panic");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every job was executed"))
+        .collect()
+}
+
+/// Runs every job `replications` times with derived seeds and merges the
+/// replications, returning one [`MethodMetrics`] per job in order. The
+/// `BPUSH_REPS` environment variable overrides `replications` for all
+/// experiments (statistical tightening without code changes).
+///
+/// # Errors
+/// Propagates the first configuration or budget error.
+pub fn run_replicated(jobs: Vec<Job>, replications: u32) -> Result<Vec<MethodMetrics>, BpushError> {
+    let replications = std::env::var("BPUSH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(replications)
+        .max(1);
+    let mut expanded = Vec::with_capacity(jobs.len() * replications as usize);
+    for job in &jobs {
+        for rep in 0..replications {
+            let mut j = job.clone();
+            j.config.seed = j.config.seed.wrapping_add(u64::from(rep) * 0x9e37_79b9);
+            expanded.push(j);
+        }
+    }
+    let all = run_jobs(expanded)?;
+    let mut merged = Vec::with_capacity(jobs.len());
+    for chunk in all.chunks(replications as usize) {
+        let mut acc = chunk[0].clone();
+        for m in &chunk[1..] {
+            acc.merge(m);
+        }
+        merged.push(acc);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(seed: u64) -> SimConfig {
+        SimConfig {
+            server: bpush_types::ServerConfig {
+                broadcast_size: 100,
+                update_range: 50,
+                server_read_range: 100,
+                updates_per_cycle: 10,
+                txns_per_cycle: 5,
+                ..bpush_types::ServerConfig::default()
+            },
+            client: bpush_types::ClientConfig {
+                read_range: 50,
+                reads_per_query: 4,
+                ..bpush_types::ClientConfig::default()
+            },
+            n_clients: 2,
+            queries_per_client: 5,
+            warmup_cycles: 2,
+            max_cycles: 10_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| {
+                let method = if i % 2 == 0 {
+                    Method::InvalidationOnly
+                } else {
+                    Method::Sgt
+                };
+                Job::new(method, tiny_config(i))
+            })
+            .collect();
+        let metrics = run_jobs(jobs).unwrap();
+        assert_eq!(metrics.len(), 6);
+        for (i, m) in metrics.iter().enumerate() {
+            let expected = if i % 2 == 0 {
+                Method::InvalidationOnly
+            } else {
+                Method::Sgt
+            };
+            assert_eq!(m.method, expected);
+            assert_eq!(m.violations, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let job = Job::new(Method::InvalidationCache, tiny_config(7));
+        let par = run_jobs(vec![job.clone(), job.clone()]).unwrap();
+        let seq = Simulation::with_layout(job.config.clone(), job.method, job.layout)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(par[0].aborts, seq.aborts);
+        assert_eq!(par[1].aborts, seq.aborts);
+    }
+
+    #[test]
+    fn bad_job_surfaces_error() {
+        let mut cfg = tiny_config(0);
+        cfg.n_clients = 0;
+        assert!(run_jobs(vec![Job::new(Method::Sgt, cfg)]).is_err());
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_jobs(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replication_pools_queries() {
+        let job = Job::new(Method::InvalidationOnly, tiny_config(3));
+        let single = run_jobs(vec![job.clone()]).unwrap();
+        let tripled = run_replicated(vec![job], 3).unwrap();
+        assert_eq!(tripled.len(), 1);
+        assert_eq!(tripled[0].queries, 3 * single[0].queries);
+        assert_eq!(tripled[0].violations, 0);
+        // rates stay rates (0..=1)
+        assert!((0.0..=1.0).contains(&tripled[0].aborts.rate()));
+    }
+}

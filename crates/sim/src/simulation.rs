@@ -1,0 +1,493 @@
+//! The cycle-driven simulation engine tying server and clients together.
+
+use bpush_client::{CacheParams, ClientCache, QueryExecutor, QueryOutcome};
+use bpush_core::validator::SerializabilityValidator;
+use bpush_core::{AbortReason, CacheMode, Method};
+use bpush_server::BroadcastServer;
+use bpush_types::config::MultiversionLayout;
+use bpush_types::seed::SeedSequence;
+use bpush_types::stats::{Histogram, Ratio, Summary};
+use bpush_types::{BpushError, ClientId, Cycle, SimConfig, Slot};
+
+/// Everything measured about one method under one configuration.
+#[derive(Debug, Clone)]
+pub struct MethodMetrics {
+    /// The method simulated.
+    pub method: Method,
+    /// Queries finished after warm-up (committed + aborted).
+    pub queries: u64,
+    /// Committed / total — the paper's "percent of transactions
+    /// accepted" is `1 − abort_rate`.
+    pub aborts: Ratio,
+    /// Per-reason abort counts.
+    pub abort_reasons: Vec<(AbortReason, u64)>,
+    /// Latency of *committed* queries, in broadcast cycles (§5.2.1
+    /// measures accepted transactions only).
+    pub latency_cycles: Summary,
+    /// Latency of committed queries in raw slots (useful when comparing
+    /// organizations with different cycle lengths).
+    pub latency_slots: Summary,
+    /// Latency distribution (cycles) of committed queries, for quantiles.
+    pub latency_hist: Histogram,
+    /// Span of committed queries (distinct cycles read from).
+    pub span: Summary,
+    /// Active-listening slots per committed query (§2.1 selective-tuning
+    /// energy cost: control segments heard plus data buckets read).
+    pub tuning_slots: Summary,
+    /// Broadcast (non-cache) reads per committed query.
+    pub broadcast_reads: Summary,
+    /// Cache hit rate across all clients, if the method caches.
+    pub cache_hit_rate: Option<f64>,
+    /// Mean on-air bcast length in slots.
+    pub mean_bcast_slots: f64,
+    /// Data-segment length (the no-overhead baseline).
+    pub base_slots: u64,
+    /// Committed readsets that failed serializability validation —
+    /// always zero unless a protocol is broken.
+    pub violations: u64,
+    /// Broadcast cycles simulated.
+    pub cycles: u64,
+}
+
+impl MethodMetrics {
+    /// Abort rate in percent.
+    pub fn abort_pct(&self) -> f64 {
+        self.aborts.rate() * 100.0
+    }
+
+    /// Broadcast-size increase over the bare data segment, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.mean_bcast_slots - self.base_slots as f64) / self.base_slots as f64 * 100.0
+    }
+
+    /// Merges metrics from an independent replication of the same
+    /// configuration (different seed) into this one.
+    ///
+    /// # Panics
+    /// Panics if the replications simulated different methods.
+    pub fn merge(&mut self, other: &MethodMetrics) {
+        assert_eq!(self.method, other.method, "replications must match methods");
+        let total_cycles = (self.cycles + other.cycles).max(1);
+        self.mean_bcast_slots = (self.mean_bcast_slots * self.cycles as f64
+            + other.mean_bcast_slots * other.cycles as f64)
+            / total_cycles as f64;
+        self.queries += other.queries;
+        self.aborts.merge(&other.aborts);
+        for &(reason, n) in &other.abort_reasons {
+            match self.abort_reasons.iter_mut().find(|(r, _)| *r == reason) {
+                Some((_, count)) => *count += n,
+                None => self.abort_reasons.push((reason, n)),
+            }
+        }
+        self.latency_cycles.merge(&other.latency_cycles);
+        self.latency_slots.merge(&other.latency_slots);
+        self.latency_hist.merge(&other.latency_hist);
+        self.span.merge(&other.span);
+        self.tuning_slots.merge(&other.tuning_slots);
+        self.broadcast_reads.merge(&other.broadcast_reads);
+        self.cache_hit_rate = match (self.cache_hit_rate, other.cache_hit_rate) {
+            // weight by query volume (lookup counts are not retained; this
+            // is exact when replications run equal workloads, as they do)
+            (Some(a), Some(b)) => {
+                let (qa, qb) = (self.queries as f64, other.queries as f64);
+                Some((a * qa + b * qb) / (qa + qb).max(1.0))
+            }
+            (a, b) => a.or(b),
+        };
+        self.violations += other.violations;
+        self.cycles += other.cycles;
+    }
+}
+
+/// One simulation: a [`BroadcastServer`] plus `n_clients` independent
+/// [`QueryExecutor`]s, advanced cycle by cycle until every client
+/// exhausts its query budget.
+///
+/// # Example
+/// ```
+/// use bpush_core::Method;
+/// use bpush_sim::Simulation;
+/// use bpush_types::SimConfig;
+///
+/// let mut config = SimConfig::default();
+/// config.n_clients = 2;
+/// config.queries_per_client = 5;
+/// config.warmup_cycles = 0; // measure from the first cycle
+/// let metrics = Simulation::new(config, Method::InvalidationOnly)?.run()?;
+/// assert_eq!(metrics.queries, 10);
+/// assert_eq!(metrics.violations, 0);
+/// # Ok::<(), bpush_types::BpushError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    method: Method,
+    server: BroadcastServer,
+    clients: Vec<QueryExecutor>,
+}
+
+impl Simulation {
+    /// Builds a simulation of `method` under `config`, using the overflow
+    /// multiversion layout where applicable.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] for inconsistent
+    /// configurations.
+    pub fn new(config: SimConfig, method: Method) -> Result<Self, BpushError> {
+        Simulation::with_layout(config, method, MultiversionLayout::Overflow)
+    }
+
+    /// Builds a simulation choosing the multiversion on-air layout.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] for inconsistent
+    /// configurations.
+    pub fn with_layout(
+        config: SimConfig,
+        method: Method,
+        layout: MultiversionLayout,
+    ) -> Result<Self, BpushError> {
+        config.validate()?;
+        let seeds = SeedSequence::new(config.seed);
+        let server = BroadcastServer::new(
+            config.server.clone(),
+            method.server_options(layout),
+            seeds.derive(&["server"]),
+        )?;
+        let mut clients = Vec::with_capacity(config.n_clients as usize);
+        for i in 0..config.n_clients {
+            let cache = match method.cache_mode() {
+                CacheMode::None => None,
+                mode => {
+                    let cache_cfg = &config.client.cache;
+                    if !cache_cfg.is_enabled() {
+                        None
+                    } else {
+                        let (current, old) = if mode == CacheMode::Multiversion {
+                            (cache_cfg.current_capacity(), cache_cfg.old_capacity())
+                        } else {
+                            (cache_cfg.capacity, 0)
+                        };
+                        Some(ClientCache::new(CacheParams {
+                            mode,
+                            current_capacity: current,
+                            old_capacity: old,
+                            items_per_bucket: config.server.items_per_bucket,
+                        }))
+                    }
+                }
+            };
+            clients.push(QueryExecutor::new(
+                ClientId::new(i),
+                config.client.clone(),
+                method.build_protocol(),
+                cache,
+                config.queries_per_client,
+                seeds.derive(&["client", &i.to_string()]),
+            )?);
+        }
+        Ok(Simulation {
+            config,
+            method,
+            server,
+            clients,
+        })
+    }
+
+    /// Replaces the server's broadcast mode (e.g. with a
+    /// [`bpush_server::BroadcastMode::Disks`] organization), rebuilding
+    /// the server from the same seed. Must be called before
+    /// [`Simulation::run`].
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] if the mode is incompatible
+    /// with the configuration (e.g. a disk partitioning that does not
+    /// cover the broadcast set).
+    pub fn with_server_mode(
+        mut self,
+        mode: bpush_server::BroadcastMode,
+    ) -> Result<Self, BpushError> {
+        let seeds = SeedSequence::new(self.config.seed);
+        let options = bpush_server::ServerOptions {
+            mode,
+            sgt_info: self.server.options().sgt_info,
+        };
+        self.server = BroadcastServer::new(
+            self.config.server.clone(),
+            options,
+            seeds.derive(&["server"]),
+        )?;
+        Ok(self)
+    }
+
+    /// Runs to completion and reduces the outcomes to [`MethodMetrics`].
+    ///
+    /// # Errors
+    /// Returns [`BpushError::CycleBudgetExhausted`] if the configured
+    /// `max_cycles` elapse before every client finishes its queries.
+    pub fn run(self) -> Result<MethodMetrics, BpushError> {
+        self.run_with_observer(|_| {})
+    }
+
+    /// Like [`Simulation::run`], but additionally streams every measured
+    /// [`QueryOutcome`] to `observer` as it completes — for query-level
+    /// traces, custom metrics, or progress reporting.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::CycleBudgetExhausted`] if the configured
+    /// `max_cycles` elapse before every client finishes its queries.
+    pub fn run_with_observer(
+        mut self,
+        mut observer: impl FnMut(&QueryOutcome),
+    ) -> Result<MethodMetrics, BpushError> {
+        let warmup = Cycle::new(u64::from(self.config.warmup_cycles));
+        let mut start = Slot::ZERO;
+        let mut outcomes: Vec<QueryOutcome> = Vec::new();
+        let mut total_slots = 0u64;
+        let mut cycles = 0u64;
+
+        while self.clients.iter().any(|c| !c.is_done()) {
+            if cycles >= self.config.max_cycles {
+                return Err(BpushError::CycleBudgetExhausted {
+                    max_cycles: self.config.max_cycles,
+                });
+            }
+            let bcast = self.server.run_cycle();
+            total_slots += bcast.total_slots();
+            cycles += 1;
+            let measured = bcast.cycle() >= warmup;
+            for client in &mut self.clients {
+                let connected = !client.roll_disconnect();
+                for outcome in client.run_cycle(&bcast, start, connected) {
+                    if measured {
+                        observer(&outcome);
+                        outcomes.push(outcome);
+                    }
+                }
+            }
+            start = start.plus(bcast.total_slots());
+        }
+
+        // Validate every committed readset against the ground truth,
+        // using the paper's exact criterion (readset = a state of *some*
+        // serializable execution, checked against the full conflict
+        // graph). The stronger prefix-snapshot check holds for the
+        // snapshot-based methods and is exercised in the test suites.
+        let validator = SerializabilityValidator::new(self.server.history());
+        let graph = self.server.conflict_graph();
+        let mut violations = 0;
+        for o in outcomes.iter().filter(|o| o.committed()) {
+            if validator.check_serializable(graph, &o.reads).is_err() {
+                violations += 1;
+            }
+        }
+
+        let mean_bcast_slots = total_slots as f64 / cycles.max(1) as f64;
+        let cycle_len = mean_bcast_slots.max(1.0);
+        let mut aborts = Ratio::new();
+        let mut latency = Summary::new();
+        let mut latency_slots = Summary::new();
+        let mut latency_hist = Histogram::new();
+        let mut span = Summary::new();
+        let mut tuning = Summary::new();
+        let mut broadcast_reads = Summary::new();
+        let mut reasons: std::collections::BTreeMap<AbortReason, u64> =
+            std::collections::BTreeMap::new();
+        for o in &outcomes {
+            aborts.record(!o.committed());
+            match o.aborted {
+                Some(reason) => *reasons.entry(reason).or_insert(0) += 1,
+                None => {
+                    latency.record(o.latency_slots() as f64 / cycle_len);
+                    latency_hist.record(o.latency_slots() as f64 / cycle_len);
+                    latency_slots.record(o.latency_slots() as f64);
+                    span.record(f64::from(o.span));
+                    tuning.record(o.tuning_slots as f64);
+                    broadcast_reads.record(f64::from(o.broadcast_reads));
+                }
+            }
+        }
+        let cache_hit_rate = if self.method.uses_cache() {
+            let (mut hits, mut total) = (0u64, 0u64);
+            for c in &self.clients {
+                if let Some(s) = c.cache_stats() {
+                    hits += s.hits;
+                    total += s.hits + s.misses;
+                }
+            }
+            (total > 0).then(|| hits as f64 / total as f64)
+        } else {
+            None
+        };
+
+        Ok(MethodMetrics {
+            method: self.method,
+            queries: outcomes.len() as u64,
+            aborts,
+            abort_reasons: reasons.into_iter().collect(),
+            latency_cycles: latency,
+            latency_slots,
+            latency_hist,
+            span,
+            tuning_slots: tuning,
+            broadcast_reads,
+            cache_hit_rate,
+            mean_bcast_slots,
+            base_slots: u64::from(self.config.server.data_buckets()),
+            violations,
+            cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            server: bpush_types::ServerConfig {
+                broadcast_size: 200,
+                update_range: 100,
+                server_read_range: 200,
+                updates_per_cycle: 20,
+                txns_per_cycle: 5,
+                ..bpush_types::ServerConfig::default()
+            },
+            client: bpush_types::ClientConfig {
+                read_range: 100,
+                reads_per_query: 6,
+                ..bpush_types::ClientConfig::default()
+            },
+            n_clients: 3,
+            queries_per_client: 15,
+            warmup_cycles: 3,
+            max_cycles: 20_000,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn every_method_runs_clean() {
+        for method in Method::ALL {
+            let metrics = Simulation::new(quick_config(), method)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(metrics.violations, 0, "{method} violated serializability");
+            assert!(metrics.queries > 0, "{method} finished no queries");
+            assert!(metrics.cycles > 0);
+            assert!(metrics.mean_bcast_slots >= metrics.base_slots as f64);
+        }
+    }
+
+    #[test]
+    fn multiversion_aborts_nothing_within_retention() {
+        let mut cfg = quick_config();
+        // retain enough old versions to cover every span the workload
+        // can produce (the paper's S-multiversion server, §3.2)
+        cfg.server.versions_retained = 24;
+        let metrics = Simulation::new(cfg, Method::MultiversionBroadcast)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(metrics.aborts.hits(), 0, "span <= S queries all accepted");
+    }
+
+    #[test]
+    fn multiversion_with_short_retention_aborts_long_spans() {
+        let mut cfg = quick_config();
+        cfg.server.versions_retained = 1; // V-multiversion with V = 1
+        cfg.client.reads_per_query = 12;
+        let metrics = Simulation::new(cfg, Method::MultiversionBroadcast)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            metrics.aborts.hits() > 0,
+            "span > V queries proceed at their own risk and abort"
+        );
+        assert_eq!(metrics.violations, 0, "but never commit inconsistently");
+    }
+
+    #[test]
+    fn sgt_accepts_more_than_invalidation_only() {
+        let inv = Simulation::new(quick_config(), Method::InvalidationOnly)
+            .unwrap()
+            .run()
+            .unwrap();
+        let sgt = Simulation::new(quick_config(), Method::Sgt)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            sgt.aborts.rate() <= inv.aborts.rate(),
+            "SGT must not abort more: {} vs {}",
+            sgt.abort_pct(),
+            inv.abort_pct()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Simulation::new(quick_config(), Method::InvalidationCache)
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = Simulation::new(quick_config(), Method::InvalidationCache)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!(a.cycles, b.cycles);
+        assert!((a.latency_cycles.mean() - b.latency_cycles.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_is_positive_for_multiversion() {
+        let mv = Simulation::new(quick_config(), Method::MultiversionBroadcast)
+            .unwrap()
+            .run()
+            .unwrap();
+        let inv = Simulation::new(quick_config(), Method::InvalidationOnly)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(mv.overhead_pct() > inv.overhead_pct());
+        assert!(inv.overhead_pct() >= 0.0);
+    }
+
+    #[test]
+    fn observer_sees_every_measured_outcome() {
+        let mut seen = 0u64;
+        let metrics = Simulation::new(quick_config(), Method::InvalidationOnly)
+            .unwrap()
+            .run_with_observer(|o| {
+                assert!(o.finished >= o.started);
+                seen += 1;
+            })
+            .unwrap();
+        assert_eq!(seen, metrics.queries);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut cfg = quick_config();
+        cfg.max_cycles = 2;
+        let err = Simulation::new(cfg, Method::InvalidationOnly)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BpushError::CycleBudgetExhausted { max_cycles: 2 }
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let mut cfg = quick_config();
+        cfg.n_clients = 0;
+        assert!(Simulation::new(cfg, Method::InvalidationOnly).is_err());
+    }
+}

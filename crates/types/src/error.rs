@@ -1,0 +1,81 @@
+//! The shared error type of the `bpush` workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `bpush` crates.
+///
+/// # Example
+/// ```
+/// use bpush_types::BpushError;
+/// let e = BpushError::invalid_config("theta must be finite");
+/// assert_eq!(e.to_string(), "invalid configuration: theta must be finite");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BpushError {
+    /// A configuration violated a documented invariant.
+    InvalidConfig(String),
+    /// A simulation exceeded its configured cycle budget.
+    CycleBudgetExhausted {
+        /// The configured hard stop.
+        max_cycles: u64,
+    },
+    /// A protocol was asked to operate on state it has never seen (e.g.
+    /// reading an item outside the broadcast set).
+    UnknownItem(u32),
+}
+
+impl BpushError {
+    /// Convenience constructor for [`BpushError::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        BpushError::InvalidConfig(msg.into())
+    }
+}
+
+impl fmt::Display for BpushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpushError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BpushError::CycleBudgetExhausted { max_cycles } => {
+                write!(f, "simulation exceeded its budget of {max_cycles} cycles")
+            }
+            BpushError::UnknownItem(raw) => write!(f, "item #{raw} is not in the broadcast set"),
+        }
+    }
+}
+
+impl Error for BpushError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_unpunctuated() {
+        for e in [
+            BpushError::invalid_config("x"),
+            BpushError::CycleBudgetExhausted { max_cycles: 5 },
+            BpushError::UnknownItem(7),
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<BpushError>();
+    }
+
+    #[test]
+    fn invalid_config_constructor() {
+        assert_eq!(
+            BpushError::invalid_config("oops"),
+            BpushError::InvalidConfig("oops".to_owned())
+        );
+    }
+}

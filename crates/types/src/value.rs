@@ -1,0 +1,171 @@
+//! The value representation carried on the broadcast.
+//!
+//! The simulation does not need real record payloads; what matters for
+//! consistency is *which committed server transaction wrote the value* and
+//! *from which cycle onward the value is current*. An [`ItemValue`]
+//! captures exactly that, which is sufficient to
+//!
+//! * implement the multiversion read rule of §3.2 ("read the largest
+//!   version `c_n ≤ c_0`"),
+//! * tag items with their last writer as the SGT method of §3.3 requires,
+//! * and check serializability of committed readsets after the fact.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Cycle, ItemId, TxnId};
+
+/// One committed value of a data item.
+///
+/// `writer` is the server transaction that produced the value; `since` is
+/// the first broadcast cycle whose bcast carries this value as current
+/// (i.e. `writer.cycle().next()`, because a bcast reflects all commits
+/// before the beginning of the cycle, §2.2). `since` is the paper's
+/// *version number* for the value. The initial database load is modelled
+/// with `writer = None` and `since = Cycle::ZERO`.
+///
+/// # Example
+/// ```
+/// use bpush_types::{Cycle, ItemValue, TxnId};
+/// let v = ItemValue::written_by(TxnId::new(Cycle::new(4), 2));
+/// assert_eq!(v.version(), Cycle::new(5));
+/// assert!(v.writer().is_some());
+/// let init = ItemValue::initial();
+/// assert_eq!(init.version(), Cycle::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ItemValue {
+    writer: Option<TxnId>,
+    since: Cycle,
+}
+
+impl ItemValue {
+    /// The value an item holds before any server transaction updates it.
+    pub const fn initial() -> Self {
+        ItemValue {
+            writer: None,
+            since: Cycle::ZERO,
+        }
+    }
+
+    /// The value produced by server transaction `writer`; current from the
+    /// cycle after the writer's commit cycle.
+    pub const fn written_by(writer: TxnId) -> Self {
+        ItemValue {
+            writer: Some(writer),
+            since: writer.cycle().next(),
+        }
+    }
+
+    /// The server transaction that wrote this value, or `None` for the
+    /// initial database load.
+    pub const fn writer(self) -> Option<TxnId> {
+        self.writer
+    }
+
+    /// The version number of this value: the first cycle whose broadcast
+    /// carries it as the current value.
+    pub const fn version(self) -> Cycle {
+        self.since
+    }
+
+    /// Whether this value is current at the database state broadcast in
+    /// `cycle` *assuming no later write exists* — i.e. it became current no
+    /// later than `cycle`.
+    pub fn visible_at(self, cycle: Cycle) -> bool {
+        self.since <= cycle
+    }
+}
+
+impl Default for ItemValue {
+    fn default() -> Self {
+        ItemValue::initial()
+    }
+}
+
+impl fmt::Display for ItemValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.writer {
+            Some(w) => write!(f, "v{}<-{}", self.since.number(), w),
+            None => write!(f, "v0<-init"),
+        }
+    }
+}
+
+/// An item together with one of its committed values, as it appears inside
+/// a broadcast bucket or a client cache entry.
+///
+/// # Example
+/// ```
+/// use bpush_types::{Cycle, ItemId, ItemValue, TxnId, VersionedValue};
+/// let vv = VersionedValue::new(
+///     ItemId::new(9),
+///     ItemValue::written_by(TxnId::new(Cycle::new(1), 0)),
+/// );
+/// assert_eq!(vv.item(), ItemId::new(9));
+/// assert_eq!(vv.value().version(), Cycle::new(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VersionedValue {
+    item: ItemId,
+    value: ItemValue,
+}
+
+impl VersionedValue {
+    /// Pairs an item with one of its committed values.
+    pub const fn new(item: ItemId, value: ItemValue) -> Self {
+        VersionedValue { item, value }
+    }
+
+    /// The item this value belongs to.
+    pub const fn item(self) -> ItemId {
+        self.item
+    }
+
+    /// The committed value.
+    pub const fn value(self) -> ItemValue {
+        self.value
+    }
+}
+
+impl fmt::Display for VersionedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.item, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_value_is_default_and_versionless() {
+        let v = ItemValue::default();
+        assert_eq!(v, ItemValue::initial());
+        assert_eq!(v.writer(), None);
+        assert_eq!(v.version(), Cycle::ZERO);
+        assert!(v.visible_at(Cycle::ZERO));
+        assert_eq!(v.to_string(), "v0<-init");
+    }
+
+    #[test]
+    fn written_value_becomes_current_next_cycle() {
+        let t = TxnId::new(Cycle::new(3), 7);
+        let v = ItemValue::written_by(t);
+        assert_eq!(v.writer(), Some(t));
+        assert_eq!(v.version(), Cycle::new(4));
+        assert!(!v.visible_at(Cycle::new(3)));
+        assert!(v.visible_at(Cycle::new(4)));
+        assert!(v.visible_at(Cycle::new(9)));
+        assert_eq!(v.to_string(), "v4<-T3.7");
+    }
+
+    #[test]
+    fn versioned_value_accessors() {
+        let vv = VersionedValue::new(ItemId::new(1), ItemValue::initial());
+        assert_eq!(vv.item(), ItemId::new(1));
+        assert_eq!(vv.value(), ItemValue::initial());
+        assert_eq!(vv.to_string(), "item#1=v0<-init");
+    }
+}
