@@ -12,7 +12,7 @@
 //! This library crate only hosts shared helpers.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use bpush_types::{CacheConfig, ClientConfig, ServerConfig, SimConfig};
 

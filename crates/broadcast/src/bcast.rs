@@ -1,6 +1,6 @@
 //! A fully assembled broadcast program for one cycle.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bpush_types::{Cycle, ItemId, ItemValue};
 
@@ -25,13 +25,13 @@ pub struct Bcast {
     data_slots: u64,
     overflow_slots: u64,
     /// Current value of every item on air.
-    records: HashMap<ItemId, ItemRecord>,
+    records: BTreeMap<ItemId, ItemRecord>,
     /// Sorted slots at which each item's current version is transmitted
     /// (more than one under the broadcast-disk organization).
-    occurrences: HashMap<ItemId, Vec<u64>>,
+    occurrences: BTreeMap<ItemId, Vec<u64>>,
     /// Old versions per item, most recent first, with the slot carrying
     /// each (§3.2). Empty outside multiversion organizations.
-    old_versions: HashMap<ItemId, Vec<(u64, ItemValue)>>,
+    old_versions: BTreeMap<ItemId, Vec<(u64, ItemValue)>>,
     /// The on-air directory, present only when positions shift per cycle
     /// (clustered multiversion organization).
     directory: Option<Directory>,
@@ -50,9 +50,9 @@ impl Bcast {
         control_slots: u64,
         data_slots: u64,
         overflow_slots: u64,
-        records: HashMap<ItemId, ItemRecord>,
-        occurrences: HashMap<ItemId, Vec<u64>>,
-        old_versions: HashMap<ItemId, Vec<(u64, ItemValue)>>,
+        records: BTreeMap<ItemId, ItemRecord>,
+        occurrences: BTreeMap<ItemId, Vec<u64>>,
+        old_versions: BTreeMap<ItemId, Vec<(u64, ItemValue)>>,
         directory: Option<Directory>,
     ) -> Self {
         debug_assert!(occurrences

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use bpush_types::{Cycle, ItemId, ItemValue, TxnId};
 
 /// The header every bucket carries (§2.1): its position within the bcast
@@ -19,7 +17,7 @@ use bpush_types::{Cycle, ItemId, ItemValue, TxnId};
 /// assert_eq!(h.offset(), 5);
 /// assert_eq!(h.slots_to_next_bcast(), 95);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BucketHeader {
     cycle: Cycle,
     offset: u64,
@@ -67,7 +65,7 @@ impl BucketHeader {
 /// wrote it (broadcast only when the SGT method is active, §3.3), and
 /// optionally a pointer to its old versions in the overflow area
 /// (multiversion overflow organization, Figure 2b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ItemRecord {
     item: ItemId,
     value: ItemValue,
@@ -127,7 +125,7 @@ impl fmt::Display for ItemRecord {
 /// An old version of an item, as stored in overflow buckets or clustered
 /// next to the current version (§3.2). Old versions are broadcast in
 /// reverse chronological order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OldVersion {
     item: ItemId,
     value: ItemValue,
@@ -155,7 +153,7 @@ impl OldVersion {
 /// The simulation mostly works at whole-bcast granularity, but buckets are
 /// exposed so tests can verify the self-descriptiveness properties of
 /// §2.1 (a client waking at any bucket can locate the next bcast).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bucket {
     header: BucketHeader,
     records: Vec<ItemRecord>,

@@ -8,10 +8,8 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use bpush_sgraph::GraphDiff;
-use bpush_types::{BucketId, Cycle, Granularity, ItemId, TxnId};
+use bpush_types::{BpushError, BucketId, Cycle, Granularity, ItemId, TxnId};
 
 /// The invalidation report broadcast at the beginning of a cycle (§3.1):
 /// the items updated at the server during the covered window of previous
@@ -41,7 +39,7 @@ use bpush_types::{BucketId, Cycle, Granularity, ItemId, TxnId};
 /// // item 1 shares bucket 0 with updated item 3 -> conservatively stale
 /// assert!(coarse.invalidates(ItemId::new(1)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvalidationReport {
     cycle: Cycle,
     window: u32,
@@ -59,7 +57,8 @@ impl InvalidationReport {
     /// updates from the previous `window` cycles.
     ///
     /// # Panics
-    /// Panics if `window == 0` or `items_per_bucket == 0`.
+    /// Panics if `window == 0` or `items_per_bucket == 0`; use
+    /// [`InvalidationReport::try_new`] to handle those as errors.
     pub fn new(
         cycle: Cycle,
         window: u32,
@@ -67,8 +66,25 @@ impl InvalidationReport {
         granularity: Granularity,
         items_per_bucket: u32,
     ) -> Self {
+        Self::try_new(cycle, window, updated, granularity, items_per_bucket)
+            // lint: allow(panic) — documented panic; try_new is the fallible form
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`InvalidationReport::new`].
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] when `window == 0` or
+    /// `items_per_bucket == 0`.
+    pub fn try_new(
+        cycle: Cycle,
+        window: u32,
+        updated: impl IntoIterator<Item = ItemId>,
+        granularity: Granularity,
+        items_per_bucket: u32,
+    ) -> Result<Self, BpushError> {
         let prev = cycle.checked_sub(1).unwrap_or(Cycle::ZERO);
-        InvalidationReport::with_dated(
+        InvalidationReport::try_with_dated(
             cycle,
             window,
             updated.into_iter().map(|x| (x, prev)),
@@ -82,7 +98,8 @@ impl InvalidationReport {
     /// the window).
     ///
     /// # Panics
-    /// Panics if `window == 0` or `items_per_bucket == 0`.
+    /// Panics if `window == 0` or `items_per_bucket == 0`; use
+    /// [`InvalidationReport::try_with_dated`] to handle those as errors.
     pub fn with_dated(
         cycle: Cycle,
         window: u32,
@@ -90,8 +107,34 @@ impl InvalidationReport {
         granularity: Granularity,
         items_per_bucket: u32,
     ) -> Self {
-        assert!(window > 0, "report window must cover at least one cycle");
-        assert!(items_per_bucket > 0, "items_per_bucket must be positive");
+        Self::try_with_dated(cycle, window, updated, granularity, items_per_bucket)
+            // lint: allow(panic) — documented panic; try_with_dated is the fallible form
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`InvalidationReport::with_dated`], for untrusted
+    /// input such as the wire-decode path.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] when `window == 0` or
+    /// `items_per_bucket == 0`.
+    pub fn try_with_dated(
+        cycle: Cycle,
+        window: u32,
+        updated: impl IntoIterator<Item = (ItemId, Cycle)>,
+        granularity: Granularity,
+        items_per_bucket: u32,
+    ) -> Result<Self, BpushError> {
+        if window == 0 {
+            return Err(BpushError::invalid_config(
+                "report window must cover at least one cycle",
+            ));
+        }
+        if items_per_bucket == 0 {
+            return Err(BpushError::invalid_config(
+                "items_per_bucket must be positive",
+            ));
+        }
         let mut items: BTreeMap<ItemId, Cycle> = BTreeMap::new();
         for (x, c) in updated {
             let slot = items.entry(x).or_insert(c);
@@ -103,14 +146,14 @@ impl InvalidationReport {
             let slot = buckets.entry(b).or_insert(c);
             *slot = (*slot).max(c);
         }
-        InvalidationReport {
+        Ok(InvalidationReport {
             cycle,
             window,
             granularity,
             items_per_bucket,
             items,
             buckets,
-        }
+        })
     }
 
     /// An empty report for `cycle` (no updates).
@@ -227,7 +270,7 @@ impl InvalidationReport {
 /// assert_eq!(report.first_writer(ItemId::new(1)), Some(TxnId::new(c, 0)));
 /// assert_eq!(report.first_writer(ItemId::new(2)), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AugmentedReport {
     cycle: Cycle,
     first_writers: BTreeMap<ItemId, TxnId>,
@@ -281,7 +324,7 @@ impl AugmentedReport {
 }
 
 /// Everything broadcast ahead of the data segment of one bcast.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ControlInfo {
     cycle: Cycle,
     invalidation: InvalidationReport,
@@ -296,38 +339,55 @@ impl ControlInfo {
     /// Panics if any constituent report is stamped with a different cycle
     /// (the invalidation report is stamped with the cycle it *precedes*;
     /// the augmented report and diff with the cycle they *describe*, i.e.
-    /// the previous one).
+    /// the previous one). Use [`ControlInfo::try_new`] to handle the
+    /// mismatch as an error instead.
     pub fn new(
         cycle: Cycle,
         invalidation: InvalidationReport,
         augmented: Option<AugmentedReport>,
         graph_diff: Option<GraphDiff>,
     ) -> Self {
-        assert_eq!(
-            invalidation.cycle(),
-            cycle,
-            "invalidation report cycle mismatch"
-        );
+        // lint: allow(panic) — documented panic; try_new is the fallible form
+        Self::try_new(cycle, invalidation, augmented, graph_diff).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ControlInfo::new`], for untrusted input such
+    /// as the wire-decode path.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] if any constituent report
+    /// is stamped with a different cycle.
+    pub fn try_new(
+        cycle: Cycle,
+        invalidation: InvalidationReport,
+        augmented: Option<AugmentedReport>,
+        graph_diff: Option<GraphDiff>,
+    ) -> Result<Self, BpushError> {
+        if invalidation.cycle() != cycle {
+            return Err(BpushError::invalid_config(
+                "invalidation report cycle mismatch",
+            ));
+        }
         if let Some(aug) = &augmented {
-            assert_eq!(
-                aug.cycle().next(),
-                cycle,
-                "augmented report must describe the previous cycle"
-            );
+            if aug.cycle().next() != cycle {
+                return Err(BpushError::invalid_config(
+                    "augmented report must describe the previous cycle",
+                ));
+            }
         }
         if let Some(diff) = &graph_diff {
-            assert_eq!(
-                diff.cycle().next(),
-                cycle,
-                "graph diff must describe the previous cycle"
-            );
+            if diff.cycle().next() != cycle {
+                return Err(BpushError::invalid_config(
+                    "graph diff must describe the previous cycle",
+                ));
+            }
         }
-        ControlInfo {
+        Ok(ControlInfo {
             cycle,
             invalidation,
             augmented,
             graph_diff,
-        }
+        })
     }
 
     /// Control info carrying an empty invalidation report and nothing else.

@@ -6,9 +6,7 @@
 //! the server must rebuild the directory and broadcast it ahead of the
 //! data (§3.2, "Multiversion Broadcast Organization").
 
-use std::collections::HashMap;
-
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 use bpush_types::{Cycle, ItemId};
 
@@ -23,10 +21,10 @@ use bpush_types::{Cycle, ItemId};
 /// assert_eq!(dir.slot_of(ItemId::new(4)), Some(7));
 /// assert_eq!(dir.slot_of(ItemId::new(5)), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Directory {
     cycle: Cycle,
-    slots: HashMap<ItemId, u64>,
+    slots: BTreeMap<ItemId, u64>,
 }
 
 impl Directory {

@@ -14,7 +14,7 @@
 //!   "disks" spinning at different speeds, so hot items appear several
 //!   times per (major) cycle.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bpush_types::{Cycle, ItemId, ItemValue};
 
@@ -30,9 +30,9 @@ pub type OldVersions = (ItemId, Vec<ItemValue>);
 fn occurrence_map(
     records: &[ItemRecord],
     slot_of_index: impl Fn(usize) -> u64,
-) -> (HashMap<ItemId, ItemRecord>, HashMap<ItemId, Vec<u64>>) {
-    let mut map = HashMap::with_capacity(records.len());
-    let mut occ = HashMap::with_capacity(records.len());
+) -> (BTreeMap<ItemId, ItemRecord>, BTreeMap<ItemId, Vec<u64>>) {
+    let mut map = BTreeMap::new();
+    let mut occ = BTreeMap::new();
     for (idx, rec) in records.iter().enumerate() {
         map.insert(rec.item(), *rec);
         occ.insert(rec.item(), vec![slot_of_index(idx)]);
@@ -103,7 +103,7 @@ impl Flat {
             0,
             map,
             occ,
-            HashMap::new(),
+            BTreeMap::new(),
             None,
         )
     }
@@ -183,8 +183,8 @@ impl IndexedFlat {
         let chunk_items = (records.len() as u64).div_ceil(m);
 
         let mut index_slots = Vec::with_capacity(self.segments as usize);
-        let mut map = HashMap::with_capacity(records.len());
-        let mut occ = HashMap::with_capacity(records.len());
+        let mut map = BTreeMap::new();
+        let mut occ = BTreeMap::new();
         let mut slot = control_slots;
         for (chunk_idx, chunk) in records.chunks(chunk_items.max(1) as usize).enumerate() {
             let _ = chunk_idx;
@@ -205,7 +205,7 @@ impl IndexedFlat {
             0,
             map,
             occ,
-            HashMap::new(),
+            BTreeMap::new(),
             None,
         )
         .with_index_slots(index_slots)
@@ -265,8 +265,8 @@ impl MultiversionOverflow {
         let overflow_start = control_slots + data_slots;
 
         // Lay out the overflow area and attach pointers.
-        let mut old_map: HashMap<ItemId, Vec<(u64, ItemValue)>> = HashMap::new();
-        let mut index_of: HashMap<ItemId, usize> = records
+        let mut old_map: BTreeMap<ItemId, Vec<(u64, ItemValue)>> = BTreeMap::new();
+        let mut index_of: BTreeMap<ItemId, usize> = records
             .iter()
             .enumerate()
             .map(|(i, r)| (r.item(), i))
@@ -350,7 +350,7 @@ impl MultiversionClustered {
             records.windows(2).all(|w| w[0].item() < w[1].item()),
             "records must be sorted by item id"
         );
-        let old_by_item: HashMap<ItemId, &Vec<ItemValue>> =
+        let old_by_item: BTreeMap<ItemId, &Vec<ItemValue>> =
             old_versions.iter().map(|(x, vs)| (*x, vs)).collect();
         for vs in old_by_item.values() {
             assert!(
@@ -362,8 +362,8 @@ impl MultiversionClustered {
         // First pass: positions relative to the start of the data segment.
         let mut rel = 0u64;
         let mut dir_entries = Vec::with_capacity(records.len());
-        let mut rel_old: HashMap<ItemId, Vec<(u64, ItemValue)>> = HashMap::new();
-        let mut rel_occ: HashMap<ItemId, u64> = HashMap::new();
+        let mut rel_old: BTreeMap<ItemId, Vec<(u64, ItemValue)>> = BTreeMap::new();
+        let mut rel_occ: BTreeMap<ItemId, u64> = BTreeMap::new();
         for rec in &records {
             dir_entries.push((rec.item(), rel));
             rel_occ.insert(rec.item(), rel);
@@ -385,8 +385,8 @@ impl MultiversionClustered {
         let control_slots = control.slots(self.sizes.bucket, self.sizes.key, self.sizes.tid)
             + directory.slots_on_air(self.sizes.bucket, self.sizes.key, self.sizes.ptr);
 
-        let mut map = HashMap::with_capacity(records.len());
-        let mut occ = HashMap::with_capacity(records.len());
+        let mut map = BTreeMap::new();
+        let mut occ = BTreeMap::new();
         for rec in &records {
             map.insert(rec.item(), *rec);
             occ.insert(rec.item(), vec![control_slots + rel_occ[&rec.item()]]);
@@ -531,7 +531,7 @@ impl BroadcastDisks {
             });
         }
 
-        let mut occ: HashMap<ItemId, Vec<u64>> = HashMap::with_capacity(records.len());
+        let mut occ: BTreeMap<ItemId, Vec<u64>> = BTreeMap::new();
         let mut slot = control_slots;
         for minor in 0..l {
             for layout in &layouts {
@@ -549,7 +549,7 @@ impl BroadcastDisks {
             }
         }
         let data_slots = slot - control_slots;
-        let map: HashMap<ItemId, ItemRecord> = records.iter().map(|r| (r.item(), *r)).collect();
+        let map: BTreeMap<ItemId, ItemRecord> = records.iter().map(|r| (r.item(), *r)).collect();
         Bcast::from_parts(
             cycle,
             control,
@@ -558,7 +558,7 @@ impl BroadcastDisks {
             0,
             map,
             occ,
-            HashMap::new(),
+            BTreeMap::new(),
             None,
         )
     }

@@ -14,14 +14,12 @@
 //! * multiversion caching (§4.2): the invalidation-only report plus
 //!   per-item version numbers.
 
-use serde::{Deserialize, Serialize};
-
 /// Abstract on-air field sizes, in bit units.
 ///
 /// Defaults follow the paper's ratios: a key of `k` units, other
 /// attributes `d = 5k`, and a bucket holding exactly one full record
 /// (`b = k + d`), instantiated at `k = 32` bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SizeParams {
     /// Key size `k` in bits.
     pub key: u32,
@@ -67,7 +65,7 @@ pub fn bits_for(n: u64) -> u32 {
 /// let pct = m.percent_increase(m.invalidation_only_extra(50));
 /// assert!(pct < 2.0, "{pct}");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeModel {
     d_items: u32,
     params: SizeParams,

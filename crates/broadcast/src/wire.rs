@@ -76,6 +76,7 @@ impl BitWriter {
             if self.partial == 0 {
                 self.bytes.push(0);
             }
+            // lint: allow(panic) — a byte was pushed on the line above when partial == 0
             let last = self.bytes.last_mut().expect("just ensured");
             *last |= (bit as u8) << (7 - self.partial);
             self.partial = (self.partial + 1) % 8;
@@ -166,13 +167,7 @@ pub fn decode_invalidation(
         let update = Cycle::new(cycle.number().saturating_sub(age));
         entries.push((item, update));
     }
-    Ok(InvalidationReport::with_dated(
-        cycle,
-        window,
-        entries,
-        granularity,
-        items_per_bucket,
-    ))
+    InvalidationReport::try_with_dated(cycle, window, entries, granularity, items_per_bucket)
 }
 
 fn put_txn(w: &mut BitWriter, t: TxnId, now: Cycle, params: WireParams) {

@@ -1,5 +1,9 @@
 //! Property tests for broadcast organizations and the size model.
 
+// Integration tests are exempt from the panic-freedom policy
+// (mirrors `allow-unwrap-in-tests` in clippy.toml and the `#[cfg(test)]`
+// carve-out in `cargo xtask lint`).
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 use std::collections::HashMap;
 

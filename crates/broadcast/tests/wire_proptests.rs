@@ -2,6 +2,10 @@
 //! round-trips bit-exactly, and encoded lengths match the closed-form
 //! accounting.
 
+// Integration tests are exempt from the panic-freedom policy
+// (mirrors `allow-unwrap-in-tests` in clippy.toml and the `#[cfg(test)]`
+// carve-out in `cargo xtask lint`).
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use bpush_broadcast::wire::{

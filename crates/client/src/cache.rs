@@ -77,7 +77,7 @@ pub struct ClientCache {
     /// reported for cycle `u` means a new version current from `u + 1`.
     /// Items absent from the map are known unchanged since
     /// `knowledge_since`.
-    update_floor: std::collections::HashMap<ItemId, Cycle>,
+    update_floor: std::collections::BTreeMap<ItemId, Cycle>,
     stats: CacheStats,
 }
 
@@ -102,7 +102,7 @@ impl ClientCache {
             params,
             last_heard: None,
             knowledge_since: None,
-            update_floor: std::collections::HashMap::new(),
+            update_floor: std::collections::BTreeMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -191,6 +191,7 @@ impl ClientCache {
             for item in keys {
                 let bucket = BucketId::new(item.index() / self.params.items_per_bucket);
                 let update = report.bucket_update_cycle(bucket);
+                // lint: allow(panic) — key came from this same map moments ago
                 let entry = self.current.peek_mut(&item).expect("key just listed");
                 if !entry.coherent {
                     continue;
@@ -327,6 +328,7 @@ impl ClientCache {
                 .map(|(&k, _)| k)
                 .collect();
             for key in versions {
+                // lint: allow(panic) — key came from this same map moments ago
                 let e = *self.old.peek(&key).expect("key just listed");
                 let cand = ReadCandidate {
                     value: e.value,

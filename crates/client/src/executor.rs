@@ -68,7 +68,7 @@ struct ActiveQuery {
     items: Vec<ItemId>,
     next: usize,
     started: Slot,
-    cycles_read: std::collections::HashSet<Cycle>,
+    cycles_read: std::collections::BTreeSet<Cycle>,
     cache_reads: u32,
     broadcast_reads: u32,
     tuning_slots: u64,
@@ -175,7 +175,7 @@ impl QueryExecutor {
             items,
             next: 0,
             started: now,
-            cycles_read: std::collections::HashSet::new(),
+            cycles_read: std::collections::BTreeSet::new(),
             cache_reads: 0,
             broadcast_reads: 0,
             tuning_slots: 0,
@@ -254,12 +254,18 @@ impl QueryExecutor {
     /// the client misses the whole cycle.
     ///
     /// Returns the queries that finished during the cycle.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::Internal`] if the executor's own state
+    /// machine loses track of the active query — a bug, not a user
+    /// error; surfaced as a `Result` so long simulations fail with
+    /// context instead of a panic.
     pub fn run_cycle(
         &mut self,
         bcast: &Bcast,
         cycle_start: Slot,
         connected: bool,
-    ) -> Vec<QueryOutcome> {
+    ) -> Result<Vec<QueryOutcome>, BpushError> {
         let cycle_end = cycle_start.plus(bcast.total_slots());
         let mut out = Vec::new();
 
@@ -269,7 +275,7 @@ impl QueryExecutor {
                 cache.on_missed_cycle(bcast.cycle());
             }
             self.cursor = self.cursor.max(cycle_end);
-            return out;
+            return Ok(out);
         }
 
         // Hear the control segment, keep the cache coherent.
@@ -295,12 +301,16 @@ impl QueryExecutor {
                 let aq = self.start_query(bcast, now);
                 self.active = Some(aq);
             }
-            let aq = self.active.as_mut().expect("just ensured");
+            let Some(aq) = self.active.as_mut() else {
+                return Err(BpushError::internal("no active query after ensuring one"));
+            };
             let item = aq.items[aq.next];
 
             match self.protocol.read_directive(aq.id, item, bcast.cycle()) {
                 ReadDirective::Doom(reason) => {
-                    let aq = self.active.take().expect("active");
+                    let Some(aq) = self.active.take() else {
+                        return Err(BpushError::internal("active query vanished mid-doom"));
+                    };
                     let now = self.cursor;
                     out.push(self.finish(aq, Some(reason), now, bcast.cycle()));
                     // move on after a minimal regrouping pause
@@ -342,12 +352,8 @@ impl QueryExecutor {
                                     }
                                 }
                             }
-                            match Self::broadcast_candidate(
-                                bcast,
-                                item,
-                                constraint.state,
-                                in_cycle,
-                            ) {
+                            match Self::broadcast_candidate(bcast, item, constraint.state, in_cycle)
+                            {
                                 None => (None, None),
                                 Some((slot, mut cand)) => {
                                     // Without versions on air (plain and
@@ -391,7 +397,11 @@ impl QueryExecutor {
                     };
 
                     let Some(candidate) = candidate else {
-                        let aq = self.active.take().expect("active");
+                        let Some(aq) = self.active.take() else {
+                            return Err(BpushError::internal(
+                                "active query vanished on an unavailable version",
+                            ));
+                        };
                         let now = self.cursor;
                         out.push(self.finish(
                             aq,
@@ -416,7 +426,11 @@ impl QueryExecutor {
                         .apply_read(aq.id, item, &candidate, bcast.cycle())
                     {
                         ReadOutcome::Rejected(reason) => {
-                            let aq = self.active.take().expect("active");
+                            let Some(aq) = self.active.take() else {
+                                return Err(BpushError::internal(
+                                    "active query vanished on a rejected read",
+                                ));
+                            };
                             let now = self.cursor;
                             out.push(self.finish(aq, Some(reason), now, bcast.cycle()));
                             self.cursor = self.cursor.plus(1);
@@ -440,7 +454,11 @@ impl QueryExecutor {
                             aq.reads.push(ReadRecord::new(item, candidate.value));
                             aq.next += 1;
                             if aq.next == aq.items.len() {
-                                let aq = self.active.take().expect("active");
+                                let Some(aq) = self.active.take() else {
+                                    return Err(BpushError::internal(
+                                        "active query vanished on commit",
+                                    ));
+                                };
                                 let now = self.cursor;
                                 out.push(self.finish(aq, None, now, bcast.cycle()));
                                 self.cursor = self.cursor.plus(1);
@@ -454,7 +472,7 @@ impl QueryExecutor {
             }
         }
         self.cursor = self.cursor.max(cycle_end);
-        out
+        Ok(out)
     }
 }
 
@@ -520,7 +538,7 @@ mod tests {
         let mut start = Slot::ZERO;
         for _ in 0..cycles {
             let bcast = server.run_cycle();
-            outcomes.extend(exec.run_cycle(&bcast, start, true));
+            outcomes.extend(exec.run_cycle(&bcast, start, true).unwrap());
             start = start.plus(bcast.total_slots());
         }
         outcomes
@@ -553,7 +571,7 @@ mod tests {
             let mut start = Slot::ZERO;
             for _ in 0..60 {
                 let bcast = server.run_cycle();
-                outcomes.extend(exec.run_cycle(&bcast, start, true));
+                outcomes.extend(exec.run_cycle(&bcast, start, true).unwrap());
                 start = start.plus(bcast.total_slots());
             }
             let validator = bpush_core::validator::SerializabilityValidator::new(server.history());
@@ -636,7 +654,7 @@ mod tests {
             let mut start = Slot::ZERO;
             for _ in 0..100 {
                 let b = server.run_cycle();
-                outcomes.extend(exec.run_cycle(&b, start, true));
+                outcomes.extend(exec.run_cycle(&b, start, true).unwrap());
                 start = start.plus(b.total_slots());
             }
             let committed: Vec<_> = outcomes.iter().filter(|o| o.committed()).collect();
@@ -659,7 +677,7 @@ mod tests {
         for i in 0..30 {
             let b = server.run_cycle();
             let connected = i % 2 == 0; // miss every other cycle
-            outcomes.extend(exec.run_cycle(&b, start, connected));
+            outcomes.extend(exec.run_cycle(&b, start, connected).unwrap());
             start = start.plus(b.total_slots());
         }
         // 5-read queries at think-time 2 cannot finish within one cycle
@@ -688,7 +706,7 @@ mod tests {
         let mut start = Slot::ZERO;
         for _ in 0..50 {
             let b = server.run_cycle();
-            exec.run_cycle(&b, start, true);
+            exec.run_cycle(&b, start, true).unwrap();
             start = start.plus(b.total_slots());
             if exec.is_done() {
                 break;

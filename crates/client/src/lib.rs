@@ -33,7 +33,7 @@
 //! let mut finished = Vec::new();
 //! for _ in 0..40 {
 //!     let bcast = server.run_cycle();
-//!     finished.extend(client.run_cycle(&bcast, start, true));
+//!     finished.extend(client.run_cycle(&bcast, start, true)?);
 //!     start = start.plus(bcast.total_slots());
 //! }
 //! assert_eq!(finished.len(), 5);
@@ -41,7 +41,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 mod cache;
 mod executor;

@@ -2,8 +2,7 @@
 //! replacement policy is LRU").
 
 use std::borrow::Borrow;
-use std::collections::{BTreeMap, HashMap};
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// A bounded map with least-recently-used eviction.
 ///
@@ -25,11 +24,11 @@ use std::hash::Hash;
 pub struct LruMap<K, V> {
     capacity: usize,
     tick: u64,
-    entries: HashMap<K, (u64, V)>,
+    entries: BTreeMap<K, (u64, V)>,
     by_tick: BTreeMap<u64, K>,
 }
 
-impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+impl<K: Ord + Clone, V> LruMap<K, V> {
     /// Creates a map holding at most `capacity` entries. A capacity of
     /// zero makes every insert evict the inserted entry immediately
     /// (i.e. the map stays empty), which models a disabled cache.
@@ -37,7 +36,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         LruMap {
             capacity,
             tick: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             by_tick: BTreeMap::new(),
         }
     }
@@ -66,7 +65,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         let tick = self.next_tick();
         let (k, (old_tick, _)) = self.entries.get_key_value(key)?;
@@ -74,6 +73,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         let old = *old_tick;
         self.by_tick.remove(&old);
         self.by_tick.insert(tick, k.clone());
+        // lint: allow(panic) — caller just found the key in entries; maps move in lockstep
         let entry = self.entries.get_mut(key).expect("just found");
         entry.0 = tick;
         Some(&entry.1)
@@ -83,7 +83,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.get(key)?;
         self.entries.get_mut(key).map(|(_, v)| v)
@@ -93,7 +93,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn peek<Q>(&self, key: &Q) -> Option<&V>
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.entries.get(key).map(|(_, v)| v)
     }
@@ -102,7 +102,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn peek_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.entries.get_mut(key).map(|(_, v)| v)
     }
@@ -111,7 +111,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn contains<Q>(&self, key: &Q) -> bool
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.entries.contains_key(key)
     }
@@ -134,8 +134,11 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
                 .by_tick
                 .iter()
                 .next()
+                // lint: allow(panic) — guarded by the overflow check above
                 .expect("overflow implies nonempty");
+            // lint: allow(panic) — oldest was just read out of by_tick
             let victim = self.by_tick.remove(&oldest).expect("just seen");
+            // lint: allow(panic) — entries and by_tick are kept in lockstep by every mutation
             let (_, v) = self.entries.remove(&victim).expect("indexed");
             return Some((victim, v));
         }
@@ -146,7 +149,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         let (tick, v) = self.entries.remove(key)?;
         self.by_tick.remove(&tick);

@@ -145,6 +145,7 @@ impl BroadcastSession {
     /// # Panics
     /// Panics if no bcast has been heard yet ([`BroadcastSession::on_bcast`]).
     pub fn begin(&mut self) -> TxnHandle {
+        // lint: allow(panic) — documented panic: callers must hear a bcast first
         let now = self.now.expect("hear a bcast before starting transactions");
         let id = self.next_id;
         self.next_id = id.next();
@@ -160,6 +161,7 @@ impl BroadcastSession {
         self.active
             .iter()
             .position(|t| t.id == handle.0)
+            // lint: allow(panic) — documented panic: stale handles are a caller bug
             .expect("unknown or finished transaction handle")
     }
 

@@ -9,9 +9,7 @@
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, QueryId};
 
-use crate::protocol::{
-    CacheMode, ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome,
-};
+use crate::protocol::{CacheMode, ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome};
 
 /// Operation counters accumulated by [`Instrumented`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -1,7 +1,7 @@
 //! The invalidation-only method (§3.1) and its versioned-cache extension
 //! (§4.1, Theorem 4).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, QueryId};
@@ -13,7 +13,7 @@ use crate::protocol::{
 
 #[derive(Debug)]
 struct QState {
-    readset: HashSet<ItemId>,
+    readset: BTreeSet<ItemId>,
     /// Latest database state at which the whole readset is known current.
     verified_state: Cycle,
     /// Versioned-cache mode: the pinned snapshot once an item was
@@ -48,7 +48,7 @@ pub struct InvalidationOnly {
     /// clamps validity to what heard reports prove). `false` gives the
     /// letter-of-the-paper, cache-only rule.
     broadcast_fallback: bool,
-    queries: HashMap<QueryId, QState>,
+    queries: BTreeMap<QueryId, QState>,
     last_heard: Option<Cycle>,
 }
 
@@ -58,7 +58,7 @@ impl InvalidationOnly {
         InvalidationOnly {
             versioned_cache: false,
             broadcast_fallback: true,
-            queries: HashMap::new(),
+            queries: BTreeMap::new(),
             last_heard: None,
         }
     }
@@ -172,7 +172,7 @@ impl ReadOnlyProtocol for InvalidationOnly {
         let prev = self.queries.insert(
             q,
             QState {
-                readset: HashSet::new(),
+                readset: BTreeSet::new(),
                 verified_state: now,
                 pinned: None,
                 doomed: None,
@@ -205,6 +205,7 @@ impl ReadOnlyProtocol for InvalidationOnly {
         candidate: &ReadCandidate,
         now: Cycle,
     ) -> ReadOutcome {
+        // lint: allow(panic) — protocol contract: reads only arrive for begun queries
         let qs = self.queries.get_mut(&q).expect("unknown query");
         if let Some(reason) = qs.doomed {
             return ReadOutcome::Rejected(reason);

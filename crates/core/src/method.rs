@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use bpush_server::ServerOptions;
 use bpush_types::config::MultiversionLayout;
 
@@ -15,7 +13,7 @@ use crate::sgt::{Sgt, SgtConfig};
 
 /// The processing-method configurations the paper's evaluation compares
 /// (the curves of Figures 5, 6 and 8 and the columns of Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum Method {
     /// §3.1 without a client cache.

@@ -1,6 +1,6 @@
 //! The multiversion broadcast method (§3.2).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, QueryId};
@@ -15,7 +15,7 @@ struct MvState {
     /// `c_0`: the cycle of the query's first read; all reads target the
     /// database state broadcast at `c_0` (Theorem 2).
     c0: Option<Cycle>,
-    readset: HashSet<ItemId>,
+    readset: BTreeSet<ItemId>,
 }
 
 /// The multiversion broadcast method (§3.2).
@@ -34,7 +34,7 @@ struct MvState {
 /// a transaction of span `s` can miss up to `V − s` cycles (§5.2.2).
 #[derive(Debug, Default)]
 pub struct MultiversionBroadcast {
-    queries: HashMap<QueryId, MvState>,
+    queries: BTreeMap<QueryId, MvState>,
     cached: bool,
 }
 
@@ -49,7 +49,7 @@ impl MultiversionBroadcast {
     /// (the "combined with caching" configuration of §4.1).
     pub fn with_cache() -> Self {
         MultiversionBroadcast {
-            queries: HashMap::new(),
+            queries: BTreeMap::new(),
             cached: true,
         }
     }
@@ -93,7 +93,7 @@ impl ReadOnlyProtocol for MultiversionBroadcast {
             q,
             MvState {
                 c0: None,
-                readset: HashSet::new(),
+                readset: BTreeSet::new(),
             },
         );
         assert!(prev.is_none(), "query ids must not be reused");
@@ -114,6 +114,7 @@ impl ReadOnlyProtocol for MultiversionBroadcast {
         candidate: &ReadCandidate,
         now: Cycle,
     ) -> ReadOutcome {
+        // lint: allow(panic) — protocol contract: reads only arrive for begun queries
         let qs = self.queries.get_mut(&q).expect("unknown query");
         let c0 = *qs.c0.get_or_insert(now);
         if !candidate.current_at(c0) {

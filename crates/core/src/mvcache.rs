@@ -1,6 +1,6 @@
 //! The multiversion caching method (§4.2, Theorem 5).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, QueryId};
@@ -12,7 +12,7 @@ use crate::protocol::{
 
 #[derive(Debug)]
 struct McState {
-    readset: HashSet<ItemId>,
+    readset: BTreeSet<ItemId>,
     verified_state: Cycle,
     /// The pinned snapshot `c_u − 1` once an item the query read was
     /// updated for the first time.
@@ -40,7 +40,7 @@ struct McState {
 #[derive(Debug)]
 pub struct MultiversionCaching {
     broadcast_fallback: bool,
-    queries: HashMap<QueryId, McState>,
+    queries: BTreeMap<QueryId, McState>,
     last_heard: Option<Cycle>,
 }
 
@@ -50,7 +50,7 @@ impl MultiversionCaching {
     pub fn new() -> Self {
         MultiversionCaching {
             broadcast_fallback: true,
-            queries: HashMap::new(),
+            queries: BTreeMap::new(),
             last_heard: None,
         }
     }
@@ -122,7 +122,7 @@ impl ReadOnlyProtocol for MultiversionCaching {
         let prev = self.queries.insert(
             q,
             McState {
-                readset: HashSet::new(),
+                readset: BTreeSet::new(),
                 verified_state: now,
                 pinned: None,
                 doomed: None,
@@ -155,6 +155,7 @@ impl ReadOnlyProtocol for MultiversionCaching {
         candidate: &ReadCandidate,
         now: Cycle,
     ) -> ReadOutcome {
+        // lint: allow(panic) — protocol contract: reads only arrive for begun queries
         let qs = self.queries.get_mut(&q).expect("unknown query");
         if let Some(reason) = qs.doomed {
             return ReadOutcome::Rejected(reason);

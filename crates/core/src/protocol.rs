@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, ItemValue, QueryId, TxnId};
 
 /// Why a query was (or must be) aborted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum AbortReason {
     /// An item the query had read was updated (invalidation-only method).
@@ -38,7 +36,7 @@ impl std::error::Error for AbortReason {}
 
 /// Where a read candidate came from; used for latency accounting and for
 /// `cache_only` constraints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Source {
     /// A coherent (current) cache entry.
     CacheCurrent,
@@ -133,7 +131,7 @@ pub enum ReadOutcome {
 }
 
 /// What the client cache must provide for a method to work (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheMode {
     /// No cache.
     None,

@@ -1,6 +1,6 @@
 //! Serialization-graph testing at the client (§3.3).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bpush_broadcast::ControlInfo;
 use bpush_sgraph::{Node, SerializationGraph};
@@ -26,7 +26,7 @@ pub struct SgtConfig {
 
 #[derive(Debug)]
 struct SgtState {
-    readset: HashSet<ItemId>,
+    readset: BTreeSet<ItemId>,
     /// `c_o`: commit cycle of the first transaction that overwrote an
     /// item this query read; pruning keeps subgraphs from here on.
     c_o: Option<Cycle>,
@@ -55,7 +55,7 @@ struct SgtState {
 pub struct Sgt {
     config: SgtConfig,
     graph: SerializationGraph,
-    queries: HashMap<QueryId, SgtState>,
+    queries: BTreeMap<QueryId, SgtState>,
     last_heard: Option<Cycle>,
 }
 
@@ -65,7 +65,7 @@ impl Sgt {
         Sgt {
             config,
             graph: SerializationGraph::new(),
-            queries: HashMap::new(),
+            queries: BTreeMap::new(),
             last_heard: None,
         }
     }
@@ -196,7 +196,7 @@ impl ReadOnlyProtocol for Sgt {
         let prev = self.queries.insert(
             q,
             SgtState {
-                readset: HashSet::new(),
+                readset: BTreeSet::new(),
                 c_o: None,
                 version_bound: None,
                 doomed: None,
@@ -223,6 +223,7 @@ impl ReadOnlyProtocol for Sgt {
         candidate: &ReadCandidate,
         _now: Cycle,
     ) -> ReadOutcome {
+        // lint: allow(panic) — protocol contract: reads only arrive for begun queries
         let qs = self.queries.get_mut(&q).expect("unknown query");
         if let Some(reason) = qs.doomed {
             return ReadOutcome::Rejected(reason);

@@ -102,6 +102,7 @@ impl<'a> SerializabilityValidator<'a> {
         for r in reads {
             after = after.max(r.value.writer());
             if let Some(over) = self.history.next_overwrite(r.item, r.value) {
+                // lint: allow(panic) — history stores committed writes, which always carry a writer
                 let over = over.writer().expect("overwrites are committed writes");
                 before = Some(match before {
                     Some(b) => b.min(over),
@@ -145,12 +146,13 @@ impl<'a> SerializabilityValidator<'a> {
     ) -> Result<(), ConsistencyViolation> {
         use bpush_sgraph::Node;
         // in-edges to the query: writers of values read
-        let writers: std::collections::HashSet<TxnId> =
+        let writers: std::collections::BTreeSet<TxnId> =
             reads.iter().filter_map(|r| r.value.writer()).collect();
         // out-edges from the query: the first overwrite of each value read
         let overwriters: Vec<TxnId> = reads
             .iter()
             .filter_map(|r| self.history.next_overwrite(r.item, r.value))
+            // lint: allow(panic) — history stores committed writes, which always carry a writer
             .map(|v| v.writer().expect("overwrites are committed writes"))
             .collect();
         for &o in &overwriters {
@@ -162,7 +164,7 @@ impl<'a> SerializabilityValidator<'a> {
             }
             // DFS from the overwriter through the server conflict graph
             let mut stack = vec![Node::Txn(o)];
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             while let Some(n) = stack.pop() {
                 if !seen.insert(n) {
                     continue;

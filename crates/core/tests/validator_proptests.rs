@@ -1,6 +1,10 @@
 //! Property tests for the serializability validator, checked against a
 //! brute-force oracle over random serial histories.
 
+// Integration tests are exempt from the panic-freedom policy
+// (mirrors `allow-unwrap-in-tests` in clippy.toml and the `#[cfg(test)]`
+// carve-out in `cargo xtask lint`).
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -16,7 +16,7 @@
 //! * precedence (anti-dependency): `R' → T` for every transaction `R'`
 //!   that read `x` since its last write, when `T` writes `x`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use bpush_sgraph::GraphDiff;
 use bpush_types::{Cycle, ItemId, TxnId};
@@ -27,17 +27,17 @@ use crate::txn::ServerTxn;
 /// stream.
 #[derive(Debug, Clone)]
 pub struct ConflictTracker {
-    last_writer: HashMap<ItemId, TxnId>,
-    readers_since_write: HashMap<ItemId, HashSet<TxnId>>,
+    last_writer: BTreeMap<ItemId, TxnId>,
+    readers_since_write: BTreeMap<ItemId, BTreeSet<TxnId>>,
     /// Readers older than this many cycles are pruned at cycle end; any
     /// precedence edge they could still induce would be pruned at the
     /// client anyway (Lemma 1 keeps only the last `S` subgraphs).
     reader_horizon: u32,
     // per-cycle accumulation
     cycle_edges: Vec<(TxnId, TxnId)>,
-    cycle_edge_set: HashSet<(TxnId, TxnId)>,
+    cycle_edge_set: BTreeSet<(TxnId, TxnId)>,
     cycle_committed: Vec<TxnId>,
-    cycle_first_writers: HashMap<ItemId, TxnId>,
+    cycle_first_writers: BTreeMap<ItemId, TxnId>,
 }
 
 impl ConflictTracker {
@@ -50,13 +50,13 @@ impl ConflictTracker {
     pub fn new(reader_horizon: u32) -> Self {
         assert!(reader_horizon > 0, "reader horizon must be positive");
         ConflictTracker {
-            last_writer: HashMap::new(),
-            readers_since_write: HashMap::new(),
+            last_writer: BTreeMap::new(),
+            readers_since_write: BTreeMap::new(),
             reader_horizon,
             cycle_edges: Vec::new(),
-            cycle_edge_set: HashSet::new(),
+            cycle_edge_set: BTreeSet::new(),
             cycle_committed: Vec::new(),
-            cycle_first_writers: HashMap::new(),
+            cycle_first_writers: BTreeMap::new(),
         }
     }
 
@@ -96,7 +96,7 @@ impl ConflictTracker {
                 self.push_edge(w, id);
             }
             self.last_writer.insert(x, id);
-            self.readers_since_write.insert(x, HashSet::from([id]));
+            self.readers_since_write.insert(x, BTreeSet::from([id]));
             self.cycle_first_writers.entry(x).or_insert(id);
         }
     }

@@ -10,7 +10,7 @@
 //! question that check needs: *which write superseded this value, and
 //! when?*
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bpush_types::{ItemId, ItemValue};
 
@@ -31,7 +31,7 @@ use bpush_types::{ItemId, ItemValue};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WriteHistory {
-    writes: HashMap<ItemId, Vec<ItemValue>>,
+    writes: BTreeMap<ItemId, Vec<ItemValue>>,
 }
 
 impl WriteHistory {
@@ -74,6 +74,7 @@ impl WriteHistory {
                 let idx = log
                     .iter()
                     .position(|v| v.writer() == Some(w))
+                    // lint: allow(panic) — the surrounding branch proved the writer is in this log
                     .expect("read value must have been committed");
                 log.get(idx + 1).copied()
             }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use bpush_types::{ItemId, TxnId};
 
 /// One committed server update transaction: its identifier, the items it
@@ -25,7 +23,7 @@ use bpush_types::{ItemId, TxnId};
 /// assert!(t.writes_item(ItemId::new(1)));
 /// assert_eq!(t.ops(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerTxn {
     id: TxnId,
     reads: Vec<ItemId>,

@@ -1,7 +1,5 @@
 //! The per-cycle serialization-graph difference the server broadcasts.
 
-use serde::{Deserialize, Serialize};
-
 use bpush_types::{Cycle, TxnId};
 
 /// The difference between consecutive server serialization graphs (§3.3):
@@ -24,7 +22,7 @@ use bpush_types::{Cycle, TxnId};
 /// assert_eq!(diff.committed().len(), 2);
 /// assert_eq!(diff.edges(), &[(t0, t1)]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphDiff {
     cycle: Cycle,
     committed: Vec<TxnId>,

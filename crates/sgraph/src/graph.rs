@@ -1,6 +1,6 @@
 //! The serialization graph proper.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use bpush_types::{Cycle, QueryId, TxnId};
@@ -25,7 +25,7 @@ use crate::node::Node;
 pub struct SerializationGraph {
     /// Outgoing adjacency. Presence in the map also records node
     /// membership (nodes may have no edges).
-    out_edges: HashMap<Node, Vec<Node>>,
+    out_edges: BTreeMap<Node, Vec<Node>>,
     /// Commit-cycle index of transaction nodes, for pruning.
     by_cycle: BTreeMap<Cycle, Vec<TxnId>>,
     /// Total number of directed edges.
@@ -77,6 +77,7 @@ impl SerializationGraph {
         let succ = self
             .out_edges
             .get_mut(&from)
+            // lint: allow(panic) — the endpoint entry was inserted earlier in this method
             .expect("endpoint inserted above");
         if succ.contains(&to) {
             return false;
@@ -99,7 +100,7 @@ impl SerializationGraph {
             return false;
         }
         let mut stack: Vec<Node> = self.successors(from).to_vec();
-        let mut visited: HashSet<Node> = HashSet::new();
+        let mut visited: BTreeSet<Node> = BTreeSet::new();
         while let Some(n) = stack.pop() {
             if n == to {
                 return true;
@@ -141,7 +142,7 @@ impl SerializationGraph {
             Gray,
             Black,
         }
-        let mut color: HashMap<Node, Color> =
+        let mut color: BTreeMap<Node, Color> =
             self.out_edges.keys().map(|&n| (n, Color::White)).collect();
         for &start in self.out_edges.keys() {
             if color[&start] != Color::White {
@@ -217,7 +218,7 @@ impl SerializationGraph {
         if stale.is_empty() {
             return;
         }
-        let stale_nodes: HashSet<Node> = stale.iter().map(|&t| Node::Txn(t)).collect();
+        let stale_nodes: BTreeSet<Node> = stale.iter().map(|&t| Node::Txn(t)).collect();
         for node in &stale_nodes {
             if let Some(succ) = self.out_edges.remove(node) {
                 self.edge_count -= succ.len();
@@ -263,7 +264,7 @@ impl SerializationGraph {
             lowlink: usize,
             on_stack: bool,
         }
-        let mut info: HashMap<Node, Info> = HashMap::new();
+        let mut info: BTreeMap<Node, Info> = BTreeMap::new();
         let mut stack: Vec<Node> = Vec::new();
         let mut next_index = 0usize;
         let mut out = Vec::new();
@@ -305,6 +306,7 @@ impl SerializationGraph {
                         }
                         Some(wi) if wi.on_stack => {
                             let w_index = wi.index;
+                            // lint: allow(panic) — Tarjan invariant: visited nodes always have an info entry
                             let vi = info.get_mut(&v).expect("visited");
                             vi.lowlink = vi.lowlink.min(w_index);
                         }
@@ -312,14 +314,17 @@ impl SerializationGraph {
                     }
                 } else {
                     call.pop();
+                    // lint: allow(panic) — Tarjan invariant: visited nodes always have an info entry
                     let vi = *info.get(&v).expect("visited");
                     if let Some(&(parent, _)) = call.last() {
+                        // lint: allow(panic) — Tarjan invariant: visited nodes always have an info entry
                         let pi = info.get_mut(&parent).expect("visited");
                         pi.lowlink = pi.lowlink.min(vi.lowlink);
                     }
                     if vi.lowlink == vi.index {
                         let mut component = Vec::new();
                         while let Some(w) = stack.pop() {
+                            // lint: allow(panic) — Tarjan invariant: visited nodes always have an info entry
                             info.get_mut(&w).expect("on stack").on_stack = false;
                             component.push(w);
                             if w == v {

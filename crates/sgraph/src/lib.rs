@@ -39,7 +39,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 mod diff;
 mod graph;

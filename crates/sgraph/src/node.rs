@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use bpush_types::{QueryId, TxnId};
 
 /// A node of the serialization graph: either a committed server (update)
@@ -24,7 +22,7 @@ use bpush_types::{QueryId, TxnId};
 /// assert_eq!(format!("{t}"), "T2.1");
 /// assert_eq!(format!("{q}"), "Q4");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Node {
     /// A committed server update transaction.
     Txn(TxnId),

@@ -45,9 +45,9 @@ pub fn run_jobs(jobs: Vec<Job>) -> Result<Vec<MethodMetrics>, BpushError> {
         .unwrap_or(4)
         .min(n.max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = {
                     let mut guard = next.lock();
                     if *guard >= n {
@@ -63,13 +63,18 @@ pub fn run_jobs(jobs: Vec<Job>) -> Result<Vec<MethodMetrics>, BpushError> {
                 results.lock()[idx] = Some(outcome);
             });
         }
-    })
-    .expect("simulation workers must not panic");
+    });
 
     results
         .into_inner()
         .into_iter()
-        .map(|slot| slot.expect("every job was executed"))
+        .map(|slot| {
+            // std::thread::scope joins every worker before returning (and
+            // propagates their panics), so each slot has been filled
+            slot.unwrap_or(Err(BpushError::invalid_config(
+                "internal: a simulation job was never executed",
+            )))
+        })
         .collect()
 }
 
@@ -184,7 +189,12 @@ mod tests {
 
     #[test]
     fn replication_pools_queries() {
-        let job = Job::new(Method::InvalidationOnly, tiny_config(3));
+        // zero warmup so every replication reports all of its queries:
+        // warmup discards per-seed-varying prefixes, which would break
+        // the exact pooling arithmetic below
+        let mut cfg = tiny_config(3);
+        cfg.warmup_cycles = 0;
+        let job = Job::new(Method::InvalidationOnly, cfg);
         let single = run_jobs(vec![job.clone()]).unwrap();
         let tripled = run_replicated(vec![job], 3).unwrap();
         assert_eq!(tripled.len(), 1);

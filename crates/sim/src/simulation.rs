@@ -258,7 +258,7 @@ impl Simulation {
             let measured = bcast.cycle() >= warmup;
             for client in &mut self.clients {
                 let connected = !client.roll_disconnect();
-                for outcome in client.run_cycle(&bcast, start, connected) {
+                for outcome in client.run_cycle(&bcast, start, connected)? {
                     if measured {
                         observer(&outcome);
                         outcomes.push(outcome);

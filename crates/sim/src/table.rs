@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A result table of one experiment (one figure panel or one table of the
 /// paper).
 ///
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(text.contains("demo"));
 /// assert!(t.to_csv().starts_with("x,y\n1,2"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Stable experiment id (`fig5_left`, `table1`, ...).
     pub id: String,

@@ -6,8 +6,6 @@
 //! and friends enforce cross-field invariants before a simulation is
 //! built.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::BpushError;
 
 /// Granularity at which invalidation and versioning information is kept
@@ -17,9 +15,7 @@ use crate::error::BpushError;
 /// items (the paper's default); at [`Granularity::Bucket`] it names whole
 /// buckets, trading a smaller report for conservative aborts — a bucket
 /// counts as updated when *any* of its items was updated.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum Granularity {
     /// Per-item control information (paper default).
     #[default]
@@ -30,9 +26,7 @@ pub enum Granularity {
 
 /// Order in which a query issues its reads (§2.2 "transaction
 /// optimization").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum ReadOrder {
     /// Reads issued in the order the program generated them.
     #[default]
@@ -42,9 +36,7 @@ pub enum ReadOrder {
 }
 
 /// On-air organization of old versions for multiversion broadcast (§3.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum MultiversionLayout {
     /// All versions of an item broadcast successively (Figure 2a); item
     /// positions shift, so an index must be rebuilt and read each cycle.
@@ -57,7 +49,7 @@ pub enum MultiversionLayout {
 }
 
 /// Server-side parameters (left column of Figure 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// `D`, the number of items broadcast each cycle. Default 1000.
     pub broadcast_size: u32,
@@ -187,7 +179,7 @@ impl ServerConfig {
 }
 
 /// Client cache parameters (§4, §5.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Cache capacity in pages (a page caches one bucket). Zero disables
     /// caching. Default 125.
@@ -252,7 +244,7 @@ impl CacheConfig {
 }
 
 /// Client-side parameters (right column of Figure 4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientConfig {
     /// Range `1..=ReadRange` of items queries read. Default 500.
     pub read_range: u32,
@@ -326,7 +318,7 @@ impl ClientConfig {
 }
 
 /// Top-level simulation parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Server parameters.
     pub server: ServerConfig,
@@ -515,8 +507,8 @@ mod tests {
     }
 
     #[test]
-    fn configs_are_serde_and_send_sync() {
-        fn assert_traits<T: serde::Serialize + serde::de::DeserializeOwned + Send + Sync>() {}
+    fn configs_are_clone_send_sync() {
+        fn assert_traits<T: Clone + Send + Sync + 'static>() {}
         assert_traits::<SimConfig>();
         assert_traits::<ServerConfig>();
         assert_traits::<ClientConfig>();

@@ -24,12 +24,21 @@ pub enum BpushError {
     /// A protocol was asked to operate on state it has never seen (e.g.
     /// reading an item outside the broadcast set).
     UnknownItem(u32),
+    /// An internal invariant did not hold — always a bug in `bpush`
+    /// itself, never a user error. Surfaced instead of panicking so that
+    /// long simulations fail with context rather than a backtrace.
+    Internal(&'static str),
 }
 
 impl BpushError {
     /// Convenience constructor for [`BpushError::InvalidConfig`].
     pub fn invalid_config(msg: impl Into<String>) -> Self {
         BpushError::InvalidConfig(msg.into())
+    }
+
+    /// Convenience constructor for [`BpushError::Internal`].
+    pub fn internal(msg: &'static str) -> Self {
+        BpushError::Internal(msg)
     }
 }
 
@@ -41,6 +50,7 @@ impl fmt::Display for BpushError {
                 write!(f, "simulation exceeded its budget of {max_cycles} cycles")
             }
             BpushError::UnknownItem(raw) => write!(f, "item #{raw} is not in the broadcast set"),
+            BpushError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -57,6 +67,7 @@ mod tests {
             BpushError::invalid_config("x"),
             BpushError::CycleBudgetExhausted { max_cycles: 5 },
             BpushError::UnknownItem(7),
+            BpushError::internal("x"),
         ] {
             let msg = e.to_string();
             assert!(!msg.is_empty());

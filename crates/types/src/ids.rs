@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a data item (a database record, addressed by its search
 /// key as in §2.1 of the paper).
 ///
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(x.index(), 3);
 /// assert_eq!(format!("{x}"), "item#3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ItemId(u32);
 
 impl ItemId {
@@ -54,7 +52,7 @@ impl From<u32> for ItemId {
 
 /// Identifier of a bucket, the smallest logical unit of the broadcast
 /// (the disk-block analog of §2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BucketId(u32);
 
 impl BucketId {
@@ -101,9 +99,7 @@ impl From<u32> for BucketId {
 /// assert_eq!(c.distance_from(Cycle::new(2)), 3);
 /// assert_eq!(Cycle::new(2).checked_sub(5), None);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(u64);
 
 impl Cycle {
@@ -135,6 +131,7 @@ impl Cycle {
         Cycle(
             self.0
                 .checked_sub(1)
+                // lint: allow(panic) — documented panic: no predecessor of cycle zero
                 .expect("cycle zero has no predecessor"),
         )
     }
@@ -146,6 +143,7 @@ impl Cycle {
     pub fn distance_from(self, earlier: Cycle) -> u64 {
         self.0
             .checked_sub(earlier.0)
+            // lint: allow(panic) — documented panic: negative distance is a caller bug
             .expect("`earlier` must not be after `self`")
     }
 
@@ -189,7 +187,7 @@ impl From<u64> for Cycle {
 /// let c = TxnId::new(Cycle::new(4), 0);
 /// assert!(a < b && b < c);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId {
     cycle: Cycle,
     seq: u32,
@@ -220,7 +218,7 @@ impl fmt::Display for TxnId {
 }
 
 /// Identifier of a simulated client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(u32);
 
 impl ClientId {
@@ -243,9 +241,7 @@ impl fmt::Display for ClientId {
 
 /// Identifier of a client read-only transaction (query), unique within a
 /// client.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct QueryId(u64);
 
 impl QueryId {
@@ -285,9 +281,7 @@ impl fmt::Display for QueryId {
 /// assert_eq!(s.plus(5).value(), 15);
 /// assert_eq!(s.cycles_at(4), 2.5);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Slot(u64);
 
 impl Slot {
@@ -317,6 +311,7 @@ impl Slot {
     pub fn since(self, earlier: Slot) -> u64 {
         self.0
             .checked_sub(earlier.0)
+            // lint: allow(panic) — documented panic: negative distance is a caller bug
             .expect("`earlier` must not be after `self`")
     }
 

@@ -35,7 +35,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod config;
 pub mod error;

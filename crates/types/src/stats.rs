@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Running summary of a stream of observations (Welford's algorithm).
 ///
 /// # Example
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min(), Some(1.0));
 /// assert_eq!(s.max(), Some(4.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -149,7 +147,7 @@ impl FromIterator<f64> for Summary {
 /// assert_eq!(r.total(), 3);
 /// assert!((r.rate() - 1.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub struct Ratio {
     hits: u64,
     total: u64,
@@ -226,7 +224,7 @@ impl fmt::Display for Ratio {
 /// assert!((45.0..=55.0).contains(&p50), "{p50}");
 /// assert!(h.quantile(1.0) >= 90.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Histogram {
     /// bucket index -> count
     buckets: std::collections::BTreeMap<u32, u64>,
@@ -295,6 +293,7 @@ impl Histogram {
                 return Self::bucket_lower(idx);
             }
         }
+        // lint: allow(panic) — count > 0 was checked at the top, so buckets is nonempty
         Self::bucket_lower(*self.buckets.keys().last().expect("nonempty"))
     }
 

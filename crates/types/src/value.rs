@@ -12,8 +12,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{Cycle, ItemId, TxnId};
 
 /// One committed value of a data item.
@@ -34,7 +32,7 @@ use crate::ids::{Cycle, ItemId, TxnId};
 /// let init = ItemValue::initial();
 /// assert_eq!(init.version(), Cycle::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ItemValue {
     writer: Option<TxnId>,
     since: Cycle,
@@ -106,7 +104,7 @@ impl fmt::Display for ItemValue {
 /// assert_eq!(vv.item(), ItemId::new(9));
 /// assert_eq!(vv.value().version(), Cycle::new(2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VersionedValue {
     item: ItemId,
     value: ItemValue,

@@ -61,6 +61,7 @@ impl ZipfSampler {
             acc += 1.0 / ((i + 1) as f64).powf(theta);
             cdf.push(acc);
         }
+        // lint: allow(panic) — n == 0 was rejected above
         let total = *cdf.last().expect("n > 0");
         for p in &mut cdf {
             *p /= total;

@@ -1,0 +1,869 @@
+//! bpush's project-specific static-analysis pass.
+//!
+//! Run it as `cargo run -p xtask -- lint` (or `cargo xtask lint` via the
+//! repo's cargo alias). The pass walks every workspace crate under
+//! `crates/` and enforces a small catalog of invariants that generic
+//! tooling cannot express:
+//!
+//! | code | rule |
+//! |------|------|
+//! | `L1/panic` | no `unwrap`/`expect`/`panic!` family in non-test first-party code |
+//! | `L2/determinism` | the protocol crates (`sgraph`, `core`, `client`, `server`, `broadcast`) must stay bit-for-bit deterministic: no ambient RNG, no wall clocks, no hash-ordered collections |
+//! | `L3/crate-attrs` | every crate root carries `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` |
+//! | `L4/conformance` | every `ReadOnlyProtocol` impl is exercised by the `bpush-core` conformance battery from some `tests/` file |
+//! | `L5/locks` | `parking_lot` is the workspace lock standard; `std::sync` `Mutex`/`RwLock` are rejected |
+//! | `L0/annotation` | the escape-hatch annotation itself must be well-formed |
+//!
+//! # Escape hatch
+//!
+//! A violation can be waived in place with a line comment of the form
+//! `lint: allow(panic) — reason the construct is sound here`, either at
+//! the end of the offending line or alone on the line directly above it.
+//! The rule name goes in the parentheses (`panic`, `determinism`,
+//! `crate-attrs`, `conformance`, or `locks`; comma-separated for more
+//! than one) and the trailing reason is mandatory — an annotation with
+//! no reason, or naming an unknown rule, is itself reported as
+//! `L0/annotation`.
+//!
+//! # How matching works
+//!
+//! Sources are scanned line by line after a light lexical pass that
+//! strips comments and blanks out the *contents* of string literals
+//! (delimiters are kept). Rules therefore never fire on prose, doc-test
+//! examples, or needles quoted inside strings — which is also what lets
+//! this crate lint itself. `#[cfg(test)]` regions are excluded by brace
+//! counting on the stripped text.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Identifier of one rule in the lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `L0/annotation`: an escape-hatch annotation is malformed.
+    Annotation,
+    /// `L1/panic`: panic path in non-test first-party code.
+    Panic,
+    /// `L2/determinism`: non-deterministic construct in a protocol crate.
+    Determinism,
+    /// `L3/crate-attrs`: crate root is missing a mandatory attribute.
+    CrateAttrs,
+    /// `L4/conformance`: a `ReadOnlyProtocol` impl escapes the battery.
+    Conformance,
+    /// `L5/locks`: `std::sync` lock where `parking_lot` is the standard.
+    Locks,
+}
+
+impl Rule {
+    /// Stable diagnostic code printed in front of every finding.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Annotation => "L0/annotation",
+            Rule::Panic => "L1/panic",
+            Rule::Determinism => "L2/determinism",
+            Rule::CrateAttrs => "L3/crate-attrs",
+            Rule::Conformance => "L4/conformance",
+            Rule::Locks => "L5/locks",
+        }
+    }
+
+    /// Name accepted inside the parentheses of an allow annotation.
+    pub fn allow_name(self) -> &'static str {
+        match self {
+            Rule::Annotation => "annotation",
+            Rule::Panic => "panic",
+            Rule::Determinism => "determinism",
+            Rule::CrateAttrs => "crate-attrs",
+            Rule::Conformance => "conformance",
+            Rule::Locks => "locks",
+        }
+    }
+
+    fn from_allow_name(name: &str) -> Option<Rule> {
+        match name {
+            "panic" => Some(Rule::Panic),
+            "determinism" => Some(Rule::Determinism),
+            "crate-attrs" => Some(Rule::CrateAttrs),
+            "conformance" => Some(Rule::Conformance),
+            "locks" => Some(Rule::Locks),
+            _ => None,
+        }
+    }
+}
+
+/// One finding: a rule violated at a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Path of the offending file, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number of the finding.
+    pub line: usize,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} — {}",
+            self.rule.code(),
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Failure to *run* the pass (I/O trouble, not a workspace, ...), as
+/// opposed to findings, which are [`Diagnostic`]s.
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a file or directory failed.
+    Io {
+        /// The path that could not be read.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The given root has no `crates/` directory with any crates in it.
+    NotAWorkspace(PathBuf),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            LintError::NotAWorkspace(root) => write!(
+                f,
+                "{} does not look like the workspace root (no crates/*/Cargo.toml)",
+                root.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Crates whose sources must be bit-for-bit deterministic (rule L2):
+/// everything on the simulated protocol path, identified by directory
+/// name under `crates/`.
+pub const DETERMINISTIC_CRATES: &[&str] = &["sgraph", "core", "client", "server", "broadcast"];
+
+const PANIC_NEEDLES: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+const DETERMINISM_NEEDLES: &[&str] = &[
+    "thread_rng",
+    "SystemTime::now",
+    "Instant::now",
+    "HashMap",
+    "HashSet",
+];
+
+const FORBID_UNSAFE: &str = "#![forbid(unsafe_code)]";
+const DENY_MISSING_DOCS: &str = "#![deny(missing_docs)]";
+
+/// Lists the workspace crates under `root/crates`, sorted by name.
+///
+/// # Errors
+/// Fails if the `crates/` directory cannot be read, or contains no
+/// crate (a directory with a `Cargo.toml`).
+pub fn workspace_crates(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError> {
+    let crates_dir = root.join("crates");
+    let mut found = Vec::new();
+    for entry in read_dir_sorted(&crates_dir)? {
+        if entry.join("Cargo.toml").is_file() {
+            let name = entry
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            found.push((name, entry));
+        }
+    }
+    if found.is_empty() {
+        return Err(LintError::NotAWorkspace(root.to_path_buf()));
+    }
+    Ok(found)
+}
+
+/// Runs the whole catalog over every crate under `root/crates`,
+/// returning the findings sorted by file, line, then rule.
+///
+/// An empty result means the workspace is clean.
+///
+/// # Errors
+/// Propagates I/O failures; findings are *not* errors.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let crates = workspace_crates(root)?;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut impls: Vec<ProtocolImpl> = Vec::new();
+    let mut evidence: Vec<String> = Vec::new();
+
+    for (name, path) in &crates {
+        let src = path.join("src");
+        if src.is_dir() {
+            let mut files = Vec::new();
+            walk_rs(&src, &mut files)?;
+            let root_file = crate_root_file(&src);
+            for file in &files {
+                lint_src_file(LintCtx {
+                    root,
+                    crate_name: name,
+                    file,
+                    is_crate_root: Some(file.as_path()) == root_file.as_deref(),
+                    diags: &mut diags,
+                    impls: &mut impls,
+                })?;
+            }
+        }
+        let tests = path.join("tests");
+        if tests.is_dir() {
+            let mut files = Vec::new();
+            walk_rs(&tests, &mut files)?;
+            for file in &files {
+                evidence.push(read_file(file)?);
+            }
+        }
+    }
+
+    // Rule L4: every impl needs a tests/ file naming the type alongside
+    // the conformance battery.
+    for imp in &impls {
+        if imp.allowed {
+            continue;
+        }
+        let covered = evidence
+            .iter()
+            .any(|text| text.contains(&imp.type_name) && text.contains("conformance"));
+        if !covered {
+            diags.push(Diagnostic {
+                rule: Rule::Conformance,
+                file: imp.file.clone(),
+                line: imp.line,
+                message: format!(
+                    "`{}` implements ReadOnlyProtocol but no tests/ file runs it \
+                     through the bpush-core conformance battery",
+                    imp.type_name
+                ),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    Ok(diags)
+}
+
+/// A `ReadOnlyProtocol` impl discovered in non-test code.
+struct ProtocolImpl {
+    type_name: String,
+    file: PathBuf,
+    line: usize,
+    allowed: bool,
+}
+
+struct LintCtx<'a> {
+    root: &'a Path,
+    crate_name: &'a str,
+    file: &'a Path,
+    is_crate_root: bool,
+    diags: &'a mut Vec<Diagnostic>,
+    impls: &'a mut Vec<ProtocolImpl>,
+}
+
+fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
+    let text = read_file(ctx.file)?;
+    let lines = split_source(&text);
+    let mask = test_mask(&lines);
+    let rel = ctx
+        .file
+        .strip_prefix(ctx.root)
+        .unwrap_or(ctx.file)
+        .to_path_buf();
+
+    let (allows, malformed) = collect_allows(&lines);
+    for (line, message) in malformed {
+        ctx.diags.push(Diagnostic {
+            rule: Rule::Annotation,
+            file: rel.clone(),
+            line,
+            message,
+        });
+    }
+
+    // Rule L3: mandatory crate-root attributes.
+    if ctx.is_crate_root {
+        for attr in [FORBID_UNSAFE, DENY_MISSING_DOCS] {
+            let present = lines.iter().any(|l| l.code.contains(attr));
+            if !present {
+                ctx.diags.push(Diagnostic {
+                    rule: Rule::CrateAttrs,
+                    file: rel.clone(),
+                    line: 1,
+                    message: format!("crate root is missing `{attr}`"),
+                });
+            }
+        }
+    }
+
+    let deterministic = DETERMINISTIC_CRATES.contains(&ctx.crate_name);
+
+    for (idx, line) in lines.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        let lineno = idx + 1;
+        let code = &line.code;
+        let allowed = &allows[idx];
+
+        // Rule L1: panic-freedom.
+        if !allowed.contains(&Rule::Panic) {
+            if let Some(needle) = PANIC_NEEDLES.iter().find(|n| code.contains(**n)) {
+                ctx.diags.push(Diagnostic {
+                    rule: Rule::Panic,
+                    file: rel.clone(),
+                    line: lineno,
+                    message: format!(
+                        "panic path `{}` in non-test code; return a `Result` via \
+                         bpush_types::error or annotate with a reason",
+                        needle.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+
+        // Rule L2: determinism in the protocol crates.
+        if deterministic && !allowed.contains(&Rule::Determinism) {
+            if let Some(needle) = DETERMINISM_NEEDLES.iter().find(|n| code.contains(**n)) {
+                ctx.diags.push(Diagnostic {
+                    rule: Rule::Determinism,
+                    file: rel.clone(),
+                    line: lineno,
+                    message: format!(
+                        "non-deterministic construct `{needle}` in deterministic crate \
+                         `{}`; use seeded rand and BTree collections",
+                        ctx.crate_name
+                    ),
+                });
+            }
+        }
+
+        // Rule L5: std::sync locks.
+        if !allowed.contains(&Rule::Locks)
+            && code.contains("std::sync")
+            && (code.contains("Mutex") || code.contains("RwLock"))
+        {
+            ctx.diags.push(Diagnostic {
+                rule: Rule::Locks,
+                file: rel.clone(),
+                line: lineno,
+                message: "std::sync lock primitive; parking_lot is the workspace standard"
+                    .to_string(),
+            });
+        }
+
+        // Collect ReadOnlyProtocol impls for rule L4.
+        if code.contains("impl") {
+            if let Some(type_name) = protocol_impl_target(code) {
+                ctx.impls.push(ProtocolImpl {
+                    type_name,
+                    file: rel.clone(),
+                    line: lineno,
+                    allowed: allowed.contains(&Rule::Conformance),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `Name` from an `impl ... ReadOnlyProtocol for Name<...>` line.
+fn protocol_impl_target(code: &str) -> Option<String> {
+    let marker = "ReadOnlyProtocol for ";
+    let pos = code.find(marker)?;
+    let rest = &code[pos + marker.len()..];
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// One physical source line after the lexical pass: executable text in
+/// `code` (string contents blanked), comment text in `comment`.
+#[derive(Debug, Default, Clone)]
+struct SplitLine {
+    code: String,
+    comment: String,
+}
+
+/// Splits a source file into per-line (code, comment) pairs.
+///
+/// String literal *contents* are replaced by spaces so that needles
+/// quoted in strings never match; delimiters are preserved. Line and
+/// block comments (nesting included) land in `comment`. Char literals
+/// are blanked like strings; lifetimes pass through untouched.
+fn split_source(text: &str) -> Vec<SplitLine> {
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut cur = SplitLine::default();
+    let mut st = St::Code;
+    let mut prev_code: Option<char> = None;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            out.push(std::mem::take(&mut cur));
+            if matches!(st, St::LineComment) {
+                st = St::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    prev_code = Some('"');
+                    st = St::Str;
+                    i += 1;
+                } else if c == 'r'
+                    && matches!(next, Some('"') | Some('#'))
+                    && !prev_code.is_some_and(|p| p.is_alphanumeric() || p == '_')
+                {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0;
+                    while chars.get(i + 1 + hashes) == Some(&'#') {
+                        hashes += 1;
+                    }
+                    if chars.get(i + 1 + hashes) == Some(&'"') {
+                        cur.code.push('r');
+                        cur.code.push('"');
+                        prev_code = Some('"');
+                        st = St::RawStr(hashes);
+                        i += 2 + hashes;
+                    } else {
+                        cur.code.push(c);
+                        prev_code = Some(c);
+                        i += 1;
+                    }
+                } else if c == 'b' && next == Some('"') {
+                    cur.code.push('b');
+                    cur.code.push('"');
+                    prev_code = Some('"');
+                    st = St::Str;
+                    i += 2;
+                } else if c == '\'' || (c == 'b' && next == Some('\'')) {
+                    let start = if c == 'b' { i + 1 } else { i };
+                    let consumed = char_literal_len(&chars, start);
+                    if consumed > 0 {
+                        cur.code.push('\'');
+                        cur.code.push('\'');
+                        prev_code = Some('\'');
+                        i = start + consumed;
+                    } else {
+                        // A lifetime (or a lone `b`): emit verbatim.
+                        cur.code.push(c);
+                        prev_code = Some(c);
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    if !c.is_whitespace() {
+                        prev_code = Some(c);
+                    }
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    // Skip the escaped char unless it is the newline itself.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        cur.code.push(' ');
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    cur.code.push('"');
+                    st = St::Code;
+                    i += 1 + hashes;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A trailing newline already flushed the last line; only a file
+    // without one still has pending content.
+    if !text.is_empty() && !text.ends_with('\n') {
+        out.push(cur);
+    }
+    out
+}
+
+/// Length in chars of the char literal starting at `chars[start]`
+/// (which must be `'`), or 0 if it is a lifetime instead.
+fn char_literal_len(chars: &[char], start: usize) -> usize {
+    if chars.get(start) != Some(&'\'') {
+        return 0;
+    }
+    match chars.get(start + 1) {
+        Some('\\') => {
+            // Escape: scan (bounded) for the closing quote.
+            for len in 3..=12 {
+                match chars.get(start + len - 1) {
+                    Some('\'') => return len,
+                    Some('\n') | None => return 0,
+                    _ => {}
+                }
+            }
+            0
+        }
+        Some(_) if chars.get(start + 2) == Some(&'\'') => 3,
+        _ => 0,
+    }
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items (the attribute
+/// line through the matching close brace, or the terminating `;` for
+/// brace-less items).
+fn test_mask(lines: &[SplitLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let Some(pos) = lines[i].code.find("cfg(test)") else {
+            i += 1;
+            continue;
+        };
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        let mut col = pos;
+        'region: while j < lines.len() {
+            mask[j] = true;
+            for c in lines[j].code.chars().skip(col) {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth <= 0 {
+                            break 'region;
+                        }
+                    }
+                    ';' if !opened && depth == 0 => break 'region,
+                    _ => {}
+                }
+            }
+            j += 1;
+            col = 0;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Per-line allow sets plus malformed-annotation findings as
+/// `(1-based line, message)` pairs.
+#[allow(clippy::type_complexity)]
+fn collect_allows(lines: &[SplitLine]) -> (Vec<BTreeSet<Rule>>, Vec<(usize, String)>) {
+    let mut allows: Vec<BTreeSet<Rule>> = vec![BTreeSet::new(); lines.len()];
+    let mut malformed = Vec::new();
+    for i in 0..lines.len() {
+        match parse_allow(&lines[i].comment) {
+            None => {}
+            Some(Err(message)) => malformed.push((i + 1, message)),
+            Some(Ok(rules)) => {
+                for r in &rules {
+                    allows[i].insert(*r);
+                }
+                // A standalone comment line also covers the line below.
+                if lines[i].code.trim().is_empty() && i + 1 < lines.len() {
+                    for r in &rules {
+                        allows[i + 1].insert(*r);
+                    }
+                }
+            }
+        }
+    }
+    (allows, malformed)
+}
+
+/// Parses an allow annotation out of a comment, if present.
+///
+/// Returns `None` when the comment carries no annotation, `Some(Ok)`
+/// with the named rules, or `Some(Err)` with an explanation when the
+/// annotation is malformed.
+fn parse_allow(comment: &str) -> Option<Result<Vec<Rule>, String>> {
+    let marker = "lint: allow(";
+    let start = comment.find(marker)?;
+    let rest = &comment[start + marker.len()..];
+    let Some(close) = rest.find(')') else {
+        return Some(Err("unterminated `lint: allow(` annotation".to_string()));
+    };
+    let mut rules = Vec::new();
+    for raw in rest[..close].split(',') {
+        let name = raw.trim();
+        match Rule::from_allow_name(name) {
+            Some(r) => rules.push(r),
+            None => {
+                return Some(Err(format!(
+                    "unknown rule `{name}` in allow annotation (expected one of: \
+                     panic, determinism, crate-attrs, conformance, locks)"
+                )))
+            }
+        }
+    }
+    let reason: &str = rest[close + 1..]
+        .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':'));
+    if reason.trim().len() < 3 {
+        return Some(Err(
+            "allow annotation is missing its mandatory reason".to_string()
+        ));
+    }
+    Some(Ok(rules))
+}
+
+/// The file whose inner attributes rule L3 inspects: `src/lib.rs`, or
+/// `src/main.rs` for a pure binary crate.
+fn crate_root_file(src: &Path) -> Option<PathBuf> {
+    let lib = src.join("lib.rs");
+    if lib.is_file() {
+        return Some(lib);
+    }
+    let main = src.join("main.rs");
+    if main.is_file() {
+        return Some(main);
+    }
+    None
+}
+
+fn read_file(path: &Path) -> Result<String, LintError> {
+    fs::read_to_string(path).map_err(|source| LintError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let entries = fs::read_dir(dir).map_err(|source| LintError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// Collects `.rs` files under `dir` recursively, in sorted order,
+/// skipping any directory named `fixtures` (lint-tool test data).
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        split_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked_but_delimited() {
+        let lines = codes("let x = \"panic!(boom)\";\n");
+        assert!(lines[0].contains('"'));
+        assert!(!lines[0].contains("panic!("));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = codes("let x = r#\"a.unwrap()b\"#;\n");
+        assert!(!lines[0].contains(".unwrap()"));
+        assert!(lines[0].ends_with(';'));
+    }
+
+    #[test]
+    fn comments_are_split_out() {
+        let split = split_source("let x = 1; // .unwrap() in prose\n/* block\nspans */ let y;\n");
+        assert!(!split[0].code.contains(".unwrap()"));
+        assert!(split[0].comment.contains(".unwrap()"));
+        assert!(split[1].comment.contains("block"));
+        assert!(split[2].code.contains("let y"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let split = split_source("/// asserts: assert!(x > 0)\nfn f() {}\n");
+        assert!(!split[0].code.contains("assert!("));
+        assert!(split[1].code.contains("fn f"));
+    }
+
+    #[test]
+    fn lifetimes_survive_and_char_literals_blank() {
+        let lines = codes("fn f<'a>(x: &'a str) -> char { '\\'' }\n");
+        assert!(lines[0].contains("<'a>"));
+        assert!(lines[0].contains("&'a str"));
+        // The char literal body is blanked to a quote pair.
+        assert!(lines[0].contains("''"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_count() {
+        let src = "let s = \"line one\nline two\";\nlet t = 5;\n";
+        let lines = codes(src);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains("let t"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let lines = split_source(src);
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_single_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let lines = split_source(src);
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn live() {}\n";
+        let lines = split_source(src);
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![false, false]);
+    }
+
+    #[test]
+    fn allow_parses_with_reason() {
+        let parsed = parse_allow(" lint: allow(panic) — checked above");
+        assert_eq!(parsed, Some(Ok(vec![Rule::Panic])));
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let parsed = parse_allow(" lint: allow(panic)");
+        assert!(matches!(parsed, Some(Err(_))));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_malformed() {
+        let parsed = parse_allow(" lint: allow(everything) — because");
+        assert!(matches!(parsed, Some(Err(_))));
+    }
+
+    #[test]
+    fn allow_accepts_comma_separated_rules() {
+        let parsed = parse_allow(" lint: allow(panic, locks) — shim layer");
+        assert_eq!(parsed, Some(Ok(vec![Rule::Panic, Rule::Locks])));
+    }
+
+    #[test]
+    fn impl_target_extraction() {
+        assert_eq!(
+            protocol_impl_target("impl ReadOnlyProtocol for Sgt {"),
+            Some("Sgt".to_string())
+        );
+        assert_eq!(
+            protocol_impl_target(
+                "impl<P: ReadOnlyProtocol> ReadOnlyProtocol for Instrumented<P> {"
+            ),
+            Some("Instrumented".to_string())
+        );
+        assert_eq!(protocol_impl_target("impl Foo for Bar {"), None);
+    }
+}

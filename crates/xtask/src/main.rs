@@ -1,0 +1,99 @@
+//! Command-line entry point for the workspace's static-analysis pass.
+//!
+//! Usage: `cargo run -p xtask -- lint [--root <dir>]` (or `cargo xtask
+//! lint` through the repo's cargo alias). Exits non-zero when any rule
+//! fires; see the `xtask` library docs for the rule catalog.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--root <workspace-root>]
+
+Runs the bpush rule catalog (L1/panic, L2/determinism, L3/crate-attrs,
+L4/conformance, L5/locks) over every crate under <root>/crates and
+exits non-zero if any rule fires.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("xtask: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | Some("--help") | None => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n{USAGE}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return Err("--root needs a directory argument".into()),
+            },
+            other => return Err(format!("unknown lint option `{other}`\n{USAGE}").into()),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+
+    let diagnostics = xtask::lint_workspace(&root)?;
+    if diagnostics.is_empty() {
+        let crates = xtask::workspace_crates(&root)?;
+        println!(
+            "xtask lint: clean — {} crates under {} satisfy the rule catalog",
+            crates.len(),
+            root.join("crates").display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    eprintln!(
+        "xtask lint: {} violation{} found",
+        diagnostics.len(),
+        if diagnostics.len() == 1 { "" } else { "s" }
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, Box<dyn std::error::Error>> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory \
+                        (pass --root explicitly)"
+                .into());
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: crate root missing the mandatory attributes (rule L3).
+
+/// Nothing to see.
+pub fn noop() {}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: a lock from the standard library (rule L5).
+
+/// Guards nothing.
+pub static LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);

@@ -1,0 +1,27 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: panic-freedom violations (rule L1) and annotations (L0).
+
+/// Unwraps in library code — the L1 violation under test.
+pub fn boom(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Annotated expect — must NOT be flagged.
+pub fn fine(x: Option<u32>) -> u32 {
+    // lint: allow(panic) — fixture exercises the escape hatch
+    x.expect("annotated")
+}
+
+/// Carries a malformed annotation — the L0 violation under test.
+pub fn odd() {
+    // lint: allow(bogus) — no such rule
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        let _ = Some(1).unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: a protocol impl the battery never exercises (rule L4).
+
+/// A protocol implementation with no test evidence.
+#[derive(Debug)]
+pub struct Widget;
+
+impl ReadOnlyProtocol for Widget {}

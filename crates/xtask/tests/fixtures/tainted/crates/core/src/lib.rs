@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: a deterministic crate using a hash collection (rule L2).
+
+/// Builds a map with nondeterministic iteration order.
+pub fn build() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new()
+}

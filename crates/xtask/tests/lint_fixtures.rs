@@ -1,0 +1,129 @@
+//! Proves the lint engine against fixture crates with seeded violations
+//! (one per rule, plus negative controls), then self-checks that the real
+//! workspace lints clean.
+
+use std::path::{Path, PathBuf};
+
+use xtask::{lint_workspace, workspace_crates, LintError, Rule};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("tainted")
+}
+
+fn real_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}
+
+/// Every seeded violation is reported with its exact rule, file, and
+/// line — and nothing else is.
+#[test]
+fn fixtures_yield_exact_diagnostics() {
+    let diags = lint_workspace(&fixture_root()).expect("fixture tree lints");
+    let got: Vec<(&str, String, usize)> = diags
+        .iter()
+        .map(|d| (d.rule.code(), d.file.display().to_string(), d.line))
+        .collect();
+
+    let want: Vec<(&str, String, usize)> = [
+        // badattrs: both mandatory crate-root attributes missing.
+        ("L3/crate-attrs", "crates/badattrs/src/lib.rs", 1),
+        ("L3/crate-attrs", "crates/badattrs/src/lib.rs", 1),
+        // badlock: std::sync::Mutex where parking_lot is standard.
+        ("L5/locks", "crates/badlock/src/lib.rs", 6),
+        // badpanic: one naked unwrap, one malformed annotation.
+        ("L1/panic", "crates/badpanic/src/lib.rs", 7),
+        ("L0/annotation", "crates/badpanic/src/lib.rs", 18),
+        // badproto: a ReadOnlyProtocol impl with no conformance evidence.
+        ("L4/conformance", "crates/badproto/src/lib.rs", 9),
+        // core: a deterministic crate touching HashMap (decl + body).
+        ("L2/determinism", "crates/core/src/lib.rs", 6),
+        ("L2/determinism", "crates/core/src/lib.rs", 7),
+    ]
+    .into_iter()
+    .map(|(r, f, l)| (r, f.to_string(), l))
+    .collect();
+
+    assert_eq!(
+        got,
+        want,
+        "diagnostics mismatch; full output:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Negative controls inside the fixtures: the annotated `.expect(` and
+/// the `#[cfg(test)]` unwrap must not appear among the findings.
+#[test]
+fn fixture_carve_outs_hold() {
+    let diags = lint_workspace(&fixture_root()).expect("fixture tree lints");
+    for d in &diags {
+        if d.file.ends_with("badpanic/src/lib.rs") {
+            assert_ne!(d.line, 13, "annotated expect must be exempt: {d}");
+            assert!(
+                d.line < 21,
+                "nothing inside #[cfg(test)] may be flagged: {d}"
+            );
+        }
+    }
+}
+
+/// Diagnostics render as `CODE file:line — message` (what CI greps for).
+#[test]
+fn diagnostic_display_format() {
+    let diags = lint_workspace(&fixture_root()).expect("fixture tree lints");
+    let unwrap_diag = diags
+        .iter()
+        .find(|d| d.rule == Rule::Panic)
+        .expect("fixture seeds an L1 finding");
+    let rendered = unwrap_diag.to_string();
+    assert!(
+        rendered.starts_with("L1/panic crates/badpanic/src/lib.rs:7 — "),
+        "unexpected rendering: {rendered}"
+    );
+    assert!(rendered.contains("panic path `.unwrap()`"), "{rendered}");
+}
+
+/// The real workspace satisfies its own rule catalog — the same check CI
+/// runs via `cargo xtask lint`.
+#[test]
+fn real_workspace_is_clean() {
+    let root = real_root();
+    let crates = workspace_crates(&root).expect("workspace enumerates");
+    assert!(
+        crates.len() >= 9,
+        "expected the full crate set, got {:?}",
+        crates.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
+    let diags = lint_workspace(&root).expect("workspace lints");
+    assert!(
+        diags.is_empty(),
+        "the workspace must lint clean:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// A root without a `crates/` directory is a structural error, not an
+/// empty result.
+#[test]
+fn missing_workspace_is_an_error() {
+    let bogus = fixture_root().join("crates").join("badattrs");
+    match lint_workspace(&bogus) {
+        Err(LintError::Io { .. } | LintError::NotAWorkspace(_)) => {}
+        other => panic!("expected a structural error, got {other:?}"),
+    }
+}

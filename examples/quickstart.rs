@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut start = Slot::ZERO;
     while !client.is_done() {
         let bcast = server.run_cycle();
-        outcomes.extend(client.run_cycle(&bcast, start, true));
+        outcomes.extend(client.run_cycle(&bcast, start, true)?);
         start = start.plus(bcast.total_slots());
     }
 

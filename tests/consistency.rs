@@ -3,6 +3,10 @@
 //! inconsistent database state** (§2.2) — whatever the granularity,
 //! layout, report window, cache size or disconnection pattern.
 
+// Integration tests are exempt from the panic-freedom policy
+// (mirrors `allow-unwrap-in-tests` in clippy.toml and the `#[cfg(test)]`
+// carve-out in `cargo xtask lint`).
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use bpush_core::Method;

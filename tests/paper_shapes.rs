@@ -2,6 +2,10 @@
 //! the *orderings* and *trends* the paper reports must hold, even though
 //! absolute numbers come from our simulated substrate.
 
+// Integration tests are exempt from the panic-freedom policy
+// (mirrors `allow-unwrap-in-tests` in clippy.toml and the `#[cfg(test)]`
+// carve-out in `cargo xtask lint`).
+#![allow(clippy::unwrap_used)]
 use bpush_core::Method;
 use bpush_sim::experiments::{self, fig5, fig6, fig8, Scale};
 use bpush_sim::{Simulation, Table};
@@ -177,7 +181,7 @@ fn scalability_population_independence() {
         while clients.iter().any(|c| !c.is_done()) {
             let bcast = server.run_cycle();
             for client in &mut clients {
-                let outs = client.run_cycle(&bcast, start, true);
+                let outs = client.run_cycle(&bcast, start, true).unwrap();
                 if client.client() == ClientId::new(0) {
                     zero_outcomes.extend(outs.iter().map(|o| (o.committed(), o.latency_slots())));
                 }

@@ -1,0 +1,291 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The bpush workspace builds in fully offline environments, so it
+//! vendors the subset of the criterion 0.5 API its benches use. Instead
+//! of statistical sampling, each benchmark routine is warmed up once and
+//! timed over a small fixed number of iterations, printing one
+//! `name ... time/iter` line. That keeps `cargo bench` runnable (a smoke
+//! test and a coarse regression signal) without the real harness;
+//! swap the real criterion back in for publishable numbers.
+//!
+//! [`criterion`]: https://docs.rs/criterion/0.5
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stub runs every batch the same way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            elapsed_ns: 0,
+        }
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let _ = black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let _ = black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let _ = black_box(routine(setup())); // warm-up, untimed
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let _ = black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+/// The benchmark harness handle passed to every bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("BPUSH_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with criterion's generated mains.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        Self::report(name, &b);
+        self
+    }
+
+    /// Runs a parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.iters);
+        f(&mut b, input);
+        Self::report(&id.to_string(), &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn report(name: &str, b: &Bencher) {
+        let per_iter = b.elapsed_ns / u128::from(b.iters.max(1));
+        println!(
+            "bench {name:<50} {per_iter:>12} ns/iter (stub harness, {} iters)",
+            b.iters
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample sizing.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores measurement time.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.iters);
+        f(&mut b);
+        Criterion::report(&format!("{}/{}", self.name, name), &b);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.iters);
+        f(&mut b, input);
+        Criterion::report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group (criterion parity; the stub needs no teardown).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (criterion-compatible; the
+/// `config = ...` form is accepted and its expression discarded).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = "Runs this benchmark group (criterion stub)."]
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Runs this benchmark group (criterion stub)."]
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).sum()
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("sum", |b| {
+            b.iter(|| {
+                runs += 1;
+                sum_to(100)
+            })
+        });
+        assert!(runs > 1, "warm-up plus measured iterations");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        c.bench_with_input(BenchmarkId::new("sum", 7), &7u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        c.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, &n| {
+            b.iter_batched(|| n, sum_to, BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
