@@ -500,8 +500,8 @@ impl BroadcastDisks {
             "records must be sorted by item id"
         );
         assert_eq!(
-            records.len() as u32,
-            self.expected_items(),
+            records.len(),
+            self.expected_items() as usize,
             "record count must match the disk partitioning"
         );
         let control_slots = control.slots(self.sizes.bucket, self.sizes.key, self.sizes.tid);

@@ -78,7 +78,7 @@ impl BitWriter {
             }
             // lint: allow(panic) — a byte was pushed on the line above when partial == 0
             let last = self.bytes.last_mut().expect("just ensured");
-            *last |= (bit as u8) << (7 - self.partial);
+            *last |= u8::from(bit == 1) << (7 - self.partial);
             self.partial = (self.partial + 1) % 8;
         }
     }
@@ -162,7 +162,7 @@ pub fn decode_invalidation(
     let count = r.take(params.count_bits)?;
     let mut entries = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let item = ItemId::new(r.take(params.key_bits)? as u32);
+        let item = ItemId::new(take_u32(&mut r, params.key_bits)?);
         let age = r.take(params.age_bits)?;
         let update = Cycle::new(cycle.number().saturating_sub(age));
         entries.push((item, update));
@@ -176,9 +176,17 @@ fn put_txn(w: &mut BitWriter, t: TxnId, now: Cycle, params: WireParams) {
     w.put(u64::from(t.seq()), params.seq_bits);
 }
 
+/// Reads `width` bits and narrows them checked into a `u32`: a wire
+/// field that does not fit is malformed input, reported as an error
+/// rather than truncated.
+fn take_u32(r: &mut BitReader<'_>, width: u32) -> Result<u32, BpushError> {
+    u32::try_from(r.take(width)?)
+        .map_err(|_| BpushError::invalid_config("wire field does not fit in 32 bits"))
+}
+
 fn take_txn(r: &mut BitReader<'_>, now: Cycle, params: WireParams) -> Result<TxnId, BpushError> {
     let age = r.take(params.txn_age_bits)?;
-    let seq = r.take(params.seq_bits)? as u32;
+    let seq = take_u32(r, params.seq_bits)?;
     Ok(TxnId::new(
         Cycle::new(now.number().saturating_sub(age)),
         seq,
@@ -212,7 +220,7 @@ pub fn decode_augmented(
     let count = r.take(params.count_bits)?;
     let mut entries = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let item = ItemId::new(r.take(params.key_bits)? as u32);
+        let item = ItemId::new(take_u32(&mut r, params.key_bits)?);
         let txn = take_txn(&mut r, now, params)?;
         entries.push((item, txn));
     }

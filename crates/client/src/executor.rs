@@ -62,6 +62,45 @@ impl QueryOutcome {
     }
 }
 
+/// Decides, read by read, whether the local cache may serve a lookup.
+///
+/// The executor consults the decider *before* probing the cache; a `false`
+/// answer forces the read onto the broadcast path even when the cache
+/// holds a suitable entry. The default (no decider installed) allows
+/// every lookup. Injecting a decider makes cache hit/miss behaviour a
+/// controlled input instead of an emergent one — deterministic
+/// experiments can pin it, and the `bpush-mc` model checker branches on
+/// exactly this decision point when it enumerates executions of the
+/// caching methods.
+pub trait CacheDecision: std::fmt::Debug {
+    /// Whether the cache may serve `item` for a read that must observe
+    /// the database state `state`.
+    fn allow_cache(&mut self, item: ItemId, state: Cycle) -> bool;
+}
+
+/// A [`CacheDecision`] replaying a fixed per-read script of answers;
+/// reads beyond the script allow the cache (the default behaviour).
+#[derive(Debug, Clone)]
+pub struct ScriptedCacheDecision {
+    script: Vec<bool>,
+    next: usize,
+}
+
+impl ScriptedCacheDecision {
+    /// One answer per cache-eligible read, in read order.
+    pub fn new(script: Vec<bool>) -> Self {
+        ScriptedCacheDecision { script, next: 0 }
+    }
+}
+
+impl CacheDecision for ScriptedCacheDecision {
+    fn allow_cache(&mut self, _item: ItemId, _state: Cycle) -> bool {
+        let allow = self.script.get(self.next).copied().unwrap_or(true);
+        self.next += 1;
+        allow
+    }
+}
+
 #[derive(Debug)]
 struct ActiveQuery {
     id: QueryId,
@@ -89,6 +128,7 @@ pub struct QueryExecutor {
     config: ClientConfig,
     protocol: Box<dyn ReadOnlyProtocol>,
     cache: Option<ClientCache>,
+    cache_decider: Option<Box<dyn CacheDecision>>,
     pattern: AccessPattern,
     rng: StdRng,
     next_query: QueryId,
@@ -130,6 +170,7 @@ impl QueryExecutor {
             config,
             protocol,
             cache,
+            cache_decider: None,
             pattern,
             rng: StdRng::seed_from_u64(seed),
             next_query: QueryId::new(0),
@@ -142,6 +183,14 @@ impl QueryExecutor {
     /// The client this executor simulates.
     pub fn client(&self) -> ClientId {
         self.client
+    }
+
+    /// Installs a [`CacheDecision`] gate consulted before every cache
+    /// lookup. Without one, every lookup is allowed.
+    #[must_use]
+    pub fn with_cache_decider(mut self, decider: Box<dyn CacheDecision>) -> Self {
+        self.cache_decider = Some(decider);
+        self
     }
 
     /// Whether the query budget is exhausted and no query is in flight.
@@ -197,7 +246,7 @@ impl QueryExecutor {
             aborted,
             started: aq.started,
             finished: now,
-            span: aq.cycles_read.len() as u32,
+            span: u32::try_from(aq.cycles_read.len()).unwrap_or(u32::MAX),
             first_read_cycle: aq.cycles_read.iter().min().copied(),
             finished_cycle: cycle,
             cache_reads: aq.cache_reads,
@@ -317,11 +366,19 @@ impl QueryExecutor {
                     self.cursor = self.cursor.plus(1);
                 }
                 ReadDirective::Read(constraint) => {
-                    // 1. Try the cache.
-                    let cached = self
-                        .cache
-                        .as_mut()
-                        .and_then(|c| c.lookup(item, constraint.state));
+                    // 1. Try the cache (unless the injected decision
+                    //    point routes this read to the broadcast).
+                    let cache_allowed = match &mut self.cache_decider {
+                        Some(d) => d.allow_cache(item, constraint.state),
+                        None => true,
+                    };
+                    let cached = if cache_allowed {
+                        self.cache
+                            .as_mut()
+                            .and_then(|c| c.lookup(item, constraint.state))
+                    } else {
+                        None
+                    };
                     let (candidate, read_slot) = match cached {
                         Some(c) => (Some(c), None),
                         None if constraint.cache_only => (None, None),
@@ -631,6 +688,44 @@ mod tests {
         );
         let cached_total: u32 = with_cache.iter().map(|o| o.cache_reads).sum();
         assert!(cached_total > 0, "cache reads happen");
+    }
+
+    #[test]
+    fn cache_decider_forces_broadcast_reads() {
+        let run_with = |deny_cache: bool| -> (u32, u32) {
+            let mut server =
+                BroadcastServer::new(server_config(), ServerOptions::plain(), 3).unwrap();
+            let mut exec = executor_for(Method::InvalidationCache, 20);
+            if deny_cache {
+                exec = exec
+                    .with_cache_decider(Box::new(ScriptedCacheDecision::new(vec![false; 1000])));
+            }
+            let mut outcomes = Vec::new();
+            let mut start = Slot::ZERO;
+            for _ in 0..80 {
+                let bcast = server.run_cycle();
+                outcomes.extend(exec.run_cycle(&bcast, start, true).unwrap());
+                start = start.plus(bcast.total_slots());
+            }
+            (
+                outcomes.iter().map(|o| o.cache_reads).sum(),
+                outcomes.iter().map(|o| o.broadcast_reads).sum(),
+            )
+        };
+        let (hits_allowed, _) = run_with(false);
+        let (hits_denied, bcast_denied) = run_with(true);
+        assert!(hits_allowed > 0, "control run must see cache hits");
+        assert_eq!(hits_denied, 0, "denied decider forces every read on air");
+        assert!(bcast_denied > 0);
+    }
+
+    #[test]
+    fn scripted_cache_decision_defaults_to_allow_past_script() {
+        let mut d = ScriptedCacheDecision::new(vec![false, true]);
+        let x = ItemId::new(0);
+        assert!(!d.allow_cache(x, Cycle::ZERO));
+        assert!(d.allow_cache(x, Cycle::ZERO));
+        assert!(d.allow_cache(x, Cycle::ZERO), "exhausted script allows");
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub mod lru;
 pub mod session;
 
 pub use cache::{CacheParams, CacheStats, ClientCache};
-pub use executor::{QueryExecutor, QueryOutcome};
+pub use executor::{CacheDecision, QueryExecutor, QueryOutcome, ScriptedCacheDecision};
 pub use session::{BroadcastSession, ReadStep, TxnHandle};

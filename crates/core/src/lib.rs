@@ -66,7 +66,7 @@ pub use method::Method;
 pub use multiversion::MultiversionBroadcast;
 pub use mvcache::MultiversionCaching;
 pub use protocol::{
-    AbortReason, CacheMode, ReadCandidate, ReadConstraint, ReadDirective, ReadOnlyProtocol,
-    ReadOutcome, Source,
+    AbortReason, CacheMode, ProtocolStep, ReadCandidate, ReadConstraint, ReadDirective,
+    ReadOnlyProtocol, ReadOutcome, Source,
 };
 pub use sgt::{Sgt, SgtConfig};

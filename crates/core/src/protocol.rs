@@ -144,6 +144,39 @@ pub enum CacheMode {
     Multiversion,
 }
 
+/// One replayable interaction with a [`ReadOnlyProtocol`], in the order
+/// the trait contract prescribes.
+///
+/// A recorded `Vec<ProtocolStep>` is a complete deterministic transcript
+/// of a client session: feeding it back through
+/// [`ReadOnlyProtocol::step`] reproduces the protocol's decisions
+/// exactly. This is the replay seam the model checker
+/// (`bpush-mc`) serializes its counterexamples against.
+#[derive(Debug, Clone)]
+pub enum ProtocolStep {
+    /// The control information of a cycle the client heard.
+    Control(ControlInfo),
+    /// A cycle the client missed entirely.
+    MissedCycle(Cycle),
+    /// Registration of a new query first scheduled at the given cycle.
+    BeginQuery(QueryId, Cycle),
+    /// One read attempt: the directive is re-derived from the protocol,
+    /// and on [`ReadDirective::Read`] the candidate is offered via
+    /// [`ReadOnlyProtocol::apply_read`].
+    ApplyRead {
+        /// The reading query.
+        q: QueryId,
+        /// The item read.
+        item: ItemId,
+        /// The candidate value offered to the protocol.
+        candidate: ReadCandidate,
+        /// The cycle during which the read happens.
+        now: Cycle,
+    },
+    /// Termination (commit or abort) of a query.
+    FinishQuery(QueryId),
+}
+
 /// A client-side read-only transaction processing method.
 ///
 /// One instance serves one client (all state is client-local — the
@@ -189,6 +222,56 @@ pub trait ReadOnlyProtocol: fmt::Debug {
 
     /// Ends a query (committed or aborted), releasing its state.
     fn finish_query(&mut self, q: QueryId);
+
+    /// Applies one recorded [`ProtocolStep`], dispatching to the
+    /// appropriate trait method. Returns the read outcome for
+    /// [`ProtocolStep::ApplyRead`] steps (a doomed directive short-cuts
+    /// to [`ReadOutcome::Rejected`] without offering the candidate,
+    /// mirroring the client runtime) and `None` for all other steps.
+    ///
+    /// The provided implementation is the replay seam: it must not be
+    /// overridden to do anything other than dispatch, or recorded
+    /// transcripts stop being faithful.
+    fn step(&mut self, step: &ProtocolStep) -> Option<ReadOutcome> {
+        match step {
+            ProtocolStep::Control(ctrl) => {
+                self.on_control(ctrl);
+                None
+            }
+            ProtocolStep::MissedCycle(cycle) => {
+                self.on_missed_cycle(*cycle);
+                None
+            }
+            ProtocolStep::BeginQuery(q, now) => {
+                self.begin_query(*q, *now);
+                None
+            }
+            ProtocolStep::ApplyRead {
+                q,
+                item,
+                candidate,
+                now,
+            } => Some(match self.read_directive(*q, *item, *now) {
+                ReadDirective::Doom(reason) => ReadOutcome::Rejected(reason),
+                ReadDirective::Read(_) => self.apply_read(*q, *item, candidate, *now),
+            }),
+            ProtocolStep::FinishQuery(q) => {
+                self.finish_query(*q);
+                None
+            }
+        }
+    }
+
+    /// A `Debug`-stable snapshot of the full session state.
+    ///
+    /// Every protocol in this workspace keeps its state in ordered
+    /// (`BTree*`) collections, so the derived `Debug` rendering is a
+    /// canonical serialization: two sessions with equal snapshots behave
+    /// identically on any future input. The model checker hashes these
+    /// snapshots to deduplicate explored states.
+    fn debug_snapshot(&self) -> String {
+        format!("{self:?}")
+    }
 }
 
 #[cfg(test)]

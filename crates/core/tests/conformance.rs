@@ -68,6 +68,18 @@ fn multiversion_caching_conforms() {
     });
 }
 
+/// `SgtVersionedItems` is not part of `Method::ALL` (it is the §5.2.2
+/// disconnection enhancement of SGT with per-item version numbers), so
+/// it needs explicit coverage — raw and wrapped.
+#[test]
+fn sgt_versioned_items_conforms() {
+    let m = Method::SgtVersionedItems;
+    assert_conformant(m.name(), &|| m.build_protocol());
+    assert_conformant(&format!("Instrumented<{}>", m.name()), &|| {
+        Box::new(Instrumented::new(m.build_protocol()))
+    });
+}
+
 #[test]
 fn every_method_conforms() {
     for method in Method::ALL {

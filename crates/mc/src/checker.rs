@@ -1,0 +1,341 @@
+//! Exhaustive enumeration of the bounded execution space.
+
+use std::collections::BTreeSet;
+
+use bpush_core::validator::{ConsistencyViolation, SerializabilityValidator};
+use bpush_types::{BpushError, Cycle, ItemId};
+
+use crate::exec::{run_client, run_schedule, ClientChoices};
+use crate::fnv64;
+use crate::ground::GroundTruth;
+use crate::minimize::minimize;
+use crate::schedule::{ReadSpec, Schedule};
+use crate::scope::Scope;
+use crate::spec::ProtocolSpec;
+
+/// A minimized, replayable counterexample.
+#[derive(Debug, Clone)]
+pub struct McViolation {
+    /// The minimized schedule; serialize with [`Schedule::render`].
+    pub schedule: Schedule,
+    /// The witness pair from re-running the minimized schedule.
+    pub witness: ConsistencyViolation,
+}
+
+/// What exhaustive checking of one protocol found.
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// The protocol checked.
+    pub spec: ProtocolSpec,
+    /// Bounded executions run.
+    pub executions: u64,
+    /// Executions in which the query committed.
+    pub committed: u64,
+    /// Executions in which the query aborted.
+    pub aborted: u64,
+    /// Distinct canonical states (database version vector × protocol
+    /// snapshot × query progress) encountered across all executions.
+    pub distinct_states: u64,
+    /// Committed readsets skipped because an identical (commit script,
+    /// readset) pair had already been validated.
+    pub deduped_validations: u64,
+    /// The first violation found, minimized — `None` means the protocol
+    /// passed the scope exhaustively.
+    pub violation: Option<McViolation>,
+}
+
+impl McReport {
+    /// Whether the protocol survived the scope without a violation.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Exhaustively checks one protocol at the given scope: every commit
+/// script × every client choice, validating each committed readset with
+/// [`SerializabilityValidator::check_serializable`]. Stops at (and
+/// minimizes) the first violation.
+///
+/// # Errors
+/// Returns [`BpushError`] if the scope implies an invalid server
+/// configuration.
+pub fn check_spec(spec: ProtocolSpec, scope: &Scope) -> Result<McReport, BpushError> {
+    let scripts = commit_scripts(scope);
+    let choices = client_choices(scope, spec.uses_cache());
+    let mut report = McReport {
+        spec,
+        executions: 0,
+        committed: 0,
+        aborted: 0,
+        distinct_states: 0,
+        deduped_validations: 0,
+        violation: None,
+    };
+    let mut states: BTreeSet<u64> = BTreeSet::new();
+    let mut validated: BTreeSet<u64> = BTreeSet::new();
+    'scripts: for script in &scripts {
+        let gt = GroundTruth::build(
+            spec,
+            scope.items,
+            scope.versions_retained,
+            scope.cycles,
+            script,
+        )?;
+        let validator = SerializabilityValidator::new(gt.server.history());
+        for choice in &choices {
+            let exec = run_client(spec, choice, &gt);
+            report.executions += 1;
+            states.extend(exec.state_hashes.iter().copied());
+            if !exec.committed {
+                report.aborted += 1;
+                continue;
+            }
+            report.committed += 1;
+            let key = fnv64(&format!("{script:?}|{:?}", exec.reads));
+            if !validated.insert(key) {
+                report.deduped_validations += 1;
+                continue;
+            }
+            if let Err(found) =
+                validator.check_serializable(gt.server.conflict_graph(), &exec.reads)
+            {
+                let schedule = Schedule {
+                    items: scope.items,
+                    versions: scope.versions_retained,
+                    cycles: scope.cycles,
+                    commits: script.clone(),
+                    missed: choice.missed.clone(),
+                    begin: choice.begin,
+                    reads: choice.reads.clone(),
+                };
+                let minimized = minimize(spec, &schedule)?;
+                let witness = run_schedule(spec, &minimized)?.violation.unwrap_or(found);
+                report.violation = Some(McViolation {
+                    schedule: minimized,
+                    witness,
+                });
+                break 'scripts;
+            }
+        }
+    }
+    report.distinct_states = states.len() as u64;
+    Ok(report)
+}
+
+/// Checks every genuine protocol at the given scope.
+///
+/// # Errors
+/// Returns [`BpushError`] if the scope implies an invalid server
+/// configuration.
+pub fn check_all(scope: &Scope) -> Result<Vec<McReport>, BpushError> {
+    ProtocolSpec::genuine()
+        .into_iter()
+        .map(|spec| check_spec(spec, scope))
+        .collect()
+}
+
+/// Every commit script: for each of the first `cycles − 1` cycles, an
+/// ordered sequence of up to `max_txns_per_cycle` transactions drawn
+/// (with repetition) from the scope's write sets.
+fn commit_scripts(scope: &Scope) -> Vec<Vec<Vec<Vec<ItemId>>>> {
+    let write_sets = scope.write_sets();
+    let per_cycle = txn_sequences(&write_sets, scope.max_txns_per_cycle);
+    let commit_cycles = usize::try_from(scope.cycles.saturating_sub(1)).unwrap_or(usize::MAX);
+    let mut scripts: Vec<Vec<Vec<Vec<ItemId>>>> = vec![Vec::new()];
+    for _ in 0..commit_cycles {
+        let mut next = Vec::with_capacity(scripts.len() * per_cycle.len());
+        for script in &scripts {
+            for seq in &per_cycle {
+                let mut s = script.clone();
+                s.push(seq.clone());
+                next.push(s);
+            }
+        }
+        scripts = next;
+    }
+    scripts
+}
+
+/// Ordered sequences of length `0..=max_len` over `write_sets`, with
+/// repetition, shortest first.
+fn txn_sequences(write_sets: &[Vec<ItemId>], max_len: usize) -> Vec<Vec<Vec<ItemId>>> {
+    let mut out: Vec<Vec<Vec<ItemId>>> = vec![Vec::new()];
+    let mut frontier: Vec<Vec<Vec<ItemId>>> = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::with_capacity(frontier.len() * write_sets.len());
+        for seq in &frontier {
+            for ws in write_sets {
+                let mut s = seq.clone();
+                s.push(ws.clone());
+                next.push(s);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+/// Every client choice within the scope: begin cycle × missed-cycle
+/// subsets (after begin) × non-decreasing read placements over heard
+/// cycles × ordered tuples of distinct items × cache-hit choices.
+fn client_choices(scope: &Scope, uses_cache: bool) -> Vec<ClientChoices> {
+    let mut out = Vec::new();
+    let flags = cache_flag_vectors(scope.reads_per_query, uses_cache);
+    for begin in 0..scope.cycles {
+        for missed in missed_subsets(scope, begin) {
+            let heard: Vec<Cycle> = (begin..scope.cycles)
+                .map(Cycle::new)
+                .filter(|c| !missed.contains(c))
+                .collect();
+            for placement in nondecreasing_sequences(&heard, scope.reads_per_query) {
+                for items in distinct_item_tuples(scope.items, scope.reads_per_query) {
+                    for flag in &flags {
+                        let reads: Vec<ReadSpec> = items
+                            .iter()
+                            .zip(&placement)
+                            .zip(flag)
+                            .map(|((&item, &cycle), &from_cache)| ReadSpec {
+                                item,
+                                cycle,
+                                from_cache,
+                            })
+                            .collect();
+                        out.push(ClientChoices {
+                            begin: Cycle::new(begin),
+                            missed: missed.clone(),
+                            reads,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Ascending subsets of the cycles strictly after `begin`, of size at
+/// most `max_missed_cycles`.
+fn missed_subsets(scope: &Scope, begin: u64) -> Vec<Vec<Cycle>> {
+    let candidates: Vec<Cycle> = (begin + 1..scope.cycles).map(Cycle::new).collect();
+    let n = candidates.len().min(16);
+    let mut out = Vec::new();
+    for mask in 0u32..(1u32 << n) {
+        if mask.count_ones() as usize > scope.max_missed_cycles {
+            continue;
+        }
+        out.push(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| candidates[i])
+                .collect(),
+        );
+    }
+    out.sort();
+    out
+}
+
+/// Non-decreasing sequences of length `len` over the (sorted) `heard`
+/// cycles.
+fn nondecreasing_sequences(heard: &[Cycle], len: usize) -> Vec<Vec<Cycle>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(len);
+    fn recurse(
+        heard: &[Cycle],
+        len: usize,
+        start: usize,
+        current: &mut Vec<Cycle>,
+        out: &mut Vec<Vec<Cycle>>,
+    ) {
+        if current.len() == len {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..heard.len() {
+            current.push(heard[i]);
+            recurse(heard, len, i, current, out);
+            current.pop();
+        }
+    }
+    recurse(heard, len, 0, &mut current, &mut out);
+    out
+}
+
+/// Ordered tuples of `len` distinct items from `0..items`.
+fn distinct_item_tuples(items: u32, len: usize) -> Vec<Vec<ItemId>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(len);
+    let mut used = vec![false; items as usize];
+    fn recurse(
+        items: u32,
+        len: usize,
+        used: &mut Vec<bool>,
+        current: &mut Vec<ItemId>,
+        out: &mut Vec<Vec<ItemId>>,
+    ) {
+        if current.len() == len {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..items {
+            if used[i as usize] {
+                continue;
+            }
+            used[i as usize] = true;
+            current.push(ItemId::new(i));
+            recurse(items, len, used, current, out);
+            current.pop();
+            used[i as usize] = false;
+        }
+    }
+    recurse(items, len, &mut used, &mut current, &mut out);
+    out
+}
+
+/// All boolean vectors of length `len` when the method caches (air-only
+/// otherwise).
+fn cache_flag_vectors(len: usize, uses_cache: bool) -> Vec<Vec<bool>> {
+    if !uses_cache {
+        return vec![vec![false; len]];
+    }
+    let n = len.min(16);
+    (0u32..(1u32 << n))
+        .map(|mask| (0..n).map(|i| mask & (1 << i) != 0).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_sizes_match_the_ci_scope() {
+        let scope = Scope::ci();
+        assert_eq!(commit_scripts(&scope).len(), 4, "∅, {{0}}, {{1}}, {{0,1}}");
+        assert_eq!(client_choices(&scope, false).len(), 8);
+        assert_eq!(client_choices(&scope, true).len(), 32);
+    }
+
+    #[test]
+    fn broken_fixture_is_caught_and_minimized_at_ci_scope() {
+        let report = check_spec(ProtocolSpec::BrokenInvalidation, &Scope::ci()).unwrap();
+        let v = report.violation.expect("the seeded bug must be found");
+        assert_eq!(v.schedule.commits.len(), 1, "one commit cycle");
+        assert_eq!(v.schedule.commits[0].len(), 1, "one transaction");
+        assert_eq!(v.schedule.reads.len(), 2, "two reads");
+        assert_eq!(v.witness.fresh_writer, v.witness.stale_overwrite);
+    }
+
+    #[test]
+    fn genuine_invalidation_passes_ci_scope() {
+        let report = check_spec(
+            ProtocolSpec::Genuine(bpush_core::Method::InvalidationOnly),
+            &Scope::ci(),
+        )
+        .unwrap();
+        assert!(report.passed(), "{:?}", report.violation);
+        assert!(report.executions >= 32);
+        assert!(report.committed + report.aborted == report.executions);
+        assert!(report.distinct_states > 0);
+    }
+}

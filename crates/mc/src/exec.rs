@@ -1,0 +1,293 @@
+//! Deterministic execution of one bounded schedule against the real
+//! protocol implementations.
+
+use bpush_core::validator::{ConsistencyViolation, ReadRecord, SerializabilityValidator};
+use bpush_core::{
+    AbortReason, ProtocolStep, ReadCandidate, ReadConstraint, ReadDirective, ReadOutcome, Source,
+};
+use bpush_types::{BpushError, Cycle, ItemValue, QueryId};
+
+use crate::fnv64;
+use crate::ground::GroundTruth;
+use crate::schedule::{ReadSpec, Schedule};
+use crate::spec::ProtocolSpec;
+
+/// The outcome of replaying one bounded execution.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Whether the checked query ran to commit.
+    pub committed: bool,
+    /// Why the query aborted, when it did.
+    pub abort: Option<AbortReason>,
+    /// The committed (or partial, on abort) readset, in read order.
+    pub reads: Vec<ReadRecord>,
+    /// The consistency violation found in a committed readset, if any.
+    /// Only populated by [`crate::run_schedule`] (the raw client runner
+    /// leaves it `None`).
+    pub violation: Option<ConsistencyViolation>,
+    /// One canonical state hash per simulated cycle, covering the
+    /// database version vector and the protocol's debug snapshot; used
+    /// by the checker to count distinct explored states.
+    pub state_hashes: Vec<u64>,
+}
+
+/// The client half of a bounded execution (the server half being the
+/// commit script baked into [`GroundTruth`]).
+#[derive(Debug, Clone)]
+pub(crate) struct ClientChoices {
+    pub(crate) begin: Cycle,
+    pub(crate) missed: Vec<Cycle>,
+    pub(crate) reads: Vec<ReadSpec>,
+}
+
+/// Runs one query through `spec`'s protocol over the scripted broadcasts,
+/// feeding every interaction through the [`ProtocolStep`] replay seam so
+/// the transcript is exactly what a serialized counterexample replays.
+pub(crate) fn run_client(
+    spec: ProtocolSpec,
+    choices: &ClientChoices,
+    gt: &GroundTruth,
+) -> Execution {
+    let mut protocol = spec.build();
+    let q = QueryId::new(0);
+    let mut begun = false;
+    let mut finished = false;
+    let mut abort: Option<AbortReason> = None;
+    let mut reads: Vec<ReadRecord> = Vec::new();
+    let mut state_hashes: Vec<u64> = Vec::new();
+    let mut next_read = 0usize;
+
+    for bcast in &gt.bcasts {
+        let now = bcast.cycle();
+        if choices.missed.contains(&now) {
+            protocol.step(&ProtocolStep::MissedCycle(now));
+        } else {
+            protocol.step(&ProtocolStep::Control(bcast.control().clone()));
+        }
+        if now == choices.begin {
+            protocol.step(&ProtocolStep::BeginQuery(q, now));
+            begun = true;
+        }
+        while begun && !finished && choices.reads.get(next_read).is_some_and(|r| r.cycle == now) {
+            let r = choices.reads[next_read];
+            next_read += 1;
+            match protocol.read_directive(q, r.item, now) {
+                ReadDirective::Doom(reason) => {
+                    abort = Some(reason);
+                }
+                ReadDirective::Read(constraint) => {
+                    match candidate_for(gt, bcast, r, constraint, spec) {
+                        None => abort = Some(AbortReason::VersionUnavailable),
+                        Some(candidate) => {
+                            let outcome = protocol.step(&ProtocolStep::ApplyRead {
+                                q,
+                                item: r.item,
+                                candidate,
+                                now,
+                            });
+                            match outcome {
+                                Some(ReadOutcome::Accepted) => {
+                                    reads.push(ReadRecord::new(r.item, candidate.value));
+                                }
+                                Some(ReadOutcome::Rejected(reason)) => abort = Some(reason),
+                                None => abort = Some(AbortReason::VersionUnavailable),
+                            }
+                        }
+                    }
+                }
+            }
+            if abort.is_some() {
+                protocol.step(&ProtocolStep::FinishQuery(q));
+                finished = true;
+            }
+        }
+        state_hashes.push(fnv64(&format!(
+            "{now}|{}|{}|begun={begun} abort={abort:?} reads={reads:?} next={next_read}",
+            gt.version_vector(now),
+            protocol.debug_snapshot(),
+        )));
+    }
+
+    let committed = begun && !finished && next_read == choices.reads.len();
+    if begun && !finished {
+        protocol.step(&ProtocolStep::FinishQuery(q));
+    }
+    Execution {
+        committed,
+        abort,
+        reads,
+        violation: None,
+        state_hashes,
+    }
+}
+
+/// Materializes the value the modelled client offers the protocol for
+/// read `r` under `constraint`.
+///
+/// The candidate's validity interval is *exact ground truth* —
+/// `valid_from` is the value's version and `valid_until` the version of
+/// its overwriter from the server's [`WriteHistory`] — rather than the
+/// conservative bounds a real cache or broadcast listing would carry.
+/// Exact bounds are sound in both directions: they are a superset of any
+/// conservative source (every violation reachable with real bounds is
+/// reachable here), and they are truthful (a protocol that accepts an
+/// exactly-bounded candidate it should reject is genuinely wrong, never a
+/// modelling artifact).
+///
+/// [`WriteHistory`]: bpush_server::WriteHistory
+fn candidate_for(
+    gt: &GroundTruth,
+    bcast: &bpush_broadcast::Bcast,
+    r: ReadSpec,
+    constraint: ReadConstraint,
+    spec: ProtocolSpec,
+) -> Option<ReadCandidate> {
+    let history = gt.server.history();
+    let from_cache = r.from_cache && spec.uses_cache();
+    if constraint.cache_only && !from_cache {
+        return None;
+    }
+    let (value, cache) = if from_cache {
+        // The modelled cache is ideal: it holds whichever committed value
+        // was current at the constrained state (a superset of what any
+        // real autoprefetch cache could hold — see the function docs).
+        let value = history
+            .writes_of(r.item)
+            .iter()
+            .rev()
+            .find(|v| v.version() <= constraint.state)
+            .copied()
+            .unwrap_or_else(ItemValue::initial);
+        (value, true)
+    } else {
+        let current = bcast.current(r.item)?;
+        if current.value().version() <= constraint.state {
+            (current.value(), false)
+        } else {
+            let (_, old) = bcast.best_version_at_most(r.item, constraint.state)?;
+            (old, false)
+        }
+    };
+    let valid_until = history.next_overwrite(r.item, value).map(|v| v.version());
+    let still_current = valid_until.map_or(true, |w| bcast.cycle() < w);
+    let source = match (cache, still_current) {
+        (true, true) => Source::CacheCurrent,
+        (true, false) => Source::CacheOld,
+        (false, true) => Source::BroadcastCurrent,
+        (false, false) => Source::BroadcastOld,
+    };
+    Some(ReadCandidate {
+        value,
+        last_writer_tag: value.writer(),
+        valid_from: value.version(),
+        valid_until,
+        source,
+    })
+}
+
+/// Replays a complete serialized [`Schedule`]: rebuilds the ground truth,
+/// runs the client, and — when the query commits — checks the readset
+/// with [`SerializabilityValidator::check_serializable`], recording any
+/// violation on the returned [`Execution`].
+///
+/// # Errors
+/// Returns [`BpushError`] when the schedule fails validation or the
+/// server configuration it implies is rejected.
+pub fn run_schedule(spec: ProtocolSpec, schedule: &Schedule) -> Result<Execution, BpushError> {
+    schedule
+        .validate()
+        .map_err(|e| BpushError::invalid_config(e.to_string()))?;
+    let gt = GroundTruth::build(
+        spec,
+        schedule.items,
+        schedule.versions,
+        schedule.cycles,
+        &schedule.commits,
+    )?;
+    let choices = ClientChoices {
+        begin: schedule.begin,
+        missed: schedule.missed.clone(),
+        reads: schedule.reads.clone(),
+    };
+    let mut exec = run_client(spec, &choices, &gt);
+    if exec.committed {
+        let validator = SerializabilityValidator::new(gt.server.history());
+        exec.violation = validator
+            .check_serializable(gt.server.conflict_graph(), &exec.reads)
+            .err();
+    }
+    Ok(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpush_core::Method;
+    use bpush_types::ItemId;
+
+    fn boundary_schedule() -> Schedule {
+        Schedule {
+            items: 2,
+            versions: 2,
+            cycles: 2,
+            commits: vec![vec![vec![ItemId::new(0), ItemId::new(1)]]],
+            missed: Vec::new(),
+            begin: Cycle::ZERO,
+            reads: vec![
+                ReadSpec {
+                    item: ItemId::new(0),
+                    cycle: Cycle::ZERO,
+                    from_cache: false,
+                },
+                ReadSpec {
+                    item: ItemId::new(1),
+                    cycle: Cycle::new(1),
+                    from_cache: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn genuine_invalidation_aborts_the_boundary_schedule() {
+        let exec = run_schedule(
+            ProtocolSpec::Genuine(Method::InvalidationOnly),
+            &boundary_schedule(),
+        )
+        .unwrap();
+        assert!(!exec.committed);
+        assert_eq!(exec.abort, Some(AbortReason::Invalidated));
+        assert!(exec.violation.is_none());
+    }
+
+    #[test]
+    fn broken_invalidation_commits_a_torn_readset() {
+        let exec = run_schedule(ProtocolSpec::BrokenInvalidation, &boundary_schedule()).unwrap();
+        assert!(
+            exec.committed,
+            "the seeded bug lets the torn readset commit"
+        );
+        let v = exec
+            .violation
+            .expect("torn readset must violate serializability");
+        assert_eq!(
+            v.fresh_writer, v.stale_overwrite,
+            "one txn plays both roles"
+        );
+        assert_eq!(exec.reads.len(), 2);
+        assert_eq!(exec.state_hashes.len(), 2);
+    }
+
+    #[test]
+    fn quiet_schedule_commits_cleanly_everywhere() {
+        let schedule = Schedule {
+            commits: Vec::new(),
+            ..boundary_schedule()
+        };
+        for spec in ProtocolSpec::genuine() {
+            let exec = run_schedule(spec, &schedule).unwrap();
+            assert!(exec.committed, "{spec}: nothing changed, nothing can abort");
+            assert!(exec.violation.is_none(), "{spec}");
+        }
+    }
+}

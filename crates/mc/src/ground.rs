@@ -1,0 +1,143 @@
+//! Ground truth for a bounded execution: the scripted broadcast server.
+//!
+//! The checker drives a real [`BroadcastServer`] with a
+//! [`ScriptedWorkload`] so that the write history, serialization graph,
+//! control information, and on-air content are exactly the production
+//! artifacts — the model checks the shipped code paths, not a
+//! re-implementation of them.
+
+use bpush_server::{BroadcastServer, ScriptedWorkload};
+use bpush_types::{BpushError, Cycle, ItemId, ServerConfig};
+
+use crate::spec::ProtocolSpec;
+
+/// The server-side truth of one bounded execution: every broadcast cycle
+/// plus the server that produced them (for its [`WriteHistory`] and
+/// conflict graph).
+///
+/// [`WriteHistory`]: bpush_server::WriteHistory
+#[derive(Debug)]
+pub(crate) struct GroundTruth {
+    /// The broadcasts of cycles `0..cycles`, in order.
+    pub(crate) bcasts: Vec<bpush_broadcast::Bcast>,
+    /// The server after the final cycle.
+    pub(crate) server: BroadcastServer,
+    /// Per cycle, the database version vector (latest committed version
+    /// of every item) rendered as a stable string — the server half of
+    /// the checker's canonical state hash.
+    pub(crate) version_vectors: Vec<String>,
+}
+
+impl GroundTruth {
+    /// Runs the scripted commits through a real server.
+    ///
+    /// `commits[c]` holds the write sets of the update transactions
+    /// committed during cycle `c`, in serial order; trailing cycles with
+    /// no entry commit nothing.
+    pub(crate) fn build(
+        spec: ProtocolSpec,
+        items: u32,
+        versions: u32,
+        cycles: u64,
+        commits: &[Vec<Vec<ItemId>>],
+    ) -> Result<GroundTruth, BpushError> {
+        let config = ServerConfig {
+            broadcast_size: items,
+            update_range: items,
+            server_read_range: items,
+            theta: 0.5,
+            offset: 0,
+            txns_per_cycle: 1,
+            updates_per_cycle: 1,
+            versions_retained: versions,
+            report_window: 1,
+            ..ServerConfig::default()
+        };
+        let mut script = commits.to_vec();
+        script.resize(usize::try_from(cycles).unwrap_or(usize::MAX), Vec::new());
+        let mut server = BroadcastServer::new(config, spec.server_options(), 0)?
+            .with_workload(Box::new(ScriptedWorkload::with_transactions(script)));
+        let mut bcasts = Vec::new();
+        let mut version_vectors = Vec::new();
+        for _ in 0..cycles {
+            let bcast = server.run_cycle();
+            version_vectors.push(render_version_vector(&server, items));
+            bcasts.push(bcast);
+        }
+        Ok(GroundTruth {
+            bcasts,
+            server,
+            version_vectors,
+        })
+    }
+
+    /// The database version vector in force during `cycle`.
+    pub(crate) fn version_vector(&self, cycle: Cycle) -> &str {
+        let i = usize::try_from(cycle.number()).unwrap_or(usize::MAX);
+        self.version_vectors.get(i).map_or("", String::as_str)
+    }
+}
+
+/// Renders the latest committed version of every item, e.g.
+/// `[0:T0.0@1, 1:init, 2:T1.0@2]`.
+fn render_version_vector(server: &BroadcastServer, items: u32) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for i in 0..items {
+        let item = ItemId::new(i);
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match server
+            .history()
+            .writes_of(item)
+            .last()
+            .and_then(|v| v.writer().map(|w| (w, v.version())))
+        {
+            Some((writer, version)) => {
+                let _ = write!(out, "{i}:{writer}@{}", version.number());
+            }
+            None => {
+                let _ = write!(out, "{i}:init");
+            }
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpush_core::Method;
+
+    #[test]
+    fn scripted_commits_reach_history_and_air() {
+        let commits = vec![vec![vec![ItemId::new(0), ItemId::new(1)]]];
+        let gt = GroundTruth::build(
+            ProtocolSpec::Genuine(Method::InvalidationOnly),
+            2,
+            2,
+            2,
+            &commits,
+        )
+        .unwrap();
+        assert_eq!(gt.bcasts.len(), 2);
+        assert_eq!(gt.bcasts[1].cycle(), Cycle::new(1));
+        // The cycle-0 transaction wrote both items; their committed
+        // versions appear in the history and the cycle-1 vector.
+        assert_eq!(gt.server.history().writes_of(ItemId::new(0)).len(), 1);
+        assert!(gt.version_vector(Cycle::ZERO).contains("0:T"));
+        assert_eq!(
+            gt.version_vector(Cycle::ZERO),
+            gt.version_vector(Cycle::new(1))
+        );
+        assert_eq!(gt.version_vector(Cycle::new(9)), "");
+    }
+
+    #[test]
+    fn empty_script_keeps_items_initial() {
+        let gt = GroundTruth::build(ProtocolSpec::BrokenInvalidation, 2, 2, 1, &[]).unwrap();
+        assert_eq!(gt.version_vector(Cycle::ZERO), "[0:init, 1:init]");
+    }
+}

@@ -1,0 +1,165 @@
+//! Greedy delta-debugging of violating schedules.
+
+use bpush_types::BpushError;
+
+use crate::exec::run_schedule;
+use crate::schedule::Schedule;
+use crate::spec::ProtocolSpec;
+
+/// Shrinks a violating schedule to a locally minimal one: repeatedly
+/// drops whole update transactions, individual writes, reads, and missed
+/// cycles — keeping each deletion only if the shrunk schedule still
+/// violates — until a fixpoint. Deterministic: candidates are tried in a
+/// fixed order, so the same input always minimizes to the same
+/// counterexample.
+///
+/// If `schedule` does not violate to begin with, it is returned
+/// unchanged.
+///
+/// # Errors
+/// Returns [`BpushError`] only if a shrink candidate unexpectedly fails
+/// to execute (all candidates preserve the schedule invariants by
+/// construction).
+pub fn minimize(spec: ProtocolSpec, schedule: &Schedule) -> Result<Schedule, BpushError> {
+    let mut best = schedule.clone();
+    if !violates(spec, &best)? {
+        return Ok(best);
+    }
+    loop {
+        let mut shrunk = false;
+        for candidate in shrink_candidates(&best) {
+            if candidate.validate().is_err() {
+                continue;
+            }
+            if violates(spec, &candidate)? {
+                best = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return Ok(best);
+        }
+    }
+}
+
+fn violates(spec: ProtocolSpec, schedule: &Schedule) -> Result<bool, BpushError> {
+    Ok(run_schedule(spec, schedule)?.violation.is_some())
+}
+
+/// Every one-step shrink of `schedule`, most aggressive first (whole
+/// transactions before single writes, structure before choices).
+fn shrink_candidates(schedule: &Schedule) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    // Drop a whole update transaction.
+    for c in 0..schedule.commits.len() {
+        for t in 0..schedule.commits[c].len() {
+            let mut s = schedule.clone();
+            s.commits[c].remove(t);
+            trim_commits(&mut s);
+            out.push(s);
+        }
+    }
+    // Drop a single write from a transaction (removing it entirely when
+    // its write set empties).
+    for c in 0..schedule.commits.len() {
+        for t in 0..schedule.commits[c].len() {
+            for w in 0..schedule.commits[c][t].len() {
+                let mut s = schedule.clone();
+                s.commits[c][t].remove(w);
+                if s.commits[c][t].is_empty() {
+                    s.commits[c].remove(t);
+                }
+                trim_commits(&mut s);
+                out.push(s);
+            }
+        }
+    }
+    // Drop a read.
+    for r in 0..schedule.reads.len() {
+        let mut s = schedule.clone();
+        s.reads.remove(r);
+        out.push(s);
+    }
+    // Hear a previously missed cycle.
+    for m in 0..schedule.missed.len() {
+        let mut s = schedule.clone();
+        s.missed.remove(m);
+        out.push(s);
+    }
+    out
+}
+
+fn trim_commits(s: &mut Schedule) {
+    while s.commits.last().is_some_and(Vec::is_empty) {
+        s.commits.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ReadSpec;
+    use bpush_types::{Cycle, ItemId};
+
+    #[test]
+    fn minimizes_a_padded_violation_to_the_core() {
+        // The boundary violation plus noise: an extra unrelated commit on
+        // cycle 1 and an extra read of item 0.
+        let padded = Schedule {
+            items: 3,
+            versions: 2,
+            cycles: 3,
+            commits: vec![
+                vec![vec![ItemId::new(0), ItemId::new(1)]],
+                vec![vec![ItemId::new(2)]],
+            ],
+            missed: Vec::new(),
+            begin: Cycle::ZERO,
+            reads: vec![
+                ReadSpec {
+                    item: ItemId::new(0),
+                    cycle: Cycle::ZERO,
+                    from_cache: false,
+                },
+                ReadSpec {
+                    item: ItemId::new(2),
+                    cycle: Cycle::ZERO,
+                    from_cache: false,
+                },
+                ReadSpec {
+                    item: ItemId::new(1),
+                    cycle: Cycle::new(1),
+                    from_cache: false,
+                },
+            ],
+        };
+        let min = minimize(ProtocolSpec::BrokenInvalidation, &padded).unwrap();
+        assert_eq!(
+            min.commits,
+            vec![vec![vec![ItemId::new(0), ItemId::new(1)]]]
+        );
+        assert_eq!(min.reads.len(), 2, "the noise read is shrunk away");
+        assert!(run_schedule(ProtocolSpec::BrokenInvalidation, &min)
+            .unwrap()
+            .violation
+            .is_some());
+    }
+
+    #[test]
+    fn non_violating_schedules_pass_through() {
+        let quiet = Schedule {
+            items: 2,
+            versions: 2,
+            cycles: 1,
+            commits: Vec::new(),
+            missed: Vec::new(),
+            begin: Cycle::ZERO,
+            reads: Vec::new(),
+        };
+        assert_eq!(
+            minimize(ProtocolSpec::BrokenInvalidation, &quiet).unwrap(),
+            quiet
+        );
+    }
+}

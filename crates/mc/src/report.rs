@@ -1,0 +1,173 @@
+//! Human- and machine-readable rendering of checker results.
+
+use std::fmt::Write as _;
+
+use crate::checker::McReport;
+use crate::scope::Scope;
+
+/// Renders a run's reports as an aligned text table with a per-protocol
+/// verdict, the format `cargo xtask mc` prints by default.
+pub fn render_text(scope: &Scope, reports: &[McReport]) -> String {
+    let mut out = String::new();
+    let scope_name = scope.preset_name().unwrap_or("custom");
+    let _ = writeln!(
+        out,
+        "model check: scope {scope_name} ({} items, {} cycles, {} reads/query)",
+        scope.items, scope.cycles, scope.reads_per_query
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>10} {:>10} {:>10}  verdict",
+        "protocol", "executions", "committed", "aborted", "states"
+    );
+    for r in reports {
+        let verdict = if r.passed() { "pass" } else { "VIOLATION" };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>10} {:>10} {:>10}  {verdict}",
+            r.spec.name(),
+            r.executions,
+            r.committed,
+            r.aborted,
+            r.distinct_states
+        );
+        if let Some(v) = &r.violation {
+            let _ = writeln!(out, "  witness: {}", v.witness);
+            for line in v.schedule.render(r.spec).lines() {
+                let _ = writeln!(out, "  | {line}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders a run's reports as a single JSON object for CI annotation.
+///
+/// Schema (stable; checked by `tests/json_schema.rs` in `crates/xtask`):
+///
+/// ```json
+/// {
+///   "scope": "ci",
+///   "passed": true,
+///   "reports": [
+///     {
+///       "protocol": "inv-only",
+///       "executions": 32,
+///       "committed": 20,
+///       "aborted": 12,
+///       "distinct_states": 40,
+///       "deduped_validations": 3,
+///       "violation": null
+///     }
+///   ]
+/// }
+/// ```
+///
+/// A non-null `violation` is an object with string fields
+/// `fresh_writer`, `stale_overwrite`, and `schedule` (the serialized
+/// `mc-schedule v1` text).
+pub fn render_json(scope: &Scope, reports: &[McReport]) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"scope\":{},\"passed\":{},\"reports\":[",
+        json_string(scope.preset_name().unwrap_or("custom")),
+        reports.iter().all(McReport::passed)
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"protocol\":{},\"executions\":{},\"committed\":{},\"aborted\":{},\"distinct_states\":{},\"deduped_validations\":{},\"violation\":",
+            json_string(r.spec.name()),
+            r.executions,
+            r.committed,
+            r.aborted,
+            r.distinct_states,
+            r.deduped_validations
+        );
+        match &r.violation {
+            None => out.push_str("null"),
+            Some(v) => {
+                let _ = write!(
+                    out,
+                    "{{\"fresh_writer\":{},\"stale_overwrite\":{},\"schedule\":{}}}",
+                    json_string(&v.witness.fresh_writer.to_string()),
+                    json_string(&v.witness.stale_overwrite.to_string()),
+                    json_string(&v.schedule.render(r.spec))
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_spec;
+    use crate::spec::ProtocolSpec;
+
+    #[test]
+    fn text_report_names_the_verdict() {
+        let scope = Scope::ci();
+        let reports = vec![
+            check_spec(
+                ProtocolSpec::Genuine(bpush_core::Method::InvalidationOnly),
+                &scope,
+            )
+            .unwrap(),
+            check_spec(ProtocolSpec::BrokenInvalidation, &scope).unwrap(),
+        ];
+        let text = render_text(&scope, &reports);
+        assert!(text.contains("inv-only"));
+        assert!(text.contains("pass"));
+        assert!(text.contains("VIOLATION"));
+        assert!(
+            text.contains("| mc-schedule v1"),
+            "counterexample is inlined:\n{text}"
+        );
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let scope = Scope::ci();
+        let reports = vec![check_spec(ProtocolSpec::BrokenInvalidation, &scope).unwrap()];
+        let json = render_json(&scope, &reports);
+        assert!(json.starts_with("{\"scope\":\"ci\",\"passed\":false,"));
+        assert!(json.contains("\"protocol\":\"broken-invalidation\""));
+        assert!(json.contains("\"schedule\":\"mc-schedule v1\\n"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn json_strings_escape_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,343 @@
+//! Replayable bounded executions and their text serialization.
+
+use std::fmt;
+
+use bpush_types::{Cycle, ItemId};
+
+use crate::spec::ProtocolSpec;
+
+/// One read attempt of the checked query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadSpec {
+    /// The item read.
+    pub item: ItemId,
+    /// The cycle during which the read happens (a heard cycle at or after
+    /// [`Schedule::begin`]).
+    pub cycle: Cycle,
+    /// Whether the model offers the ground-truth cache entry for the
+    /// constrained state (`true`) or an on-air version (`false`).
+    pub from_cache: bool,
+}
+
+/// A complete bounded execution: the server's scripted commits plus every
+/// client-side choice. Deterministically replayable via
+/// [`crate::run_schedule`]; serialized with [`Schedule::render`] and
+/// re-read with [`Schedule::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Database/broadcast size (item ids `0..items`).
+    pub items: u32,
+    /// Old versions the server retains in multiversion mode.
+    pub versions: u32,
+    /// Number of broadcast cycles simulated.
+    pub cycles: u64,
+    /// Per cycle, the write sets of its committed update transactions in
+    /// serial order (index = cycle number; may be shorter than `cycles`).
+    pub commits: Vec<Vec<Vec<ItemId>>>,
+    /// The cycles the client misses entirely, ascending.
+    pub missed: Vec<Cycle>,
+    /// The cycle at which the query begins (must be heard).
+    pub begin: Cycle,
+    /// The query's reads, in order, at non-decreasing cycles.
+    pub reads: Vec<ReadSpec>,
+}
+
+/// A schedule that failed parsing or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError(String);
+
+impl ScheduleError {
+    fn new(msg: impl Into<String>) -> Self {
+        ScheduleError(msg.into())
+    }
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid mc schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Checks the internal invariants replay relies on.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError`] when any bound or ordering constraint is
+    /// broken (cycles out of range, reads before `begin` or during missed
+    /// cycles, descending read cycles, items outside the universe).
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        if self.items == 0 || self.cycles == 0 {
+            return Err(ScheduleError::new("items and cycles must be positive"));
+        }
+        if self.commits.len() as u64 > self.cycles {
+            return Err(ScheduleError::new("more commit cycles than the horizon"));
+        }
+        for (c, txns) in self.commits.iter().enumerate() {
+            for writes in txns {
+                if writes.is_empty() {
+                    return Err(ScheduleError::new(format!("empty write set at cycle {c}")));
+                }
+                if let Some(x) = writes.iter().find(|x| x.index() >= self.items) {
+                    return Err(ScheduleError::new(format!(
+                        "write of out-of-range item {x:?}"
+                    )));
+                }
+            }
+        }
+        if self.missed.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ScheduleError::new(
+                "missed cycles must be strictly ascending",
+            ));
+        }
+        if let Some(m) = self.missed.iter().find(|m| m.number() >= self.cycles) {
+            return Err(ScheduleError::new(format!(
+                "missed cycle {m} outside the horizon"
+            )));
+        }
+        if self.begin.number() >= self.cycles {
+            return Err(ScheduleError::new("begin cycle outside the horizon"));
+        }
+        if self.missed.contains(&self.begin) {
+            return Err(ScheduleError::new(
+                "query cannot begin during a missed cycle",
+            ));
+        }
+        let mut prev = self.begin;
+        for r in &self.reads {
+            if r.item.index() >= self.items {
+                return Err(ScheduleError::new(format!(
+                    "read of out-of-range item {:?}",
+                    r.item
+                )));
+            }
+            if r.cycle < prev {
+                return Err(ScheduleError::new(
+                    "read cycles must be non-decreasing from begin",
+                ));
+            }
+            if r.cycle.number() >= self.cycles {
+                return Err(ScheduleError::new("read cycle outside the horizon"));
+            }
+            if self.missed.contains(&r.cycle) {
+                return Err(ScheduleError::new(format!(
+                    "read during missed cycle {}",
+                    r.cycle
+                )));
+            }
+            prev = r.cycle;
+        }
+        Ok(())
+    }
+
+    /// Serializes the schedule (with the protocol it exercises) into the
+    /// replayable `mc-schedule v1` text format.
+    pub fn render(&self, spec: ProtocolSpec) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "mc-schedule v1");
+        let _ = writeln!(out, "protocol {}", spec.name());
+        let _ = writeln!(out, "items {}", self.items);
+        let _ = writeln!(out, "versions {}", self.versions);
+        let _ = writeln!(out, "cycles {}", self.cycles);
+        for (c, txns) in self.commits.iter().enumerate() {
+            for writes in txns {
+                let _ = write!(out, "commit {c}");
+                for x in writes {
+                    let _ = write!(out, " {}", x.index());
+                }
+                let _ = writeln!(out);
+            }
+        }
+        for m in &self.missed {
+            let _ = writeln!(out, "miss {}", m.number());
+        }
+        let _ = writeln!(out, "begin {}", self.begin.number());
+        for r in &self.reads {
+            let _ = writeln!(
+                out,
+                "read {} @{} {}",
+                r.item.index(),
+                r.cycle.number(),
+                if r.from_cache { "cache" } else { "air" }
+            );
+        }
+        out
+    }
+
+    /// Parses the `mc-schedule v1` text format back into the protocol and
+    /// schedule it encodes, validating the result.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError`] on any malformed line or broken
+    /// invariant.
+    pub fn parse(text: &str) -> Result<(ProtocolSpec, Schedule), ScheduleError> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        if lines.next() != Some("mc-schedule v1") {
+            return Err(ScheduleError::new("missing `mc-schedule v1` header"));
+        }
+        let mut spec: Option<ProtocolSpec> = None;
+        let mut items: Option<u32> = None;
+        let mut versions: Option<u32> = None;
+        let mut cycles: Option<u64> = None;
+        let mut commits: Vec<Vec<Vec<ItemId>>> = Vec::new();
+        let mut missed: Vec<Cycle> = Vec::new();
+        let mut begin: Option<Cycle> = None;
+        let mut reads: Vec<ReadSpec> = Vec::new();
+        for line in lines {
+            let mut words = line.split_whitespace();
+            let key = words.next().unwrap_or_default();
+            match key {
+                "protocol" => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| ScheduleError::new("protocol needs a name"))?;
+                    spec =
+                        Some(ProtocolSpec::parse(name).ok_or_else(|| {
+                            ScheduleError::new(format!("unknown protocol `{name}`"))
+                        })?);
+                }
+                "items" => items = Some(parse_num(words.next(), "items")?),
+                "versions" => versions = Some(parse_num(words.next(), "versions")?),
+                "cycles" => cycles = Some(parse_num(words.next(), "cycles")?),
+                "commit" => {
+                    let c: usize = parse_num(words.next(), "commit cycle")?;
+                    let writes: Vec<ItemId> = words
+                        .map(|w| parse_num(Some(w), "commit item").map(ItemId::new))
+                        .collect::<Result<_, _>>()?;
+                    if commits.len() <= c {
+                        commits.resize(c + 1, Vec::new());
+                    }
+                    commits[c].push(writes);
+                }
+                "miss" => missed.push(Cycle::new(parse_num(words.next(), "miss cycle")?)),
+                "begin" => begin = Some(Cycle::new(parse_num(words.next(), "begin cycle")?)),
+                "read" => {
+                    let item = ItemId::new(parse_num(words.next(), "read item")?);
+                    let at = words
+                        .next()
+                        .ok_or_else(|| ScheduleError::new("read needs @cycle"))?;
+                    let cycle = Cycle::new(parse_num(at.strip_prefix('@'), "read cycle")?);
+                    let from_cache = match words.next() {
+                        Some("cache") => true,
+                        Some("air") | None => false,
+                        Some(other) => {
+                            return Err(ScheduleError::new(format!(
+                                "unknown read source `{other}`"
+                            )))
+                        }
+                    };
+                    reads.push(ReadSpec {
+                        item,
+                        cycle,
+                        from_cache,
+                    });
+                }
+                other => return Err(ScheduleError::new(format!("unknown directive `{other}`"))),
+            }
+        }
+        let spec = spec.ok_or_else(|| ScheduleError::new("missing protocol line"))?;
+        let schedule = Schedule {
+            items: items.ok_or_else(|| ScheduleError::new("missing items line"))?,
+            versions: versions.ok_or_else(|| ScheduleError::new("missing versions line"))?,
+            cycles: cycles.ok_or_else(|| ScheduleError::new("missing cycles line"))?,
+            commits,
+            missed,
+            begin: begin.ok_or_else(|| ScheduleError::new("missing begin line"))?,
+            reads,
+        };
+        schedule.validate()?;
+        Ok((spec, schedule))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(word: Option<&str>, what: &str) -> Result<T, ScheduleError> {
+    word.ok_or_else(|| ScheduleError::new(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ScheduleError::new(format!("malformed {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule {
+            items: 2,
+            versions: 2,
+            cycles: 2,
+            commits: vec![vec![vec![ItemId::new(0), ItemId::new(1)]]],
+            missed: Vec::new(),
+            begin: Cycle::ZERO,
+            reads: vec![
+                ReadSpec {
+                    item: ItemId::new(0),
+                    cycle: Cycle::ZERO,
+                    from_cache: false,
+                },
+                ReadSpec {
+                    item: ItemId::new(1),
+                    cycle: Cycle::new(1),
+                    from_cache: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let s = sample();
+        let text = s.render(ProtocolSpec::BrokenInvalidation);
+        assert!(text.starts_with("mc-schedule v1\nprotocol broken-invalidation\n"));
+        assert!(text.contains("commit 0 0 1\n"));
+        assert!(text.contains("read 1 @1 cache\n"));
+        let (spec, parsed) = Schedule::parse(&text).unwrap();
+        assert_eq!(spec, ProtocolSpec::BrokenInvalidation);
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "mc-schedule v1\n# a counterexample\nprotocol inv-only\n\nitems 2\nversions 2\ncycles 1\nbegin 0\n";
+        let (spec, s) = Schedule::parse(text).unwrap();
+        assert_eq!(spec.name(), "inv-only");
+        assert!(s.reads.is_empty());
+        assert!(s.commits.is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_broken_invariants() {
+        let mut s = sample();
+        s.reads[1].cycle = Cycle::new(7);
+        assert!(s.validate().is_err(), "read outside horizon");
+
+        let mut s = sample();
+        s.missed = vec![Cycle::ZERO];
+        assert!(s.validate().is_err(), "begin during missed cycle");
+
+        let mut s = sample();
+        s.reads.swap(0, 1);
+        assert!(s.validate().is_err(), "descending read cycles");
+
+        let mut s = sample();
+        s.commits[0][0].push(ItemId::new(9));
+        assert!(s.validate().is_err(), "write outside the item universe");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Schedule::parse("not a schedule").is_err());
+        assert!(Schedule::parse("mc-schedule v1\nprotocol nope\n").is_err());
+        assert!(
+            Schedule::parse("mc-schedule v1\nitems 2\nversions 2\ncycles 1\nbegin 0\n")
+                .unwrap_err()
+                .to_string()
+                .contains("protocol")
+        );
+        assert!(Schedule::parse("mc-schedule v1\nprotocol sgt\nitems 2\nversions 2\ncycles 1\nbegin 0\nread 0 0 air\n").is_err(), "read cycle needs @");
+    }
+}

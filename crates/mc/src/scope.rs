@@ -1,0 +1,149 @@
+//! Bounds of the exhaustively explored execution space.
+
+use bpush_types::ItemId;
+
+/// The small-scope bounds the checker enumerates exhaustively.
+///
+/// Every bounded execution varies, within these bounds:
+///
+/// * the update transactions committed per cycle (which write sets, in
+///   which serial order),
+/// * the cycles the client misses entirely (doze intervals),
+/// * the cycle at which the query begins,
+/// * the item and cycle of every read, and
+/// * whether each read is offered a cache hit or an on-air version.
+///
+/// Two deliberate economies keep the space small without losing
+/// violations:
+///
+/// * commits are enumerated only for the first `cycles − 1` cycles — a
+///   transaction committed during the final cycle becomes visible after
+///   the horizon, so no read can observe it and no readset edge can
+///   involve it;
+/// * missed cycles are enumerated only *after* the query begins — with a
+///   single checked query, a miss before `begin` influences nothing the
+///   query can observe (controls heard while no query is active only
+///   advance per-protocol bookkeeping that `begin_query` resets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scope {
+    /// Number of database items (ids `0..items`); also the broadcast size.
+    pub items: u32,
+    /// Broadcast horizon: cycles `0..cycles` are simulated.
+    pub cycles: u64,
+    /// Maximum update transactions committed per cycle.
+    pub max_txns_per_cycle: usize,
+    /// Maximum writes per update transaction.
+    pub max_writes_per_txn: usize,
+    /// Reads performed by the checked query.
+    pub reads_per_query: usize,
+    /// Maximum broadcast cycles the client may miss (doze intervals).
+    pub max_missed_cycles: usize,
+    /// Old versions the server retains in multiversion mode.
+    pub versions_retained: u32,
+}
+
+impl Scope {
+    /// The sub-second scope CI runs on every push: two items, two cycles,
+    /// one transaction per cycle. Small, but still large enough for the
+    /// seeded [`crate::BrokenInvalidation`] fixture to be caught.
+    pub fn ci() -> Self {
+        Scope {
+            items: 2,
+            cycles: 2,
+            max_txns_per_cycle: 1,
+            max_writes_per_txn: 2,
+            reads_per_query: 2,
+            max_missed_cycles: 0,
+            versions_retained: 2,
+        }
+    }
+
+    /// Parses a scope preset name (`"ci"` or `"default"`).
+    pub fn parse(name: &str) -> Option<Scope> {
+        match name {
+            "ci" => Some(Scope::ci()),
+            "default" => Some(Scope::default()),
+            _ => None,
+        }
+    }
+
+    /// The preset's name, if this scope equals one.
+    pub fn preset_name(&self) -> Option<&'static str> {
+        if *self == Scope::ci() {
+            Some("ci")
+        } else if *self == Scope::default() {
+            Some("default")
+        } else {
+            None
+        }
+    }
+
+    /// All candidate transaction write sets: the non-empty subsets of the
+    /// item universe with at most `max_writes_per_txn` items, ordered by
+    /// size then contents.
+    pub(crate) fn write_sets(&self) -> Vec<Vec<ItemId>> {
+        let n = self.items.min(16);
+        let mut sets: Vec<Vec<ItemId>> = Vec::new();
+        for mask in 1u32..(1u32 << n) {
+            if mask.count_ones() as usize > self.max_writes_per_txn {
+                continue;
+            }
+            let set: Vec<ItemId> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(ItemId::new)
+                .collect();
+            sets.push(set);
+        }
+        sets.sort_by(|a, b| (a.len(), a.as_slice()).cmp(&(b.len(), b.as_slice())));
+        sets
+    }
+}
+
+impl Default for Scope {
+    /// The default exhaustive scope of `cargo xtask mc`: three items over
+    /// three cycles, up to two update transactions per cycle, queries of
+    /// two reads, and up to one doze interval.
+    fn default() -> Self {
+        Scope {
+            items: 3,
+            cycles: 3,
+            max_txns_per_cycle: 2,
+            max_writes_per_txn: 2,
+            reads_per_query: 2,
+            max_missed_cycles: 1,
+            versions_retained: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_and_name() {
+        assert_eq!(Scope::parse("ci"), Some(Scope::ci()));
+        assert_eq!(Scope::parse("default"), Some(Scope::default()));
+        assert_eq!(Scope::parse("huge"), None);
+        assert_eq!(Scope::ci().preset_name(), Some("ci"));
+        assert_eq!(Scope::default().preset_name(), Some("default"));
+        let odd = Scope {
+            items: 9,
+            ..Scope::ci()
+        };
+        assert_eq!(odd.preset_name(), None);
+    }
+
+    #[test]
+    fn write_sets_are_bounded_subsets() {
+        let sets = Scope::default().write_sets();
+        // 3 singletons + 3 pairs out of 3 items
+        assert_eq!(sets.len(), 6);
+        assert!(sets.iter().all(|s| !s.is_empty() && s.len() <= 2));
+        assert_eq!(sets[0], vec![ItemId::new(0)]);
+        assert_eq!(sets[5], vec![ItemId::new(1), ItemId::new(2)]);
+
+        let ci = Scope::ci().write_sets();
+        assert_eq!(ci.len(), 3, "{{0}}, {{1}}, {{0,1}}");
+    }
+}

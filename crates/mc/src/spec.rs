@@ -1,0 +1,120 @@
+//! The protocols the checker can drive.
+
+use std::fmt;
+
+use bpush_core::{Method, ReadOnlyProtocol};
+use bpush_server::ServerOptions;
+use bpush_types::config::MultiversionLayout;
+
+use crate::broken::BrokenInvalidation;
+
+/// A protocol under test: a genuine shipped method, or the deliberately
+/// broken fixture used to prove the checker can find bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// A genuine shipped method.
+    Genuine(Method),
+    /// The §3.1 invalidation-only method with its staleness comparison
+    /// off by one cycle (see [`BrokenInvalidation`]): it misses
+    /// invalidations of items updated exactly at the query's verified
+    /// state and therefore commits torn readsets.
+    BrokenInvalidation,
+}
+
+impl ProtocolSpec {
+    /// Every genuine method: [`Method::ALL`] plus the
+    /// disconnection-enhanced SGT variant, which is excluded from `ALL`
+    /// but ships all the same.
+    pub fn genuine() -> Vec<ProtocolSpec> {
+        Method::ALL
+            .iter()
+            .copied()
+            .chain([Method::SgtVersionedItems])
+            .map(ProtocolSpec::Genuine)
+            .collect()
+    }
+
+    /// The spec's stable name, usable with [`ProtocolSpec::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolSpec::Genuine(m) => m.name(),
+            ProtocolSpec::BrokenInvalidation => "broken-invalidation",
+        }
+    }
+
+    /// Resolves a stable name back to the spec.
+    pub fn parse(name: &str) -> Option<ProtocolSpec> {
+        if name == "broken-invalidation" {
+            return Some(ProtocolSpec::BrokenInvalidation);
+        }
+        Method::ALL
+            .iter()
+            .copied()
+            .chain([Method::SgtVersionedItems])
+            .find(|m| m.name() == name)
+            .map(ProtocolSpec::Genuine)
+    }
+
+    /// A fresh client-side protocol instance.
+    pub fn build(self) -> Box<dyn ReadOnlyProtocol> {
+        match self {
+            ProtocolSpec::Genuine(m) => m.build_protocol(),
+            ProtocolSpec::BrokenInvalidation => Box::new(BrokenInvalidation::new()),
+        }
+    }
+
+    /// The server-side support the protocol needs.
+    pub fn server_options(self) -> ServerOptions {
+        match self {
+            ProtocolSpec::Genuine(m) => m.server_options(MultiversionLayout::Overflow),
+            ProtocolSpec::BrokenInvalidation => ServerOptions::plain(),
+        }
+    }
+
+    /// Whether the method reads through a client cache (and the checker
+    /// must therefore enumerate cache-hit/miss choices).
+    pub fn uses_cache(self) -> bool {
+        match self {
+            ProtocolSpec::Genuine(m) => m.uses_cache(),
+            ProtocolSpec::BrokenInvalidation => false,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genuine_covers_all_eight_methods() {
+        let specs = ProtocolSpec::genuine();
+        assert_eq!(specs.len(), 8, "Method::ALL plus SgtVersionedItems");
+        assert!(specs.contains(&ProtocolSpec::Genuine(Method::SgtVersionedItems)));
+        assert!(!specs.contains(&ProtocolSpec::BrokenInvalidation));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for spec in ProtocolSpec::genuine()
+            .into_iter()
+            .chain([ProtocolSpec::BrokenInvalidation])
+        {
+            assert_eq!(ProtocolSpec::parse(spec.name()), Some(spec), "{spec}");
+        }
+        assert_eq!(ProtocolSpec::parse("no-such-protocol"), None);
+    }
+
+    #[test]
+    fn broken_fixture_builds_and_is_cacheless() {
+        let spec = ProtocolSpec::BrokenInvalidation;
+        assert!(!spec.uses_cache());
+        assert_eq!(spec.build().name(), "broken-invalidation");
+        assert!(!spec.server_options().sgt_info);
+    }
+}

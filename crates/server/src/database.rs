@@ -153,7 +153,7 @@ impl MultiversionStore {
         self.versions
             .iter()
             .enumerate()
-            // lint: allow(panic) — every chain is seeded with the initial value at construction
+            // lint: allow(panic, casts) — every chain is seeded with the initial value at construction; the item count is bounded by broadcast_size: u32
             .map(|(i, chain)| (ItemId::new(i as u32), *chain.last().expect("nonempty")))
     }
 

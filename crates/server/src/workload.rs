@@ -20,15 +20,18 @@ pub trait WorkloadSource: std::fmt::Debug + Send {
     fn generate_cycle(&mut self, cycle: Cycle) -> Vec<ServerTxn>;
 }
 
-/// Replays a fixed per-cycle script of update sets; cycles beyond the
-/// script commit nothing. Each scripted cycle becomes one transaction
-/// writing (and reading) exactly the listed items.
+/// Replays a fixed per-cycle script of update transactions; cycles beyond
+/// the script commit nothing. Each scripted transaction writes (and
+/// reads) exactly the listed items, so the server's resulting
+/// [`crate::WriteHistory`] is a deterministic function of the script —
+/// the construction the `bpush-mc` model checker enumerates over.
 ///
 /// # Example
 /// ```
 /// use bpush_server::{ScriptedWorkload, WorkloadSource};
 /// use bpush_types::{Cycle, ItemId};
 ///
+/// // One transaction per cycle:
 /// let mut w = ScriptedWorkload::new(vec![
 ///     vec![ItemId::new(1), ItemId::new(2)],
 ///     vec![],
@@ -38,15 +41,40 @@ pub trait WorkloadSource: std::fmt::Debug + Send {
 /// assert!(w.generate_cycle(Cycle::new(1)).is_empty());
 /// assert_eq!(w.generate_cycle(Cycle::new(2))[0].writes().len(), 1);
 /// assert!(w.generate_cycle(Cycle::new(3)).is_empty(), "script exhausted");
+///
+/// // Several transactions per cycle, in serial order:
+/// let mut w = ScriptedWorkload::with_transactions(vec![vec![
+///     vec![ItemId::new(1)],
+///     vec![ItemId::new(2), ItemId::new(3)],
+/// ]]);
+/// let txns = w.generate_cycle(Cycle::new(0));
+/// assert_eq!(txns.len(), 2);
+/// assert_eq!(txns[1].writes().len(), 2);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ScriptedWorkload {
-    script: Vec<Vec<ItemId>>,
+    /// Per cycle, the write sets of that cycle's transactions in serial
+    /// order (empty write sets are dropped).
+    script: Vec<Vec<Vec<ItemId>>>,
 }
 
 impl ScriptedWorkload {
-    /// Creates the workload from per-cycle update sets.
+    /// Creates the workload from per-cycle update sets, one transaction
+    /// per non-empty cycle.
     pub fn new(script: Vec<Vec<ItemId>>) -> Self {
+        ScriptedWorkload::with_transactions(script.into_iter().map(|w| vec![w]).collect())
+    }
+
+    /// Creates the workload from per-cycle *transaction* scripts: for
+    /// each cycle, the write sets of the transactions committed during
+    /// it, in serial order. Empty write sets are skipped so transaction
+    /// sequence numbers stay contiguous from 0 as the
+    /// [`WorkloadSource`] contract requires.
+    pub fn with_transactions(script: Vec<Vec<Vec<ItemId>>>) -> Self {
+        let script = script
+            .into_iter()
+            .map(|txns| txns.into_iter().filter(|w| !w.is_empty()).collect())
+            .collect();
         ScriptedWorkload { script }
     }
 
@@ -63,12 +91,19 @@ impl ScriptedWorkload {
 
 impl WorkloadSource for ScriptedWorkload {
     fn generate_cycle(&mut self, cycle: Cycle) -> Vec<ServerTxn> {
-        let writes = match self.script.get(cycle.number() as usize) {
-            Some(w) if !w.is_empty() => w.clone(),
-            _ => return Vec::new(),
+        let Ok(idx) = usize::try_from(cycle.number()) else {
+            return Vec::new();
         };
-        let reads = writes.clone();
-        vec![ServerTxn::new(TxnId::new(cycle, 0), reads, writes)]
+        let txns = match self.script.get(idx) {
+            Some(t) => t,
+            None => return Vec::new(),
+        };
+        txns.iter()
+            .zip(0u32..)
+            .map(|(writes, seq)| {
+                ServerTxn::new(TxnId::new(cycle, seq), writes.clone(), writes.clone())
+            })
+            .collect()
     }
 }
 
@@ -258,6 +293,27 @@ mod tests {
         let mut a = WorkloadGenerator::new(&config(), 9).unwrap();
         let mut b = WorkloadGenerator::new(&config(), 9).unwrap();
         assert_eq!(a.generate_cycle(Cycle::ZERO), b.generate_cycle(Cycle::ZERO));
+    }
+
+    #[test]
+    fn scripted_multi_txn_cycles_keep_serial_order() {
+        let x = ItemId::new;
+        let mut w = ScriptedWorkload::with_transactions(vec![
+            vec![vec![x(0)], vec![], vec![x(1), x(2)]],
+            vec![],
+            vec![vec![x(0)]],
+        ]);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        let c0 = w.generate_cycle(Cycle::ZERO);
+        assert_eq!(c0.len(), 2, "empty write sets are dropped");
+        assert_eq!(c0[0].id(), TxnId::new(Cycle::ZERO, 0));
+        assert_eq!(c0[1].id(), TxnId::new(Cycle::ZERO, 1));
+        assert_eq!(c0[1].writes(), &[x(1), x(2)]);
+        assert_eq!(c0[1].reads(), c0[1].writes(), "txns read what they write");
+        assert!(w.generate_cycle(Cycle::new(1)).is_empty());
+        assert_eq!(w.generate_cycle(Cycle::new(2)).len(), 1);
+        assert!(w.generate_cycle(Cycle::new(9)).is_empty());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `L3/crate-attrs` | every crate root carries `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` |
 //! | `L4/conformance` | every `ReadOnlyProtocol` impl is exercised by the `bpush-core` conformance battery from some `tests/` file |
 //! | `L5/locks` | `parking_lot` is the workspace lock standard; `std::sync` `Mutex`/`RwLock` are rejected |
+//! | `L6/casts` | no lossy `as` narrowing of numerics in the deterministic crates; convert with `From`/`TryFrom` instead |
 //! | `L0/annotation` | the escape-hatch annotation itself must be well-formed |
 //!
 //! # Escape hatch
@@ -20,8 +21,8 @@
 //! `lint: allow(panic) — reason the construct is sound here`, either at
 //! the end of the offending line or alone on the line directly above it.
 //! The rule name goes in the parentheses (`panic`, `determinism`,
-//! `crate-attrs`, `conformance`, or `locks`; comma-separated for more
-//! than one) and the trailing reason is mandatory — an annotation with
+//! `crate-attrs`, `conformance`, `locks`, or `casts`; comma-separated
+//! for more than one) and the trailing reason is mandatory — an annotation with
 //! no reason, or naming an unknown rule, is itself reported as
 //! `L0/annotation`.
 //!
@@ -58,6 +59,8 @@ pub enum Rule {
     Conformance,
     /// `L5/locks`: `std::sync` lock where `parking_lot` is the standard.
     Locks,
+    /// `L6/casts`: lossy `as` numeric cast in a deterministic crate.
+    Casts,
 }
 
 impl Rule {
@@ -70,6 +73,7 @@ impl Rule {
             Rule::CrateAttrs => "L3/crate-attrs",
             Rule::Conformance => "L4/conformance",
             Rule::Locks => "L5/locks",
+            Rule::Casts => "L6/casts",
         }
     }
 
@@ -82,6 +86,7 @@ impl Rule {
             Rule::CrateAttrs => "crate-attrs",
             Rule::Conformance => "conformance",
             Rule::Locks => "locks",
+            Rule::Casts => "casts",
         }
     }
 
@@ -92,6 +97,7 @@ impl Rule {
             "crate-attrs" => Some(Rule::CrateAttrs),
             "conformance" => Some(Rule::Conformance),
             "locks" => Some(Rule::Locks),
+            "casts" => Some(Rule::Casts),
             _ => None,
         }
     }
@@ -158,7 +164,8 @@ impl std::error::Error for LintError {}
 /// Crates whose sources must be bit-for-bit deterministic (rule L2):
 /// everything on the simulated protocol path, identified by directory
 /// name under `crates/`.
-pub const DETERMINISTIC_CRATES: &[&str] = &["sgraph", "core", "client", "server", "broadcast"];
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["sgraph", "core", "client", "server", "broadcast", "mc"];
 
 const PANIC_NEEDLES: &[&str] = &[
     ".unwrap()",
@@ -175,6 +182,14 @@ const DETERMINISM_NEEDLES: &[&str] = &[
     "Instant::now",
     "HashMap",
     "HashSet",
+];
+
+/// Targets for which an `as` cast can silently drop bits (or, for
+/// `f32`, precision). Widening targets (`u64`, `i64`, `usize`, `f64`)
+/// are exempt: on every supported platform they cannot lose integer
+/// information that the protocol crates put into them.
+const NARROWING_CAST_NEEDLES: &[&str] = &[
+    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32", " as f32",
 ];
 
 const FORBID_UNSAFE: &str = "#![forbid(unsafe_code)]";
@@ -366,6 +381,26 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
             }
         }
 
+        // Rule L6: lossy numeric casts in the deterministic crates.
+        if deterministic && !allowed.contains(&Rule::Casts) {
+            if let Some(needle) = NARROWING_CAST_NEEDLES
+                .iter()
+                .find(|n| cast_matches(code, n))
+            {
+                ctx.diags.push(Diagnostic {
+                    rule: Rule::Casts,
+                    file: rel.clone(),
+                    line: lineno,
+                    message: format!(
+                        "lossy `{}` cast in deterministic crate `{}`; convert with \
+                         `From`/`TryFrom` or annotate with a reason",
+                        needle.trim_start(),
+                        ctx.crate_name
+                    ),
+                });
+            }
+        }
+
         // Rule L5: std::sync locks.
         if !allowed.contains(&Rule::Locks)
             && code.contains("std::sync")
@@ -393,6 +428,21 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
         }
     }
     Ok(())
+}
+
+/// Whether `code` contains the cast `needle` as a whole token — i.e. not
+/// as a prefix of a wider type name (`as u32` must not fire on
+/// `as u32x4`-style identifiers).
+fn cast_matches(code: &str, needle: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find(needle) {
+        let after = rest[pos + needle.len()..].chars().next();
+        if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
+        }
+        rest = &rest[pos + needle.len()..];
+    }
+    false
 }
 
 /// Extracts `Name` from an `impl ... ReadOnlyProtocol for Name<...>` line.
@@ -680,7 +730,7 @@ fn parse_allow(comment: &str) -> Option<Result<Vec<Rule>, String>> {
             None => {
                 return Some(Err(format!(
                     "unknown rule `{name}` in allow annotation (expected one of: \
-                     panic, determinism, crate-attrs, conformance, locks)"
+                     panic, determinism, crate-attrs, conformance, locks, casts)"
                 )))
             }
         }
@@ -693,6 +743,67 @@ fn parse_allow(comment: &str) -> Option<Result<Vec<Rule>, String>> {
         ));
     }
     Some(Ok(rules))
+}
+
+/// Renders diagnostics as one JSON object for CI annotation
+/// (`cargo xtask lint --json`).
+///
+/// Schema (stable; checked by `tests/json_schema.rs`):
+///
+/// ```json
+/// {
+///   "clean": false,
+///   "diagnostics": [
+///     {"rule": "L1/panic", "file": "crates/x/src/lib.rs", "line": 7, "message": "..."}
+///   ]
+/// }
+/// ```
+pub fn diagnostics_to_json(diagnostics: &[Diagnostic]) -> String {
+    use fmt::Write as _;
+    let mut out = String::from("{\"clean\":");
+    out.push_str(if diagnostics.is_empty() {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_string(d.rule.code()),
+            json_string(&d.file.display().to_string()),
+            d.line,
+            json_string(&d.message)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    use fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The file whose inner attributes rule L3 inspects: `src/lib.rs`, or

@@ -1,8 +1,13 @@
-//! Command-line entry point for the workspace's static-analysis pass.
+//! Command-line entry point for the workspace's static-analysis pass and
+//! model checker.
 //!
-//! Usage: `cargo run -p xtask -- lint [--root <dir>]` (or `cargo xtask
-//! lint` through the repo's cargo alias). Exits non-zero when any rule
-//! fires; see the `xtask` library docs for the rule catalog.
+//! Usage (via the repo's cargo alias):
+//!
+//! * `cargo xtask lint [--root <dir>] [--json]` — run the rule catalog;
+//!   exits non-zero when any rule fires.
+//! * `cargo xtask mc [--scope ci|default] [--protocol <name>] [--json]`
+//!   — exhaustively model-check the protocols at a small scope; exits
+//!   non-zero when any protocol commits a non-serializable readset.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -10,11 +15,18 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--root <workspace-root>]
+const USAGE: &str = "usage: cargo run -p xtask -- <command>
 
-Runs the bpush rule catalog (L1/panic, L2/determinism, L3/crate-attrs,
-L4/conformance, L5/locks) over every crate under <root>/crates and
-exits non-zero if any rule fires.";
+commands:
+  lint [--root <workspace-root>] [--json]
+      Runs the bpush rule catalog (L1/panic, L2/determinism,
+      L3/crate-attrs, L4/conformance, L5/locks, L6/casts) over every
+      crate under <root>/crates and exits non-zero if any rule fires.
+  mc [--scope ci|default] [--protocol <name>] [--json]
+      Exhaustively enumerates bounded executions for every processing
+      method (default scope: `default`), validates each committed
+      readset, and exits non-zero on any serializability violation,
+      printing the minimized replayable counterexample.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +42,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("mc") => mc(&args[1..]),
         Some("help") | Some("--help") | None => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -43,6 +56,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 
 fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,6 +64,7 @@ fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return Err("--root needs a directory argument".into()),
             },
+            "--json" => json = true,
             other => return Err(format!("unknown lint option `{other}`\n{USAGE}").into()),
         }
     }
@@ -59,6 +74,14 @@ fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     };
 
     let diagnostics = xtask::lint_workspace(&root)?;
+    if json {
+        println!("{}", xtask::diagnostics_to_json(&diagnostics));
+        return Ok(if diagnostics.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
     if diagnostics.is_empty() {
         let crates = xtask::workspace_crates(&root)?;
         println!(
@@ -77,6 +100,53 @@ fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         if diagnostics.len() == 1 { "" } else { "s" }
     );
     Ok(ExitCode::FAILURE)
+}
+
+fn mc(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut scope = bpush_mc::Scope::default();
+    let mut json = false;
+    let mut protocols: Vec<bpush_mc::ProtocolSpec> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scope" => match it.next() {
+                Some(name) => {
+                    scope = bpush_mc::Scope::parse(name)
+                        .ok_or_else(|| format!("unknown scope `{name}` (ci, default)"))?;
+                }
+                None => return Err("--scope needs a preset name (ci, default)".into()),
+            },
+            "--protocol" => match it.next() {
+                Some(name) => {
+                    protocols.push(
+                        bpush_mc::ProtocolSpec::parse(name)
+                            .ok_or_else(|| format!("unknown protocol `{name}`"))?,
+                    );
+                }
+                None => return Err("--protocol needs a method name".into()),
+            },
+            "--json" => json = true,
+            other => return Err(format!("unknown mc option `{other}`\n{USAGE}").into()),
+        }
+    }
+    if protocols.is_empty() {
+        protocols = bpush_mc::ProtocolSpec::genuine();
+    }
+    let reports = protocols
+        .into_iter()
+        .map(|spec| bpush_mc::check_spec(spec, &scope))
+        .collect::<Result<Vec<_>, _>>()?;
+    let passed = reports.iter().all(bpush_mc::McReport::passed);
+    if json {
+        println!("{}", bpush_mc::render_json(&scope, &reports));
+    } else {
+        print!("{}", bpush_mc::render_text(&scope, &reports));
+    }
+    Ok(if passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` that

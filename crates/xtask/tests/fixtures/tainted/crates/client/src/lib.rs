@@ -1,0 +1,27 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: a deterministic crate with a lossy numeric cast (rule L6).
+
+/// Truncates silently — the L6 violation under test.
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+/// Widening casts are exempt — must NOT be flagged.
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+/// Annotated narrowing — must NOT be flagged.
+pub fn bounded(x: u64) -> u8 {
+    // lint: allow(casts) — fixture exercises the escape hatch
+    (x % 256) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_exempt() {
+        let _ = 300u64 as u16;
+    }
+}

@@ -1,0 +1,316 @@
+//! Schema tests for the two machine-readable outputs: `cargo xtask lint
+//! --json` ([`xtask::diagnostics_to_json`]) and `cargo xtask mc --json`
+//! ([`bpush_mc::render_json`]). Both emitters hand-roll their JSON, so
+//! this file parses their output with an independent minimal JSON
+//! reader and checks every documented key and type.
+
+// Integration tests are exempt from the panic-freedom policy
+// (mirrors `allow-unwrap-in-tests` in clippy.toml and the `#[cfg(test)]`
+// carve-out in `cargo xtask lint`).
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+
+use xtask::{diagnostics_to_json, Diagnostic, Rule};
+
+// ---------------------------------------------------------------------
+// A minimal strict JSON reader (objects, arrays, strings, unsigned
+// integers, booleans, null — the subset both emitters produce).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key `{key}` in {self:?}")),
+            other => panic!("expected an object, got {other:?}"),
+        }
+    }
+
+    fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+            other => panic!("expected an object, got {other:?}"),
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected a string, got {other:?}"),
+        }
+    }
+
+    fn as_u64(&self) -> u64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected a number, got {other:?}"),
+        }
+    }
+
+    fn as_bool(&self) -> bool {
+        match self {
+            Json::Bool(b) => *b,
+            other => panic!("expected a bool, got {other:?}"),
+        }
+    }
+
+    fn as_arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            other => panic!("expected an array, got {other:?}"),
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Json {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut pos = 0;
+    let value = parse_value(&bytes, &mut pos);
+    skip_ws(&bytes, &mut pos);
+    assert_eq!(pos, bytes.len(), "trailing garbage after JSON value");
+    value
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while b.get(*pos).is_some_and(|c| c.is_ascii_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[char], pos: &mut usize, c: char) {
+    assert_eq!(b.get(*pos), Some(&c), "expected `{c}` at offset {pos}");
+    *pos += 1;
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Json {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Json::Obj(pairs);
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos);
+                skip_ws(b, pos);
+                expect(b, pos, ':');
+                let value = parse_value(b, pos);
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Json::Obj(pairs);
+                    }
+                    other => panic!("expected `,` or `}}`, got {other:?}"),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Json::Arr(items);
+            }
+            loop {
+                items.push(parse_value(b, pos));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Json::Arr(items);
+                    }
+                    other => panic!("expected `,` or `]`, got {other:?}"),
+                }
+            }
+        }
+        Some('"') => Json::Str(parse_string(b, pos)),
+        Some('t') => {
+            assert_eq!(b[*pos..*pos + 4].iter().collect::<String>(), "true");
+            *pos += 4;
+            Json::Bool(true)
+        }
+        Some('f') => {
+            assert_eq!(b[*pos..*pos + 5].iter().collect::<String>(), "false");
+            *pos += 5;
+            Json::Bool(false)
+        }
+        Some('n') => {
+            assert_eq!(b[*pos..*pos + 4].iter().collect::<String>(), "null");
+            *pos += 4;
+            Json::Null
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while b.get(*pos).is_some_and(char::is_ascii_digit) {
+                *pos += 1;
+            }
+            Json::Num(b[start..*pos].iter().collect::<String>().parse().unwrap())
+        }
+        other => panic!("unexpected character {other:?} at offset {pos}"),
+    }
+}
+
+fn parse_string(b: &[char], pos: &mut usize) -> String {
+    expect(b, pos, '"');
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some('"') => {
+                *pos += 1;
+                return out;
+            }
+            Some('\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let hex: String = b[*pos + 1..*pos + 5].iter().collect();
+                        let code = u32::from_str_radix(&hex, 16).unwrap();
+                        out.push(char::from_u32(code).unwrap());
+                        *pos += 4;
+                    }
+                    other => panic!("bad escape {other:?}"),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                assert!(u32::from(c) >= 0x20, "unescaped control character");
+                out.push(c);
+                *pos += 1;
+            }
+            None => panic!("unterminated string"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// `cargo xtask lint --json`
+// ---------------------------------------------------------------------
+
+/// The documented schema: `{"clean": bool, "diagnostics": [{"rule",
+/// "file", "line", "message"}]}`, in that key order.
+#[test]
+fn lint_json_matches_the_documented_schema() {
+    let diags = vec![
+        Diagnostic {
+            rule: Rule::Panic,
+            file: PathBuf::from("crates/x/src/lib.rs"),
+            line: 7,
+            message: "panic path `.unwrap()`".to_string(),
+        },
+        Diagnostic {
+            rule: Rule::Casts,
+            file: PathBuf::from("crates/y/src/lib.rs"),
+            line: 12,
+            message: "lossy `as u32` cast with a \"quoted\" fragment\nand a newline".to_string(),
+        },
+    ];
+    let root = parse_json(&diagnostics_to_json(&diags));
+
+    assert_eq!(root.keys(), ["clean", "diagnostics"]);
+    assert!(!root.get("clean").as_bool());
+    let rendered = root.get("diagnostics").as_arr();
+    assert_eq!(rendered.len(), 2);
+    for (d, j) in diags.iter().zip(rendered) {
+        assert_eq!(j.keys(), ["rule", "file", "line", "message"]);
+        assert_eq!(j.get("rule").as_str(), d.rule.code());
+        assert_eq!(j.get("file").as_str(), d.file.display().to_string());
+        assert_eq!(j.get("line").as_u64(), d.line as u64);
+        assert_eq!(j.get("message").as_str(), d.message);
+    }
+}
+
+/// No findings ⇒ `clean` is `true` and the array is empty.
+#[test]
+fn lint_json_clean_case() {
+    let root = parse_json(&diagnostics_to_json(&[]));
+    assert!(root.get("clean").as_bool());
+    assert!(root.get("diagnostics").as_arr().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// `cargo xtask mc --json`
+// ---------------------------------------------------------------------
+
+/// The documented schema: `{"scope", "passed", "reports": [{"protocol",
+/// "executions", "committed", "aborted", "distinct_states",
+/// "deduped_validations", "violation"}]}`; `violation` is `null` for a
+/// passing method and `{"fresh_writer", "stale_overwrite", "schedule"}`
+/// for the broken fixture — with `schedule` round-tripping through
+/// `Schedule::parse`.
+#[test]
+fn mc_json_matches_the_documented_schema() {
+    let scope = bpush_mc::Scope::ci();
+    let reports = vec![
+        bpush_mc::check_spec(bpush_mc::ProtocolSpec::parse("inv-only").unwrap(), &scope).unwrap(),
+        bpush_mc::check_spec(bpush_mc::ProtocolSpec::BrokenInvalidation, &scope).unwrap(),
+    ];
+    let root = parse_json(&bpush_mc::render_json(&scope, &reports));
+
+    assert_eq!(root.keys(), ["scope", "passed", "reports"]);
+    assert_eq!(root.get("scope").as_str(), "ci");
+    assert!(!root.get("passed").as_bool());
+
+    let rendered = root.get("reports").as_arr();
+    assert_eq!(rendered.len(), 2);
+    for (r, j) in reports.iter().zip(rendered) {
+        assert_eq!(
+            j.keys(),
+            [
+                "protocol",
+                "executions",
+                "committed",
+                "aborted",
+                "distinct_states",
+                "deduped_validations",
+                "violation"
+            ]
+        );
+        assert_eq!(j.get("protocol").as_str(), r.spec.name());
+        assert_eq!(j.get("executions").as_u64(), r.executions);
+        assert_eq!(j.get("committed").as_u64(), r.committed);
+        assert_eq!(j.get("aborted").as_u64(), r.aborted);
+        assert_eq!(j.get("distinct_states").as_u64(), r.distinct_states);
+        assert_eq!(j.get("deduped_validations").as_u64(), r.deduped_validations);
+    }
+
+    assert_eq!(*rendered[0].get("violation"), Json::Null);
+    let violation = rendered[1].get("violation");
+    assert_eq!(
+        violation.keys(),
+        ["fresh_writer", "stale_overwrite", "schedule"]
+    );
+    assert_eq!(violation.get("fresh_writer").as_str(), "T0.0");
+    assert_eq!(violation.get("stale_overwrite").as_str(), "T0.0");
+    let (spec, schedule) = bpush_mc::Schedule::parse(violation.get("schedule").as_str())
+        .expect("embedded schedule round-trips");
+    assert_eq!(spec, bpush_mc::ProtocolSpec::BrokenInvalidation);
+    assert_eq!(schedule.reads.len(), 2);
+}
