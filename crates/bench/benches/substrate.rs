@@ -63,6 +63,146 @@ fn bench_sgraph(c: &mut Criterion) {
     group.finish();
 }
 
+/// A layered graph of `nodes` transactions (10 per cycle, forward edges
+/// between adjacent cycles) — the steady-state shape of client SGT state.
+fn layered_graph(nodes: u64) -> SerializationGraph {
+    let cycles = (nodes / 10).max(2);
+    let mut g = SerializationGraph::new();
+    for cy in 1..cycles {
+        for seq in 0..10u32 {
+            let from = TxnId::new(Cycle::new(cy - 1), seq);
+            let to = TxnId::new(Cycle::new(cy), (seq + 1) % 10);
+            g.add_edge(Node::Txn(from), Node::Txn(to));
+        }
+    }
+    g
+}
+
+fn bench_sgraph_scaling(c: &mut Criterion) {
+    use bpush_sgraph::GraphDiff;
+
+    let mut group = c.benchmark_group("substrate/sgraph-scaling");
+    for &nodes in &[100u64, 1_000, 10_000] {
+        let cycles = nodes / 10;
+        let mut g = layered_graph(nodes);
+        // an unreachable target forces the DFS to exhaust the graph —
+        // the worst-case acceptance check
+        let unreachable = Node::Query(QueryId::new(999));
+        g.add_node(unreachable);
+        let g = g;
+
+        group.bench_with_input(BenchmarkId::new("path-exists", nodes), &g, |b, g| {
+            let from = Node::Txn(TxnId::new(Cycle::ZERO, 0));
+            b.iter(|| g.path_exists(from, unreachable));
+        });
+
+        let diff = GraphDiff::new(
+            Cycle::new(cycles),
+            (0..10).map(|s| TxnId::new(Cycle::new(cycles), s)).collect(),
+            (0..10)
+                .map(|s| {
+                    (
+                        TxnId::new(Cycle::new(cycles - 1), s),
+                        TxnId::new(Cycle::new(cycles), (s + 1) % 10),
+                    )
+                })
+                .collect(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("apply-diff", nodes),
+            &(&g, &diff),
+            |b, (g, diff)| {
+                b.iter_batched(
+                    || (*g).clone(),
+                    |mut g| {
+                        g.apply_diff(diff);
+                        g
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("remove-query", nodes), &g, |b, g| {
+            b.iter_batched(
+                || {
+                    // a finished query entangled with one txn per cycle —
+                    // the shape finish_query unlinks on the hot path
+                    let mut g = g.clone();
+                    let q = Node::Query(QueryId::new(0));
+                    for cy in 0..cycles {
+                        g.add_edge(q, Node::Txn(TxnId::new(Cycle::new(cy), 0)));
+                        g.add_edge(Node::Txn(TxnId::new(Cycle::new(cy), 1)), q);
+                    }
+                    g
+                },
+                |mut g| {
+                    g.remove_query(QueryId::new(0));
+                    g
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+
+        group.bench_with_input(BenchmarkId::new("prune-before", nodes), &g, |b, g| {
+            b.iter_batched(
+                || g.clone(),
+                |mut g| {
+                    g.prune_before(Cycle::new(cycles / 2));
+                    g
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_report_membership(c: &mut Criterion) {
+    use bpush_broadcast::{AugmentedReport, InvalidationReport};
+    use bpush_types::Granularity;
+
+    let mut group = c.benchmark_group("substrate/report-membership");
+    let state = Cycle::new(3);
+    let report = InvalidationReport::new(
+        Cycle::new(5),
+        2,
+        (0..200u32).map(|i| ItemId::new(i * 5)),
+        Granularity::Item,
+        10,
+    );
+    // a readset of 50 sorted items, every fifth one off-grid (misses)
+    let readset: Vec<ItemId> = (0..50u32).map(|i| ItemId::new(i * 20 + (i % 5))).collect();
+    group.bench_function("any-stale-gallop", |b| {
+        b.iter(|| report.any_stale(&readset, state));
+    });
+    group.bench_function("any-stale-per-item", |b| {
+        // the pre-interning shape: one granularity-aware probe per member
+        b.iter(|| readset.iter().any(|&x| report.stale_at(x, state)));
+    });
+    let coarse = report.clone().at_granularity(Granularity::Bucket);
+    group.bench_function("any-stale-gallop-bucket", |b| {
+        b.iter(|| coarse.any_stale(&readset, state));
+    });
+    let aug_cycle = Cycle::new(4);
+    let aug = AugmentedReport::new(
+        aug_cycle,
+        (0..200u32).map(|i| (ItemId::new(i * 5), TxnId::new(aug_cycle, i))),
+    );
+    group.bench_function("augmented-matches-gallop", |b| {
+        b.iter(|| aug.matches_in(&readset).count());
+    });
+    group.bench_function("augmented-matches-scan", |b| {
+        // the pre-interning shape: walk every entry, probe the readset
+        b.iter(|| {
+            aug.entries()
+                .filter(|(x, _)| readset.binary_search(x).is_ok())
+                .count()
+        });
+    });
+    group.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/cache");
     for mode in [CacheMode::Plain, CacheMode::Multiversion] {
@@ -215,6 +355,8 @@ fn bench_wire(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sgraph,
+    bench_sgraph_scaling,
+    bench_report_membership,
     bench_cache,
     bench_workload,
     bench_bcast_assembly,

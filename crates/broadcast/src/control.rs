@@ -11,6 +11,58 @@ use std::collections::BTreeMap;
 use bpush_sgraph::GraphDiff;
 use bpush_types::{BpushError, BucketId, Cycle, Granularity, ItemId, TxnId};
 
+/// Returns the first index `>= start` whose key is `>= key`, galloping:
+/// exponential probe from `start`, then binary search inside the bracket.
+/// O(log distance) per call, which makes a merge over two sorted
+/// sequences linear in the shorter one.
+fn gallop_to<T, K: Ord + Copy>(xs: &[T], start: usize, key: K, key_of: impl Fn(&T) -> K) -> usize {
+    let n = xs.len();
+    let mut step = 1usize;
+    let mut lo = start;
+    let mut hi = start;
+    while hi < n && key_of(&xs[hi]) < key {
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+    }
+    let hi = hi.min(n);
+    lo + xs[lo..hi].partition_point(|x| key_of(x) < key)
+}
+
+/// Binary-search lookup in a sorted `(key, value)` slice.
+fn lookup<K: Ord + Copy, V: Copy>(entries: &[(K, V)], key: K) -> Option<V> {
+    entries
+        .binary_search_by_key(&key, |e| e.0)
+        .ok()
+        .map(|i| entries[i].1)
+}
+
+/// Galloping merge of sorted `(key, cycle)` entries against a sorted,
+/// nondecreasing key sequence; returns whether any matching entry's
+/// cycle satisfies `pred`. Short-circuits on the first hit.
+fn any_entry_matching<K: Ord + Copy>(
+    entries: &[(K, Cycle)],
+    keys: impl Iterator<Item = K>,
+    pred: impl Fn(Cycle) -> bool,
+) -> bool {
+    let mut cursor = 0usize;
+    for key in keys {
+        cursor = gallop_to(entries, cursor, key, |e| e.0);
+        match entries.get(cursor) {
+            None => return false,
+            Some(&(k, c)) if k == key => {
+                if pred(c) {
+                    return true;
+                }
+                // duplicate keys in the input sequence (bucket collapse)
+                // must re-test this same entry, so do not advance
+            }
+            Some(_) => {}
+        }
+    }
+    false
+}
+
 /// The invalidation report broadcast at the beginning of a cycle (§3.1):
 /// the items updated at the server during the covered window of previous
 /// cycles (window 1 — just the previous cycle — is the paper's default;
@@ -46,10 +98,15 @@ pub struct InvalidationReport {
     granularity: Granularity,
     items_per_bucket: u32,
     /// Updated item -> the latest cycle (within the window) during which
-    /// it was updated. The per-entry cycle is what lets windowed reports
-    /// re-announce old updates without causing false aborts (§5.2.2).
-    items: BTreeMap<ItemId, Cycle>,
-    buckets: BTreeMap<BucketId, Cycle>,
+    /// it was updated, sorted by item and deduplicated. The per-entry
+    /// cycle is what lets windowed reports re-announce old updates
+    /// without causing false aborts (§5.2.2). Sorted-`Vec` storage makes
+    /// membership a binary search and readset intersection a galloping
+    /// merge ([`InvalidationReport::any_stale`]) — clients probe these
+    /// on every broadcast cycle.
+    items: Vec<(ItemId, Cycle)>,
+    /// The items collapsed to buckets, sorted and deduplicated.
+    buckets: Vec<(BucketId, Cycle)>,
 }
 
 impl InvalidationReport {
@@ -135,23 +192,29 @@ impl InvalidationReport {
                 "items_per_bucket must be positive",
             ));
         }
-        let mut items: BTreeMap<ItemId, Cycle> = BTreeMap::new();
+        // Construction is the cold path (server side, once per cycle);
+        // dedup through an ordered map, then flatten to the sorted
+        // vectors the clients probe.
+        let mut dedup: BTreeMap<ItemId, Cycle> = BTreeMap::new();
         for (x, c) in updated {
-            let slot = items.entry(x).or_insert(c);
+            let slot = dedup.entry(x).or_insert(c);
             *slot = (*slot).max(c);
         }
-        let mut buckets: BTreeMap<BucketId, Cycle> = BTreeMap::new();
-        for (x, &c) in &items {
+        let mut buckets: Vec<(BucketId, Cycle)> = Vec::new();
+        for (x, &c) in &dedup {
             let b = BucketId::new(x.index() / items_per_bucket);
-            let slot = buckets.entry(b).or_insert(c);
-            *slot = (*slot).max(c);
+            match buckets.last_mut() {
+                // items are sorted, so bucket ids arrive nondecreasing
+                Some(last) if last.0 == b => last.1 = last.1.max(c),
+                _ => buckets.push((b, c)),
+            }
         }
         Ok(InvalidationReport {
             cycle,
             window,
             granularity,
             items_per_bucket,
-            items,
+            items: dedup.into_iter().collect(),
             buckets,
         })
     }
@@ -193,11 +256,44 @@ impl InvalidationReport {
     /// (granularity-aware; at bucket granularity the bucket's latest).
     pub fn update_cycle(&self, item: ItemId) -> Option<Cycle> {
         match self.granularity {
-            Granularity::Item => self.items.get(&item).copied(),
-            Granularity::Bucket => self
-                .buckets
-                .get(&BucketId::new(item.index() / self.items_per_bucket))
-                .copied(),
+            Granularity::Item => lookup(&self.items, item),
+            Granularity::Bucket => lookup(
+                &self.buckets,
+                BucketId::new(item.index() / self.items_per_bucket),
+            ),
+        }
+    }
+
+    /// Whether any member of `readset` (which must be sorted ascending,
+    /// as `bpush-core` readsets are) is reported updated at all.
+    /// Granularity-aware and conservative at bucket granularity, exactly
+    /// like per-item [`InvalidationReport::invalidates`], but a single
+    /// galloping merge over the two sorted sequences instead of one
+    /// probe per readset member.
+    pub fn any_invalidated(&self, readset: &[ItemId]) -> bool {
+        self.any_stale(readset, Cycle::ZERO)
+    }
+
+    /// Whether any member of the sorted `readset`, known current at
+    /// database state `state`, is invalidated by this report — the
+    /// galloping-merge form of [`InvalidationReport::stale_at`]. This is
+    /// the per-cycle client hot path: every active query intersects its
+    /// readset with every report.
+    pub fn any_stale(&self, readset: &[ItemId], state: Cycle) -> bool {
+        debug_assert!(readset.windows(2).all(|w| w[0] < w[1]), "readset sorted");
+        match self.granularity {
+            Granularity::Item => {
+                any_entry_matching(&self.items, readset.iter().copied(), |u| u >= state)
+            }
+            // readset sorted by item ⇒ its bucket projection is
+            // nondecreasing, so the same single-cursor merge applies
+            Granularity::Bucket => any_entry_matching(
+                &self.buckets,
+                readset
+                    .iter()
+                    .map(|x| BucketId::new(x.index() / self.items_per_bucket)),
+                |u| u >= state,
+            ),
         }
     }
 
@@ -212,28 +308,28 @@ impl InvalidationReport {
     /// Whether the bucket as a whole was invalidated (used for cache-page
     /// invalidation, which is always at bucket/page granularity, §4).
     pub fn invalidates_bucket(&self, bucket: BucketId) -> bool {
-        self.buckets.contains_key(&bucket)
+        self.bucket_update_cycle(bucket).is_some()
     }
 
     /// The latest update cycle recorded for a bucket.
     pub fn bucket_update_cycle(&self, bucket: BucketId) -> Option<Cycle> {
-        self.buckets.get(&bucket).copied()
+        lookup(&self.buckets, bucket)
     }
 
     /// The exact updated items (ground truth; what an item-granularity
     /// report transmits).
     pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
-        self.items.keys().copied()
+        self.items.iter().map(|&(x, _)| x)
     }
 
     /// Updated items with their latest update cycle.
     pub fn dated_items(&self) -> impl Iterator<Item = (ItemId, Cycle)> + '_ {
-        self.items.iter().map(|(&x, &c)| (x, c))
+        self.items.iter().copied()
     }
 
     /// The updated buckets.
     pub fn buckets(&self) -> impl Iterator<Item = BucketId> + '_ {
-        self.buckets.keys().copied()
+        self.buckets.iter().map(|&(b, _)| b)
     }
 
     /// Number of transmitted entries at the configured granularity.
@@ -273,21 +369,23 @@ impl InvalidationReport {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AugmentedReport {
     cycle: Cycle,
-    first_writers: BTreeMap<ItemId, TxnId>,
+    /// `(item, first writer)`, sorted by item and deduplicated (the last
+    /// entry wins on duplicates, matching map-collect semantics).
+    first_writers: Vec<(ItemId, TxnId)>,
 }
 
 impl AugmentedReport {
     /// Builds the report for updates committed during `cycle` (broadcast
     /// at the beginning of the following cycle).
     pub fn new(cycle: Cycle, entries: impl IntoIterator<Item = (ItemId, TxnId)>) -> Self {
-        let first_writers: BTreeMap<ItemId, TxnId> = entries.into_iter().collect();
+        let dedup: BTreeMap<ItemId, TxnId> = entries.into_iter().collect();
         debug_assert!(
-            first_writers.values().all(|t| t.cycle() == cycle),
+            dedup.values().all(|t| t.cycle() == cycle),
             "first writers must have committed during the covered cycle"
         );
         AugmentedReport {
             cycle,
-            first_writers,
+            first_writers: dedup.into_iter().collect(),
         }
     }
 
@@ -298,12 +396,39 @@ impl AugmentedReport {
 
     /// The first transaction that wrote `item` during the covered cycle.
     pub fn first_writer(&self, item: ItemId) -> Option<TxnId> {
-        self.first_writers.get(&item).copied()
+        lookup(&self.first_writers, item)
     }
 
     /// All `(item, first writer)` entries.
     pub fn entries(&self) -> impl Iterator<Item = (ItemId, TxnId)> + '_ {
-        self.first_writers.iter().map(|(&x, &t)| (x, t))
+        self.first_writers.iter().copied()
+    }
+
+    /// The entries whose item appears in the sorted `readset`, in item
+    /// order — a galloping merge of the two sorted sequences. This is
+    /// the SGT client hot path: every active query intersects its
+    /// readset with every cycle's augmented report to add precedence
+    /// edges (§3.3), and the merge replaces a per-entry set probe.
+    pub fn matches_in<'a>(
+        &'a self,
+        readset: &'a [ItemId],
+    ) -> impl Iterator<Item = (ItemId, TxnId)> + 'a {
+        debug_assert!(readset.windows(2).all(|w| w[0] < w[1]), "readset sorted");
+        let entries = self.first_writers.as_slice();
+        let mut ei = 0usize;
+        let mut ri = 0usize;
+        std::iter::from_fn(move || loop {
+            let &target = readset.get(ri)?;
+            ei = gallop_to(entries, ei, target, |e| e.0);
+            let &(item, writer) = entries.get(ei)?;
+            if item == target {
+                ri += 1;
+                ei += 1;
+                return Some((item, writer));
+            }
+            // entries jumped past `target`: gallop the readset forward
+            ri = gallop_to(readset, ri, item, |&x| x);
+        })
     }
 
     /// Number of entries.
@@ -499,6 +624,65 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
         let _ = InvalidationReport::new(Cycle::ZERO, 0, [], Granularity::Item, 1);
+    }
+
+    #[test]
+    fn any_stale_agrees_with_per_item_probes() {
+        let r = InvalidationReport::with_dated(
+            Cycle::new(6),
+            4,
+            [
+                (ItemId::new(2), Cycle::new(3)),
+                (ItemId::new(5), Cycle::new(5)),
+                (ItemId::new(9), Cycle::new(4)),
+            ],
+            Granularity::Item,
+            4,
+        );
+        let sets: [&[ItemId]; 5] = [
+            &[],
+            &[ItemId::new(0), ItemId::new(1)],
+            &[ItemId::new(2)],
+            &[ItemId::new(3), ItemId::new(5), ItemId::new(7)],
+            &[ItemId::new(9), ItemId::new(11)],
+        ];
+        for set in sets {
+            for state in 0..7 {
+                let state = Cycle::new(state);
+                let naive = set.iter().any(|&x| r.stale_at(x, state));
+                assert_eq!(r.any_stale(set, state), naive, "{set:?} at {state}");
+            }
+            let naive = set.iter().any(|&x| r.invalidates(x));
+            assert_eq!(r.any_invalidated(set), naive, "{set:?}");
+        }
+    }
+
+    #[test]
+    fn any_stale_bucket_granularity_is_conservative() {
+        let r = InvalidationReport::new(Cycle::new(1), 1, [ItemId::new(5)], Granularity::Bucket, 4);
+        // items 4..8 share updated bucket 1; several readset members
+        // mapping to the same bucket must each be tested
+        assert!(r.any_stale(&[ItemId::new(4), ItemId::new(6)], Cycle::ZERO));
+        assert!(r.any_invalidated(&[ItemId::new(7)]));
+        assert!(!r.any_invalidated(&[ItemId::new(1), ItemId::new(3), ItemId::new(8)]));
+    }
+
+    #[test]
+    fn augmented_matches_in_gallops_both_sides() {
+        let c = Cycle::new(3);
+        let entries: Vec<(ItemId, TxnId)> = (0..40)
+            .filter(|i| i % 3 == 0)
+            .map(|i| (ItemId::new(i), TxnId::new(c, i)))
+            .collect();
+        let r = AugmentedReport::new(c, entries);
+        let readset: Vec<ItemId> = (0..40).filter(|i| i % 5 == 0).map(ItemId::new).collect();
+        let merged: Vec<(ItemId, TxnId)> = r.matches_in(&readset).collect();
+        let naive: Vec<(ItemId, TxnId)> =
+            r.entries().filter(|(x, _)| readset.contains(x)).collect();
+        assert_eq!(merged, naive);
+        assert_eq!(merged.len(), 3, "multiples of 15 in 0..40");
+        assert!(r.matches_in(&[]).next().is_none());
+        assert!(r.matches_in(&[ItemId::new(41)]).next().is_none());
     }
 
     #[test]

@@ -203,6 +203,13 @@ impl QueryExecutor {
         self.cache.as_ref().map(|c| c.stats())
     }
 
+    /// The protocol's current validation-structure size (`(nodes,
+    /// edges)` of the SGT graph), if it maintains one — sampled by the
+    /// simulator to track the peak space overhead.
+    pub fn space_metrics(&self) -> Option<(usize, usize)> {
+        self.protocol.space_metrics()
+    }
+
     /// Whether the client is disconnected for the coming cycle.
     pub fn roll_disconnect(&mut self) -> bool {
         self.config.disconnect_prob > 0.0 && self.rng.gen::<f64>() < self.config.disconnect_prob

@@ -114,6 +114,10 @@ impl ReadOnlyProtocol for Instrumented {
     fn finish_query(&mut self, q: QueryId) {
         self.inner.finish_query(q);
     }
+
+    fn space_metrics(&self) -> Option<(usize, usize)> {
+        self.inner.space_metrics()
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The invalidation-only method (§3.1) and its versioned-cache extension
 //! (§4.1, Theorem 4).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, QueryId};
@@ -10,10 +10,11 @@ use crate::protocol::{
     AbortReason, CacheMode, ReadCandidate, ReadConstraint, ReadDirective, ReadOnlyProtocol,
     ReadOutcome,
 };
+use crate::readset::ReadSet;
 
 #[derive(Debug)]
 struct QState {
-    readset: BTreeSet<ItemId>,
+    readset: ReadSet,
     /// Latest database state at which the whole readset is known current.
     verified_state: Cycle,
     /// Versioned-cache mode: the pinned snapshot once an item was
@@ -149,10 +150,7 @@ impl ReadOnlyProtocol for InvalidationOnly {
                 }
                 continue;
             }
-            if q.readset
-                .iter()
-                .any(|&x| report.stale_at(x, q.verified_state))
-            {
+            if report.any_stale(q.readset.as_slice(), q.verified_state) {
                 Self::mark_or_doom(q, self.versioned_cache);
             } else {
                 // Whole readset unchanged through the cycles this report
@@ -172,7 +170,7 @@ impl ReadOnlyProtocol for InvalidationOnly {
         let prev = self.queries.insert(
             q,
             QState {
-                readset: BTreeSet::new(),
+                readset: ReadSet::new(),
                 verified_state: now,
                 pinned: None,
                 doomed: None,

@@ -58,6 +58,7 @@ mod method;
 mod multiversion;
 mod mvcache;
 mod protocol;
+mod readset;
 mod sgt;
 pub mod validator;
 
@@ -69,4 +70,5 @@ pub use protocol::{
     AbortReason, CacheMode, ProtocolStep, ReadCandidate, ReadConstraint, ReadDirective,
     ReadOnlyProtocol, ReadOutcome, Source,
 };
+pub use readset::ReadSet;
 pub use sgt::{Sgt, SgtConfig};

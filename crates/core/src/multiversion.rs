@@ -1,6 +1,6 @@
 //! The multiversion broadcast method (§3.2).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, QueryId};
@@ -9,13 +9,14 @@ use crate::protocol::{
     AbortReason, CacheMode, ReadCandidate, ReadConstraint, ReadDirective, ReadOnlyProtocol,
     ReadOutcome,
 };
+use crate::readset::ReadSet;
 
 #[derive(Debug)]
 struct MvState {
     /// `c_0`: the cycle of the query's first read; all reads target the
     /// database state broadcast at `c_0` (Theorem 2).
     c0: Option<Cycle>,
-    readset: BTreeSet<ItemId>,
+    readset: ReadSet,
 }
 
 /// The multiversion broadcast method (§3.2).
@@ -93,7 +94,7 @@ impl ReadOnlyProtocol for MultiversionBroadcast {
             q,
             MvState {
                 c0: None,
-                readset: BTreeSet::new(),
+                readset: ReadSet::new(),
             },
         );
         assert!(prev.is_none(), "query ids must not be reused");

@@ -1,6 +1,6 @@
 //! The multiversion caching method (§4.2, Theorem 5).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, QueryId};
@@ -9,10 +9,11 @@ use crate::protocol::{
     AbortReason, CacheMode, ReadCandidate, ReadConstraint, ReadDirective, ReadOnlyProtocol,
     ReadOutcome,
 };
+use crate::readset::ReadSet;
 
 #[derive(Debug)]
 struct McState {
-    readset: BTreeSet<ItemId>,
+    readset: ReadSet,
     verified_state: Cycle,
     /// The pinned snapshot `c_u − 1` once an item the query read was
     /// updated for the first time.
@@ -102,10 +103,7 @@ impl ReadOnlyProtocol for MultiversionCaching {
                 q.pinned = Some(q.verified_state);
                 continue;
             }
-            if q.readset
-                .iter()
-                .any(|&x| report.stale_at(x, q.verified_state))
-            {
+            if report.any_stale(q.readset.as_slice(), q.verified_state) {
                 q.pinned = Some(q.verified_state);
             } else {
                 q.verified_state = n;
@@ -122,7 +120,7 @@ impl ReadOnlyProtocol for MultiversionCaching {
         let prev = self.queries.insert(
             q,
             McState {
-                readset: BTreeSet::new(),
+                readset: ReadSet::new(),
                 verified_state: now,
                 pinned: None,
                 doomed: None,

@@ -262,6 +262,15 @@ pub trait ReadOnlyProtocol: fmt::Debug {
         }
     }
 
+    /// The current size of whatever validation structure the method
+    /// maintains, as `(nodes, edges)` — `None` for methods that keep no
+    /// such structure. The SGT method reports its serialization graph;
+    /// the simulator samples this every cycle to surface the space
+    /// overhead Table 1 calls "considerable".
+    fn space_metrics(&self) -> Option<(usize, usize)> {
+        None
+    }
+
     /// A `Debug`-stable snapshot of the full session state.
     ///
     /// Every protocol in this workspace keeps its state in ordered

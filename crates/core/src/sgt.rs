@@ -1,6 +1,6 @@
 //! Serialization-graph testing at the client (§3.3).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use bpush_broadcast::ControlInfo;
 use bpush_sgraph::{Node, SerializationGraph};
@@ -10,6 +10,7 @@ use crate::protocol::{
     AbortReason, CacheMode, ReadCandidate, ReadConstraint, ReadDirective, ReadOnlyProtocol,
     ReadOutcome,
 };
+use crate::readset::ReadSet;
 
 /// Configuration of the SGT method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,7 +27,7 @@ pub struct SgtConfig {
 
 #[derive(Debug)]
 struct SgtState {
-    readset: BTreeSet<ItemId>,
+    readset: ReadSet,
     /// `c_o`: commit cycle of the first transaction that overwrote an
     /// item this query read; pruning keeps subgraphs from here on.
     c_o: Option<Cycle>,
@@ -146,23 +147,17 @@ impl ReadOnlyProtocol for Sgt {
                 if qs.doomed.is_some() {
                     continue;
                 }
-                for (item, t_f) in aug.entries() {
-                    if qs.readset.contains(&item) {
-                        self.graph.add_edge(Node::Query(*q), Node::Txn(t_f));
-                        let co = qs.c_o.get_or_insert(t_f.cycle());
-                        *co = (*co).min(t_f.cycle());
-                    }
+                for (_, t_f) in aug.matches_in(qs.readset.as_slice()) {
+                    self.graph.add_edge(Node::Query(*q), Node::Txn(t_f));
+                    let co = qs.c_o.get_or_insert(t_f.cycle());
+                    *co = (*co).min(t_f.cycle());
                 }
             }
         } else if !ctrl.invalidation().is_empty() {
             // The server is not broadcasting SGT information; without
             // first-writer data, invalidated queries cannot be certified.
             for qs in self.queries.values_mut() {
-                if qs.doomed.is_none()
-                    && qs
-                        .readset
-                        .iter()
-                        .any(|&x| ctrl.invalidation().invalidates(x))
+                if qs.doomed.is_none() && ctrl.invalidation().any_invalidated(qs.readset.as_slice())
                 {
                     qs.doomed = Some(AbortReason::Invalidated);
                 }
@@ -196,7 +191,7 @@ impl ReadOnlyProtocol for Sgt {
         let prev = self.queries.insert(
             q,
             SgtState {
-                readset: BTreeSet::new(),
+                readset: ReadSet::new(),
                 c_o: None,
                 version_bound: None,
                 doomed: None,
@@ -270,6 +265,10 @@ impl ReadOnlyProtocol for Sgt {
         self.queries.remove(&q);
         self.graph.remove_query(q);
         self.prune();
+    }
+
+    fn space_metrics(&self) -> Option<(usize, usize)> {
+        Some(self.graph_size())
     }
 }
 

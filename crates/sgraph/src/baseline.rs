@@ -1,0 +1,288 @@
+//! The pre-interning `BTreeMap`-based serialization graph.
+//!
+//! This is the original implementation of [`crate::SerializationGraph`],
+//! kept verbatim (modulo the rename) for two jobs:
+//!
+//! * **differential oracle** — the property tests in
+//!   `crates/sgraph/tests/proptests.rs` replay random operation
+//!   sequences against both graphs and require identical answers;
+//! * **benchmark baseline** — `cargo xtask bench` and
+//!   `crates/bench/benches/substrate.rs` time the interned graph
+//!   against this one in the same process, so the recorded speedup is
+//!   measured, not remembered.
+//!
+//! It is *not* used by any protocol; production code always goes through
+//! the interned graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bpush_types::{Cycle, QueryId, TxnId};
+
+use crate::diff::GraphDiff;
+use crate::graph::CycleDetected;
+use crate::node::Node;
+
+/// A conflict serialization graph (§3.3) on ordered maps — the reference
+/// implementation. See [`crate::SerializationGraph`] for the semantics;
+/// the two are observationally identical.
+///
+/// `remove_query` and `prune_before` scan every adjacency list
+/// (O(V·E)); `path_exists` allocates a fresh visited set per call. Those
+/// costs are exactly what the interned graph removes.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineGraph {
+    /// Outgoing adjacency. Presence in the map also records node
+    /// membership (nodes may have no edges).
+    out_edges: BTreeMap<Node, Vec<Node>>,
+    /// Commit-cycle index of transaction nodes, for pruning.
+    by_cycle: BTreeMap<Cycle, Vec<TxnId>>,
+    /// Total number of directed edges.
+    edge_count: usize,
+}
+
+impl BaselineGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        BaselineGraph::default()
+    }
+
+    /// Number of nodes currently in the graph.
+    pub fn node_count(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Number of directed edges currently in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.out_edges.is_empty()
+    }
+
+    /// Whether `node` is present.
+    pub fn contains(&self, node: Node) -> bool {
+        self.out_edges.contains_key(&node)
+    }
+
+    /// Inserts a node (idempotent).
+    pub fn add_node(&mut self, node: Node) {
+        if self.out_edges.contains_key(&node) {
+            return;
+        }
+        self.out_edges.insert(node, Vec::new());
+        if let Node::Txn(t) = node {
+            self.by_cycle.entry(t.cycle()).or_default().push(t);
+        }
+    }
+
+    /// Inserts a directed edge `from → to`, inserting the endpoints if
+    /// needed. Returns `true` if the edge is new.
+    pub fn add_edge(&mut self, from: Node, to: Node) -> bool {
+        self.add_node(from);
+        self.add_node(to);
+        let succ = self
+            .out_edges
+            .get_mut(&from)
+            // lint: allow(panic) — the endpoint entry was inserted earlier in this method
+            .expect("endpoint inserted above");
+        if succ.contains(&to) {
+            return false;
+        }
+        succ.push(to);
+        self.edge_count += 1;
+        true
+    }
+
+    /// The successors of `node`, or an empty slice for unknown nodes.
+    pub fn successors(&self, node: Node) -> &[Node] {
+        self.out_edges.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether a directed path `from →* to` exists (`path_exists(n, n)`
+    /// is `true` only when `n` lies on a cycle).
+    pub fn path_exists(&self, from: Node, to: Node) -> bool {
+        if !self.contains(from) || !self.contains(to) {
+            return false;
+        }
+        let mut stack: Vec<Node> = self.successors(from).to_vec();
+        let mut visited: BTreeSet<Node> = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if visited.insert(n) {
+                stack.extend_from_slice(self.successors(n));
+            }
+        }
+        false
+    }
+
+    /// Whether inserting the edge `from → to` would close a cycle —
+    /// the SGT acceptance test. The edge is *not* inserted.
+    pub fn would_close_cycle(&self, from: Node, to: Node) -> bool {
+        if from == to {
+            return true;
+        }
+        self.path_exists(to, from)
+    }
+
+    /// Inserts `from → to` only if it closes no cycle.
+    pub fn try_add_edge(&mut self, from: Node, to: Node) -> Result<bool, CycleDetected> {
+        if self.would_close_cycle(from, to) {
+            return Err(CycleDetected { from, to });
+        }
+        Ok(self.add_edge(from, to))
+    }
+
+    /// Whether the whole graph is acyclic (serialization theorem check).
+    pub fn is_acyclic(&self) -> bool {
+        // Iterative three-color DFS.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<Node, Color> =
+            self.out_edges.keys().map(|&n| (n, Color::White)).collect();
+        for &start in self.out_edges.keys() {
+            if color[&start] != Color::White {
+                continue;
+            }
+            // stack of (node, next-successor-index)
+            let mut stack: Vec<(Node, usize)> = vec![(start, 0)];
+            color.insert(start, Color::Gray);
+            while let Some(&mut (n, ref mut idx)) = stack.last_mut() {
+                let succ = self.successors(n);
+                if *idx < succ.len() {
+                    let next = succ[*idx];
+                    *idx += 1;
+                    match color[&next] {
+                        Color::Gray => return false,
+                        Color::White => {
+                            color.insert(next, Color::Gray);
+                            stack.push((next, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(n, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies a broadcast [`GraphDiff`]: inserts the newly committed
+    /// transactions and their conflict edges.
+    pub fn apply_diff(&mut self, diff: &GraphDiff) {
+        for &t in diff.committed() {
+            self.add_node(Node::Txn(t));
+        }
+        for &(from, to) in diff.edges() {
+            self.add_edge(Node::Txn(from), Node::Txn(to));
+        }
+    }
+
+    /// Removes a query node and all its incident edges, by scanning every
+    /// adjacency list.
+    pub fn remove_query(&mut self, query: QueryId) {
+        let node = Node::Query(query);
+        if let Some(succ) = self.out_edges.remove(&node) {
+            self.edge_count -= succ.len();
+        }
+        for succ in self.out_edges.values_mut() {
+            let before = succ.len();
+            succ.retain(|&n| n != node);
+            self.edge_count -= before - succ.len();
+        }
+    }
+
+    /// Lemma-1 pruning: drops every transaction committed before `bound`
+    /// together with its incident edges, by scanning every adjacency
+    /// list.
+    pub fn prune_before(&mut self, bound: Cycle) {
+        let stale: Vec<TxnId> = {
+            let mut stale = Vec::new();
+            for (&cycle, txns) in self.by_cycle.range(..bound) {
+                debug_assert!(cycle < bound);
+                stale.extend_from_slice(txns);
+            }
+            stale
+        };
+        if stale.is_empty() {
+            return;
+        }
+        let stale_nodes: BTreeSet<Node> = stale.iter().map(|&t| Node::Txn(t)).collect();
+        for node in &stale_nodes {
+            if let Some(succ) = self.out_edges.remove(node) {
+                self.edge_count -= succ.len();
+            }
+        }
+        for succ in self.out_edges.values_mut() {
+            let before = succ.len();
+            succ.retain(|n| !stale_nodes.contains(n));
+            self.edge_count -= before - succ.len();
+        }
+        self.by_cycle = self.by_cycle.split_off(&bound);
+    }
+
+    /// Drops the entire graph content.
+    pub fn clear(&mut self) {
+        self.out_edges.clear();
+        self.by_cycle.clear();
+        self.edge_count = 0;
+    }
+
+    /// Iterates over all nodes in unspecified order.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        self.out_edges.keys().copied()
+    }
+
+    /// The earliest commit cycle still retained, if any transaction nodes
+    /// exist.
+    pub fn earliest_cycle(&self) -> Option<Cycle> {
+        self.by_cycle.keys().next().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nt(cycle: u64, seq: u32) -> Node {
+        Node::Txn(TxnId::new(Cycle::new(cycle), seq))
+    }
+
+    fn nq(q: u64) -> Node {
+        Node::Query(QueryId::new(q))
+    }
+
+    #[test]
+    fn baseline_keeps_the_original_semantics() {
+        let mut g = BaselineGraph::new();
+        assert!(g.add_edge(nt(0, 0), nt(1, 0)));
+        assert!(!g.add_edge(nt(0, 0), nt(1, 0)));
+        g.add_edge(nq(1), nt(0, 0));
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.would_close_cycle(nt(1, 0), nq(1)));
+        assert!(!g.path_exists(nt(1, 0), nt(1, 0)));
+        g.remove_query(QueryId::new(1));
+        assert_eq!(g.edge_count(), 1);
+        g.prune_before(Cycle::new(1));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.earliest_cycle(), Some(Cycle::new(1)));
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn baseline_try_add_edge_matches() {
+        let mut g = BaselineGraph::new();
+        g.add_edge(nt(0, 0), nt(1, 0));
+        assert!(g.try_add_edge(nt(1, 0), nt(0, 0)).is_err());
+        assert!(g.try_add_edge(nt(1, 0), nt(2, 0)).unwrap());
+    }
+}

@@ -1,12 +1,41 @@
-//! The serialization graph proper.
+//! The serialization graph proper, on a dense node interner.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 
-use bpush_types::{Cycle, QueryId, TxnId};
+use bpush_types::{Cycle, QueryId};
 
 use crate::diff::GraphDiff;
 use crate::node::Node;
+
+/// Reusable depth-first-search state: an epoch-stamped visited array plus
+/// an explicit stack, so path queries allocate nothing once the graph has
+/// reached its steady-state size.
+#[derive(Debug, Default)]
+struct DfsScratch {
+    /// `visited[id] == epoch` marks `id` as seen by the current search.
+    visited: Vec<u32>,
+    /// Bumped once per search; wraps by zero-filling `visited`.
+    epoch: u32,
+    stack: Vec<u32>,
+}
+
+impl DfsScratch {
+    /// Sizes the visited array and opens a fresh epoch.
+    fn begin(&mut self, nodes: usize) -> u32 {
+        if self.visited.len() < nodes {
+            self.visited.resize(nodes, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.stack.clear();
+        self.epoch
+    }
+}
 
 /// A conflict serialization graph (§3.3).
 ///
@@ -21,26 +50,112 @@ use crate::node::Node;
 /// Cycle checks are the paper's acceptance test: a read creating edge
 /// `T_l → R` is accepted iff no path `R →* T_l` exists
 /// ([`SerializationGraph::would_close_cycle`]).
-#[derive(Debug, Clone, Default)]
+///
+/// # Representation
+///
+/// Nodes are interned to dense `u32` ids; forward *and* reverse adjacency
+/// are `Vec`-indexed by id, so the validation hot paths run on integer
+/// arrays rather than tree lookups:
+///
+/// * [`SerializationGraph::path_exists`] /
+///   [`SerializationGraph::would_close_cycle`] walk id-based successor
+///   lists with an epoch-stamped visited array — no per-call allocation
+///   and no ordered-set probes;
+/// * [`SerializationGraph::remove_query`] unlinks a node touching only
+///   its in- and out-neighbors (the reverse index replaces the old
+///   scan over every adjacency list);
+/// * [`SerializationGraph::prune_before`] drops whole per-cycle subgraphs
+///   the same way, via the by-cycle id index.
+///
+/// Freed ids are recycled LIFO, so long-running clients that steadily
+/// intern new transactions while pruning old ones keep a bounded intern
+/// table. Every structure is insertion-ordered or key-sorted — behavior
+/// is a pure function of the operation sequence, which keeps replay-based
+/// checking (`cargo xtask mc`) exact.
+///
+/// The pre-interning `BTreeMap` implementation survives as
+/// [`crate::baseline::BaselineGraph`], the differential-testing oracle
+/// and benchmark baseline.
 pub struct SerializationGraph {
-    /// Outgoing adjacency. Presence in the map also records node
-    /// membership (nodes may have no edges).
-    out_edges: BTreeMap<Node, Vec<Node>>,
-    /// Commit-cycle index of transaction nodes, for pruning.
-    by_cycle: BTreeMap<Cycle, Vec<TxnId>>,
+    /// Intern table: dense id → node. Entries of freed ids are stale
+    /// until the id is reused; `index` is the source of liveness.
+    nodes: Vec<Node>,
+    /// Node → dense id, for the live nodes only.
+    index: BTreeMap<Node, u32>,
+    /// Forward adjacency by id, as nodes — lets
+    /// [`SerializationGraph::successors`] hand out a slice directly.
+    out: Vec<Vec<Node>>,
+    /// Forward adjacency by id, as ids, kept position-aligned with `out`.
+    out_ids: Vec<Vec<u32>>,
+    /// Reverse adjacency by id (predecessor ids).
+    in_ids: Vec<Vec<u32>>,
+    /// Freed ids available for reuse, LIFO.
+    free: Vec<u32>,
+    /// Commit-cycle index of transaction-node ids, for pruning.
+    by_cycle: BTreeMap<Cycle, Vec<u32>>,
     /// Total number of directed edges.
     edge_count: usize,
+    /// Search scratch; interior-mutable so `&self` path queries reuse it.
+    scratch: RefCell<DfsScratch>,
+}
+
+impl Default for SerializationGraph {
+    fn default() -> Self {
+        SerializationGraph::new()
+    }
+}
+
+impl Clone for SerializationGraph {
+    fn clone(&self) -> Self {
+        SerializationGraph {
+            nodes: self.nodes.clone(),
+            index: self.index.clone(),
+            out: self.out.clone(),
+            out_ids: self.out_ids.clone(),
+            in_ids: self.in_ids.clone(),
+            free: self.free.clone(),
+            by_cycle: self.by_cycle.clone(),
+            edge_count: self.edge_count,
+            // search scratch is not logical state; the clone starts fresh
+            scratch: RefCell::new(DfsScratch::default()),
+        }
+    }
+}
+
+impl fmt::Debug for SerializationGraph {
+    /// Prints the *logical* graph only — nodes in sorted order with their
+    /// successor lists in insertion order. Scratch state and interning
+    /// accidents (id values, free-list contents) are deliberately
+    /// excluded so equal graphs always print equally; the model checker
+    /// deduplicates states by this text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (&node, &id) in &self.index {
+            map.entry(&node, &self.out[id as usize]);
+        }
+        map.finish()
+    }
 }
 
 impl SerializationGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        SerializationGraph::default()
+        SerializationGraph {
+            nodes: Vec::new(),
+            index: BTreeMap::new(),
+            out: Vec::new(),
+            out_ids: Vec::new(),
+            in_ids: Vec::new(),
+            free: Vec::new(),
+            by_cycle: BTreeMap::new(),
+            edge_count: 0,
+            scratch: RefCell::new(DfsScratch::default()),
+        }
     }
 
     /// Number of nodes currently in the graph.
     pub fn node_count(&self) -> usize {
-        self.out_edges.len()
+        self.index.len()
     }
 
     /// Number of directed edges currently in the graph.
@@ -50,63 +165,120 @@ impl SerializationGraph {
 
     /// Whether the graph has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.out_edges.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether `node` is present.
     pub fn contains(&self, node: Node) -> bool {
-        self.out_edges.contains_key(&node)
+        self.index.contains_key(&node)
+    }
+
+    /// Interns `node`, returning its dense id (idempotent).
+    fn intern(&mut self, node: Node) -> u32 {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.nodes[id as usize] = node;
+                id
+            }
+            None => {
+                let id = u32::try_from(self.nodes.len())
+                    // lint: allow(panic) — a graph of 2^32 live nodes exceeds any Lemma-1 window
+                    .expect("node interner overflow");
+                self.nodes.push(node);
+                self.out.push(Vec::new());
+                self.out_ids.push(Vec::new());
+                self.in_ids.push(Vec::new());
+                id
+            }
+        };
+        self.index.insert(node, id);
+        if let Node::Txn(t) = node {
+            self.by_cycle.entry(t.cycle()).or_default().push(id);
+        }
+        id
+    }
+
+    /// Unlinks one live node: detaches its incident edges by walking the
+    /// forward and reverse adjacency of the node itself — O(out-degree +
+    /// Σ out-degree of in-neighbors) — and recycles the id. Does *not*
+    /// touch `by_cycle`; callers that remove transaction nodes maintain
+    /// it themselves.
+    fn unlink(&mut self, id: u32) {
+        let node = self.nodes[id as usize];
+        let outs = std::mem::take(&mut self.out_ids[id as usize]);
+        self.out[id as usize].clear();
+        self.edge_count -= outs.len();
+        for s in outs {
+            if s != id {
+                self.in_ids[s as usize].retain(|&p| p != id);
+            }
+        }
+        let ins = std::mem::take(&mut self.in_ids[id as usize]);
+        for p in ins {
+            if p == id {
+                continue; // the self-loop was accounted with the out edges
+            }
+            let succ_ids = &mut self.out_ids[p as usize];
+            if let Some(pos) = succ_ids.iter().position(|&s| s == id) {
+                succ_ids.remove(pos);
+                self.out[p as usize].remove(pos);
+                self.edge_count -= 1;
+            }
+        }
+        self.index.remove(&node);
+        self.free.push(id);
     }
 
     /// Inserts a node (idempotent).
     pub fn add_node(&mut self, node: Node) {
-        if self.out_edges.contains_key(&node) {
-            return;
-        }
-        self.out_edges.insert(node, Vec::new());
-        if let Node::Txn(t) = node {
-            self.by_cycle.entry(t.cycle()).or_default().push(t);
-        }
+        self.intern(node);
     }
 
     /// Inserts a directed edge `from → to`, inserting the endpoints if
     /// needed. Returns `true` if the edge is new.
     pub fn add_edge(&mut self, from: Node, to: Node) -> bool {
-        self.add_node(from);
-        self.add_node(to);
-        let succ = self
-            .out_edges
-            .get_mut(&from)
-            // lint: allow(panic) — the endpoint entry was inserted earlier in this method
-            .expect("endpoint inserted above");
-        if succ.contains(&to) {
+        let f = self.intern(from);
+        let t = self.intern(to);
+        if self.out_ids[f as usize].contains(&t) {
             return false;
         }
-        succ.push(to);
+        self.out_ids[f as usize].push(t);
+        self.out[f as usize].push(to);
+        self.in_ids[t as usize].push(f);
         self.edge_count += 1;
         true
     }
 
     /// The successors of `node`, or an empty slice for unknown nodes.
     pub fn successors(&self, node: Node) -> &[Node] {
-        self.out_edges.get(&node).map_or(&[], Vec::as_slice)
+        match self.index.get(&node) {
+            Some(&id) => &self.out[id as usize],
+            None => &[],
+        }
     }
 
     /// Whether a directed path `from →* to` exists (including the trivial
     /// path when `from == to` only if a real cycle through it exists —
     /// i.e. `path_exists(n, n)` is `true` only when `n` lies on a cycle).
     pub fn path_exists(&self, from: Node, to: Node) -> bool {
-        if !self.contains(from) || !self.contains(to) {
-            return false;
-        }
-        let mut stack: Vec<Node> = self.successors(from).to_vec();
-        let mut visited: BTreeSet<Node> = BTreeSet::new();
-        while let Some(n) = stack.pop() {
-            if n == to {
+        let (from, to) = match (self.index.get(&from), self.index.get(&to)) {
+            (Some(&f), Some(&t)) => (f, t),
+            _ => return false,
+        };
+        let mut scratch = self.scratch.borrow_mut();
+        let epoch = scratch.begin(self.nodes.len());
+        let DfsScratch { visited, stack, .. } = &mut *scratch;
+        stack.extend_from_slice(&self.out_ids[from as usize]);
+        while let Some(id) = stack.pop() {
+            if id == to {
                 return true;
             }
-            if visited.insert(n) {
-                stack.extend_from_slice(self.successors(n));
+            if visited[id as usize] != epoch {
+                visited[id as usize] = epoch;
+                stack.extend_from_slice(&self.out_ids[id as usize]);
             }
         }
         false
@@ -135,37 +307,34 @@ impl SerializationGraph {
 
     /// Whether the whole graph is acyclic (serialization theorem check).
     pub fn is_acyclic(&self) -> bool {
-        // Iterative three-color DFS.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Color {
-            White,
-            Gray,
-            Black,
-        }
-        let mut color: BTreeMap<Node, Color> =
-            self.out_edges.keys().map(|&n| (n, Color::White)).collect();
-        for &start in self.out_edges.keys() {
-            if color[&start] != Color::White {
+        // Iterative three-color DFS over ids. Not a validation hot path;
+        // the color array is allocated per call.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; self.nodes.len()];
+        for &start in self.index.values() {
+            if color[start as usize] != WHITE {
                 continue;
             }
-            // stack of (node, next-successor-index)
-            let mut stack: Vec<(Node, usize)> = vec![(start, 0)];
-            color.insert(start, Color::Gray);
+            // stack of (node id, next-successor-index)
+            let mut stack: Vec<(u32, usize)> = vec![(start, 0)];
+            color[start as usize] = GRAY;
             while let Some(&mut (n, ref mut idx)) = stack.last_mut() {
-                let succ = self.successors(n);
+                let succ = &self.out_ids[n as usize];
                 if *idx < succ.len() {
                     let next = succ[*idx];
                     *idx += 1;
-                    match color[&next] {
-                        Color::Gray => return false,
-                        Color::White => {
-                            color.insert(next, Color::Gray);
+                    match color[next as usize] {
+                        GRAY => return false,
+                        WHITE => {
+                            color[next as usize] = GRAY;
                             stack.push((next, 0));
                         }
-                        Color::Black => {}
+                        _ => {}
                     }
                 } else {
-                    color.insert(n, Color::Black);
+                    color[n as usize] = BLACK;
                     stack.pop();
                 }
             }
@@ -184,16 +353,11 @@ impl SerializationGraph {
         }
     }
 
-    /// Removes a query node and all its incident edges.
+    /// Removes a query node and all its incident edges, in O(out-degree +
+    /// in-degree·neighbor-list-length) via the reverse index.
     pub fn remove_query(&mut self, query: QueryId) {
-        let node = Node::Query(query);
-        if let Some(succ) = self.out_edges.remove(&node) {
-            self.edge_count -= succ.len();
-        }
-        for succ in self.out_edges.values_mut() {
-            let before = succ.len();
-            succ.retain(|&n| n != node);
-            self.edge_count -= before - succ.len();
+        if let Some(&id) = self.index.get(&Node::Query(query)) {
+            self.unlink(id);
         }
     }
 
@@ -206,44 +370,37 @@ impl SerializationGraph {
     /// was first invalidated at cycle `c_o` only involve transactions of
     /// cycles `≥ c_o`; pruning below `min c_o` keeps the acceptance test
     /// exact. See [`crate::SerializationGraph::would_close_cycle`].
+    ///
+    /// Work is proportional to the pruned subgraphs' own degree (each
+    /// stale node is unlinked through its forward and reverse adjacency),
+    /// not to the size of the retained graph.
     pub fn prune_before(&mut self, bound: Cycle) {
-        let stale: Vec<TxnId> = {
-            let mut stale = Vec::new();
-            for (&cycle, txns) in self.by_cycle.range(..bound) {
-                debug_assert!(cycle < bound);
-                stale.extend_from_slice(txns);
-            }
-            stale
-        };
+        let stale: Vec<u32> = self
+            .by_cycle
+            .range(..bound)
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
         if stale.is_empty() {
             return;
         }
-        let stale_nodes: BTreeSet<Node> = stale.iter().map(|&t| Node::Txn(t)).collect();
-        for node in &stale_nodes {
-            if let Some(succ) = self.out_edges.remove(node) {
-                self.edge_count -= succ.len();
-            }
-        }
-        for succ in self.out_edges.values_mut() {
-            let before = succ.len();
-            succ.retain(|n| !stale_nodes.contains(n));
-            self.edge_count -= before - succ.len();
+        for id in stale {
+            self.unlink(id);
         }
         self.by_cycle = self.by_cycle.split_off(&bound);
     }
 
-    /// Drops the entire graph content. Equivalent to pruning past the last
-    /// cycle; used when no query has been invalidated (the paper's "if no
-    /// items are updated, there is no space or processing overhead").
+    /// Drops the entire graph content — including the intern table and
+    /// search scratch, so a long-lived client returns to zero footprint.
+    /// Equivalent to pruning past the last cycle; used when no query has
+    /// been invalidated (the paper's "if no items are updated, there is
+    /// no space or processing overhead").
     pub fn clear(&mut self) {
-        self.out_edges.clear();
-        self.by_cycle.clear();
-        self.edge_count = 0;
+        *self = SerializationGraph::new();
     }
 
     /// Iterates over all nodes in unspecified order.
     pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
-        self.out_edges.keys().copied()
+        self.index.keys().copied()
     }
 
     /// The earliest commit cycle still retained, if any transaction nodes
@@ -257,76 +414,55 @@ impl SerializationGraph {
     /// self-loops, which [`SerializationGraph::add_edge`] cannot create).
     /// Useful for diagnosing validator failures.
     pub fn cycles(&self) -> Vec<Vec<Node>> {
-        // Iterative Tarjan SCC.
-        #[derive(Clone, Copy)]
-        struct Info {
-            index: usize,
-            lowlink: usize,
-            on_stack: bool,
-        }
-        let mut info: BTreeMap<Node, Info> = BTreeMap::new();
-        let mut stack: Vec<Node> = Vec::new();
-        let mut next_index = 0usize;
+        // Iterative Tarjan SCC over ids; diagnostic path, allocates
+        // freely. Roots iterate in sorted node order for deterministic
+        // component order.
+        const UNSEEN: u32 = u32::MAX;
+        let n = self.nodes.len();
+        let mut order = vec![UNSEEN; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
         let mut out = Vec::new();
 
-        for &root in self.out_edges.keys() {
-            if info.contains_key(&root) {
+        for &root in self.index.values() {
+            if order[root as usize] != UNSEEN {
                 continue;
             }
-            // call stack: (node, successor cursor)
-            let mut call: Vec<(Node, usize)> = vec![(root, 0)];
-            info.insert(
-                root,
-                Info {
-                    index: next_index,
-                    lowlink: next_index,
-                    on_stack: true,
-                },
-            );
+            // call stack: (node id, successor cursor)
+            let mut call: Vec<(u32, usize)> = vec![(root, 0)];
+            order[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            on_stack[root as usize] = true;
             stack.push(root);
             next_index += 1;
             while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
-                let succ = self.successors(v);
+                let succ = &self.out_ids[v as usize];
                 if *cursor < succ.len() {
                     let w = succ[*cursor];
                     *cursor += 1;
-                    match info.get(&w) {
-                        None => {
-                            info.insert(
-                                w,
-                                Info {
-                                    index: next_index,
-                                    lowlink: next_index,
-                                    on_stack: true,
-                                },
-                            );
-                            stack.push(w);
-                            next_index += 1;
-                            call.push((w, 0));
-                        }
-                        Some(wi) if wi.on_stack => {
-                            let w_index = wi.index;
-                            // lint: allow(panic) — Tarjan invariant: visited nodes always have an info entry
-                            let vi = info.get_mut(&v).expect("visited");
-                            vi.lowlink = vi.lowlink.min(w_index);
-                        }
-                        Some(_) => {}
+                    if order[w as usize] == UNSEEN {
+                        order[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        on_stack[w as usize] = true;
+                        stack.push(w);
+                        next_index += 1;
+                        call.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(order[w as usize]);
                     }
                 } else {
                     call.pop();
-                    // lint: allow(panic) — Tarjan invariant: visited nodes always have an info entry
-                    let vi = *info.get(&v).expect("visited");
                     if let Some(&(parent, _)) = call.last() {
-                        // lint: allow(panic) — Tarjan invariant: visited nodes always have an info entry
-                        let pi = info.get_mut(&parent).expect("visited");
-                        pi.lowlink = pi.lowlink.min(vi.lowlink);
+                        lowlink[parent as usize] =
+                            lowlink[parent as usize].min(lowlink[v as usize]);
                     }
-                    if vi.lowlink == vi.index {
+                    if lowlink[v as usize] == order[v as usize] {
                         let mut component = Vec::new();
                         while let Some(w) = stack.pop() {
-                            // lint: allow(panic) — Tarjan invariant: visited nodes always have an info entry
-                            info.get_mut(&w).expect("on stack").on_stack = false;
-                            component.push(w);
+                            on_stack[w as usize] = false;
+                            component.push(self.nodes[w as usize]);
                             if w == v {
                                 break;
                             }
@@ -368,6 +504,7 @@ impl std::error::Error for CycleDetected {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bpush_types::TxnId;
 
     fn t(cycle: u64, seq: u32) -> TxnId {
         TxnId::new(Cycle::new(cycle), seq)
@@ -584,5 +721,52 @@ mod tests {
         let mut nodes: Vec<Node> = g.nodes().collect();
         nodes.sort();
         assert_eq!(nodes, vec![nt(0, 0), nq(0)]);
+    }
+
+    #[test]
+    fn ids_are_recycled_after_pruning() {
+        let mut g = SerializationGraph::new();
+        for round in 0..64u64 {
+            g.add_edge(nt(round, 0), nt(round + 1, 0));
+            g.prune_before(Cycle::new(round + 1));
+        }
+        // the intern table stays bounded by the live window, not the
+        // total number of transactions ever seen
+        assert!(g.node_count() <= 2);
+        assert!(
+            g.nodes.len() <= 4,
+            "freed ids must be reused, table grew to {}",
+            g.nodes.len()
+        );
+    }
+
+    #[test]
+    fn debug_output_is_logical_and_canonical() {
+        // two graphs with the same logical content but different
+        // interning histories print identically
+        let mut a = SerializationGraph::new();
+        a.add_edge(nt(0, 0), nt(1, 0));
+        let mut b = SerializationGraph::new();
+        b.add_edge(nq(7), nt(5, 5));
+        b.add_edge(nt(0, 0), nt(1, 0));
+        b.remove_query(QueryId::new(7));
+        b.prune_before(Cycle::new(0)); // no-op, but exercises bookkeeping
+        b.prune_before(Cycle::new(6));
+        b.add_edge(nt(0, 0), nt(1, 0));
+        // b now holds exactly a's content (T5.5 pruned, query removed)
+        let _ = b.path_exists(nt(0, 0), nt(1, 0)); // dirty the scratch
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn clone_is_independent_and_equal() {
+        let mut g = SerializationGraph::new();
+        g.add_edge(nt(0, 0), nt(1, 0));
+        g.add_edge(nq(1), nt(0, 0));
+        let mut c = g.clone();
+        assert_eq!(format!("{g:?}"), format!("{c:?}"));
+        c.add_edge(nt(1, 0), nt(2, 0));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(c.edge_count(), 3);
     }
 }

@@ -9,10 +9,14 @@
 //!
 //! This crate provides:
 //!
-//! * [`SerializationGraph`] — the graph itself, with incremental edge
-//!   insertion, cycle/path queries, per-cycle subgraph bookkeeping
-//!   (`SG^i` in the paper), and the Lemma-1 pruning rule
+//! * [`SerializationGraph`] — the graph itself on a dense `u32` node
+//!   interner with forward and reverse adjacency, with incremental edge
+//!   insertion, allocation-free cycle/path queries, per-cycle subgraph
+//!   bookkeeping (`SG^i` in the paper), and the Lemma-1 pruning rule
 //!   ([`SerializationGraph::prune_before`]),
+//! * [`baseline::BaselineGraph`] — the original `BTreeMap`
+//!   implementation, kept as differential-test oracle and benchmark
+//!   baseline,
 //! * [`GraphDiff`] — the per-cycle difference the server broadcasts,
 //! * [`Node`] — graph nodes: committed server transactions or local
 //!   read-only queries.
@@ -42,6 +46,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline;
 mod diff;
 mod graph;
 mod node;

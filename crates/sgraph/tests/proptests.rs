@@ -6,6 +6,7 @@
 #![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
+use bpush_sgraph::baseline::BaselineGraph;
 use bpush_sgraph::{Node, SerializationGraph};
 use bpush_types::{Cycle, QueryId, TxnId};
 
@@ -119,6 +120,70 @@ proptest! {
                 for &m in g.successors(n) {
                     prop_assert!(g.contains(m), "dangling edge target {m}");
                 }
+            }
+        }
+    }
+
+    /// Differential test: the interned graph and the original
+    /// `BTreeMap`-based [`BaselineGraph`] answer every query identically
+    /// under arbitrary interleavings of `add_edge`, `would_close_cycle`,
+    /// `remove_query` and `prune_before`. This is the conformance
+    /// argument for the interning rewrite: same operation sequence, same
+    /// observable state, edge by edge.
+    #[test]
+    fn interned_graph_agrees_with_baseline(
+        ops in proptest::collection::vec((0u8..6, 0u64..6, 0u32..3, 0u64..6), 0..100),
+    ) {
+        let mut fast = SerializationGraph::new();
+        let mut slow = BaselineGraph::new();
+        for (op, c, s, q) in ops {
+            let txn = Node::Txn(TxnId::new(Cycle::new(c), s));
+            let query = Node::Query(QueryId::new(q));
+            match op {
+                0 => {
+                    prop_assert_eq!(fast.add_edge(txn, query), slow.add_edge(txn, query));
+                }
+                1 => {
+                    prop_assert_eq!(fast.add_edge(query, txn), slow.add_edge(query, txn));
+                }
+                2 => {
+                    // server-to-server conflict edge (possibly backward —
+                    // both must agree even on edges a real history can't
+                    // produce)
+                    let other = Node::Txn(TxnId::new(Cycle::new(q), s));
+                    prop_assert_eq!(fast.add_edge(txn, other), slow.add_edge(txn, other));
+                }
+                3 => {
+                    fast.remove_query(QueryId::new(q));
+                    slow.remove_query(QueryId::new(q));
+                }
+                4 => {
+                    fast.prune_before(Cycle::new(c));
+                    slow.prune_before(Cycle::new(c));
+                }
+                _ => {
+                    prop_assert_eq!(
+                        fast.would_close_cycle(txn, query),
+                        slow.would_close_cycle(txn, query)
+                    );
+                }
+            }
+            // observable state matches after every step
+            prop_assert_eq!(fast.node_count(), slow.node_count());
+            prop_assert_eq!(fast.edge_count(), slow.edge_count());
+            prop_assert_eq!(fast.earliest_cycle(), slow.earliest_cycle());
+            prop_assert_eq!(fast.is_acyclic(), slow.is_acyclic());
+            let fast_nodes: Vec<Node> = fast.nodes().collect();
+            let slow_nodes: Vec<Node> = slow.nodes().collect();
+            prop_assert_eq!(&fast_nodes, &slow_nodes, "node sets diverged");
+            for n in fast_nodes {
+                prop_assert_eq!(
+                    fast.successors(n),
+                    slow.successors(n),
+                    "successor lists diverged at {}",
+                    n
+                );
+                prop_assert_eq!(fast.path_exists(n, txn), slow.path_exists(n, txn));
             }
         }
     }

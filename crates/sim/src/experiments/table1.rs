@@ -69,6 +69,8 @@ pub fn run(scale: Scale) -> Result<Table, BpushError> {
             "cache hit %",
             "currency",
             "disconnections",
+            "peak graph (n/e)",
+            "validation us/cycle",
         ],
     );
     for m in &metrics {
@@ -102,6 +104,12 @@ pub fn run(scale: Scale) -> Result<Table, BpushError> {
                 .map_or_else(|| "-".to_owned(), |r| fnum(r * 100.0, 1)),
             currency_of(m.method).to_owned(),
             tolerance_of(m.method).to_owned(),
+            if m.peak_graph_nodes == 0 && m.peak_graph_edges == 0 {
+                "-".to_owned()
+            } else {
+                format!("{}/{}", m.peak_graph_nodes, m.peak_graph_edges)
+            },
+            fnum(m.validation_ns.mean() / 1_000.0, 1),
         ]);
     }
     Ok(table)
@@ -126,6 +134,19 @@ mod tests {
         for row in &t.rows {
             let pct: f64 = row[1].parse().unwrap();
             assert!((0.0..=100.0).contains(&pct));
+        }
+        // SGT rows report a peak graph size; graph-free methods print "-"
+        let sgt_row = t.rows.iter().find(|r| r[0] == "sgt").expect("sgt row");
+        assert!(sgt_row[10].contains('/'), "peak graph column: {sgt_row:?}");
+        let inv_row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "inv-only")
+            .expect("inv-only row");
+        assert_eq!(inv_row[10], "-");
+        // validation time parses as a number for every method
+        for row in &t.rows {
+            let _: f64 = row[11].parse().unwrap();
         }
     }
 

@@ -1,5 +1,7 @@
 //! Parallel execution of simulation jobs (parameter sweeps).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use parking_lot::Mutex;
 
 use bpush_core::Method;
@@ -37,9 +39,15 @@ impl Job {
 /// Returns the first configuration or budget error encountered.
 pub fn run_jobs(jobs: Vec<Job>) -> Result<Vec<MethodMetrics>, BpushError> {
     let n = jobs.len();
-    let results: Mutex<Vec<Option<Result<MethodMetrics, BpushError>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    let next: Mutex<usize> = Mutex::new(0);
+    // Lock-free dispatch: workers claim the next job index with a single
+    // fetch_add, and each job writes into its own pre-sized slot — no
+    // shared lock is ever contended, so sweep fan-out scales with cores.
+    // (The per-slot Mutex is never under contention: exactly one worker
+    // touches each slot, and `scope` joining the workers publishes the
+    // writes; the lock only satisfies the borrow checker across threads.)
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<MethodMetrics, BpushError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
@@ -48,30 +56,24 @@ pub fn run_jobs(jobs: Vec<Job>) -> Result<Vec<MethodMetrics>, BpushError> {
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let idx = {
-                    let mut guard = next.lock();
-                    if *guard >= n {
-                        break;
-                    }
-                    let idx = *guard;
-                    *guard += 1;
-                    idx
-                };
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
                 let job = &jobs[idx];
                 let outcome = Simulation::with_layout(job.config.clone(), job.method, job.layout)
                     .and_then(Simulation::run);
-                results.lock()[idx] = Some(outcome);
+                *slots[idx].lock() = Some(outcome);
             });
         }
     });
 
-    results
-        .into_inner()
+    slots
         .into_iter()
         .map(|slot| {
             // std::thread::scope joins every worker before returning (and
             // propagates their panics), so each slot has been filled
-            slot.unwrap_or(Err(BpushError::invalid_config(
+            slot.into_inner().unwrap_or(Err(BpushError::invalid_config(
                 "internal: a simulation job was never executed",
             )))
         })

@@ -47,6 +47,18 @@ pub struct MethodMetrics {
     pub violations: u64,
     /// Broadcast cycles simulated.
     pub cycles: u64,
+    /// Peak size of the validation structure (SGT serialization graph)
+    /// across all clients and cycles, as `(nodes, edges)` — the space
+    /// overhead Table 1 calls "considerable". Zero for methods that
+    /// keep no such structure.
+    pub peak_graph_nodes: usize,
+    /// Peak edge count; see [`MethodMetrics::peak_graph_nodes`].
+    pub peak_graph_edges: usize,
+    /// Wall time spent in client-side per-cycle processing (control
+    /// handling + validation + reads), one sample per simulated cycle,
+    /// in nanoseconds. Wall time is measured here in `bpush-sim` — the
+    /// protocol crates stay clock-free for determinism.
+    pub validation_ns: Summary,
 }
 
 impl MethodMetrics {
@@ -96,6 +108,9 @@ impl MethodMetrics {
         };
         self.violations += other.violations;
         self.cycles += other.cycles;
+        self.peak_graph_nodes = self.peak_graph_nodes.max(other.peak_graph_nodes);
+        self.peak_graph_edges = self.peak_graph_edges.max(other.peak_graph_edges);
+        self.validation_ns.merge(&other.validation_ns);
     }
 }
 
@@ -245,6 +260,8 @@ impl Simulation {
         let mut outcomes: Vec<QueryOutcome> = Vec::new();
         let mut total_slots = 0u64;
         let mut cycles = 0u64;
+        let mut peak_graph = (0usize, 0usize);
+        let mut validation_ns = Summary::new();
 
         while self.clients.iter().any(|c| !c.is_done()) {
             if cycles >= self.config.max_cycles {
@@ -256,6 +273,11 @@ impl Simulation {
             total_slots += bcast.total_slots();
             cycles += 1;
             let measured = bcast.cycle() >= warmup;
+            // Wall-time the client side of the cycle — the validation
+            // work whose cost the interned data structures target. The
+            // clock lives here in `bpush-sim`; protocol crates are
+            // clock-free by lint rule L2.
+            let cycle_started = std::time::Instant::now();
             for client in &mut self.clients {
                 let connected = !client.roll_disconnect();
                 for outcome in client.run_cycle(&bcast, start, connected)? {
@@ -263,6 +285,13 @@ impl Simulation {
                         observer(&outcome);
                         outcomes.push(outcome);
                     }
+                }
+            }
+            validation_ns.record(cycle_started.elapsed().as_nanos() as f64);
+            for client in &self.clients {
+                if let Some((nodes, edges)) = client.space_metrics() {
+                    peak_graph.0 = peak_graph.0.max(nodes);
+                    peak_graph.1 = peak_graph.1.max(edges);
                 }
             }
             start = start.plus(bcast.total_slots());
@@ -336,6 +365,9 @@ impl Simulation {
             base_slots: u64::from(self.config.server.data_buckets()),
             violations,
             cycles,
+            peak_graph_nodes: peak_graph.0,
+            peak_graph_edges: peak_graph.1,
+            validation_ns,
         })
     }
 }
@@ -455,6 +487,46 @@ mod tests {
             .unwrap();
         assert!(mv.overhead_pct() > inv.overhead_pct());
         assert!(inv.overhead_pct() >= 0.0);
+    }
+
+    #[test]
+    fn sgt_reports_peak_graph_size_and_validation_time() {
+        let sgt = Simulation::new(quick_config(), Method::Sgt)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            sgt.peak_graph_nodes > 0,
+            "SGT under an updating workload must retain graph nodes"
+        );
+        assert!(sgt.peak_graph_edges > 0);
+        assert_eq!(
+            sgt.validation_ns.count(),
+            sgt.cycles,
+            "one validation-time sample per simulated cycle"
+        );
+        let inv = Simulation::new(quick_config(), Method::InvalidationOnly)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(inv.peak_graph_nodes, 0, "no graph for invalidation-only");
+        assert_eq!(inv.peak_graph_edges, 0);
+    }
+
+    #[test]
+    fn merge_keeps_peak_and_validation_samples() {
+        let mut a = Simulation::new(quick_config(), Method::Sgt)
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut cfg = quick_config();
+        cfg.seed = 123;
+        let b = Simulation::new(cfg, Method::Sgt).unwrap().run().unwrap();
+        let expect_nodes = a.peak_graph_nodes.max(b.peak_graph_nodes);
+        let expect_samples = a.validation_ns.count() + b.validation_ns.count();
+        a.merge(&b);
+        assert_eq!(a.peak_graph_nodes, expect_nodes);
+        assert_eq!(a.validation_ns.count(), expect_samples);
     }
 
     #[test]

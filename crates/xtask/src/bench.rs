@@ -1,0 +1,329 @@
+//! `cargo xtask bench`: the fixed-seed performance-trajectory harness.
+//!
+//! Two passes, both fully deterministic in *work* (timings vary, the
+//! operation streams do not):
+//!
+//! 1. **Substrate microbench** — an identical sliding-window SGT workload
+//!    (layered transaction edges, query entanglement, deep
+//!    `would_close_cycle` probes, per-cycle `remove_query`, windowed
+//!    `prune_before`) driven over both [`bpush_sgraph::SerializationGraph`]
+//!    (the dense interned implementation) and
+//!    [`bpush_sgraph::baseline::BaselineGraph`] (the original
+//!    BTree-adjacency implementation). The two runs must produce the same
+//!    checksum — the bench doubles as a differential check — and the
+//!    headline number is `sgt_speedup_pct`, the baseline/interned wall-time
+//!    ratio in integer percent (`200` = 2x).
+//! 2. **Per-method end-to-end pass** — every [`Method`] runs through the
+//!    full simulator at the paper defaults (or the quick scale with
+//!    `--quick`), recording wall time, query count, and commit count.
+//!
+//! The report renders to an all-integer JSON document (schema
+//! `bpush-bench-v1`, pinned key order) written to `BENCH_3.json` so the
+//! repository carries its own performance trajectory; the schema is locked
+//! by `tests/json_schema.rs` exactly like `lint --json` and `mc --json`.
+
+use std::time::Instant;
+
+use bpush_core::Method;
+use bpush_sgraph::baseline::BaselineGraph;
+use bpush_sgraph::{Node, SerializationGraph};
+use bpush_sim::experiments::{config_for, defaults, Scale};
+use bpush_sim::Simulation;
+use bpush_types::{BpushError, Cycle, QueryId, TxnId};
+
+/// One timed substrate workload.
+#[derive(Debug, Clone)]
+pub struct SubstrateBench {
+    /// Stable workload name (`sgt-substrate-interned`, `sgt-substrate-baseline`).
+    pub name: String,
+    /// Number of timed repetitions of the full workload.
+    pub iters: u64,
+    /// Total wall time across all repetitions, in nanoseconds.
+    pub total_ns: u64,
+    /// `total_ns / iters`.
+    pub ns_per_iter: u64,
+}
+
+/// One end-to-end simulator run.
+#[derive(Debug, Clone)]
+pub struct MethodBench {
+    /// Method name as printed by the experiment tables (e.g. `sgt`).
+    pub method: String,
+    /// Wall time of the full simulation, in nanoseconds.
+    pub wall_ns: u64,
+    /// Queries issued (after warmup).
+    pub queries: u64,
+    /// Queries that committed (issued minus aborted).
+    pub committed: u64,
+}
+
+/// The full `cargo xtask bench` report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The simulator seed used for the per-method pass.
+    pub seed: u64,
+    /// Whether the reduced `--quick` scale was used.
+    pub quick: bool,
+    /// The substrate microbenches (interned first, baseline second).
+    pub substrate: Vec<SubstrateBench>,
+    /// Baseline-over-interned substrate wall-time ratio in integer
+    /// percent: `200` means the interned graph is 2x faster.
+    pub sgt_speedup_pct: u64,
+    /// Per-method end-to-end results, in [`Method::ALL`] order.
+    pub methods: Vec<MethodBench>,
+}
+
+/// The sliding-window SGT substrate workload, written once and expanded
+/// for both graph implementations (their APIs are intentionally
+/// identical). Returns a checksum so the optimizer cannot drop the work
+/// and the two implementations can be cross-checked.
+macro_rules! substrate_workload {
+    ($graph:ty, $cycles:expr, $window:expr) => {{
+        let cycles: u64 = $cycles;
+        let window: u64 = $window;
+        let mut g = <$graph>::new();
+        let mut closed: u64 = 0;
+        for cy in 1..=cycles {
+            // The cycle's transactions, each reading from the previous
+            // layer: a dense layered DAG, matching the shape SGT builds
+            // from consecutive control-information broadcasts.
+            for seq in 0..10u32 {
+                g.add_edge(
+                    Node::Txn(TxnId::new(Cycle::new(cy - 1), seq)),
+                    Node::Txn(TxnId::new(Cycle::new(cy), (seq + 3) % 10)),
+                );
+            }
+            // Two active queries entangled with the fresh layer, as
+            // `try_add_edge` would leave them after a round of reads.
+            let q0 = QueryId::new(cy * 2);
+            let q1 = QueryId::new(cy * 2 + 1);
+            g.add_edge(Node::Query(q0), Node::Txn(TxnId::new(Cycle::new(cy), 0)));
+            g.add_edge(Node::Txn(TxnId::new(Cycle::new(cy), 1)), Node::Query(q0));
+            g.add_edge(Node::Query(q1), Node::Txn(TxnId::new(Cycle::new(cy), 2)));
+            // Acceptance probes at increasing depth: each one forces a
+            // DFS from an old transaction forward through the layers.
+            for k in [1u64, 4, 16, 64] {
+                if cy > k {
+                    let old = Node::Txn(TxnId::new(Cycle::new(cy - k), 0));
+                    if g.would_close_cycle(Node::Query(q0), old) {
+                        closed += 1;
+                    }
+                }
+            }
+            // Retire this cycle's first query and the previous cycle's
+            // second, then slide the pruning window.
+            g.remove_query(q0);
+            if cy > 1 {
+                g.remove_query(QueryId::new((cy - 1) * 2 + 1));
+            }
+            if cy > window {
+                g.prune_before(Cycle::new(cy - window));
+            }
+        }
+        closed
+            .wrapping_mul(1_000_003)
+            .wrapping_add(g.node_count() as u64)
+            .wrapping_mul(1_000_003)
+            .wrapping_add(g.edge_count() as u64)
+    }};
+}
+
+/// Times `iters` repetitions of `work`, returning `(total_ns,
+/// last_checksum)`.
+fn time_ns(iters: u64, mut work: impl FnMut() -> u64) -> (u64, u64) {
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        checksum = std::hint::black_box(work());
+    }
+    let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (total, checksum)
+}
+
+/// Runs the substrate microbench and the per-method pass.
+///
+/// # Errors
+/// Propagates simulator configuration errors, and reports an internal
+/// error if the interned and baseline graphs diverge on the shared
+/// workload (they never should — the differential proptests lock this).
+pub fn run_bench(quick: bool) -> Result<BenchReport, BpushError> {
+    let (cycles, window, iters) = if quick { (120, 30, 3) } else { (400, 48, 10) };
+
+    let (interned_ns, interned_sum) = time_ns(iters, || {
+        substrate_workload!(SerializationGraph, cycles, window)
+    });
+    let (baseline_ns, baseline_sum) =
+        time_ns(iters, || substrate_workload!(BaselineGraph, cycles, window));
+    if interned_sum != baseline_sum {
+        return Err(BpushError::invalid_config(format!(
+            "substrate checksum mismatch: interned {interned_sum} != baseline {baseline_sum}"
+        )));
+    }
+    let substrate = vec![
+        SubstrateBench {
+            name: "sgt-substrate-interned".to_owned(),
+            iters,
+            total_ns: interned_ns,
+            ns_per_iter: interned_ns / iters.max(1),
+        },
+        SubstrateBench {
+            name: "sgt-substrate-baseline".to_owned(),
+            iters,
+            total_ns: baseline_ns,
+            ns_per_iter: baseline_ns / iters.max(1),
+        },
+    ];
+    let sgt_speedup_pct = baseline_ns.saturating_mul(100) / interned_ns.max(1);
+
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let base = defaults(scale);
+    let seed = base.seed;
+    let mut methods = Vec::with_capacity(Method::ALL.len());
+    for &m in &Method::ALL {
+        let sim = Simulation::new(config_for(m, base.clone()), m)?;
+        let start = Instant::now();
+        let metrics = sim.run()?;
+        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        methods.push(MethodBench {
+            method: metrics.method.name().to_owned(),
+            wall_ns,
+            queries: metrics.queries,
+            committed: metrics.queries.saturating_sub(metrics.aborts.hits()),
+        });
+    }
+
+    Ok(BenchReport {
+        seed,
+        quick,
+        substrate,
+        sgt_speedup_pct,
+        methods,
+    })
+}
+
+/// Renders the report as the pinned-key-order, all-integer
+/// `bpush-bench-v1` JSON document (one line, no trailing newline).
+#[must_use]
+pub fn render_json(report: &BenchReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"schema\":\"bpush-bench-v1\"");
+    out.push_str(&format!(",\"seed\":{}", report.seed));
+    out.push_str(&format!(",\"quick\":{}", report.quick));
+    out.push_str(",\"substrate\":[");
+    for (i, s) in report.substrate.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"total_ns\":{},\"ns_per_iter\":{}}}",
+            s.name, s.iters, s.total_ns, s.ns_per_iter
+        ));
+    }
+    out.push(']');
+    out.push_str(&format!(",\"sgt_speedup_pct\":{}", report.sgt_speedup_pct));
+    out.push_str(",\"methods\":[");
+    for (i, m) in report.methods.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"method\":\"{}\",\"wall_ns\":{},\"queries\":{},\"committed\":{}}}",
+            m.method, m.wall_ns, m.queries, m.committed
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the report as a human-readable summary.
+#[must_use]
+pub fn render_text(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "xtask bench (seed {:#x}, {} scale)\n\nsubstrate:\n",
+        report.seed,
+        if report.quick { "quick" } else { "paper" }
+    ));
+    for s in &report.substrate {
+        out.push_str(&format!(
+            "  {:<26} {:>12} ns/iter  ({} iters)\n",
+            s.name, s.ns_per_iter, s.iters
+        ));
+    }
+    out.push_str(&format!(
+        "  interned vs baseline       {:>11}%  (>= 200 means >= 2x)\n\nmethods:\n",
+        report.sgt_speedup_pct
+    ));
+    for m in &report.methods {
+        out.push_str(&format!(
+            "  {:<26} {:>12} ns  {} queries, {} committed\n",
+            m.method, m.wall_ns, m.queries, m.committed
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_full_report() {
+        let report = run_bench(true).unwrap();
+        assert!(report.quick);
+        assert_eq!(report.substrate.len(), 2);
+        assert_eq!(report.substrate[0].name, "sgt-substrate-interned");
+        assert_eq!(report.substrate[1].name, "sgt-substrate-baseline");
+        for s in &report.substrate {
+            assert!(s.total_ns > 0);
+            assert!(s.ns_per_iter > 0);
+        }
+        assert!(report.sgt_speedup_pct > 0);
+        assert_eq!(report.methods.len(), Method::ALL.len());
+        for m in &report.methods {
+            assert!(m.queries > 0);
+            assert!(m.committed <= m.queries);
+        }
+    }
+
+    #[test]
+    fn json_rendering_pins_schema_and_key_order() {
+        let report = BenchReport {
+            seed: 7,
+            quick: true,
+            substrate: vec![SubstrateBench {
+                name: "sgt-substrate-interned".to_owned(),
+                iters: 3,
+                total_ns: 300,
+                ns_per_iter: 100,
+            }],
+            sgt_speedup_pct: 250,
+            methods: vec![MethodBench {
+                method: "sgt".to_owned(),
+                wall_ns: 42,
+                queries: 10,
+                committed: 9,
+            }],
+        };
+        let json = render_json(&report);
+        assert_eq!(
+            json,
+            "{\"schema\":\"bpush-bench-v1\",\"seed\":7,\"quick\":true,\
+             \"substrate\":[{\"name\":\"sgt-substrate-interned\",\"iters\":3,\
+             \"total_ns\":300,\"ns_per_iter\":100}],\"sgt_speedup_pct\":250,\
+             \"methods\":[{\"method\":\"sgt\",\"wall_ns\":42,\"queries\":10,\
+             \"committed\":9}]}"
+        );
+        let text = render_text(&report);
+        assert!(text.contains("sgt-substrate-interned"));
+        assert!(text.contains("250%"));
+    }
+
+    #[test]
+    fn substrate_workloads_agree_between_implementations() {
+        let interned = substrate_workload!(SerializationGraph, 60, 16);
+        let baseline = substrate_workload!(BaselineGraph, 60, 16);
+        assert_eq!(interned, baseline);
+        assert_ne!(interned, 0);
+    }
+}

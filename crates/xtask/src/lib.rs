@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bench;
+
 use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;

@@ -8,6 +8,10 @@
 //! * `cargo xtask mc [--scope ci|default] [--protocol <name>] [--json]`
 //!   — exhaustively model-check the protocols at a small scope; exits
 //!   non-zero when any protocol commits a non-serializable readset.
+//! * `cargo xtask bench [--quick] [--json] [--out <path>]` — run the
+//!   fixed-seed substrate and per-method benchmarks and write the
+//!   `bpush-bench-v1` report (default `BENCH_3.json` at the workspace
+//!   root).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -26,7 +30,14 @@ commands:
       Exhaustively enumerates bounded executions for every processing
       method (default scope: `default`), validates each committed
       readset, and exits non-zero on any serializability violation,
-      printing the minimized replayable counterexample.";
+      printing the minimized replayable counterexample.
+  bench [--quick] [--json] [--out <path>]
+      Runs the SGT-substrate microbench (dense interned graph vs the
+      BTree baseline, same fixed workload) and a per-method end-to-end
+      simulator pass, then writes the all-integer `bpush-bench-v1`
+      report to <path> (default: BENCH_3.json at the workspace root).
+      `--quick` shrinks both passes; `--json` prints the report to
+      stdout instead of the text summary.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +54,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("mc") => mc(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("help") | Some("--help") | None => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -147,6 +159,39 @@ fn mc(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut quick = false;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--out" => match it.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => return Err("--out needs a file argument".into()),
+            },
+            other => return Err(format!("unknown bench option `{other}`\n{USAGE}").into()),
+        }
+    }
+    let path = match out {
+        Some(p) => p,
+        None => find_workspace_root()?.join("BENCH_3.json"),
+    };
+
+    let report = xtask::bench::run_bench(quick)?;
+    let rendered = xtask::bench::render_json(&report);
+    std::fs::write(&path, format!("{rendered}\n"))?;
+    if json {
+        println!("{rendered}");
+    } else {
+        print!("{}", xtask::bench::render_text(&report));
+        println!("\nwrote {}", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` that
