@@ -76,6 +76,16 @@ impl DfsScratch {
 /// The pre-interning `BTreeMap` implementation survives as
 /// [`crate::baseline::BaselineGraph`], the differential-testing oracle
 /// and benchmark baseline.
+///
+/// # Thread safety
+///
+/// The interior-mutable search scratch makes this type [`Send`] but
+/// **not [`Sync`]**: `&self` path queries mutate the shared scratch, so
+/// concurrent shared reads from multiple threads are unsound and the
+/// compiler rejects them. A client validates on one thread in this
+/// design (each simulated client owns its graph); to share one across
+/// threads, wrap it in a `Mutex` — or `clone()` it, which starts the
+/// clone with fresh scratch.
 pub struct SerializationGraph {
     /// Intern table: dense id → node. Entries of freed ids are stale
     /// until the id is reused; `index` is the source of liveness.

@@ -418,7 +418,10 @@ fn checked_in_bench_report_holds_the_speedup_target() {
     let speedup = root.get("sgt_speedup_pct").as_u64();
     assert!(
         speedup >= 200,
-        "interned graph must stay >= 2x the baseline, got {speedup}%"
+        "interned graph must stay >= 2x the baseline, got {speedup}% \
+         (the ratio is wall-clock and machine-dependent: regenerate \
+         BENCH_3.json with `cargo xtask bench` on a quiet machine at \
+         full scale — see EXPERIMENTS.md)"
     );
 
     let methods: Vec<&str> = root
