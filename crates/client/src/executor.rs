@@ -7,10 +7,12 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use bpush_broadcast::Bcast;
+use bpush_core::instrument::{Instrumented, ProtocolStats};
 use bpush_core::validator::ReadRecord;
 use bpush_core::{
     AbortReason, ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome, Source,
 };
+use bpush_obs::{Actor, EventKind, Obs};
 use bpush_types::config::ReadOrder;
 use bpush_types::zipf::AccessPattern;
 use bpush_types::{BpushError, ClientConfig, ClientId, Cycle, ItemId, QueryId, Slot};
@@ -136,6 +138,7 @@ pub struct QueryExecutor {
     /// Absolute next-action time.
     cursor: Slot,
     queries_budget: u32,
+    obs: Obs,
 }
 
 impl QueryExecutor {
@@ -177,7 +180,31 @@ impl QueryExecutor {
             active: None,
             cursor: Slot::ZERO,
             queries_budget,
+            obs: Obs::off(),
         })
+    }
+
+    /// Routes this client's activity into `obs`: the protocol is
+    /// wrapped in an [`Instrumented`] decorator emitting per-operation
+    /// events, and the executor itself emits cache hit/miss and query
+    /// commit/abort events, all attributed to this client's
+    /// [`Actor`] lane.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        let actor = Actor::Client(self.client.index());
+        // Briefly park a throwaway protocol so the real one can be
+        // moved into the decorator.
+        let placeholder = bpush_core::Method::InvalidationOnly.build_protocol();
+        let inner = std::mem::replace(&mut self.protocol, placeholder);
+        self.protocol = Box::new(Instrumented::with_obs(inner, obs.clone(), actor));
+        self.obs = obs;
+        self
+    }
+
+    /// The wrapped protocol's operation counters, when this executor
+    /// was instrumented via [`QueryExecutor::with_obs`].
+    pub fn protocol_stats(&self) -> Option<ProtocolStats> {
+        self.protocol.protocol_stats()
     }
 
     /// The client this executor simulates.
@@ -247,6 +274,28 @@ impl QueryExecutor {
         cycle: Cycle,
     ) -> QueryOutcome {
         self.protocol.finish_query(aq.id);
+        if self.obs.is_enabled() {
+            let actor = Actor::Client(self.client.index());
+            match aborted {
+                None => self.obs.emit(
+                    cycle,
+                    actor,
+                    EventKind::QueryCommitted {
+                        query: aq.id.number(),
+                        latency_slots: now.since(aq.started),
+                    },
+                ),
+                Some(reason) => self.obs.emit(
+                    cycle,
+                    actor,
+                    EventKind::QueryAborted {
+                        query: aq.id.number(),
+                        reason,
+                    },
+                ),
+            }
+            self.obs.record("query.tuning.slots", aq.tuning_slots);
+        }
         QueryOutcome {
             client: self.client,
             id: aq.id,
@@ -386,6 +435,14 @@ impl QueryExecutor {
                     } else {
                         None
                     };
+                    if self.obs.is_enabled() && self.cache.is_some() && cache_allowed {
+                        let kind = match cached {
+                            Some(_) => EventKind::CacheHit { item: item.index() },
+                            None => EventKind::CacheMiss { item: item.index() },
+                        };
+                        self.obs
+                            .emit(bcast.cycle(), Actor::Client(self.client.index()), kind);
+                    }
                     let (candidate, read_slot) = match cached {
                         Some(c) => (Some(c), None),
                         None if constraint.cache_only => (None, None),
@@ -817,6 +874,63 @@ mod tests {
         assert!(exec.is_done());
         assert!(exec.cache_stats().is_none());
         assert_eq!(exec.client(), ClientId::new(0));
+    }
+
+    #[test]
+    fn observed_runs_match_bare_runs_and_reconcile() {
+        let run_observed = |obs: Option<Obs>| -> (Vec<QueryOutcome>, Option<ProtocolStats>) {
+            let mut server =
+                BroadcastServer::new(server_config(), ServerOptions::plain(), 3).unwrap();
+            let mut exec = executor_for(Method::InvalidationCache, 15);
+            if let Some(obs) = obs {
+                exec = exec.with_obs(obs);
+            }
+            let mut outcomes = Vec::new();
+            let mut start = Slot::ZERO;
+            for _ in 0..60 {
+                let b = server.run_cycle();
+                outcomes.extend(exec.run_cycle(&b, start, true).unwrap());
+                start = start.plus(b.total_slots());
+            }
+            (outcomes, exec.protocol_stats())
+        };
+        let (bare, no_stats) = run_observed(None);
+        assert!(no_stats.is_none(), "bare executor exposes no stats");
+        let obs = Obs::recording(1 << 14);
+        let (observed, stats) = run_observed(Some(obs.clone()));
+        let stats = stats.expect("instrumented executor exposes stats");
+
+        // Observation must not perturb a single outcome.
+        assert_eq!(bare.len(), observed.len());
+        for (a, b) in bare.iter().zip(observed.iter()) {
+            assert_eq!(a.aborted, b.aborted);
+            assert_eq!(a.finished, b.finished);
+            assert_eq!(a.reads, b.reads);
+        }
+
+        // The event-derived counters reconcile with the decorator's
+        // stats and with the outcomes themselves.
+        let snap = obs.snapshot().expect("recording");
+        assert_eq!(snap.counter("reads.accepted"), stats.accepts);
+        assert_eq!(snap.counter("reads.rejected"), stats.rejects);
+        assert_eq!(snap.counter("queries.begun"), stats.queries);
+        let committed = observed.iter().filter(|o| o.committed()).count() as u64;
+        assert_eq!(snap.counter("queries.committed"), committed);
+        assert_eq!(
+            snap.counter("queries.aborted"),
+            observed.len() as u64 - committed
+        );
+        let h = snap.histogram("query.latency.slots").expect("latencies");
+        assert_eq!(h.count(), committed);
+        let cache = exec_cache_totals(&observed);
+        // Every accepted cache read was a recorded hit (a hit whose
+        // candidate the protocol then rejects stays a hit, hence >=).
+        assert!(snap.counter("cache.hits") >= u64::from(cache));
+        assert!(cache > 0, "the caching method must see hits here");
+    }
+
+    fn exec_cache_totals(outcomes: &[QueryOutcome]) -> u32 {
+        outcomes.iter().map(|o| o.cache_reads).sum()
     }
 
     #[test]

@@ -4,10 +4,23 @@
 //! operations without changing behaviour — the decorator pattern the
 //! trait is designed to support (and a worked example for downstream
 //! implementors; the conformance battery accepts the wrapped protocol
-//! iff it accepts the inner one).
+//! iff it accepts the inner one). With [`Instrumented::with_obs`] the
+//! decorator additionally streams typed events into a
+//! [`bpush_obs::Obs`] sink, giving every protocol tracing for free.
+//!
+//! Transparency is load-bearing in two ways. First, all counters live
+//! in [`Cell`]s so even `&self` calls ([`ReadOnlyProtocol::read_directive`])
+//! are counted without changing the trait's receiver types. Second,
+//! [`ReadOnlyProtocol::debug_snapshot`] delegates to the *inner*
+//! protocol: the model checker hashes snapshots to deduplicate states,
+//! and wrapping must not perturb those hashes (counters are
+//! observations, not state).
+
+use std::cell::Cell;
 
 use bpush_broadcast::ControlInfo;
-use bpush_types::{Cycle, ItemId, QueryId};
+use bpush_obs::{Actor, EventKind, Obs};
+use bpush_types::{AbortReason, Cycle, ItemId, QueryId};
 
 use crate::protocol::{CacheMode, ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome};
 
@@ -20,12 +33,46 @@ pub struct ProtocolStats {
     pub missed_cycles: u64,
     /// Queries begun.
     pub queries: u64,
+    /// Read directives answered (both `Read` and `Doom`).
+    pub directives: u64,
     /// Reads accepted.
     pub accepts: u64,
     /// Reads rejected.
     pub rejects: u64,
     /// Directives answered with `Doom`.
     pub dooms: u64,
+    /// Queries finished (committed or aborted).
+    pub finishes: u64,
+    /// `rejects`, broken down by [`AbortReason::index`].
+    pub rejects_by_reason: [u64; AbortReason::COUNT],
+    /// `dooms`, broken down by [`AbortReason::index`].
+    pub dooms_by_reason: [u64; AbortReason::COUNT],
+}
+
+impl ProtocolStats {
+    /// Rejections attributed to `reason`.
+    pub const fn rejects_for(&self, reason: AbortReason) -> u64 {
+        self.rejects_by_reason[reason.index()]
+    }
+
+    /// Doomed directives attributed to `reason`.
+    pub const fn dooms_for(&self, reason: AbortReason) -> u64 {
+        self.dooms_by_reason[reason.index()]
+    }
+
+    /// Rejections plus dooms per reason — every way the protocol killed
+    /// a read, attributed to its cause, in [`AbortReason::index`] order.
+    pub fn aborts_by_reason(&self) -> [u64; AbortReason::COUNT] {
+        let mut out = [0; AbortReason::COUNT];
+        for (slot, (r, d)) in out.iter_mut().zip(
+            self.rejects_by_reason
+                .iter()
+                .zip(self.dooms_by_reason.iter()),
+        ) {
+            *slot = r + d;
+        }
+        out
+    }
 }
 
 /// Wraps a protocol, transparently counting its operations.
@@ -40,31 +87,50 @@ pub struct ProtocolStats {
 /// p.begin_query(QueryId::new(0), Cycle::ZERO);
 /// p.finish_query(QueryId::new(0));
 /// assert_eq!(p.stats().queries, 1);
+/// assert_eq!(p.stats().finishes, 1);
 /// assert_eq!(p.name(), "sgt");
 /// ```
 #[derive(Debug)]
 pub struct Instrumented {
     inner: Box<dyn ReadOnlyProtocol>,
-    stats: ProtocolStats,
+    stats: Cell<ProtocolStats>,
+    obs: Obs,
+    actor: Actor,
+    last_cycle: Cell<Cycle>,
 }
 
 impl Instrumented {
-    /// Wraps `inner`.
+    /// Wraps `inner` with counters only (no event sink).
     pub fn new(inner: Box<dyn ReadOnlyProtocol>) -> Self {
+        Instrumented::with_obs(inner, Obs::off(), Actor::Client(0))
+    }
+
+    /// Wraps `inner`, counting operations and emitting events into
+    /// `obs` attributed to `actor`.
+    pub fn with_obs(inner: Box<dyn ReadOnlyProtocol>, obs: Obs, actor: Actor) -> Self {
         Instrumented {
             inner,
-            stats: ProtocolStats::default(),
+            stats: Cell::new(ProtocolStats::default()),
+            obs,
+            actor,
+            last_cycle: Cell::new(Cycle::ZERO),
         }
     }
 
     /// The counters so far.
     pub fn stats(&self) -> ProtocolStats {
-        self.stats
+        self.stats.get()
     }
 
     /// Unwraps the inner protocol.
     pub fn into_inner(self) -> Box<dyn ReadOnlyProtocol> {
         self.inner
+    }
+
+    fn update<F: FnOnce(&mut ProtocolStats)>(&self, f: F) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
     }
 }
 
@@ -78,22 +144,58 @@ impl ReadOnlyProtocol for Instrumented {
     }
 
     fn on_control(&mut self, ctrl: &ControlInfo) {
-        self.stats.controls += 1;
+        self.update(|s| s.controls += 1);
+        self.last_cycle.set(ctrl.cycle());
+        let before = self.inner.space_metrics();
         self.inner.on_control(ctrl);
+        self.obs
+            .emit(ctrl.cycle(), self.actor, EventKind::ControlProcessed);
+        // Surface prunes of the validation structure (SGT's graph) by
+        // observing the node/edge counts shrink across the control step.
+        if self.obs.is_enabled() {
+            if let (Some((n0, e0)), Some((n1, e1))) = (before, self.inner.space_metrics()) {
+                if n1 < n0 || e1 < e0 {
+                    self.obs.emit(
+                        ctrl.cycle(),
+                        self.actor,
+                        EventKind::GraphPruned {
+                            nodes_freed: (n0.saturating_sub(n1)) as u64,
+                            edges_freed: (e0.saturating_sub(e1)) as u64,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     fn on_missed_cycle(&mut self, cycle: Cycle) {
-        self.stats.missed_cycles += 1;
+        self.update(|s| s.missed_cycles += 1);
+        self.last_cycle.set(cycle);
         self.inner.on_missed_cycle(cycle);
+        self.obs.emit(cycle, self.actor, EventKind::MissedCycle);
     }
 
     fn begin_query(&mut self, q: QueryId, now: Cycle) {
-        self.stats.queries += 1;
+        self.update(|s| s.queries += 1);
         self.inner.begin_query(q, now);
+        self.obs
+            .emit(now, self.actor, EventKind::QueryBegun { query: q.number() });
     }
 
     fn read_directive(&self, q: QueryId, item: ItemId, now: Cycle) -> ReadDirective {
-        self.inner.read_directive(q, item, now)
+        let directive = self.inner.read_directive(q, item, now);
+        self.update(|s| {
+            s.directives += 1;
+            if let ReadDirective::Doom(reason) = directive {
+                s.dooms += 1;
+                s.dooms_by_reason[reason.index()] += 1;
+            }
+        });
+        if let ReadDirective::Doom(reason) = directive {
+            self.obs
+                .emit(now, self.actor, EventKind::ReadDoomed { reason });
+        }
+        directive
     }
 
     fn apply_read(
@@ -104,19 +206,50 @@ impl ReadOnlyProtocol for Instrumented {
         now: Cycle,
     ) -> ReadOutcome {
         let outcome = self.inner.apply_read(q, item, candidate, now);
+        self.update(|s| match outcome {
+            ReadOutcome::Accepted => s.accepts += 1,
+            ReadOutcome::Rejected(reason) => {
+                s.rejects += 1;
+                s.rejects_by_reason[reason.index()] += 1;
+            }
+        });
         match outcome {
-            ReadOutcome::Accepted => self.stats.accepts += 1,
-            ReadOutcome::Rejected(_) => self.stats.rejects += 1,
+            ReadOutcome::Accepted => self.obs.emit(
+                now,
+                self.actor,
+                EventKind::ReadAccepted { item: item.index() },
+            ),
+            ReadOutcome::Rejected(reason) => self.obs.emit(
+                now,
+                self.actor,
+                EventKind::ReadRejected {
+                    item: item.index(),
+                    reason,
+                },
+            ),
         }
         outcome
     }
 
     fn finish_query(&mut self, q: QueryId) {
+        self.update(|s| s.finishes += 1);
         self.inner.finish_query(q);
     }
 
     fn space_metrics(&self) -> Option<(usize, usize)> {
         self.inner.space_metrics()
+    }
+
+    /// Delegates to the inner protocol. The decorator's counters are
+    /// observations, not protocol state: the model checker hashes
+    /// snapshots to deduplicate explored states, and an instrumented
+    /// run must hash identically to a bare one.
+    fn debug_snapshot(&self) -> String {
+        self.inner.debug_snapshot()
+    }
+
+    fn protocol_stats(&self) -> Option<ProtocolStats> {
+        Some(self.stats())
     }
 }
 
@@ -143,6 +276,10 @@ mod tests {
         p.on_control(&ControlInfo::empty(Cycle::ZERO));
         let q = QueryId::new(0);
         p.begin_query(q, Cycle::ZERO);
+        assert!(matches!(
+            p.read_directive(q, ItemId::new(1), Cycle::ZERO),
+            ReadDirective::Read(_)
+        ));
         let good = ReadCandidate {
             value: ItemValue::initial(),
             last_writer_tag: None,
@@ -159,19 +296,111 @@ mod tests {
             value: ItemValue::written_by(TxnId::new(Cycle::new(8), 0)),
             ..good
         };
-        assert!(matches!(
-            p.apply_read(q, ItemId::new(2), &bad, Cycle::ZERO),
-            ReadOutcome::Rejected(_)
-        ));
+        let reason = match p.apply_read(q, ItemId::new(2), &bad, Cycle::ZERO) {
+            ReadOutcome::Rejected(reason) => reason,
+            ReadOutcome::Accepted => panic!("stale candidate must be rejected"),
+        };
         p.on_missed_cycle(Cycle::new(1));
         p.finish_query(q);
         let stats = p.stats();
         assert_eq!(stats.controls, 1);
         assert_eq!(stats.queries, 1);
+        assert_eq!(stats.directives, 1);
         assert_eq!(stats.accepts, 1);
         assert_eq!(stats.rejects, 1);
+        assert_eq!(stats.rejects_for(reason), 1);
+        assert_eq!(stats.rejects_by_reason.iter().sum::<u64>(), stats.rejects);
         assert_eq!(stats.missed_cycles, 1);
+        assert_eq!(stats.finishes, 1);
+        assert_eq!(stats.dooms, 0);
+        assert_eq!(p.protocol_stats(), Some(stats));
         assert_eq!(p.into_inner().name(), "inv-only");
+    }
+
+    #[test]
+    fn doomed_directives_are_counted_by_reason() {
+        // After an invalidation hits its readset, inv-only dooms every
+        // later directive of the same query.
+        let mut p = Instrumented::new(Method::InvalidationOnly.build_protocol());
+        let q = QueryId::new(0);
+        p.begin_query(q, Cycle::ZERO);
+        let good = ReadCandidate {
+            value: ItemValue::initial(),
+            last_writer_tag: None,
+            valid_from: Cycle::ZERO,
+            valid_until: None,
+            source: Source::BroadcastCurrent,
+        };
+        assert_eq!(
+            p.apply_read(q, ItemId::new(1), &good, Cycle::ZERO),
+            ReadOutcome::Accepted
+        );
+        let report = bpush_broadcast::InvalidationReport::new(
+            Cycle::new(1),
+            1,
+            [ItemId::new(1)],
+            bpush_types::Granularity::Item,
+            1,
+        );
+        p.on_control(&ControlInfo::new(Cycle::new(1), report, None, None));
+        assert!(matches!(
+            p.read_directive(q, ItemId::new(2), Cycle::new(1)),
+            ReadDirective::Doom(AbortReason::Invalidated)
+        ));
+        let stats = p.stats();
+        assert_eq!(stats.directives, 1);
+        assert_eq!(stats.dooms, 1);
+        assert_eq!(stats.dooms_for(AbortReason::Invalidated), 1);
+        assert_eq!(
+            stats.aborts_by_reason()[AbortReason::Invalidated.index()],
+            1
+        );
+    }
+
+    #[test]
+    fn emits_events_into_the_sink() {
+        let obs = Obs::recording(256);
+        let mut p = Instrumented::with_obs(
+            Method::InvalidationOnly.build_protocol(),
+            obs.clone(),
+            Actor::Client(3),
+        );
+        p.on_control(&ControlInfo::empty(Cycle::ZERO));
+        let q = QueryId::new(0);
+        p.begin_query(q, Cycle::ZERO);
+        let good = ReadCandidate {
+            value: ItemValue::initial(),
+            last_writer_tag: None,
+            valid_from: Cycle::ZERO,
+            valid_until: None,
+            source: Source::BroadcastCurrent,
+        };
+        p.read_directive(q, ItemId::new(1), Cycle::ZERO);
+        p.apply_read(q, ItemId::new(1), &good, Cycle::ZERO);
+        p.finish_query(q);
+        let snap = obs.snapshot().expect("recording");
+        assert_eq!(snap.counter("control.processed"), 1);
+        assert_eq!(snap.counter("queries.begun"), 1);
+        assert_eq!(snap.counter("reads.accepted"), 1);
+        assert!(snap.events.iter().all(|e| e.actor == Actor::Client(3)));
+    }
+
+    #[test]
+    fn instrumentation_does_not_perturb_snapshots() {
+        for method in Method::ALL {
+            let mut plain = method.build_protocol();
+            let mut wrapped = Instrumented::new(method.build_protocol());
+            let q = QueryId::new(0);
+            for p in [&mut *plain, &mut wrapped as &mut dyn ReadOnlyProtocol] {
+                p.on_control(&ControlInfo::empty(Cycle::ZERO));
+                p.begin_query(q, Cycle::ZERO);
+            }
+            assert_eq!(
+                plain.debug_snapshot(),
+                wrapped.debug_snapshot(),
+                "{method}: wrapping must not change the hashed state"
+            );
+        }
     }
 
     #[test]

@@ -5,34 +5,10 @@ use std::fmt;
 use bpush_broadcast::ControlInfo;
 use bpush_types::{Cycle, ItemId, ItemValue, QueryId, TxnId};
 
-/// Why a query was (or must be) aborted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[non_exhaustive]
-pub enum AbortReason {
-    /// An item the query had read was updated (invalidation-only method).
-    Invalidated,
-    /// The version the query needs is no longer obtainable (multiversion
-    /// methods: fell off air and not in cache).
-    VersionUnavailable,
-    /// Accepting the read would close a serialization-graph cycle (SGT).
-    CycleDetected,
-    /// The client missed a broadcast cycle the method cannot tolerate.
-    Disconnected,
-}
-
-impl fmt::Display for AbortReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            AbortReason::Invalidated => "a read item was invalidated",
-            AbortReason::VersionUnavailable => "required version unavailable",
-            AbortReason::CycleDetected => "serialization cycle detected",
-            AbortReason::Disconnected => "missed broadcast cycle",
-        };
-        f.write_str(s)
-    }
-}
-
-impl std::error::Error for AbortReason {}
+// The abort-reason taxonomy lives in `bpush-types` (it is a shared
+// dimension for metrics and trace payloads); re-exported here because it
+// is part of the protocol vocabulary.
+pub use bpush_types::AbortReason;
 
 /// Where a read candidate came from; used for latency accounting and for
 /// `cache_only` constraints.
@@ -268,6 +244,15 @@ pub trait ReadOnlyProtocol: fmt::Debug {
     /// the simulator samples this every cycle to surface the space
     /// overhead Table 1 calls "considerable".
     fn space_metrics(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// The operation counters of an instrumentation decorator, when
+    /// this protocol is one (see [`crate::instrument::Instrumented`]);
+    /// `None` for bare protocols. Lets callers holding a
+    /// `Box<dyn ReadOnlyProtocol>` recover the counters without
+    /// downcasting.
+    fn protocol_stats(&self) -> Option<crate::instrument::ProtocolStats> {
         None
     }
 

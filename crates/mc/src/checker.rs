@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use bpush_core::validator::{ConsistencyViolation, SerializabilityValidator};
 use bpush_types::{BpushError, Cycle, ItemId};
 
-use crate::exec::{run_client, run_schedule, ClientChoices};
+use crate::exec::{run_client_obs, run_schedule, ClientChoices};
 use crate::fnv64;
 use crate::ground::GroundTruth;
 use crate::minimize::minimize;
@@ -60,6 +60,23 @@ impl McReport {
 /// Returns [`BpushError`] if the scope implies an invalid server
 /// configuration.
 pub fn check_spec(spec: ProtocolSpec, scope: &Scope) -> Result<McReport, BpushError> {
+    check_spec_traced(spec, scope, &bpush_obs::Obs::off())
+}
+
+/// [`check_spec`] with an observability sink attached: every bounded
+/// execution streams its per-operation events into `obs` (the protocol
+/// runs wrapped in the instrumentation decorator, whose snapshots
+/// delegate, so the report — executions, committed/aborted split,
+/// distinct states — is bit-identical to the untraced check).
+///
+/// # Errors
+/// Returns [`BpushError`] if the scope implies an invalid server
+/// configuration.
+pub fn check_spec_traced(
+    spec: ProtocolSpec,
+    scope: &Scope,
+    obs: &bpush_obs::Obs,
+) -> Result<McReport, BpushError> {
     let scripts = commit_scripts(scope);
     let choices = client_choices(scope, spec.uses_cache());
     let mut report = McReport {
@@ -83,7 +100,7 @@ pub fn check_spec(spec: ProtocolSpec, scope: &Scope) -> Result<McReport, BpushEr
         )?;
         let validator = SerializabilityValidator::new(gt.server.history());
         for choice in &choices {
-            let exec = run_client(spec, choice, &gt);
+            let exec = run_client_obs(spec, choice, &gt, obs);
             report.executions += 1;
             states.extend(exec.state_hashes.iter().copied());
             if !exec.committed {
@@ -324,6 +341,41 @@ mod tests {
         assert_eq!(v.schedule.commits[0].len(), 1, "one transaction");
         assert_eq!(v.schedule.reads.len(), 2, "two reads");
         assert_eq!(v.witness.fresh_writer, v.witness.stale_overwrite);
+    }
+
+    /// The acceptance criterion for `mc --scope ci` under tracing: the
+    /// report's statistics — executions, committed/aborted split,
+    /// distinct canonical states, dedup count — must be bit-identical
+    /// with instrumentation enabled, and the event-derived counters
+    /// must reconcile with the report exactly.
+    #[test]
+    fn ci_scope_stats_are_bit_identical_under_tracing() {
+        for spec in [
+            ProtocolSpec::Genuine(bpush_core::Method::InvalidationOnly),
+            ProtocolSpec::Genuine(bpush_core::Method::Sgt),
+        ] {
+            let bare = check_spec(spec, &Scope::ci()).unwrap();
+            let obs = bpush_obs::Obs::recording(1 << 12);
+            let traced = check_spec_traced(spec, &Scope::ci(), &obs).unwrap();
+
+            assert_eq!(bare.executions, traced.executions, "{spec}");
+            assert_eq!(bare.committed, traced.committed, "{spec}");
+            assert_eq!(bare.aborted, traced.aborted, "{spec}");
+            assert_eq!(bare.distinct_states, traced.distinct_states, "{spec}");
+            assert_eq!(
+                bare.deduped_validations, traced.deduped_validations,
+                "{spec}"
+            );
+            assert_eq!(bare.passed(), traced.passed(), "{spec}");
+
+            let snap = obs.snapshot().expect("recording sink");
+            assert_eq!(
+                snap.counter("queries.committed"),
+                traced.committed,
+                "{spec}"
+            );
+            assert_eq!(snap.counter("queries.aborted"), traced.aborted, "{spec}");
+        }
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Deterministic execution of one bounded schedule against the real
 //! protocol implementations.
 
+use bpush_core::instrument::Instrumented;
 use bpush_core::validator::{ConsistencyViolation, ReadRecord, SerializabilityValidator};
 use bpush_core::{
-    AbortReason, ProtocolStep, ReadCandidate, ReadConstraint, ReadDirective, ReadOutcome, Source,
+    AbortReason, ProtocolStep, ReadCandidate, ReadConstraint, ReadDirective, ReadOnlyProtocol,
+    ReadOutcome, Source,
 };
+use bpush_obs::{Actor, EventKind, Obs};
 use bpush_types::{BpushError, Cycle, ItemValue, QueryId};
 
 use crate::fnv64;
@@ -43,12 +46,27 @@ pub(crate) struct ClientChoices {
 /// Runs one query through `spec`'s protocol over the scripted broadcasts,
 /// feeding every interaction through the [`ProtocolStep`] replay seam so
 /// the transcript is exactly what a serialized counterexample replays.
-pub(crate) fn run_client(
+///
+/// When `obs` is enabled, the protocol runs wrapped in the
+/// [`Instrumented`] decorator (whose `debug_snapshot` delegates, so
+/// state hashes stay bit-identical to the bare run) and the query's
+/// final fate is emitted as a `QueryCommitted` / `QueryAborted` event.
+/// With a disabled [`Obs`] instrumentation costs one `Option` check.
+pub(crate) fn run_client_obs(
     spec: ProtocolSpec,
     choices: &ClientChoices,
     gt: &GroundTruth,
+    obs: &Obs,
 ) -> Execution {
-    let mut protocol = spec.build();
+    let mut protocol: Box<dyn ReadOnlyProtocol> = if obs.is_enabled() {
+        Box::new(Instrumented::with_obs(
+            spec.build(),
+            obs.clone(),
+            Actor::Client(0),
+        ))
+    } else {
+        spec.build()
+    };
     let q = QueryId::new(0);
     let mut begun = false;
     let mut finished = false;
@@ -111,6 +129,22 @@ pub(crate) fn run_client(
     let committed = begun && !finished && next_read == choices.reads.len();
     if begun && !finished {
         protocol.step(&ProtocolStep::FinishQuery(q));
+    }
+    if begun && obs.is_enabled() {
+        let last = gt.bcasts.last().map_or(Cycle::ZERO, |b| b.cycle());
+        let kind = if committed {
+            EventKind::QueryCommitted {
+                query: q.number(),
+                // The model has no slot clock; latency is whole cycles.
+                latency_slots: last.number().saturating_sub(choices.begin.number()),
+            }
+        } else {
+            EventKind::QueryAborted {
+                query: q.number(),
+                reason: abort.unwrap_or(AbortReason::VersionUnavailable),
+            }
+        };
+        obs.emit(last, Actor::Client(0), kind);
     }
     Execution {
         committed,
@@ -194,6 +228,23 @@ fn candidate_for(
 /// Returns [`BpushError`] when the schedule fails validation or the
 /// server configuration it implies is rejected.
 pub fn run_schedule(spec: ProtocolSpec, schedule: &Schedule) -> Result<Execution, BpushError> {
+    run_schedule_traced(spec, schedule, &Obs::off())
+}
+
+/// [`run_schedule`] with an observability sink attached: the replay
+/// streams per-operation events (control processing, read accepts and
+/// rejects, the query's fate) into `obs`, from which a chrome-trace or
+/// NDJSON export of the counterexample can be rendered. The returned
+/// [`Execution`] is bit-identical to the untraced replay.
+///
+/// # Errors
+/// Returns [`BpushError`] when the schedule fails validation or the
+/// server configuration it implies is rejected.
+pub fn run_schedule_traced(
+    spec: ProtocolSpec,
+    schedule: &Schedule,
+    obs: &Obs,
+) -> Result<Execution, BpushError> {
     schedule
         .validate()
         .map_err(|e| BpushError::invalid_config(e.to_string()))?;
@@ -209,7 +260,7 @@ pub fn run_schedule(spec: ProtocolSpec, schedule: &Schedule) -> Result<Execution
         missed: schedule.missed.clone(),
         reads: schedule.reads.clone(),
     };
-    let mut exec = run_client(spec, &choices, &gt);
+    let mut exec = run_client_obs(spec, &choices, &gt, obs);
     if exec.committed {
         let validator = SerializabilityValidator::new(gt.server.history());
         exec.violation = validator
@@ -276,6 +327,44 @@ mod tests {
         );
         assert_eq!(exec.reads.len(), 2);
         assert_eq!(exec.state_hashes.len(), 2);
+    }
+
+    /// Instrumentation transparency at the model-checker level: the
+    /// traced replay must be bit-identical to the bare replay — same
+    /// fate, same readset, same per-cycle state hashes — and the
+    /// counters the trace derives must reconcile with the [`Execution`].
+    #[test]
+    fn traced_replay_is_bit_identical_and_reconciles() {
+        for spec in ProtocolSpec::genuine() {
+            let bare = run_schedule(spec, &boundary_schedule()).unwrap();
+            let obs = Obs::recording(1 << 12);
+            let traced = run_schedule_traced(spec, &boundary_schedule(), &obs).unwrap();
+
+            assert_eq!(bare.committed, traced.committed, "{spec}");
+            assert_eq!(bare.abort, traced.abort, "{spec}");
+            assert_eq!(bare.reads, traced.reads, "{spec}");
+            assert_eq!(
+                bare.state_hashes, traced.state_hashes,
+                "{spec}: instrumentation perturbed the canonical state hashes"
+            );
+
+            let snap = obs.snapshot().expect("recording sink");
+            assert_eq!(
+                snap.counter("queries.committed"),
+                u64::from(traced.committed),
+                "{spec}"
+            );
+            assert_eq!(
+                snap.counter("queries.aborted"),
+                u64::from(!traced.committed),
+                "{spec}"
+            );
+            assert_eq!(
+                snap.counter("reads.accepted"),
+                traced.reads.len() as u64,
+                "{spec}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The event taxonomy: who did what, in which cycle, at which tick.
+
+use bpush_types::{AbortReason, Cycle};
+
+/// Which component of the simulated system emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Actor {
+    /// The broadcast server.
+    Server,
+    /// The end-of-run serializability validator.
+    Validator,
+    /// A client, by dense index.
+    Client(u32),
+}
+
+impl Actor {
+    /// A stable thread id for chrome://tracing lanes: server 0,
+    /// validator 1, clients 2 onwards.
+    pub const fn tid(self) -> u64 {
+        match self {
+            Actor::Server => 0,
+            Actor::Validator => 1,
+            Actor::Client(i) => i as u64 + 2,
+        }
+    }
+
+    /// A short stable label ("server", "validator", "client-3").
+    pub fn label(self) -> String {
+        match self {
+            Actor::Server => "server".to_string(),
+            Actor::Validator => "validator".to_string(),
+            Actor::Client(i) => format!("client-{i}"),
+        }
+    }
+}
+
+/// What happened. Payloads are plain integers and [`AbortReason`]s so
+/// every event renders identically across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A cycle's control information was processed by a protocol.
+    ControlProcessed,
+    /// A client missed a broadcast cycle entirely.
+    MissedCycle,
+    /// A query was registered with the protocol.
+    QueryBegun {
+        /// The query's id.
+        query: u64,
+    },
+    /// A read candidate was accepted into a readset.
+    ReadAccepted {
+        /// The item read.
+        item: u32,
+    },
+    /// A read candidate was rejected, dooming the query.
+    ReadRejected {
+        /// The item offered.
+        item: u32,
+        /// Why the protocol rejected it.
+        reason: AbortReason,
+    },
+    /// A read directive answered `Doom` (the query was already dead
+    /// before a candidate was fetched).
+    ReadDoomed {
+        /// Why the query is doomed.
+        reason: AbortReason,
+    },
+    /// A query ran to commit.
+    QueryCommitted {
+        /// The query's id.
+        query: u64,
+        /// End-to-end latency in broadcast slots.
+        latency_slots: u64,
+    },
+    /// A query aborted.
+    QueryAborted {
+        /// The query's id.
+        query: u64,
+        /// Why it aborted.
+        reason: AbortReason,
+    },
+    /// A protocol pruned its validation structure.
+    GraphPruned {
+        /// Nodes freed by the prune.
+        nodes_freed: u64,
+        /// Edges freed by the prune.
+        edges_freed: u64,
+    },
+    /// A read was served from the client cache.
+    CacheHit {
+        /// The item served.
+        item: u32,
+    },
+    /// The client cache could not serve a read.
+    CacheMiss {
+        /// The item missed.
+        item: u32,
+    },
+    /// A scoped span opened (see [`crate::Obs::span`]).
+    SpanBegin {
+        /// The span's static name.
+        name: &'static str,
+    },
+    /// A scoped span closed.
+    SpanEnd {
+        /// The span's static name.
+        name: &'static str,
+    },
+}
+
+impl EventKind {
+    /// A short stable kebab-case name for the kind, used as the NDJSON
+    /// `kind` field and in the text summary.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            EventKind::ControlProcessed => "control-processed",
+            EventKind::MissedCycle => "missed-cycle",
+            EventKind::QueryBegun { .. } => "query-begun",
+            EventKind::ReadAccepted { .. } => "read-accepted",
+            EventKind::ReadRejected { .. } => "read-rejected",
+            EventKind::ReadDoomed { .. } => "read-doomed",
+            EventKind::QueryCommitted { .. } => "query-committed",
+            EventKind::QueryAborted { .. } => "query-aborted",
+            EventKind::GraphPruned { .. } => "graph-pruned",
+            EventKind::CacheHit { .. } => "cache-hit",
+            EventKind::CacheMiss { .. } => "cache-miss",
+            EventKind::SpanBegin { .. } => "span-begin",
+            EventKind::SpanEnd { .. } => "span-end",
+        }
+    }
+
+    /// The canonical counters this event increments when recorded: a
+    /// kind-level counter and, where the payload carries an
+    /// [`AbortReason`], a per-reason dimension. Spans count nothing.
+    pub fn counter_names(&self) -> [Option<&'static str>; 2] {
+        match self {
+            EventKind::ControlProcessed => [Some("control.processed"), None],
+            EventKind::MissedCycle => [Some("cycles.missed"), None],
+            EventKind::QueryBegun { .. } => [Some("queries.begun"), None],
+            EventKind::ReadAccepted { .. } => [Some("reads.accepted"), None],
+            EventKind::ReadRejected { reason, .. } => [
+                Some("reads.rejected"),
+                Some(reason_counter(Base::Rejected, *reason)),
+            ],
+            EventKind::ReadDoomed { reason } => [
+                Some("reads.doomed"),
+                Some(reason_counter(Base::Doomed, *reason)),
+            ],
+            EventKind::QueryCommitted { .. } => [Some("queries.committed"), None],
+            EventKind::QueryAborted { reason, .. } => [
+                Some("queries.aborted"),
+                Some(reason_counter(Base::Aborted, *reason)),
+            ],
+            EventKind::GraphPruned { .. } => [Some("graph.pruned"), None],
+            EventKind::CacheHit { .. } => [Some("cache.hits"), None],
+            EventKind::CacheMiss { .. } => [Some("cache.misses"), None],
+            EventKind::SpanBegin { .. } | EventKind::SpanEnd { .. } => [None, None],
+        }
+    }
+}
+
+/// Which counter family a per-reason dimension hangs off.
+enum Base {
+    Rejected,
+    Doomed,
+    Aborted,
+}
+
+/// The `<base>.<reason-label>` dimension counter for an abort reason,
+/// as a static string so counter names never allocate on the hot path.
+/// Tables are in [`AbortReason::index`] order; their length is pinned to
+/// [`AbortReason::COUNT`] so adding a reason is a compile error here.
+fn reason_counter(base: Base, reason: AbortReason) -> &'static str {
+    const REJECTED: [&str; AbortReason::COUNT] = [
+        "reads.rejected.invalidated",
+        "reads.rejected.version-unavailable",
+        "reads.rejected.cycle-detected",
+        "reads.rejected.disconnected",
+    ];
+    const DOOMED: [&str; AbortReason::COUNT] = [
+        "reads.doomed.invalidated",
+        "reads.doomed.version-unavailable",
+        "reads.doomed.cycle-detected",
+        "reads.doomed.disconnected",
+    ];
+    const ABORTED: [&str; AbortReason::COUNT] = [
+        "queries.aborted.invalidated",
+        "queries.aborted.version-unavailable",
+        "queries.aborted.cycle-detected",
+        "queries.aborted.disconnected",
+    ];
+    match base {
+        Base::Rejected => REJECTED[reason.index()],
+        Base::Doomed => DOOMED[reason.index()],
+        Base::Aborted => ABORTED[reason.index()],
+    }
+}
+
+/// One recorded event: logical time plus payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Emission sequence number, unique and monotonic within a recorder.
+    pub tick: u64,
+    /// The broadcast cycle the event belongs to.
+    pub cycle: Cycle,
+    /// Who emitted it.
+    pub actor: Actor,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_tids_are_distinct_lanes() {
+        assert_eq!(Actor::Server.tid(), 0);
+        assert_eq!(Actor::Validator.tid(), 1);
+        assert_eq!(Actor::Client(0).tid(), 2);
+        assert_eq!(Actor::Client(7).tid(), 9);
+        assert_eq!(Actor::Client(7).label(), "client-7");
+    }
+
+    #[test]
+    fn reason_counters_cover_every_base_and_reason() {
+        for reason in AbortReason::ALL {
+            for (base, kind) in [
+                (
+                    "reads.rejected",
+                    EventKind::ReadRejected { item: 0, reason },
+                ),
+                ("reads.doomed", EventKind::ReadDoomed { reason }),
+                (
+                    "queries.aborted",
+                    EventKind::QueryAborted { query: 0, reason },
+                ),
+            ] {
+                let [first, second] = kind.counter_names();
+                assert_eq!(first, Some(base));
+                let expected = format!("{base}.{}", reason.label());
+                assert_eq!(second, Some(expected.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn spans_do_not_count() {
+        assert_eq!(
+            EventKind::SpanBegin { name: "x" }.counter_names(),
+            [None, None]
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Exporters: NDJSON, chrome://tracing, and a terminal summary.
+//!
+//! All three render a [`TraceSnapshot`] with hand-rolled JSON (the
+//! workspace vendors no serializer) and deterministic field order, so
+//! equal snapshots produce byte-identical output.
+
+use std::fmt::Write as _;
+
+use crate::event::{Actor, Event, EventKind};
+use crate::handle::TraceSnapshot;
+
+/// Renders the event stream as NDJSON: one JSON object per line, in
+/// tick order, with `tick`/`cycle`/`actor`/`kind` plus the payload
+/// fields of the kind.
+pub fn ndjson(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.events {
+        let _ = write!(
+            out,
+            "{{\"tick\":{},\"cycle\":{},\"actor\":{},\"kind\":{}",
+            e.tick,
+            e.cycle.number(),
+            json_string(&e.actor.label()),
+            json_string(e.kind.name()),
+        );
+        for (key, value) in payload_fields(&e.kind) {
+            let _ = write!(out, ",\"{key}\":{value}");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders the snapshot as a chrome://tracing `trace_event` JSON
+/// object (the format Perfetto and `chrome://tracing` load directly).
+///
+/// Logical ticks are used as microsecond timestamps; spans become
+/// `B`/`E` duration events on one lane per [`Actor`], every other
+/// event becomes a thread-scoped instant (`ph:"i"`), and `M` metadata
+/// events name the lanes.
+pub fn chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut actors: Vec<Actor> = snap.events.iter().map(|e| e.actor).collect();
+    actors.sort();
+    actors.dedup();
+    for actor in actors {
+        push_entry(&mut out, &mut first, |o| {
+            let _ = write!(
+                o,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"name\":{}}}}}",
+                actor.tid(),
+                json_string(&actor.label()),
+            );
+        });
+    }
+    for e in &snap.events {
+        push_entry(&mut out, &mut first, |o| chrome_event(o, e));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders a compact terminal summary: event totals, the counter
+/// table, and one line per histogram.
+pub fn text_summary(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} event{} retained ({} dropped)",
+        snap.events.len(),
+        if snap.events.len() == 1 { "" } else { "s" },
+        snap.dropped,
+    );
+    if !snap.counters.is_empty() {
+        let width = snap
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "counters:");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name:width$}  {value}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {name}: count={} mean={} min={} max={}",
+                h.count(),
+                h.mean().unwrap_or(0),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+            );
+        }
+    }
+    out
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The payload of `kind` as `(key, rendered JSON value)` pairs, in a
+/// fixed order.
+fn payload_fields(kind: &EventKind) -> Vec<(&'static str, String)> {
+    match kind {
+        EventKind::ControlProcessed | EventKind::MissedCycle => Vec::new(),
+        EventKind::QueryBegun { query } => vec![("query", query.to_string())],
+        EventKind::ReadAccepted { item } => vec![("item", item.to_string())],
+        EventKind::ReadRejected { item, reason } => vec![
+            ("item", item.to_string()),
+            ("reason", json_string(reason.label())),
+        ],
+        EventKind::ReadDoomed { reason } => {
+            vec![("reason", json_string(reason.label()))]
+        }
+        EventKind::QueryCommitted {
+            query,
+            latency_slots,
+        } => vec![
+            ("query", query.to_string()),
+            ("latency_slots", latency_slots.to_string()),
+        ],
+        EventKind::QueryAborted { query, reason } => vec![
+            ("query", query.to_string()),
+            ("reason", json_string(reason.label())),
+        ],
+        EventKind::GraphPruned {
+            nodes_freed,
+            edges_freed,
+        } => vec![
+            ("nodes_freed", nodes_freed.to_string()),
+            ("edges_freed", edges_freed.to_string()),
+        ],
+        EventKind::CacheHit { item } | EventKind::CacheMiss { item } => {
+            vec![("item", item.to_string())]
+        }
+        EventKind::SpanBegin { name } | EventKind::SpanEnd { name } => {
+            vec![("name", json_string(name))]
+        }
+    }
+}
+
+fn push_entry(out: &mut String, first: &mut bool, write: impl FnOnce(&mut String)) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write(out);
+}
+
+fn chrome_event(out: &mut String, e: &Event) {
+    let (name, ph) = match &e.kind {
+        EventKind::SpanBegin { name } => (json_string(name), "B"),
+        EventKind::SpanEnd { name } => (json_string(name), "E"),
+        kind => (json_string(kind.name()), "i"),
+    };
+    let _ = write!(
+        out,
+        "{{\"name\":{name},\"cat\":\"bpush\",\"ph\":\"{ph}\",\"ts\":{},\
+         \"pid\":0,\"tid\":{}",
+        e.tick,
+        e.actor.tid(),
+    );
+    if ph == "i" {
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"args\":{{\"cycle\":{}", e.cycle.number());
+    for (key, value) in payload_fields(&e.kind) {
+        if key == "name" {
+            continue; // spans already carry their name as the event name
+        }
+        let _ = write!(out, ",\"{key}\":{value}");
+    }
+    out.push_str("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::Obs;
+    use bpush_types::{AbortReason, Cycle};
+
+    fn sample() -> TraceSnapshot {
+        let obs = Obs::recording(64);
+        {
+            let _cycle = obs.span("server.cycle", Cycle::ZERO, Actor::Server);
+            obs.emit(Cycle::ZERO, Actor::Client(0), EventKind::ControlProcessed);
+            obs.emit(
+                Cycle::ZERO,
+                Actor::Client(0),
+                EventKind::ReadRejected {
+                    item: 7,
+                    reason: AbortReason::Invalidated,
+                },
+            );
+            obs.emit(
+                Cycle::ZERO,
+                Actor::Client(0),
+                EventKind::QueryCommitted {
+                    query: 3,
+                    latency_slots: 42,
+                },
+            );
+        }
+        obs.record("bcast.slots", 120);
+        obs.snapshot().expect("recording")
+    }
+
+    #[test]
+    fn ndjson_is_one_object_per_event() {
+        let snap = sample();
+        let text = ndjson(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), snap.events.len());
+        for line in &lines {
+            assert!(line.starts_with("{\"tick\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"reason\":\"invalidated\"")),
+            "payload fields rendered"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans_and_scopes_instants() {
+        let text = chrome_trace(&sample());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with("}"));
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"thread_name\""));
+        assert_eq!(
+            text.matches("\"ph\":\"B\"").count(),
+            text.matches("\"ph\":\"E\"").count(),
+            "every span opens and closes"
+        );
+    }
+
+    /// Every exported document must be structurally valid JSON: with
+    /// all string contents escaped, brace and bracket counts balance —
+    /// the check that catches an extra `}` a JSON-loading tool would
+    /// reject.
+    #[test]
+    fn exports_balance_braces_and_brackets() {
+        fn assert_balanced(text: &str) {
+            let mut depth: i64 = 0;
+            let mut in_string = false;
+            let mut escaped = false;
+            for c in text.chars() {
+                if escaped {
+                    escaped = false;
+                    continue;
+                }
+                match c {
+                    '\\' if in_string => escaped = true,
+                    '"' => in_string = !in_string,
+                    '{' | '[' if !in_string => depth += 1,
+                    '}' | ']' if !in_string => {
+                        depth -= 1;
+                        assert!(depth >= 0, "unbalanced close in: {text}");
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(depth, 0, "unbalanced export: {text}");
+        }
+        let snap = sample();
+        assert_balanced(&chrome_trace(&snap));
+        for line in ndjson(&snap).lines() {
+            assert_balanced(line);
+        }
+    }
+
+    #[test]
+    fn text_summary_lists_counters_and_histograms() {
+        let text = text_summary(&sample());
+        assert!(text.contains("queries.committed"));
+        assert!(text.contains("bcast.slots: count=1"));
+    }
+
+    #[test]
+    fn exports_are_deterministic_for_equal_streams() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(ndjson(&a), ndjson(&b));
+        assert_eq!(chrome_trace(&a), chrome_trace(&b));
+        assert_eq!(text_summary(&a), text_summary(&b));
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,221 @@
+//! An all-integer power-of-two histogram.
+//!
+//! Latencies and sizes in this workspace are logical quantities (slots,
+//! items, nodes), so the histogram is exact-integer end to end: no
+//! floating point anywhere means recording the same stream always
+//! yields bit-identical state, and merging per-client histograms is
+//! associative and lossless at the bucket level.
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+///
+/// Bucket 0 holds the value `0`; bucket `k ≥ 1` holds values in
+/// `[2^(k-1), 2^k)`. The top bucket (`k = 64`) therefore holds
+/// `[2^63, u64::MAX]` — saturation is a property of the value range,
+/// not the histogram: every `u64` lands in exactly one bucket and the
+/// running `sum` saturates rather than wrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    pub const fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive lower bound of bucket `k` (0 for the zero bucket).
+    pub const fn bucket_floor(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else {
+            1u64 << (k - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `k`.
+    pub const fn bucket_ceil(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else if k >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub const fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub const fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// The integer mean (floor), or `None` when empty.
+    pub const fn mean(&self) -> Option<u64> {
+        self.sum.checked_div(self.count)
+    }
+
+    /// The raw bucket counts, index = [`Log2Histogram::bucket_of`].
+    pub const fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The non-empty buckets as `(index, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i, *c))
+            .collect()
+    }
+
+    /// Folds `other` into `self`. Equivalent (bucket-, count-, sum-,
+    /// min/max-exactly) to having recorded the concatenation of both
+    /// input streams.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(7), 3);
+        assert_eq!(Log2Histogram::bucket_of(8), 4);
+        for k in 1..BUCKETS {
+            let floor = Log2Histogram::bucket_floor(k);
+            assert_eq!(Log2Histogram::bucket_of(floor), k, "floor of bucket {k}");
+            let ceil = Log2Histogram::bucket_ceil(k);
+            assert_eq!(Log2Histogram::bucket_of(ceil), k, "ceil of bucket {k}");
+            if k > 1 {
+                assert_eq!(
+                    Log2Histogram::bucket_ceil(k - 1) + 1,
+                    floor,
+                    "buckets {k} and {} are adjacent",
+                    k - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_land_in_the_end_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[BUCKETS - 1], 1);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Some(u64::MAX / 2));
+    }
+
+    #[test]
+    fn empty_histogram_reports_no_extremes() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording_on_a_fixed_stream() {
+        let left = [0u64, 1, 5, 1 << 20, u64::MAX];
+        let right = [3u64, 3, 1 << 40];
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut whole = Log2Histogram::new();
+        for v in left {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in right {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

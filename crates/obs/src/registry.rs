@@ -1,0 +1,95 @@
+//! Named counters and histograms, iterated in a canonical order.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Log2Histogram;
+
+/// A registry of named counters and [`Log2Histogram`]s.
+///
+/// Names are free-form dotted paths ("queries.committed",
+/// "latency.slots"). Storage is `BTreeMap`, so iteration order — and
+/// therefore every export — is the lexicographic name order, identical
+/// across runs.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Log2Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Records `value` into the named histogram, creating it empty.
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Log2Histogram::new();
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// The named counter's value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if anything was recorded into it.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// All histograms as `(name, histogram)`, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Log2Histogram)> {
+        self.histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.counter("x"), 0);
+        r.add("x", 2);
+        r.add("x", 3);
+        r.add("a", 1);
+        assert_eq!(r.counter("x"), 5);
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a".to_string(), "x".to_string()], "sorted");
+    }
+
+    #[test]
+    fn histograms_record_and_expose() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.histogram("lat").is_none());
+        r.record("lat", 5);
+        r.record("lat", 9);
+        let h = r.histogram("lat").expect("recorded");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 14);
+    }
+}

@@ -1,0 +1,104 @@
+//! A fixed-capacity ring buffer that keeps the newest entries.
+//!
+//! Tracing must never grow without bound — a long simulation emits
+//! millions of events — so the recorder keeps the last `capacity`
+//! events and counts how many older ones were overwritten. Because
+//! every event carries its own `tick`, a truncated trace is still
+//! self-describing: the first retained tick tells the reader exactly
+//! how much history was dropped.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that evicts its oldest entry on overflow.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a buffer retaining at most `capacity` entries.
+    /// A zero capacity is promoted to 1 so `push` is total.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `value`, evicting the oldest entry when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries were evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the retained entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_newest_and_counts_drops() {
+        let mut r = RingBuffer::new(3);
+        assert!(r.is_empty());
+        for i in 0..5u32 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u32> = r.iter().copied().collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest-first, newest retained");
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut r = RingBuffer::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_promoted_to_one() {
+        let mut r = RingBuffer::new(0);
+        r.push(1u8);
+        r.push(2u8);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+}

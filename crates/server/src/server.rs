@@ -7,6 +7,7 @@ use bpush_broadcast::organization::{
     OldVersions,
 };
 use bpush_broadcast::{AugmentedReport, Bcast, ControlInfo, InvalidationReport, ItemRecord};
+use bpush_obs::{Actor, Obs};
 use bpush_sgraph::GraphDiff;
 use bpush_types::config::MultiversionLayout;
 use bpush_types::{BpushError, Cycle, ItemId, ServerConfig, TxnId};
@@ -93,6 +94,9 @@ pub struct BroadcastServer {
     /// transactions — ground truth for the serializability validator
     /// (never broadcast).
     validation_graph: bpush_sgraph::SerializationGraph,
+    /// Observability sink; the no-op handle unless installed via
+    /// [`BroadcastServer::with_obs`].
+    obs: Obs,
 }
 
 impl BroadcastServer {
@@ -136,7 +140,17 @@ impl BroadcastServer {
             validation_graph: bpush_sgraph::SerializationGraph::new(),
             config,
             options,
+            obs: Obs::off(),
         })
+    }
+
+    /// Routes the server's per-cycle work into `obs`: each
+    /// [`BroadcastServer::run_cycle`] is bracketed by a `server.cycle`
+    /// span and feeds the `bcast.slots` size histogram.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Replaces the update workload with a custom [`WorkloadSource`]
@@ -262,6 +276,7 @@ impl BroadcastServer {
     /// update transactions (whose effects appear from the next cycle on).
     pub fn run_cycle(&mut self) -> Bcast {
         let cycle = self.next_cycle;
+        let _cycle_span = self.obs.span("server.cycle", cycle, Actor::Server);
         let control = self.build_control(cycle);
         let records = self.snapshot_records();
         let old = self.old_versions(cycle);
@@ -317,6 +332,10 @@ impl BroadcastServer {
 
         self.next_cycle = cycle.next();
         self.db.gc(self.next_cycle, self.span_supported());
+        if self.obs.is_enabled() {
+            self.obs.counter_add("server.cycles", 1);
+            self.obs.record("bcast.slots", bcast.total_slots());
+        }
         bcast
     }
 }

@@ -71,6 +71,7 @@ pub fn run(scale: Scale) -> Result<Table, BpushError> {
             "disconnections",
             "peak graph (n/e)",
             "validation us/cycle",
+            "abort causes",
         ],
     );
     for m in &metrics {
@@ -110,6 +111,15 @@ pub fn run(scale: Scale) -> Result<Table, BpushError> {
                 format!("{}/{}", m.peak_graph_nodes, m.peak_graph_edges)
             },
             fnum(m.validation_ns.mean() / 1_000.0, 1),
+            if m.abort_reasons.is_empty() {
+                "-".to_owned()
+            } else {
+                m.abort_reasons
+                    .iter()
+                    .map(|(reason, count)| format!("{}:{count}", reason.label()))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            },
         ]);
     }
     Ok(table)
@@ -148,6 +158,25 @@ mod tests {
         for row in &t.rows {
             let _: f64 = row[11].parse().unwrap();
         }
+        // abort causes: multiversion aborts nothing, so prints "-"; any
+        // method that aborts lists `cause:count` pairs whose counts sum
+        // to its abort total
+        assert_eq!(mv_row[12], "-");
+        for (row, m) in t.rows.iter().zip(&metrics_shape_check(&t)) {
+            if row[12] == "-" {
+                continue;
+            }
+            let total: u64 = row[12]
+                .split(' ')
+                .map(|pair| pair.rsplit(':').next().unwrap().parse::<u64>().unwrap())
+                .sum();
+            assert!(total > 0, "non-empty abort causes sum to zero: {m}");
+        }
+    }
+
+    /// Row labels, used only to make assertion messages readable.
+    fn metrics_shape_check(t: &Table) -> Vec<String> {
+        t.rows.iter().map(|r| r[0].clone()).collect()
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use bpush_client::{CacheParams, ClientCache, QueryExecutor, QueryOutcome};
 use bpush_core::validator::SerializabilityValidator;
 use bpush_core::{AbortReason, CacheMode, Method};
+use bpush_obs::{Actor, Obs};
 use bpush_server::BroadcastServer;
 use bpush_types::config::MultiversionLayout;
 use bpush_types::seed::SeedSequence;
@@ -139,6 +140,7 @@ pub struct Simulation {
     method: Method,
     server: BroadcastServer,
     clients: Vec<QueryExecutor>,
+    obs: Obs,
 }
 
 impl Simulation {
@@ -206,7 +208,38 @@ impl Simulation {
             method,
             server,
             clients,
+            obs: Obs::off(),
         })
+    }
+
+    /// Routes the whole simulation into `obs`: the server gets a
+    /// per-cycle span and size histogram, every client's protocol is
+    /// wrapped in an instrumentation decorator streaming per-operation
+    /// events, and the end-of-run validation pass is bracketed by a
+    /// `validator.check` span. After the run, the aggregated
+    /// [`bpush_core::instrument::ProtocolStats`] of all clients are
+    /// published into the registry as `stats.*` counters, so the
+    /// event-derived counters can be reconciled against the decorator's
+    /// independent tally.
+    #[must_use]
+    pub fn with_obs(self, obs: Obs) -> Self {
+        let Simulation {
+            config,
+            method,
+            server,
+            clients,
+            ..
+        } = self;
+        Simulation {
+            config,
+            method,
+            server: server.with_obs(obs.clone()),
+            clients: clients
+                .into_iter()
+                .map(|c| c.with_obs(obs.clone()))
+                .collect(),
+            obs,
+        }
     }
 
     /// Replaces the server's broadcast mode (e.g. with a
@@ -297,11 +330,33 @@ impl Simulation {
             start = start.plus(bcast.total_slots());
         }
 
+        // Publish the decorator-side tally so event-derived counters can
+        // be reconciled against an independent count of the same run.
+        if self.obs.is_enabled() {
+            self.obs.counter_add("sim.cycles", cycles);
+            for client in &self.clients {
+                if let Some(stats) = client.protocol_stats() {
+                    self.obs.counter_add("stats.controls", stats.controls);
+                    self.obs.counter_add("stats.queries", stats.queries);
+                    self.obs.counter_add("stats.directives", stats.directives);
+                    self.obs.counter_add("stats.accepts", stats.accepts);
+                    self.obs.counter_add("stats.rejects", stats.rejects);
+                    self.obs.counter_add("stats.dooms", stats.dooms);
+                    self.obs.counter_add("stats.finishes", stats.finishes);
+                    self.obs
+                        .counter_add("stats.missed-cycles", stats.missed_cycles);
+                }
+            }
+        }
+
         // Validate every committed readset against the ground truth,
         // using the paper's exact criterion (readset = a state of *some*
         // serializable execution, checked against the full conflict
         // graph). The stronger prefix-snapshot check holds for the
         // snapshot-based methods and is exercised in the test suites.
+        let _validator_span =
+            self.obs
+                .span("validator.check", Cycle::new(cycles), Actor::Validator);
         let validator = SerializabilityValidator::new(self.server.history());
         let graph = self.server.conflict_graph();
         let mut violations = 0;
@@ -310,6 +365,7 @@ impl Simulation {
                 violations += 1;
             }
         }
+        drop(_validator_span);
 
         let mean_bcast_slots = total_slots as f64 / cycles.max(1) as f64;
         let cycle_len = mean_bcast_slots.max(1.0);
@@ -396,6 +452,85 @@ mod tests {
             warmup_cycles: 3,
             max_cycles: 20_000,
             seed: 99,
+        }
+    }
+
+    /// The tentpole acceptance check at the simulation level: attaching
+    /// a recording [`Obs`] must not perturb the run (bit-identical
+    /// metrics vs the bare run), the event-derived counters must
+    /// reconcile exactly with the decorator's independent
+    /// `ProtocolStats` tally, and two same-seed traced runs must export
+    /// byte-identical traces.
+    #[test]
+    fn traced_runs_match_bare_runs_and_reconcile() {
+        for method in [Method::InvalidationOnly, Method::Sgt, Method::SgtCache] {
+            let bare = Simulation::new(quick_config(), method)
+                .unwrap()
+                .run()
+                .unwrap();
+
+            let obs = Obs::recording(1 << 14);
+            let traced = Simulation::new(quick_config(), method)
+                .unwrap()
+                .with_obs(obs.clone())
+                .run()
+                .unwrap();
+
+            assert_eq!(bare.queries, traced.queries, "{method}");
+            assert_eq!(bare.aborts.hits(), traced.aborts.hits(), "{method}");
+            assert_eq!(bare.cycles, traced.cycles, "{method}");
+            assert_eq!(bare.violations, traced.violations, "{method}");
+            assert_eq!(bare.abort_reasons, traced.abort_reasons, "{method}");
+
+            let snap = obs.snapshot().expect("recording sink");
+            assert_eq!(
+                snap.counter("reads.accepted"),
+                snap.counter("stats.accepts"),
+                "{method}: event stream vs decorator tally diverged"
+            );
+            assert_eq!(
+                snap.counter("reads.rejected"),
+                snap.counter("stats.rejects"),
+                "{method}"
+            );
+            assert_eq!(
+                snap.counter("control.processed"),
+                snap.counter("stats.controls"),
+                "{method}"
+            );
+            assert_eq!(
+                snap.counter("queries.committed") + snap.counter("queries.aborted"),
+                snap.counter("stats.finishes"),
+                "{method}"
+            );
+            assert_eq!(snap.counter("server.cycles"), traced.cycles, "{method}");
+            // Committed-query events cover at least the measured
+            // (post-warmup) outcomes.
+            let committed = traced.queries - traced.aborts.hits();
+            assert!(
+                snap.counter("queries.committed") >= committed,
+                "{method}: {} < {committed}",
+                snap.counter("queries.committed")
+            );
+
+            // Same seed, same capacity => byte-identical exports.
+            let obs2 = Obs::recording(1 << 14);
+            Simulation::new(quick_config(), method)
+                .unwrap()
+                .with_obs(obs2.clone())
+                .run()
+                .unwrap();
+            let snap2 = obs2.snapshot().expect("recording sink");
+            assert_eq!(
+                bpush_obs::export::chrome_trace(&snap),
+                bpush_obs::export::chrome_trace(&snap2),
+                "{method}: same-seed traces not byte-identical"
+            );
+            assert_eq!(
+                bpush_obs::export::ndjson(&snap),
+                bpush_obs::export::ndjson(&snap2),
+                "{method}"
+            );
         }
     }
 

@@ -1,0 +1,105 @@
+//! Why a read-only transaction aborts.
+//!
+//! The reason taxonomy is shared vocabulary: protocols (in `bpush-core`)
+//! produce [`AbortReason`]s, while the observability layer (`bpush-obs`)
+//! and the experiment harness consume them as a *dimension* — fixed
+//! per-reason counter arrays indexed by [`AbortReason::index`]. Keeping
+//! the type here (rather than in `bpush-core`) lets the tracer carry
+//! typed payloads without depending on the protocol crate.
+
+use std::fmt;
+
+/// Why a query was (or must be) aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum AbortReason {
+    /// An item the query had read was updated (invalidation-only method).
+    Invalidated,
+    /// The version the query needs is no longer obtainable (multiversion
+    /// methods: fell off air and not in cache).
+    VersionUnavailable,
+    /// Accepting the read would close a serialization-graph cycle (SGT).
+    CycleDetected,
+    /// The client missed a broadcast cycle the method cannot tolerate.
+    Disconnected,
+}
+
+impl AbortReason {
+    /// Every reason, in [`AbortReason::index`] order. The canonical
+    /// iteration order for per-reason breakdowns.
+    pub const ALL: [AbortReason; AbortReason::COUNT] = [
+        AbortReason::Invalidated,
+        AbortReason::VersionUnavailable,
+        AbortReason::CycleDetected,
+        AbortReason::Disconnected,
+    ];
+
+    /// Number of reasons; the length of per-reason counter arrays.
+    pub const COUNT: usize = 4;
+
+    /// A dense index in `0..COUNT`, stable across runs, for fixed-array
+    /// per-reason counters.
+    pub const fn index(self) -> usize {
+        match self {
+            AbortReason::Invalidated => 0,
+            AbortReason::VersionUnavailable => 1,
+            AbortReason::CycleDetected => 2,
+            AbortReason::Disconnected => 3,
+        }
+    }
+
+    /// A short stable machine-readable label ("invalidated", ...), used
+    /// as the per-reason dimension in metric names and trace payloads.
+    pub const fn label(self) -> &'static str {
+        match self {
+            AbortReason::Invalidated => "invalidated",
+            AbortReason::VersionUnavailable => "version-unavailable",
+            AbortReason::CycleDetected => "cycle-detected",
+            AbortReason::Disconnected => "disconnected",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::Invalidated => "a read item was invalidated",
+            AbortReason::VersionUnavailable => "required version unavailable",
+            AbortReason::CycleDetected => "serialization cycle detected",
+            AbortReason::Disconnected => "missed broadcast cycle",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for AbortReason {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_consistent_with_all() {
+        for (i, r) in AbortReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_and_nonempty() {
+        let labels: Vec<_> = AbortReason::ALL.iter().map(|r| r.label()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn messages_are_nonempty() {
+        for r in AbortReason::ALL {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -38,6 +38,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod abort;
 pub mod config;
 pub mod error;
 pub mod ids;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod value;
 pub mod zipf;
 
+pub use abort::AbortReason;
 pub use config::{CacheConfig, ClientConfig, Granularity, ServerConfig, SimConfig};
 pub use error::BpushError;
 pub use ids::{BucketId, ClientId, Cycle, ItemId, QueryId, Slot, TxnId};

@@ -13,6 +13,7 @@
 //! | `L4/conformance` | every `ReadOnlyProtocol` impl is exercised by the `bpush-core` conformance battery from some `tests/` file |
 //! | `L5/locks` | `parking_lot` is the workspace lock standard; `std::sync` `Mutex`/`RwLock` are rejected |
 //! | `L6/casts` | no lossy `as` narrowing of numerics in the deterministic crates; convert with `From`/`TryFrom` instead |
+//! | `L7/stdout` | no `println!`/`eprintln!` family in the deterministic crates; observations go through the `bpush-obs` sink |
 //! | `L0/annotation` | the escape-hatch annotation itself must be well-formed |
 //!
 //! # Escape hatch
@@ -21,7 +22,7 @@
 //! `lint: allow(panic) — reason the construct is sound here`, either at
 //! the end of the offending line or alone on the line directly above it.
 //! The rule name goes in the parentheses (`panic`, `determinism`,
-//! `crate-attrs`, `conformance`, `locks`, or `casts`; comma-separated
+//! `crate-attrs`, `conformance`, `locks`, `casts`, or `stdout`; comma-separated
 //! for more than one) and the trailing reason is mandatory — an annotation with
 //! no reason, or naming an unknown rule, is itself reported as
 //! `L0/annotation`.
@@ -39,6 +40,7 @@
 #![deny(missing_docs)]
 
 pub mod bench;
+pub mod trace;
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -63,6 +65,8 @@ pub enum Rule {
     Locks,
     /// `L6/casts`: lossy `as` numeric cast in a deterministic crate.
     Casts,
+    /// `L7/stdout`: `println!`-family output in a deterministic crate.
+    Stdout,
 }
 
 impl Rule {
@@ -76,6 +80,7 @@ impl Rule {
             Rule::Conformance => "L4/conformance",
             Rule::Locks => "L5/locks",
             Rule::Casts => "L6/casts",
+            Rule::Stdout => "L7/stdout",
         }
     }
 
@@ -89,6 +94,7 @@ impl Rule {
             Rule::Conformance => "conformance",
             Rule::Locks => "locks",
             Rule::Casts => "casts",
+            Rule::Stdout => "stdout",
         }
     }
 
@@ -100,6 +106,7 @@ impl Rule {
             "conformance" => Some(Rule::Conformance),
             "locks" => Some(Rule::Locks),
             "casts" => Some(Rule::Casts),
+            "stdout" => Some(Rule::Stdout),
             _ => None,
         }
     }
@@ -166,8 +173,15 @@ impl std::error::Error for LintError {}
 /// Crates whose sources must be bit-for-bit deterministic (rule L2):
 /// everything on the simulated protocol path, identified by directory
 /// name under `crates/`.
-pub const DETERMINISTIC_CRATES: &[&str] =
-    &["sgraph", "core", "client", "server", "broadcast", "mc"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "sgraph",
+    "core",
+    "client",
+    "server",
+    "broadcast",
+    "mc",
+    "obs",
+];
 
 const PANIC_NEEDLES: &[&str] = &[
     ".unwrap()",
@@ -193,6 +207,10 @@ const DETERMINISM_NEEDLES: &[&str] = &[
 const NARROWING_CAST_NEEDLES: &[&str] = &[
     " as u8", " as u16", " as u32", " as i8", " as i16", " as i32", " as f32",
 ];
+
+/// Longest-first so the reported needle is the macro actually written
+/// (`println!(` is a substring of `eprintln!(`).
+const STDOUT_NEEDLES: &[&str] = &["eprintln!(", "println!(", "eprint!(", "print!("];
 
 const FORBID_UNSAFE: &str = "#![forbid(unsafe_code)]";
 const DENY_MISSING_DOCS: &str = "#![deny(missing_docs)]";
@@ -397,6 +415,25 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
                         "lossy `{}` cast in deterministic crate `{}`; convert with \
                          `From`/`TryFrom` or annotate with a reason",
                         needle.trim_start(),
+                        ctx.crate_name
+                    ),
+                });
+            }
+        }
+
+        // Rule L7: no direct terminal output in the deterministic
+        // crates — observations belong in the bpush-obs sink, where
+        // they stay replayable and cost nothing when disabled.
+        if deterministic && !allowed.contains(&Rule::Stdout) {
+            if let Some(needle) = STDOUT_NEEDLES.iter().find(|n| code.contains(**n)) {
+                ctx.diags.push(Diagnostic {
+                    rule: Rule::Stdout,
+                    file: rel.clone(),
+                    line: lineno,
+                    message: format!(
+                        "`{}` in deterministic crate `{}`; emit through the bpush-obs \
+                         sink (or annotate with a reason)",
+                        needle.trim_end_matches('('),
                         ctx.crate_name
                     ),
                 });
@@ -732,7 +769,7 @@ fn parse_allow(comment: &str) -> Option<Result<Vec<Rule>, String>> {
             None => {
                 return Some(Err(format!(
                     "unknown rule `{name}` in allow annotation (expected one of: \
-                     panic, determinism, crate-attrs, conformance, locks, casts)"
+                     panic, determinism, crate-attrs, conformance, locks, casts, stdout)"
                 )))
             }
         }

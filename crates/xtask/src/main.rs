@@ -12,6 +12,10 @@
 //!   fixed-seed substrate and per-method benchmarks and write the
 //!   `bpush-bench-v1` report (default `BENCH_3.json` at the workspace
 //!   root).
+//! * `cargo xtask trace [--method <name>] [--quick] [--json]
+//!   [--out-dir <dir>]` — run one fixed-seed traced simulation and
+//!   write `trace.json` (chrome `trace_event`, Perfetto-loadable),
+//!   `trace.ndjson`, and the `bpush-trace-v1` `metrics.json`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -24,20 +28,32 @@ const USAGE: &str = "usage: cargo run -p xtask -- <command>
 commands:
   lint [--root <workspace-root>] [--json]
       Runs the bpush rule catalog (L1/panic, L2/determinism,
-      L3/crate-attrs, L4/conformance, L5/locks, L6/casts) over every
-      crate under <root>/crates and exits non-zero if any rule fires.
+      L3/crate-attrs, L4/conformance, L5/locks, L6/casts, L7/stdout)
+      over every crate under <root>/crates and exits non-zero if any
+      rule fires.
   mc [--scope ci|default] [--protocol <name>] [--json]
+     [--replay <file> [--trace <path>]]
       Exhaustively enumerates bounded executions for every processing
       method (default scope: `default`), validates each committed
       readset, and exits non-zero on any serializability violation,
-      printing the minimized replayable counterexample.
+      printing the minimized replayable counterexample. With --replay,
+      re-runs one serialized mc-schedule file instead; --trace
+      additionally writes the replay's chrome trace_event JSON.
   bench [--quick] [--json] [--out <path>]
       Runs the SGT-substrate microbench (dense interned graph vs the
       BTree baseline, same fixed workload) and a per-method end-to-end
       simulator pass, then writes the all-integer `bpush-bench-v1`
       report to <path> (default: BENCH_3.json at the workspace root).
       `--quick` shrinks both passes; `--json` prints the report to
-      stdout instead of the text summary.";
+      stdout instead of the text summary.
+  trace [--method <name>] [--quick] [--json] [--out-dir <dir>]
+      Runs one fixed-seed traced simulation of <name> (default: sgt)
+      and writes trace.json (chrome trace_event format — load it in
+      Perfetto or chrome://tracing), trace.ndjson (one event per line),
+      and metrics.json (the all-integer bpush-trace-v1 report) under
+      <dir> (default: the workspace root). Two invocations with the
+      same flags produce byte-identical files; `--json` additionally
+      prints the metrics report to stdout.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +71,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         Some("lint") => lint(&args[1..]),
         Some("mc") => mc(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("trace") => trace(&args[1..]),
         Some("help") | Some("--help") | None => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -118,9 +135,19 @@ fn mc(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut scope = bpush_mc::Scope::default();
     let mut json = false;
     let mut protocols: Vec<bpush_mc::ProtocolSpec> = Vec::new();
+    let mut replay: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--replay" => match it.next() {
+                Some(path) => replay = Some(PathBuf::from(path)),
+                None => return Err("--replay needs an mc-schedule file argument".into()),
+            },
+            "--trace" => match it.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => return Err("--trace needs an output file argument".into()),
+            },
             "--scope" => match it.next() {
                 Some(name) => {
                     scope = bpush_mc::Scope::parse(name)
@@ -141,6 +168,12 @@ fn mc(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             other => return Err(format!("unknown mc option `{other}`\n{USAGE}").into()),
         }
     }
+    if let Some(path) = replay {
+        return mc_replay(&path, trace_out.as_deref());
+    }
+    if trace_out.is_some() {
+        return Err("--trace is only meaningful together with --replay".into());
+    }
     if protocols.is_empty() {
         protocols = bpush_mc::ProtocolSpec::genuine();
     }
@@ -159,6 +192,99 @@ fn mc(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Replays one serialized mc-schedule file, optionally writing the
+/// replay's chrome trace_event JSON to `trace_out`. Exits non-zero when
+/// the replayed query commits a readset that violates serializability.
+fn mc_replay(
+    path: &std::path::Path,
+    trace_out: Option<&std::path::Path>,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let (spec, schedule) = bpush_mc::Schedule::parse(&text)?;
+    let obs = if trace_out.is_some() {
+        bpush_obs::Obs::recording(bpush_obs::DEFAULT_CAPACITY)
+    } else {
+        bpush_obs::Obs::off()
+    };
+    let exec = bpush_mc::run_schedule_traced(spec, &schedule, &obs)?;
+    if let (Some(out), Some(snapshot)) = (trace_out, obs.snapshot()) {
+        std::fs::write(out, bpush_obs::export::chrome_trace(&snapshot))?;
+        println!("wrote {}", out.display());
+    }
+    println!(
+        "mc replay: {spec} — {} ({} reads{})",
+        if exec.committed {
+            "committed".to_string()
+        } else {
+            format!("aborted: {:?}", exec.abort)
+        },
+        exec.reads.len(),
+        match &exec.violation {
+            Some(v) => format!("; VIOLATION: {v}"),
+            None => String::new(),
+        }
+    );
+    Ok(if exec.violation.is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn trace(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut method = bpush_core::Method::Sgt;
+    let mut quick = false;
+    let mut json = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--method" => match it.next() {
+                Some(name) => {
+                    method = bpush_core::Method::ALL
+                        .iter()
+                        .copied()
+                        .find(|m| m.name() == name)
+                        .ok_or_else(|| format!("unknown method `{name}`"))?;
+                }
+                None => return Err("--method needs a method name".into()),
+            },
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--out-dir" => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => return Err("--out-dir needs a directory argument".into()),
+            },
+            other => return Err(format!("unknown trace option `{other}`\n{USAGE}").into()),
+        }
+    }
+    let dir = match out_dir {
+        Some(d) => d,
+        None => find_workspace_root()?,
+    };
+    std::fs::create_dir_all(&dir)?;
+
+    let report = xtask::trace::run_trace(method, quick)?;
+    let chrome = bpush_obs::export::chrome_trace(&report.snapshot);
+    let ndjson = bpush_obs::export::ndjson(&report.snapshot);
+    let metrics = xtask::trace::render_metrics_json(&report);
+    std::fs::write(dir.join("trace.json"), &chrome)?;
+    std::fs::write(dir.join("trace.ndjson"), &ndjson)?;
+    std::fs::write(dir.join("metrics.json"), format!("{metrics}\n"))?;
+    if json {
+        println!("{metrics}");
+    } else {
+        print!("{}", xtask::trace::render_text(&report));
+    }
+    println!(
+        "wrote {}, {}, {}",
+        dir.join("trace.json").display(),
+        dir.join("trace.ndjson").display(),
+        dir.join("metrics.json").display()
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {

@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: a deterministic crate writing to the terminal (rule L7).
+
+/// Reports progress straight to stdout.
+pub fn report(n: u64) {
+    println!("cycle done");
+    // lint: allow(stdout) — fixture negative control: annotated output
+    eprintln!("still allowed");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_inside_tests_are_exempt() {
+        println!("test chatter");
+    }
+}

@@ -433,3 +433,101 @@ fn checked_in_bench_report_holds_the_speedup_target() {
     let expected: Vec<&str> = bpush_core::Method::ALL.iter().map(|m| m.name()).collect();
     assert_eq!(methods, expected);
 }
+
+// ---------------------------------------------------------------------
+// `cargo xtask trace` (`metrics.json`)
+// ---------------------------------------------------------------------
+
+/// The documented `bpush-trace-v1` schema: `{"schema", "method",
+/// "seed", "quick", "cycles", "queries", "committed", "aborted",
+/// "events", "dropped", "counters": [{"name", "value"}], "histograms":
+/// [{"name", "count", "sum", "min", "max", "buckets": [{"floor",
+/// "ceil", "count"}]}]}`, all numbers unsigned integers, keys in that
+/// order.
+fn assert_trace_schema(root: &Json) {
+    assert_eq!(
+        root.keys(),
+        [
+            "schema",
+            "method",
+            "seed",
+            "quick",
+            "cycles",
+            "queries",
+            "committed",
+            "aborted",
+            "events",
+            "dropped",
+            "counters",
+            "histograms",
+        ]
+    );
+    assert_eq!(root.get("schema").as_str(), "bpush-trace-v1");
+    let _ = root.get("seed").as_u64();
+    let _ = root.get("quick").as_bool();
+    assert_eq!(
+        root.get("committed").as_u64() + root.get("aborted").as_u64(),
+        root.get("queries").as_u64(),
+        "committed + aborted must partition queries"
+    );
+    for c in root.get("counters").as_arr() {
+        assert_eq!(c.keys(), ["name", "value"]);
+        let _ = c.get("value").as_u64();
+    }
+    for h in root.get("histograms").as_arr() {
+        assert_eq!(h.keys(), ["name", "count", "sum", "min", "max", "buckets"]);
+        let mut bucket_total = 0;
+        for b in h.get("buckets").as_arr() {
+            assert_eq!(b.keys(), ["floor", "ceil", "count"]);
+            assert!(b.get("floor").as_u64() <= b.get("ceil").as_u64());
+            bucket_total += b.get("count").as_u64();
+        }
+        assert_eq!(
+            bucket_total,
+            h.get("count").as_u64(),
+            "non-empty buckets must account for every sample"
+        );
+    }
+}
+
+/// A real quick trace satisfies the schema, its counter table
+/// reconciles with the headline numbers, and the chrome export parses
+/// as a structurally valid `trace_event` document.
+#[test]
+fn trace_json_matches_the_documented_schema() {
+    let report = xtask::trace::run_trace(bpush_core::Method::Sgt, true).unwrap();
+    let root = parse_json(&xtask::trace::render_metrics_json(&report));
+    assert_trace_schema(&root);
+
+    // The counter table carries the same totals as the headline keys.
+    let counter = |name: &str| {
+        root.get("counters")
+            .as_arr()
+            .iter()
+            .find(|c| c.get("name").as_str() == name)
+            .map(|c| c.get("value").as_u64())
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("queries.committed"), root.get("committed").as_u64());
+    assert_eq!(counter("queries.aborted"), root.get("aborted").as_u64());
+    assert_eq!(counter("server.cycles"), root.get("cycles").as_u64());
+    assert_eq!(
+        root.get("events").as_u64(),
+        report.snapshot.events.len() as u64
+    );
+
+    // The chrome export is valid JSON of the trace_event shape.
+    let chrome = parse_json(&bpush_obs::export::chrome_trace(&report.snapshot));
+    assert_eq!(chrome.keys(), ["traceEvents", "displayTimeUnit"]);
+    let events = chrome.get("traceEvents").as_arr();
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").as_str();
+        assert!(
+            matches!(ph, "M" | "B" | "E" | "i"),
+            "unexpected phase {ph:?}"
+        );
+        let _ = e.get("pid").as_u64();
+        let _ = e.get("tid").as_u64();
+    }
+}

@@ -47,6 +47,8 @@ fn fixtures_yield_exact_diagnostics() {
         // core: a deterministic crate touching HashMap (decl + body).
         ("L2/determinism", "crates/core/src/lib.rs", 6),
         ("L2/determinism", "crates/core/src/lib.rs", 7),
+        // server: a deterministic crate printing to stdout.
+        ("L7/stdout", "crates/server/src/lib.rs", 7),
     ]
     .into_iter()
     .map(|(r, f, l)| (r, f.to_string(), l))
@@ -81,6 +83,12 @@ fn fixture_carve_outs_hold() {
             assert_eq!(
                 d.line, 7,
                 "widening, annotated, and #[cfg(test)] casts must be exempt: {d}"
+            );
+        }
+        if d.file.ends_with("server/src/lib.rs") {
+            assert_eq!(
+                d.line, 7,
+                "annotated and #[cfg(test)] prints must be exempt: {d}"
             );
         }
     }
