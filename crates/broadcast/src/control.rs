@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+// bpush-lint: sans_io — protocol core: pure control-information computation, no clocks/threads/files/sockets
+
 use bpush_sgraph::GraphDiff;
 use bpush_types::{BpushError, BucketId, Cycle, Granularity, ItemId, TxnId};
 
@@ -15,6 +17,7 @@ use bpush_types::{BpushError, BucketId, Cycle, Granularity, ItemId, TxnId};
 /// exponential probe from `start`, then binary search inside the bracket.
 /// O(log distance) per call, which makes a merge over two sorted
 /// sequences linear in the shorter one.
+// bpush-lint: hot_path — shared probe kernel of the per-cycle readset merges
 fn gallop_to<T, K: Ord + Copy>(xs: &[T], start: usize, key: K, key_of: impl Fn(&T) -> K) -> usize {
     let n = xs.len();
     let mut step = 1usize;
@@ -30,6 +33,7 @@ fn gallop_to<T, K: Ord + Copy>(xs: &[T], start: usize, key: K, key_of: impl Fn(&
 }
 
 /// Binary-search lookup in a sorted `(key, value)` slice.
+// bpush-lint: hot_path — per-item report probe
 fn lookup<K: Ord + Copy, V: Copy>(entries: &[(K, V)], key: K) -> Option<V> {
     entries
         .binary_search_by_key(&key, |e| e.0)
@@ -40,6 +44,7 @@ fn lookup<K: Ord + Copy, V: Copy>(entries: &[(K, V)], key: K) -> Option<V> {
 /// Galloping merge of sorted `(key, cycle)` entries against a sorted,
 /// nondecreasing key sequence; returns whether any matching entry's
 /// cycle satisfies `pred`. Short-circuits on the first hit.
+// bpush-lint: hot_path — the galloping merge behind any_stale/any_invalidated
 fn any_entry_matching<K: Ord + Copy>(
     entries: &[(K, Cycle)],
     keys: impl Iterator<Item = K>,
@@ -270,6 +275,7 @@ impl InvalidationReport {
     /// like per-item [`InvalidationReport::invalidates`], but a single
     /// galloping merge over the two sorted sequences instead of one
     /// probe per readset member.
+    // bpush-lint: hot_path — per-cycle client probe over every active readset
     pub fn any_invalidated(&self, readset: &[ItemId]) -> bool {
         self.any_stale(readset, Cycle::ZERO)
     }
@@ -279,6 +285,7 @@ impl InvalidationReport {
     /// galloping-merge form of [`InvalidationReport::stale_at`]. This is
     /// the per-cycle client hot path: every active query intersects its
     /// readset with every report.
+    // bpush-lint: hot_path — per-cycle client staleness probe (PR-3 allocation-freedom contract)
     pub fn any_stale(&self, readset: &[ItemId], state: Cycle) -> bool {
         debug_assert!(readset.windows(2).all(|w| w[0] < w[1]), "readset sorted");
         match self.granularity {
@@ -409,6 +416,7 @@ impl AugmentedReport {
     /// the SGT client hot path: every active query intersects its
     /// readset with every cycle's augmented report to add precedence
     /// edges (§3.3), and the merge replaces a per-entry set probe.
+    // bpush-lint: hot_path — per-cycle SGT readset/report merge (PR-3 allocation-freedom contract)
     pub fn matches_in<'a>(
         &'a self,
         readset: &'a [ItemId],

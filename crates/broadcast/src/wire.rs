@@ -11,6 +11,8 @@
 //! the difference", §3.2), and transaction identifiers `log₂ N` bits of
 //! sequence plus `log₂ S` bits of cycle age (§3.3).
 
+// bpush-lint: sans_io — protocol core: the codec is pure bytes-in/bytes-out (the ROADMAP item-1 sans-IO boundary)
+
 use bpush_types::{BpushError, Cycle, Granularity, ItemId, TxnId};
 
 use crate::control::{AugmentedReport, InvalidationReport};
@@ -111,6 +113,7 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     /// Returns [`BpushError::InvalidConfig`] on stream underflow.
+    // bpush-lint: hot_path — per-field decode primitive on the broadcast feed path
     pub fn take(&mut self, width: u32) -> Result<u64, BpushError> {
         if self.pos + u64::from(width) > self.bytes.len() as u64 * 8 {
             return Err(BpushError::invalid_config("bit stream underflow"));
@@ -179,11 +182,13 @@ fn put_txn(w: &mut BitWriter, t: TxnId, now: Cycle, params: WireParams) {
 /// Reads `width` bits and narrows them checked into a `u32`: a wire
 /// field that does not fit is malformed input, reported as an error
 /// rather than truncated.
+// bpush-lint: hot_path — per-field decode primitive on the broadcast feed path
 fn take_u32(r: &mut BitReader<'_>, width: u32) -> Result<u32, BpushError> {
     u32::try_from(r.take(width)?)
         .map_err(|_| BpushError::invalid_config("wire field does not fit in 32 bits"))
 }
 
+// bpush-lint: hot_path — per-entry transaction-id decode on the broadcast feed path
 fn take_txn(r: &mut BitReader<'_>, now: Cycle, params: WireParams) -> Result<TxnId, BpushError> {
     let age = r.take(params.txn_age_bits)?;
     let seq = take_u32(r, params.seq_bits)?;

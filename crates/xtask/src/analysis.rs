@@ -1,0 +1,284 @@
+//! Drivers for the interprocedural rules: L8/hot-alloc, L9/sans-io,
+//! L10/lock-order, L11/taint. Each consumes the per-file indexes from
+//! [`crate::items`] through the resolved [`crate::callgraph`] and emits
+//! ordinary [`Diagnostic`]s; [`Analysis`] carries the summary facts the
+//! self-tests pin (hot-function coverage, sans-IO surface).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::callgraph::{CallGraph, DepMap};
+use crate::items::FileIndex;
+use crate::{Diagnostic, Rule, DETERMINISTIC_CRATES};
+
+/// Path last-segments whose import is a determinism-taint source (L11).
+const TAINT_SOURCES: &[&str] = &["Instant", "SystemTime", "HashMap", "HashSet", "thread_rng"];
+
+/// Summary facts from the interprocedural pass.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Every `crate::fn` carrying the `hot_path` annotation, sorted.
+    pub hot_functions: Vec<String>,
+    /// Every file declaring `sans_io`, as workspace-relative paths, sorted.
+    pub sans_io_files: Vec<String>,
+}
+
+/// Runs L8–L11 over the indexed files, appending findings to `diags`.
+#[must_use]
+pub fn run(files: &[FileIndex], deps: &DepMap, diags: &mut Vec<Diagnostic>) -> Analysis {
+    let graph = CallGraph::build(files, deps);
+    let mut analysis = Analysis::default();
+
+    let mut hot = BTreeSet::new();
+    let mut sans = BTreeSet::new();
+    for id in graph.ids() {
+        let (file, f) = graph.fn_at(id);
+        if f.is_test {
+            continue;
+        }
+        if f.hot {
+            hot.insert(format!("{}::{}", file.crate_name, f.name));
+            check_purity(&graph, id, Rule::HotAlloc, diags);
+        }
+        if file.sans_io {
+            sans.insert(file.rel.display().to_string());
+            check_purity(&graph, id, Rule::SansIo, diags);
+        }
+    }
+    analysis.hot_functions = hot.into_iter().collect();
+    analysis.sans_io_files = files
+        .iter()
+        .filter(|f| f.sans_io)
+        .map(|f| f.rel.display().to_string())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    check_lock_order(&graph, diags);
+    check_taint(&graph, files, diags);
+    analysis
+}
+
+/// L8 / L9 share one shape: no function reachable from `start` may carry
+/// the rule's needle set.
+fn check_purity(graph: &CallGraph<'_>, start: usize, rule: Rule, diags: &mut Vec<Diagnostic>) {
+    let (file, f) = graph.fn_at(start);
+    let (reached, parent) = graph.reachable(start);
+    for id in reached {
+        let (nfile, nf) = graph.fn_at(id);
+        let needles = match rule {
+            Rule::HotAlloc => &nf.allocs,
+            _ => &nf.ios,
+        };
+        for n in needles {
+            let via = if id == start {
+                String::new()
+            } else {
+                format!(" via {}", graph.chain(start, id, &parent))
+            };
+            let (what, fix) = match rule {
+                Rule::HotAlloc => (
+                    "hot_path",
+                    "keep the hot path allocation-free or annotate the site with a reason",
+                ),
+                _ => (
+                    "sans_io",
+                    "keep the protocol core free of clocks, threads, channels, files, and sockets",
+                ),
+            };
+            diags.push(Diagnostic {
+                rule,
+                file: file.rel.clone(),
+                line: f.line,
+                message: format!(
+                    "{what} fn `{}` reaches `{}` at {}:{}{via}; {fix}",
+                    f.name,
+                    n.what,
+                    nfile.rel.display(),
+                    n.line,
+                ),
+            });
+        }
+    }
+}
+
+/// L10: build the lock-acquisition order graph (intra-function ordering
+/// plus locks reachable through calls made while a guard is held) and
+/// reject cycles.
+fn check_lock_order(graph: &CallGraph<'_>, diags: &mut Vec<Diagnostic>) {
+    // Locks transitively acquired by each function (memoized per id).
+    let mut reach_locks: Vec<Option<BTreeSet<String>>> = vec![None; graph.len()];
+    let mut locks_of = |graph: &CallGraph<'_>, id: usize| -> BTreeSet<String> {
+        if let Some(cached) = &reach_locks[id] {
+            return cached.clone();
+        }
+        let (reached, _) = graph.reachable(id);
+        let mut set = BTreeSet::new();
+        for rid in reached {
+            let (rfile, rf) = graph.fn_at(rid);
+            for l in &rf.locks {
+                set.insert(format!("{}/{}", rfile.crate_name, l.recv));
+            }
+        }
+        reach_locks[id] = Some(set.clone());
+        set
+    };
+
+    // Edges as (from, to, file, line), deterministic order.
+    let mut edges: Vec<(String, String, std::path::PathBuf, usize)> = Vec::new();
+    for id in graph.ids() {
+        let (file, f) = graph.fn_at(id);
+        if f.is_test {
+            continue;
+        }
+        let key = |recv: &str| format!("{}/{}", file.crate_name, recv);
+        for (i, a) in f.locks.iter().enumerate() {
+            // Later acquisitions in the same body nest under `a`.
+            for b in f.locks.iter().skip(i + 1) {
+                edges.push((key(&a.recv), key(&b.recv), file.rel.clone(), b.line));
+            }
+            // Calls made after `a` is taken pull in the callee's locks.
+            for call in f.calls.iter().filter(|c| c.pos > a.pos) {
+                let callees: Vec<usize> = graph
+                    .callees(id)
+                    .iter()
+                    .copied()
+                    .filter(|&cid| graph.fn_at(cid).1.name == call.name)
+                    .collect();
+                for cid in callees {
+                    for held in locks_of(graph, cid) {
+                        edges.push((key(&a.recv), held, file.rel.clone(), call.line));
+                    }
+                }
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+
+    // Adjacency for cycle queries.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to, _, _) in &edges {
+        adj.entry(from).or_default().insert(to);
+    }
+    let path_to = |from: &str, to: &str| -> Option<Vec<String>> {
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            if cur == to {
+                let mut path = vec![cur.to_string()];
+                let mut walk = cur;
+                while let Some(&p) = parent.get(walk) {
+                    path.push(p.to_string());
+                    walk = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &next in adj.get(cur).into_iter().flatten() {
+                if next != from && !parent.contains_key(next) {
+                    parent.insert(next, cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+        // `from == to` with a self-edge:
+        if from == to && adj.get(from).is_some_and(|s| s.contains(to)) {
+            return Some(vec![from.to_string()]);
+        }
+        None
+    };
+
+    for (from, to, file, line) in &edges {
+        let back = if from == to {
+            Some(vec![to.clone()])
+        } else {
+            path_to(to, from)
+        };
+        let Some(back) = back else { continue };
+        // Report each cycle once: at the edge leaving its smallest node.
+        let min_on_cycle = back.iter().chain(std::iter::once(from)).min();
+        if min_on_cycle != Some(from) {
+            continue;
+        }
+        let cycle: Vec<&str> = std::iter::once(from.as_str())
+            .chain(back.iter().map(String::as_str))
+            .collect();
+        diags.push(Diagnostic {
+            rule: Rule::LockOrder,
+            file: file.clone(),
+            line: *line,
+            message: if from == to {
+                format!("lock `{from}` re-acquired while already held (self-deadlock)")
+            } else {
+                format!(
+                    "lock-order cycle: {}; acquire locks in one global order",
+                    cycle.join(" → ")
+                )
+            },
+        });
+    }
+}
+
+/// L11: token-level taint. Two legs — renamed imports of
+/// non-deterministic types inside deterministic crates (the indirection
+/// L2's text match cannot see), and deterministic-crate functions that
+/// transitively reach a needle-bearing function in a crate *outside*
+/// the deterministic set (where L2 never looks).
+fn check_taint(graph: &CallGraph<'_>, files: &[FileIndex], diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        if !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for alias in &file.aliases {
+            let last = alias.target.rsplit("::").next().unwrap_or(&alias.target);
+            if alias.renamed && TAINT_SOURCES.contains(&last) {
+                diags.push(Diagnostic {
+                    rule: Rule::Taint,
+                    file: file.rel.clone(),
+                    line: alias.line,
+                    message: format!(
+                        "`{}` aliases non-deterministic `{}` in deterministic crate `{}`; \
+                         renaming does not launder the taint — use seeded rand, logical \
+                         clocks, and BTree collections",
+                        alias.binding, alias.target, file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+
+    for id in graph.ids() {
+        let (file, f) = graph.fn_at(id);
+        if f.is_test || !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let (reached, parent) = graph.reachable(id);
+        for rid in reached {
+            if rid == id {
+                continue;
+            }
+            let (rfile, rf) = graph.fn_at(rid);
+            if DETERMINISTIC_CRATES.contains(&rfile.crate_name.as_str()) {
+                continue; // L2 already polices needles inside the set
+            }
+            if let Some(n) = rf.dets.first() {
+                diags.push(Diagnostic {
+                    rule: Rule::Taint,
+                    file: file.rel.clone(),
+                    line: f.line,
+                    message: format!(
+                        "deterministic fn `{}` reaches non-deterministic `{}` at {}:{} \
+                         via {}; hoist the construct behind a deterministic API or \
+                         annotate with a reason",
+                        f.name,
+                        n.what,
+                        rfile.rel.display(),
+                        n.line,
+                        graph.chain(id, rid, &parent),
+                    ),
+                });
+            }
+        }
+    }
+}

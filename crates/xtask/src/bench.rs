@@ -22,8 +22,10 @@
 //! repository carries its own performance trajectory; the schema is locked
 //! by `tests/json_schema.rs` exactly like `lint --json` and `mc --json`.
 
+use std::path::Path;
 use std::time::Instant;
 
+use crate::jsonv::{self, Json};
 use bpush_core::Method;
 use bpush_sgraph::baseline::BaselineGraph;
 use bpush_sgraph::{Node, SerializationGraph};
@@ -235,6 +237,129 @@ pub fn render_json(report: &BenchReport) -> String {
     out
 }
 
+/// One checked-in `BENCH_<n>.json` report in the repository's
+/// performance trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryEntry {
+    /// PR number extracted from the file name.
+    pub pr: u64,
+    /// File name at the workspace root (`BENCH_3.json`).
+    pub file: String,
+    /// The report's `quick` flag.
+    pub quick: bool,
+    /// The report's headline `sgt_speedup_pct`.
+    pub sgt_speedup_pct: u64,
+}
+
+/// Discovers every `BENCH_<n>.json` at the workspace root, validates
+/// each against the `bpush-bench-v1` schema, and returns the entries
+/// sorted by PR number.
+///
+/// # Errors
+/// Fails if the root cannot be listed, or any discovered report is
+/// unreadable or fails schema validation — a checked-in report that no
+/// longer parses is a broken trajectory, not a skippable file.
+pub fn load_trajectory(root: &Path) -> Result<Vec<TrajectoryEntry>, BpushError> {
+    let dir = std::fs::read_dir(root)
+        .map_err(|e| BpushError::invalid_config(format!("cannot list {}: {e}", root.display())))?;
+    let mut entries = Vec::new();
+    for entry in dir {
+        let entry =
+            entry.map_err(|e| BpushError::invalid_config(format!("cannot list entry: {e}")))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(pr) = name
+            .strip_prefix("BENCH_")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| BpushError::invalid_config(format!("cannot read {name}: {e}")))?;
+        let (quick, sgt_speedup_pct) = validate_bench_json(&text)
+            .map_err(|e| BpushError::invalid_config(format!("{name}: {e}")))?;
+        entries.push(TrajectoryEntry {
+            pr,
+            file: name,
+            quick,
+            sgt_speedup_pct,
+        });
+    }
+    entries.sort_by_key(|e| e.pr);
+    Ok(entries)
+}
+
+/// Validates one report against the `bpush-bench-v1` schema, returning
+/// its `(quick, sgt_speedup_pct)` on success.
+fn validate_bench_json(text: &str) -> Result<(bool, u64), String> {
+    let v = jsonv::parse(text.trim())?;
+    if v.get("schema").and_then(Json::as_str) != Some("bpush-bench-v1") {
+        return Err("missing or wrong `schema` (want \"bpush-bench-v1\")".to_string());
+    }
+    v.get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer `seed`")?;
+    let quick = v
+        .get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean `quick`")?;
+    let substrate = v
+        .get("substrate")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `substrate`")?;
+    if substrate.is_empty() {
+        return Err("`substrate` is empty".to_string());
+    }
+    for s in substrate {
+        s.get("name")
+            .and_then(Json::as_str)
+            .ok_or("substrate entry missing `name`")?;
+        for key in ["iters", "total_ns", "ns_per_iter"] {
+            s.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("substrate entry missing integer `{key}`"))?;
+        }
+    }
+    let speedup = v
+        .get("sgt_speedup_pct")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer `sgt_speedup_pct`")?;
+    let methods = v
+        .get("methods")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `methods`")?;
+    if methods.is_empty() {
+        return Err("`methods` is empty".to_string());
+    }
+    for m in methods {
+        m.get("method")
+            .and_then(Json::as_str)
+            .ok_or("method entry missing `method`")?;
+        for key in ["wall_ns", "queries", "committed"] {
+            m.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("method entry missing integer `{key}`"))?;
+        }
+    }
+    Ok((quick, speedup))
+}
+
+/// Renders the trajectory as a short human-readable table.
+#[must_use]
+pub fn render_trajectory(entries: &[TrajectoryEntry]) -> String {
+    let mut out = String::from("trajectory:\n");
+    for e in entries {
+        out.push_str(&format!(
+            "  PR {:<3} {:<16} speedup {:>5}%  ({})\n",
+            e.pr,
+            e.file,
+            e.sgt_speedup_pct,
+            if e.quick { "quick" } else { "paper" }
+        ));
+    }
+    out
+}
+
 /// Renders the report as a human-readable summary.
 #[must_use]
 pub fn render_text(report: &BenchReport) -> String {
@@ -317,6 +442,58 @@ mod tests {
         let text = render_text(&report);
         assert!(text.contains("sgt-substrate-interned"));
         assert!(text.contains("250%"));
+    }
+
+    #[test]
+    fn checked_in_trajectory_is_non_empty_and_monotone() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let traj = load_trajectory(&root).unwrap();
+        assert!(
+            !traj.is_empty(),
+            "no BENCH_<n>.json found at the workspace root — the trajectory is empty"
+        );
+        for pair in traj.windows(2) {
+            assert!(
+                pair[0].pr < pair[1].pr,
+                "trajectory PR numbers must be strictly increasing: {} then {}",
+                pair[0].pr,
+                pair[1].pr
+            );
+        }
+        for e in &traj {
+            assert!(e.sgt_speedup_pct > 0, "{}: zero speedup", e.file);
+        }
+        let text = render_trajectory(&traj);
+        assert!(text.contains("PR 3"));
+    }
+
+    #[test]
+    fn trajectory_validation_rejects_bad_reports() {
+        assert!(validate_bench_json("not json").is_err());
+        assert!(validate_bench_json("{}").is_err());
+        assert!(validate_bench_json(
+            "{\"schema\":\"bpush-bench-v1\",\"seed\":1,\"quick\":true,\
+             \"substrate\":[],\"sgt_speedup_pct\":5,\"methods\":[]}"
+        )
+        .is_err());
+        let good = render_json(&BenchReport {
+            seed: 7,
+            quick: true,
+            substrate: vec![SubstrateBench {
+                name: "sgt-substrate-interned".to_owned(),
+                iters: 3,
+                total_ns: 300,
+                ns_per_iter: 100,
+            }],
+            sgt_speedup_pct: 250,
+            methods: vec![MethodBench {
+                method: "sgt".to_owned(),
+                wall_ns: 42,
+                queries: 10,
+                committed: 9,
+            }],
+        });
+        assert_eq!(validate_bench_json(&good), Ok((true, 250)));
     }
 
     #[test]

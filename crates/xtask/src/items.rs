@@ -1,0 +1,789 @@
+//! Item indexer: one linear scan over a file's token stream that
+//! extracts everything the interprocedural rules need — function items
+//! with their call sites, allocation / IO / determinism needles, lock
+//! acquisitions, `use` aliases, and the `bpush-lint: hot_path` /
+//! `bpush-lint: sans_io` annotations.
+//!
+//! The indexer is deliberately approximate (no type inference): calls
+//! are recorded by name plus whatever qualifier or receiver the tokens
+//! show, and [`crate::callgraph`] resolves them against the workspace
+//! with crate-dependency scoping and impl-type preference.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use crate::lex::{SplitLine, Token, TokenKind};
+use crate::Rule;
+
+/// Directive name marking a function as hot-path (L8 contract holder).
+pub const HOT_PATH_MARKER: &str = "hot_path";
+/// Directive name declaring a whole file protocol-core (L9 contract).
+pub const SANS_IO_MARKER: &str = "sans_io";
+
+/// Whether `comment` *is* the directive `name` — i.e. it starts with
+/// `bpush-lint: <name>`. The splitter strips the `//` leader, so a doc
+/// comment arrives starting with `/` (from `///`) or `!` (from `//!`):
+/// those are prose, never directives, which is what lets this tool
+/// document itself.
+fn has_directive(comment: &str, name: &str) -> bool {
+    if comment.starts_with('/') || comment.starts_with('!') {
+        return false;
+    }
+    comment
+        .trim_start()
+        .strip_prefix("bpush-lint:")
+        .map(str::trim_start)
+        .is_some_and(|rest| rest.starts_with(name))
+}
+
+/// Method names that allocate on (at least) first call — the L8 needle
+/// set for `.name(` receivers.
+const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "insert",
+    "append",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "collect",
+    "clone",
+    "extend",
+    "extend_from_slice",
+    "resize",
+    "reserve",
+    "with_capacity",
+];
+
+/// `(Type, constructor)` pairs that allocate — the L8 needle set for
+/// `Type::name(` paths.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Box", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Vec", "from"),
+    ("Vec", "with_capacity"),
+    ("HashMap", "with_capacity"),
+    ("HashSet", "with_capacity"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+];
+
+/// Macros that allocate (L8).
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Module path segments whose mere mention (`seg::…`) is an IO needle
+/// (L9): threads, channels, filesystem, sockets.
+const IO_MODULES: &[&str] = &["thread", "mpsc", "fs", "net"];
+
+/// Type idents that are IO needles on sight (L9).
+const IO_TYPES: &[&str] = &["TcpStream", "TcpListener", "UdpSocket"];
+
+/// Identifiers never treated as call sites even when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "move", "in",
+    "as", "let", "mut", "ref", "fn", "pub", "use", "mod", "struct", "enum", "trait", "impl",
+    "type", "const", "static", "where", "unsafe", "async", "await", "dyn", "crate", "super",
+    "Some", "None", "Ok", "Err", "Fn", "FnMut", "FnOnce",
+];
+
+/// A resolved-by-name call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub name: String,
+    /// `Type` in `Type::name(…)` (the path segment before `::`).
+    pub qualifier: Option<String>,
+    /// Receiver ident in `recv.name(…)` method calls (`self` included).
+    pub receiver: Option<String>,
+    /// 1-based source line.
+    pub line: usize,
+    /// Position in the file token stream (orders calls vs locks, L10).
+    pub pos: usize,
+}
+
+/// One needle hit (allocation, IO, or determinism construct).
+#[derive(Debug, Clone)]
+pub struct Needle {
+    /// What was matched, as shown in diagnostics (e.g. `Vec::push`).
+    pub what: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One zero-argument `.lock()` / `.read()` / `.write()` acquisition.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Receiver ident the guard is taken from (lock identity, with the
+    /// crate name, for L10).
+    pub recv: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Position in the file token stream (orders locks vs calls).
+    pub pos: usize,
+}
+
+/// One function item with everything the L8–L11 drivers consume.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` target type, when inside an impl block.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Declared inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// Carries the `bpush-lint: hot_path` annotation (L8).
+    pub hot: bool,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// Un-suppressed allocation needles (L8).
+    pub allocs: Vec<Needle>,
+    /// Un-suppressed IO needles (L9).
+    pub ios: Vec<Needle>,
+    /// Un-suppressed determinism needles (L11 cross-crate leg).
+    pub dets: Vec<Needle>,
+    /// Un-suppressed lock acquisitions (L10).
+    pub locks: Vec<LockSite>,
+}
+
+/// A binding introduced by a `use` declaration.
+#[derive(Debug, Clone)]
+pub struct UseAlias {
+    /// The name the declaration brings into scope.
+    pub binding: String,
+    /// The full path, `::`-joined, as written.
+    pub target: String,
+    /// Whether an `as` rename changed the binding from the path's last
+    /// segment — the indirection L2's text match cannot see (L11).
+    pub renamed: bool,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Everything indexed from one source file.
+#[derive(Debug, Clone)]
+pub struct FileIndex {
+    /// Directory name of the crate under `crates/`.
+    pub crate_name: String,
+    /// Path relative to the workspace root.
+    pub rel: PathBuf,
+    /// The file carries the `bpush-lint: sans_io` declaration (L9).
+    pub sans_io: bool,
+    /// Function items in declaration order.
+    pub fns: Vec<FnItem>,
+    /// `use` bindings declared outside `#[cfg(test)]` regions.
+    pub aliases: Vec<UseAlias>,
+}
+
+/// Indexes one file's token stream. `allows` is the per-line allow set
+/// from the annotation pass; needles and locks on allowed lines are
+/// dropped here so every downstream rule sees only live hits.
+pub fn index_file(
+    crate_name: &str,
+    rel: &std::path::Path,
+    lines: &[SplitLine],
+    mask: &[bool],
+    tokens: &[Token],
+    allows: &[BTreeSet<Rule>],
+) -> FileIndex {
+    let sans_io = lines
+        .iter()
+        .any(|l| has_directive(&l.comment, SANS_IO_MARKER));
+    let allowed = |line: usize, rule: Rule| {
+        allows
+            .get(line.saturating_sub(1))
+            .is_some_and(|set| set.contains(&rule))
+    };
+    let masked = |line: usize| mask.get(line.saturating_sub(1)).copied().unwrap_or(false);
+
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut aliases: Vec<UseAlias> = Vec::new();
+
+    // (frame open depth, fn index) for fn bodies; impl frames carry the
+    // target type. `pending_*` bridges the gap between a header and its
+    // opening brace.
+    let mut depth: i64 = 0;
+    let mut fn_stack: Vec<(i64, usize)> = Vec::new();
+    let mut impl_stack: Vec<(i64, Option<String>)> = Vec::new();
+    let mut pending_fn: Option<usize> = None;
+    let mut pending_impl: Option<Option<String>> = None;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct if t.text == "{" => {
+                depth += 1;
+                if let Some(fn_idx) = pending_fn.take() {
+                    fn_stack.push((depth, fn_idx));
+                } else if let Some(target) = pending_impl.take() {
+                    impl_stack.push((depth, target));
+                }
+                i += 1;
+            }
+            TokenKind::Punct if t.text == "}" => {
+                depth -= 1;
+                while fn_stack.last().is_some_and(|(d, _)| *d > depth) {
+                    fn_stack.pop();
+                }
+                while impl_stack.last().is_some_and(|(d, _)| *d > depth) {
+                    impl_stack.pop();
+                }
+                i += 1;
+            }
+            TokenKind::Punct if t.text == ";" => {
+                // A trait method declaration ends without a body.
+                pending_fn = None;
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "use" && pending_fn.is_none() => {
+                let (consumed, mut found) = parse_use(&tokens[i..], t.line);
+                if !masked(t.line) {
+                    aliases.append(&mut found);
+                }
+                i += consumed;
+            }
+            TokenKind::Ident if t.text == "impl" && !type_position(tokens, i) => {
+                pending_impl = Some(impl_target(tokens, i + 1));
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "fn" => {
+                if let Some(name_tok) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                    let impl_type = impl_stack.last().and_then(|(_, t)| t.clone());
+                    fns.push(FnItem {
+                        name: name_tok.text.clone(),
+                        impl_type,
+                        line: t.line,
+                        is_test: masked(t.line),
+                        hot: has_marker_above(lines, t.line, HOT_PATH_MARKER),
+                        calls: Vec::new(),
+                        allocs: Vec::new(),
+                        ios: Vec::new(),
+                        dets: Vec::new(),
+                        locks: Vec::new(),
+                    });
+                    pending_fn = Some(fns.len() - 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => {
+                if let Some(&(_, fn_idx)) = fn_stack.last() {
+                    scan_body_token(tokens, i, &mut fns[fn_idx], &allowed);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    FileIndex {
+        crate_name: crate_name.to_string(),
+        rel: rel.to_path_buf(),
+        sans_io,
+        fns,
+        aliases,
+    }
+}
+
+/// Records whatever the token at `i` contributes to the enclosing
+/// function: call sites, needles, lock acquisitions.
+fn scan_body_token(
+    tokens: &[Token],
+    i: usize,
+    item: &mut FnItem,
+    allowed: &impl Fn(usize, Rule) -> bool,
+) {
+    let t = &tokens[i];
+    if t.kind != TokenKind::Ident {
+        return;
+    }
+    let next = tokens.get(i + 1);
+    let prev = i.checked_sub(1).map(|j| &tokens[j]);
+    let line = t.line;
+
+    // Macro invocation: `name!(…)` / `name![…]`.
+    if next.is_some_and(|n| n.is_punct("!")) {
+        if ALLOC_MACROS.contains(&t.text.as_str()) && !allowed(line, Rule::HotAlloc) {
+            item.allocs.push(Needle {
+                what: format!("{}!", t.text),
+                line,
+            });
+        }
+        return;
+    }
+
+    // Determinism needles by bare ident (token-level L2 equivalents).
+    if (t.text == "HashMap" || t.text == "HashSet") && !allowed(line, Rule::Taint) {
+        item.dets.push(Needle {
+            what: t.text.clone(),
+            line,
+        });
+    }
+
+    // IO needles: `thread::…`, `fs::…`, `mpsc::…`, `net::…`, socket types.
+    let qualifies_module = next.is_some_and(|n| n.is_punct("::"));
+    if ((IO_MODULES.contains(&t.text.as_str()) && qualifies_module)
+        || IO_TYPES.contains(&t.text.as_str()))
+        && !allowed(line, Rule::SansIo)
+    {
+        item.ios.push(Needle {
+            what: if qualifies_module {
+                format!("{}::", t.text)
+            } else {
+                t.text.clone()
+            },
+            line,
+        });
+    }
+
+    // From here on: call sites, `name(…)`.
+    if !next.is_some_and(|n| n.is_punct("(")) || CALL_KEYWORDS.contains(&t.text.as_str()) {
+        return;
+    }
+    let mut qualifier = None;
+    let mut receiver = None;
+    match prev {
+        Some(p) if p.is_punct("::") => {
+            qualifier = i
+                .checked_sub(2)
+                .map(|j| &tokens[j])
+                .filter(|q| q.kind == TokenKind::Ident)
+                .map(|q| q.text.clone());
+        }
+        Some(p) if p.is_punct(".") => {
+            receiver = Some(receiver_ident(tokens, i - 1));
+        }
+        _ => {}
+    }
+
+    let name = t.text.as_str();
+    // Path-allocation needles (`Box::new`, `Vec::with_capacity`, …).
+    if let Some(q) = &qualifier {
+        if ALLOC_PATHS.iter().any(|(ty, m)| ty == q && *m == name) && !allowed(line, Rule::HotAlloc)
+        {
+            item.allocs.push(Needle {
+                what: format!("{q}::{name}"),
+                line,
+            });
+        }
+        // Clock reads are both IO (L9) and determinism (L11) needles.
+        if (q == "Instant" || q == "SystemTime") && name == "now" {
+            if !allowed(line, Rule::SansIo) {
+                item.ios.push(Needle {
+                    what: format!("{q}::now"),
+                    line,
+                });
+            }
+            if !allowed(line, Rule::Taint) {
+                item.dets.push(Needle {
+                    what: format!("{q}::now"),
+                    line,
+                });
+            }
+        }
+        if q == "File" && (name == "open" || name == "create") && !allowed(line, Rule::SansIo) {
+            item.ios.push(Needle {
+                what: format!("File::{name}"),
+                line,
+            });
+        }
+    }
+    // Method-allocation needles (`.push(`, `.collect(`, …).
+    if receiver.is_some() && ALLOC_METHODS.contains(&name) && !allowed(line, Rule::HotAlloc) {
+        item.allocs.push(Needle {
+            what: format!("Vec/String-family `.{name}`"),
+            line,
+        });
+    }
+    if name == "thread_rng" && !allowed(line, Rule::Taint) {
+        item.dets.push(Needle {
+            what: "thread_rng".to_string(),
+            line,
+        });
+    }
+    // Zero-argument `.lock()` / `.read()` / `.write()` — the parking_lot
+    // acquisition shape (guards take no arguments, so `session.read(txn,
+    // item)`-style protocol methods never match).
+    if matches!(name, "lock" | "read" | "write")
+        && receiver.is_some()
+        && tokens.get(i + 2).is_some_and(|c| c.is_punct(")"))
+    {
+        if !allowed(line, Rule::LockOrder) {
+            item.locks.push(LockSite {
+                recv: receiver.clone().unwrap_or_default(),
+                line,
+                pos: i,
+            });
+        }
+        return; // a lock acquisition is not a call-graph edge
+    }
+
+    item.calls.push(CallSite {
+        name: name.to_string(),
+        qualifier,
+        receiver,
+        line,
+        pos: i,
+    });
+}
+
+/// Walks back from the `.` token at `dot` to the receiver ident, hopping
+/// over one `[…]` / `(…)` group (`slots[idx].lock()` → `slots`).
+fn receiver_ident(tokens: &[Token], dot: usize) -> String {
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.is_punct("]") || t.is_punct(")") {
+            let (open, close) = if t.text == "]" {
+                ("[", "]")
+            } else {
+                ("(", ")")
+            };
+            let mut bal = 1;
+            while j > 0 && bal > 0 {
+                j -= 1;
+                if tokens[j].is_punct(close) {
+                    bal += 1;
+                } else if tokens[j].is_punct(open) {
+                    bal -= 1;
+                }
+            }
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            return t.text.clone();
+        }
+        if t.is_punct(".") || t.is_punct("?") {
+            continue;
+        }
+        break;
+    }
+    "<expr>".to_string()
+}
+
+/// Whether the `impl` at `i` is in type position (`-> impl Trait`,
+/// `x: impl Trait`, `&impl Trait`, …) rather than opening an impl block.
+fn type_position(tokens: &[Token], i: usize) -> bool {
+    i.checked_sub(1).map(|j| &tokens[j]).is_some_and(|p| {
+        matches!(
+            p.text.as_str(),
+            "->" | ":" | "+" | "(" | "," | "<" | "&" | "="
+        )
+    })
+}
+
+/// Extracts the target type from an impl header: the ident after `for`
+/// when present (`impl Trait for Type`), else the first ident after the
+/// generics (`impl Type`).
+fn impl_target(tokens: &[Token], start: usize) -> Option<String> {
+    let mut j = start;
+    // Skip `<…>` generics on the impl itself.
+    if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+        let mut bal = 1;
+        j += 1;
+        while j < tokens.len() && bal > 0 {
+            if tokens[j].is_punct("<") {
+                bal += 1;
+            } else if tokens[j].is_punct(">") {
+                bal -= 1;
+            }
+            j += 1;
+        }
+    }
+    let mut first: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("{") || t.is_punct(";") {
+            break;
+        }
+        if t.kind == TokenKind::Ident {
+            if t.text == "for" {
+                saw_for = true;
+            } else if t.text == "where" {
+                break;
+            } else if saw_for && after_for.is_none() {
+                // Skip path prefixes: keep updating until the path ends.
+                after_for = Some(t.text.clone());
+            } else if saw_for
+                && tokens
+                    .get(j.wrapping_sub(1))
+                    .is_some_and(|p| p.is_punct("::"))
+            {
+                after_for = Some(t.text.clone());
+            } else if !saw_for
+                && (first.is_none()
+                    || tokens
+                        .get(j.wrapping_sub(1))
+                        .is_some_and(|p| p.is_punct("::")))
+            {
+                first = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    after_for.or(first)
+}
+
+/// Whether the annotation `marker` sits in the comment of `fn_line`
+/// itself or of the contiguous run of comment/attribute-only lines
+/// directly above it.
+fn has_marker_above(lines: &[SplitLine], fn_line: usize, marker: &str) -> bool {
+    let idx = fn_line.saturating_sub(1);
+    if lines
+        .get(idx)
+        .is_some_and(|l| has_directive(&l.comment, marker))
+    {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let code = l.code.trim();
+        if !code.is_empty() && !code.starts_with("#[") && !code.starts_with("#!") {
+            return false;
+        }
+        if has_directive(&l.comment, marker) {
+            return true;
+        }
+        if !code.is_empty() {
+            // attribute line without the marker: keep walking
+            continue;
+        }
+        if l.comment.is_empty() && code.is_empty() {
+            // blank line ends the attached block
+            return false;
+        }
+    }
+    false
+}
+
+/// Parses one `use …;` declaration starting at `tokens[0]` (the `use`
+/// ident). Returns the token count consumed and the bindings found.
+fn parse_use(tokens: &[Token], line: usize) -> (usize, Vec<UseAlias>) {
+    let mut end = 1;
+    while end < tokens.len() && !tokens[end].is_punct(";") {
+        end += 1;
+    }
+    let body = &tokens[1..end];
+    let mut out = Vec::new();
+    let mut pos = 0;
+    parse_use_tree(body, &mut pos, &mut Vec::new(), &mut out, line);
+    (end + 1, out)
+}
+
+/// Recursive `use`-tree walk: `a::b::{c, d as e, f::*}`.
+fn parse_use_tree(
+    tokens: &[Token],
+    pos: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseAlias>,
+    line: usize,
+) {
+    let mut segs: Vec<String> = Vec::new();
+    loop {
+        match tokens.get(*pos) {
+            Some(t) if t.kind == TokenKind::Ident && t.text == "as" => {
+                *pos += 1;
+                if let Some(b) = tokens.get(*pos).filter(|b| b.kind == TokenKind::Ident) {
+                    let target = join_path(prefix, &segs);
+                    let renamed = segs.last().is_some_and(|last| *last != b.text);
+                    out.push(UseAlias {
+                        binding: b.text.clone(),
+                        target,
+                        renamed,
+                        line,
+                    });
+                    *pos += 1;
+                }
+                return;
+            }
+            Some(t) if t.kind == TokenKind::Ident => {
+                segs.push(t.text.clone());
+                *pos += 1;
+                if tokens.get(*pos).is_some_and(|n| n.is_punct("::")) {
+                    *pos += 1;
+                }
+                continue; // next iteration sees `as`, `{`, `*`, or the end
+            }
+            Some(t) if t.is_punct("{") => {
+                *pos += 1;
+                let depth_before = prefix.len();
+                prefix.extend(segs.iter().cloned());
+                loop {
+                    match tokens.get(*pos) {
+                        Some(t) if t.is_punct("}") => {
+                            *pos += 1;
+                            break;
+                        }
+                        Some(t) if t.is_punct(",") => {
+                            *pos += 1;
+                        }
+                        Some(_) => parse_use_tree(tokens, pos, prefix, out, line),
+                        None => break,
+                    }
+                }
+                prefix.truncate(depth_before);
+                return;
+            }
+            Some(t) if t.is_punct("*") => {
+                *pos += 1;
+                return; // glob: introduces no single binding we track
+            }
+            _ => break,
+        }
+    }
+    if let Some(last) = segs.last() {
+        out.push(UseAlias {
+            binding: last.clone(),
+            target: join_path(prefix, &segs),
+            renamed: false,
+            line,
+        });
+    }
+}
+
+fn join_path(prefix: &[String], segs: &[String]) -> String {
+    let mut parts: Vec<&str> = prefix.iter().map(String::as_str).collect();
+    parts.extend(segs.iter().map(String::as_str));
+    parts.join("::")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::{lex_tokens, split_source, test_mask};
+
+    fn index(src: &str) -> FileIndex {
+        let lines = split_source(src);
+        let mask = test_mask(&lines);
+        let tokens = lex_tokens(&lines);
+        let allows = vec![BTreeSet::new(); lines.len()];
+        index_file(
+            "demo",
+            std::path::Path::new("crates/demo/src/lib.rs"),
+            &lines,
+            &mask,
+            &tokens,
+            &allows,
+        )
+    }
+
+    #[test]
+    fn fns_and_impl_types_are_indexed() {
+        let fi = index(
+            "struct G;\nimpl G {\n    fn inner(&self) {}\n}\nfn free() {}\nimpl Display for G {\n    fn fmt(&self) {}\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>)> = fi
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("inner", Some("G")), ("free", None), ("fmt", Some("G"))]
+        );
+    }
+
+    #[test]
+    fn hot_marker_attaches_through_attributes() {
+        let fi = index("// bpush-lint: hot_path\n#[inline]\nfn fast() {}\nfn cold() {}\n");
+        assert!(fi.fns[0].hot);
+        assert!(!fi.fns[1].hot);
+    }
+
+    #[test]
+    fn calls_record_qualifier_and_receiver() {
+        let fi = index("fn f(g: &G) {\n    g.step();\n    G::probe(1);\n    free(2);\n}\n");
+        let calls = &fi.fns[0].calls;
+        assert_eq!(calls[0].name, "step");
+        assert_eq!(calls[0].receiver.as_deref(), Some("g"));
+        assert_eq!(calls[1].name, "probe");
+        assert_eq!(calls[1].qualifier.as_deref(), Some("G"));
+        assert_eq!(calls[2].name, "free");
+        assert!(calls[2].qualifier.is_none() && calls[2].receiver.is_none());
+    }
+
+    #[test]
+    fn alloc_needles_are_found() {
+        let fi = index("fn f(v: &mut Vec<u32>) {\n    v.push(1);\n    let b = Box::new(2);\n    let s = format!(\"x\");\n}\n");
+        let whats: Vec<&str> = fi.fns[0].allocs.iter().map(|n| n.what.as_str()).collect();
+        assert!(whats.iter().any(|w| w.contains("push")));
+        assert!(whats.contains(&"Box::new"));
+        assert!(whats.contains(&"format!"));
+    }
+
+    #[test]
+    fn io_needles_are_found() {
+        let fi = index(
+            "fn f() {\n    let t = std::time::Instant::now();\n    std::thread::sleep(d);\n}\n",
+        );
+        let whats: Vec<&str> = fi.fns[0].ios.iter().map(|n| n.what.as_str()).collect();
+        assert!(whats.contains(&"Instant::now"));
+        assert!(whats.contains(&"thread::"));
+    }
+
+    #[test]
+    fn zero_arg_lock_calls_are_locks_not_calls() {
+        let fi = index(
+            "fn f(&self) {\n    let g = self.slots[idx].lock();\n    session.read(txn, item);\n}\n",
+        );
+        let f = &fi.fns[0];
+        assert_eq!(f.locks.len(), 1);
+        assert_eq!(f.locks[0].recv, "slots");
+        // `session.read(txn, item)` takes arguments: a call, not a lock.
+        assert!(f.calls.iter().any(|c| c.name == "read"));
+    }
+
+    #[test]
+    fn use_aliases_track_renames_and_groups() {
+        let fi = index(
+            "use std::time::Instant as Stamp;\nuse std::collections::{BTreeMap, HashMap as Plain};\n",
+        );
+        let got: Vec<(&str, &str, bool)> = fi
+            .aliases
+            .iter()
+            .map(|a| (a.binding.as_str(), a.target.as_str(), a.renamed))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("Stamp", "std::time::Instant", true),
+                ("BTreeMap", "std::collections::BTreeMap", false),
+                ("Plain", "std::collections::HashMap", true),
+            ]
+        );
+    }
+
+    #[test]
+    fn test_mask_marks_fns_and_drops_aliases() {
+        let fi = index(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() {}\n}\n",
+        );
+        assert!(!fi.fns[0].is_test);
+        assert!(fi.fns[1].is_test);
+        assert!(fi.aliases.is_empty());
+    }
+
+    #[test]
+    fn sans_io_marker_is_file_level() {
+        let fi = index("//! Module docs.\n// bpush-lint: sans_io — protocol core\nfn f() {}\n");
+        assert!(fi.sans_io);
+    }
+
+    #[test]
+    fn trait_method_decls_have_no_body() {
+        let fi = index(
+            "trait T {\n    fn sig(&self) -> u32;\n    fn with_default(&self) { helper(); }\n}\n",
+        );
+        assert_eq!(fi.fns.len(), 2);
+        assert!(fi.fns[0].calls.is_empty());
+        assert_eq!(fi.fns[1].calls[0].name, "helper");
+    }
+}

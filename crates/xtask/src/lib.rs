@@ -2,11 +2,12 @@
 //!
 //! Run it as `cargo run -p xtask -- lint` (or `cargo xtask lint` via the
 //! repo's cargo alias). The pass walks every workspace crate under
-//! `crates/` and enforces a small catalog of invariants that generic
-//! tooling cannot express:
+//! `crates/` and enforces a catalog of invariants that generic tooling
+//! cannot express:
 //!
 //! | code | rule |
 //! |------|------|
+//! | `L0/annotation` | the escape-hatch annotation itself must be well-formed |
 //! | `L1/panic` | no `unwrap`/`expect`/`panic!` family in non-test first-party code |
 //! | `L2/determinism` | the protocol crates (`sgraph`, `core`, `client`, `server`, `broadcast`) must stay bit-for-bit deterministic: no ambient RNG, no wall clocks, no hash-ordered collections |
 //! | `L3/crate-attrs` | every crate root carries `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` |
@@ -14,7 +15,16 @@
 //! | `L5/locks` | `parking_lot` is the workspace lock standard; `std::sync` `Mutex`/`RwLock` are rejected |
 //! | `L6/casts` | no lossy `as` narrowing of numerics in the deterministic crates; convert with `From`/`TryFrom` instead |
 //! | `L7/stdout` | no `println!`/`eprintln!` family in the deterministic crates; observations go through the `bpush-obs` sink |
-//! | `L0/annotation` | the escape-hatch annotation itself must be well-formed |
+//! | `L8/hot-alloc` | functions annotated `// bpush-lint: hot_path` must not *transitively* reach allocating constructs (`Box::new`, `Vec::push`, `format!`, `collect`, …) |
+//! | `L9/sans-io` | files declared `// bpush-lint: sans_io` (the protocol core) must not transitively reach clocks, threads, channels, filesystem, or sockets |
+//! | `L10/lock-order` | the workspace lock-acquisition graph must be acyclic (deadlock freedom) |
+//! | `L11/taint` | token-level determinism taint: renamed imports and cross-crate call chains cannot smuggle `Instant`/`HashMap`-style constructs into the deterministic crates past L2's text match |
+//!
+//! Rules L0–L7 are line-level; L8–L11 are interprocedural, built on the
+//! token stream from [`lex`], the item index from [`items`], and the
+//! workspace call graph from [`callgraph`] (see [`analysis`] for the
+//! drivers). Every file is read and lexed exactly once per run and all
+//! twelve rules share that pass; `--json` reports the micro-timings.
 //!
 //! # Escape hatch
 //!
@@ -22,24 +32,38 @@
 //! `lint: allow(panic) — reason the construct is sound here`, either at
 //! the end of the offending line or alone on the line directly above it.
 //! The rule name goes in the parentheses (`panic`, `determinism`,
-//! `crate-attrs`, `conformance`, `locks`, `casts`, or `stdout`; comma-separated
-//! for more than one) and the trailing reason is mandatory — an annotation with
-//! no reason, or naming an unknown rule, is itself reported as
-//! `L0/annotation`.
+//! `crate-attrs`, `conformance`, `locks`, `casts`, `stdout`,
+//! `hot-alloc`, `sans-io`, `lock-order`, or `taint`; comma-separated for
+//! more than one) and the trailing reason is mandatory — an annotation
+//! with no reason, or naming an unknown rule, is itself reported as
+//! `L0/annotation`. `lint --json` publishes the per-rule suppression
+//! counts so the escape-hatch budget is visible (and pinned by a test).
+//!
+//! # Contract annotations
+//!
+//! * `// bpush-lint: hot_path` above (or on) a `fn` marks it as an L8
+//!   contract holder: nothing it transitively calls may allocate.
+//! * `// bpush-lint: sans_io` anywhere in a file declares the whole file
+//!   protocol-core for L9.
 //!
 //! # How matching works
 //!
-//! Sources are scanned line by line after a light lexical pass that
-//! strips comments and blanks out the *contents* of string literals
-//! (delimiters are kept). Rules therefore never fire on prose, doc-test
-//! examples, or needles quoted inside strings — which is also what lets
-//! this crate lint itself. `#[cfg(test)]` regions are excluded by brace
-//! counting on the stripped text.
+//! Sources are scanned after a lexical pass that strips comments and
+//! blanks out the *contents* of string literals (delimiters are kept).
+//! Rules therefore never fire on prose, doc-test examples, or needles
+//! quoted inside strings — which is also what lets this crate lint
+//! itself. `#[cfg(test)]` regions are excluded by brace counting on the
+//! stripped text.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod bench;
+pub mod callgraph;
+pub mod items;
+pub mod jsonv;
+pub mod lex;
 pub mod trace;
 
 use std::collections::BTreeSet;
@@ -47,6 +71,9 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use lex::{lex_tokens, split_source, test_mask, SplitLine, Token};
 
 /// Identifier of one rule in the lint catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -67,7 +94,31 @@ pub enum Rule {
     Casts,
     /// `L7/stdout`: `println!`-family output in a deterministic crate.
     Stdout,
+    /// `L8/hot-alloc`: a `hot_path` fn transitively allocates.
+    HotAlloc,
+    /// `L9/sans-io`: a `sans_io` file transitively touches the outside world.
+    SansIo,
+    /// `L10/lock-order`: the lock-acquisition graph has a cycle.
+    LockOrder,
+    /// `L11/taint`: determinism taint smuggled past L2's text match.
+    Taint,
 }
+
+/// Every rule, in catalog order (the order `suppressions` reports in).
+pub const ALL_RULES: &[Rule] = &[
+    Rule::Annotation,
+    Rule::Panic,
+    Rule::Determinism,
+    Rule::CrateAttrs,
+    Rule::Conformance,
+    Rule::Locks,
+    Rule::Casts,
+    Rule::Stdout,
+    Rule::HotAlloc,
+    Rule::SansIo,
+    Rule::LockOrder,
+    Rule::Taint,
+];
 
 impl Rule {
     /// Stable diagnostic code printed in front of every finding.
@@ -81,6 +132,10 @@ impl Rule {
             Rule::Locks => "L5/locks",
             Rule::Casts => "L6/casts",
             Rule::Stdout => "L7/stdout",
+            Rule::HotAlloc => "L8/hot-alloc",
+            Rule::SansIo => "L9/sans-io",
+            Rule::LockOrder => "L10/lock-order",
+            Rule::Taint => "L11/taint",
         }
     }
 
@@ -95,20 +150,28 @@ impl Rule {
             Rule::Locks => "locks",
             Rule::Casts => "casts",
             Rule::Stdout => "stdout",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::SansIo => "sans-io",
+            Rule::LockOrder => "lock-order",
+            Rule::Taint => "taint",
         }
     }
 
+    /// Parses a rule from its `code()` or its `allow_name()` (what
+    /// `cargo xtask lint --rule` accepts).
+    pub fn parse(name: &str) -> Option<Rule> {
+        ALL_RULES
+            .iter()
+            .copied()
+            .find(|r| r.code() == name || r.allow_name() == name)
+    }
+
     fn from_allow_name(name: &str) -> Option<Rule> {
-        match name {
-            "panic" => Some(Rule::Panic),
-            "determinism" => Some(Rule::Determinism),
-            "crate-attrs" => Some(Rule::CrateAttrs),
-            "conformance" => Some(Rule::Conformance),
-            "locks" => Some(Rule::Locks),
-            "casts" => Some(Rule::Casts),
-            "stdout" => Some(Rule::Stdout),
-            _ => None,
-        }
+        ALL_RULES
+            .iter()
+            .copied()
+            .filter(|r| *r != Rule::Annotation)
+            .find(|r| r.allow_name() == name)
     }
 }
 
@@ -238,6 +301,44 @@ pub fn workspace_crates(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError
     Ok(found)
 }
 
+/// Micro-timings of the shared single pass, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintTiming {
+    /// Time spent reading source files off disk.
+    pub read_ns: u64,
+    /// Time spent in the lexical pass (split + tokenize), once per file.
+    pub lex_ns: u64,
+    /// Time spent running all twelve rules over the shared pass.
+    pub rules_ns: u64,
+}
+
+/// The full result of one lint run: findings plus the summary facts the
+/// self-tests pin.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Findings, sorted by file, line, then rule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files analyzed.
+    pub files: usize,
+    /// Micro-timings of the shared pass.
+    pub timing: LintTiming,
+    /// Count of `lint: allow(…)` mentions per rule, in [`ALL_RULES`]
+    /// order — the escape-hatch budget.
+    pub suppressions: Vec<(Rule, usize)>,
+    /// Every `crate::fn` carrying the `hot_path` annotation (L8 set).
+    pub hot_functions: Vec<String>,
+    /// Every file declaring `sans_io` (L9 surface), workspace-relative.
+    pub sans_io_files: Vec<String>,
+}
+
+impl LintReport {
+    /// Whether the workspace lints clean.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
 /// Runs the whole catalog over every crate under `root/crates`,
 /// returning the findings sorted by file, line, then rule.
 ///
@@ -246,9 +347,34 @@ pub fn workspace_crates(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError
 /// # Errors
 /// Propagates I/O failures; findings are *not* errors.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    lint_workspace_report(root).map(|r| r.diagnostics)
+}
+
+/// One source file after the shared read + lex pass. All twelve rules
+/// consume this record; nothing re-reads or re-tokenizes.
+struct FileRecord {
+    crate_name: String,
+    rel: PathBuf,
+    is_crate_root: bool,
+    lines: Vec<SplitLine>,
+    mask: Vec<bool>,
+    tokens: Vec<Token>,
+    allows: Vec<BTreeSet<Rule>>,
+    malformed: Vec<(usize, String)>,
+    allow_counts: Vec<(Rule, usize)>,
+}
+
+/// Runs the whole catalog and returns the full [`LintReport`] —
+/// findings, suppression budget, timings, and the L8/L9 surfaces.
+///
+/// # Errors
+/// Propagates I/O failures; findings are *not* errors.
+pub fn lint_workspace_report(root: &Path) -> Result<LintReport, LintError> {
     let crates = workspace_crates(root)?;
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut impls: Vec<ProtocolImpl> = Vec::new();
+    let deps = callgraph::DepMap::load(&crates)?;
+
+    let mut timing = LintTiming::default();
+    let mut records: Vec<FileRecord> = Vec::new();
     let mut evidence: Vec<String> = Vec::new();
 
     for (name, path) in &crates {
@@ -258,24 +384,56 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
             walk_rs(&src, &mut files)?;
             let root_file = crate_root_file(&src);
             for file in &files {
-                lint_src_file(LintCtx {
-                    root,
-                    crate_name: name,
-                    file,
+                let t0 = Instant::now();
+                let text = read_file(file)?;
+                timing.read_ns = timing.read_ns.saturating_add(elapsed_ns(t0));
+
+                let t1 = Instant::now();
+                let lines = split_source(&text);
+                let tokens = lex_tokens(&lines);
+                timing.lex_ns = timing.lex_ns.saturating_add(elapsed_ns(t1));
+
+                let mask = test_mask(&lines);
+                let (allows, malformed, allow_counts) = collect_allows(&lines);
+                records.push(FileRecord {
+                    crate_name: name.clone(),
+                    rel: file.strip_prefix(root).unwrap_or(file).to_path_buf(),
                     is_crate_root: Some(file.as_path()) == root_file.as_deref(),
-                    diags: &mut diags,
-                    impls: &mut impls,
-                })?;
+                    lines,
+                    mask,
+                    tokens,
+                    allows,
+                    malformed,
+                    allow_counts,
+                });
             }
         }
         let tests = path.join("tests");
         if tests.is_dir() {
             let mut files = Vec::new();
             walk_rs(&tests, &mut files)?;
+            let t0 = Instant::now();
             for file in &files {
                 evidence.push(read_file(file)?);
             }
+            timing.read_ns = timing.read_ns.saturating_add(elapsed_ns(t0));
         }
+    }
+
+    let t2 = Instant::now();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut impls: Vec<ProtocolImpl> = Vec::new();
+    let mut indexes: Vec<items::FileIndex> = Vec::new();
+    for rec in &records {
+        lint_record(rec, &mut diags, &mut impls);
+        indexes.push(items::index_file(
+            &rec.crate_name,
+            &rec.rel,
+            &rec.lines,
+            &rec.mask,
+            &rec.tokens,
+            &rec.allows,
+        ));
     }
 
     // Rule L4: every impl needs a tests/ file naming the type alongside
@@ -301,10 +459,35 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
         }
     }
 
+    // Rules L8–L11: the interprocedural pass over the shared index.
+    let summary = analysis::run(&indexes, &deps, &mut diags);
+
     diags.sort_by(|a, b| {
         (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
     });
-    Ok(diags)
+    timing.rules_ns = elapsed_ns(t2);
+
+    let mut suppressions: Vec<(Rule, usize)> = ALL_RULES.iter().map(|r| (*r, 0)).collect();
+    for rec in &records {
+        for (rule, n) in &rec.allow_counts {
+            if let Some(slot) = suppressions.iter_mut().find(|(r, _)| r == rule) {
+                slot.1 += n;
+            }
+        }
+    }
+
+    Ok(LintReport {
+        diagnostics: diags,
+        files: records.len(),
+        timing,
+        suppressions,
+        hot_functions: summary.hot_functions,
+        sans_io_files: summary.sans_io_files,
+    })
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// A `ReadOnlyProtocol` impl discovered in non-test code.
@@ -315,41 +498,24 @@ struct ProtocolImpl {
     allowed: bool,
 }
 
-struct LintCtx<'a> {
-    root: &'a Path,
-    crate_name: &'a str,
-    file: &'a Path,
-    is_crate_root: bool,
-    diags: &'a mut Vec<Diagnostic>,
-    impls: &'a mut Vec<ProtocolImpl>,
-}
-
-fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
-    let text = read_file(ctx.file)?;
-    let lines = split_source(&text);
-    let mask = test_mask(&lines);
-    let rel = ctx
-        .file
-        .strip_prefix(ctx.root)
-        .unwrap_or(ctx.file)
-        .to_path_buf();
-
-    let (allows, malformed) = collect_allows(&lines);
-    for (line, message) in malformed {
-        ctx.diags.push(Diagnostic {
+/// The line-level rules (L0–L3, L5–L7) over one prepared record.
+fn lint_record(rec: &FileRecord, diags: &mut Vec<Diagnostic>, impls: &mut Vec<ProtocolImpl>) {
+    let rel = &rec.rel;
+    for (line, message) in &rec.malformed {
+        diags.push(Diagnostic {
             rule: Rule::Annotation,
             file: rel.clone(),
-            line,
-            message,
+            line: *line,
+            message: message.clone(),
         });
     }
 
     // Rule L3: mandatory crate-root attributes.
-    if ctx.is_crate_root {
+    if rec.is_crate_root {
         for attr in [FORBID_UNSAFE, DENY_MISSING_DOCS] {
-            let present = lines.iter().any(|l| l.code.contains(attr));
+            let present = rec.lines.iter().any(|l| l.code.contains(attr));
             if !present {
-                ctx.diags.push(Diagnostic {
+                diags.push(Diagnostic {
                     rule: Rule::CrateAttrs,
                     file: rel.clone(),
                     line: 1,
@@ -359,20 +525,20 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
         }
     }
 
-    let deterministic = DETERMINISTIC_CRATES.contains(&ctx.crate_name);
+    let deterministic = DETERMINISTIC_CRATES.contains(&rec.crate_name.as_str());
 
-    for (idx, line) in lines.iter().enumerate() {
-        if mask[idx] {
+    for (idx, line) in rec.lines.iter().enumerate() {
+        if rec.mask[idx] {
             continue;
         }
         let lineno = idx + 1;
         let code = &line.code;
-        let allowed = &allows[idx];
+        let allowed = &rec.allows[idx];
 
         // Rule L1: panic-freedom.
         if !allowed.contains(&Rule::Panic) {
             if let Some(needle) = PANIC_NEEDLES.iter().find(|n| code.contains(**n)) {
-                ctx.diags.push(Diagnostic {
+                diags.push(Diagnostic {
                     rule: Rule::Panic,
                     file: rel.clone(),
                     line: lineno,
@@ -388,14 +554,14 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
         // Rule L2: determinism in the protocol crates.
         if deterministic && !allowed.contains(&Rule::Determinism) {
             if let Some(needle) = DETERMINISM_NEEDLES.iter().find(|n| code.contains(**n)) {
-                ctx.diags.push(Diagnostic {
+                diags.push(Diagnostic {
                     rule: Rule::Determinism,
                     file: rel.clone(),
                     line: lineno,
                     message: format!(
                         "non-deterministic construct `{needle}` in deterministic crate \
                          `{}`; use seeded rand and BTree collections",
-                        ctx.crate_name
+                        rec.crate_name
                     ),
                 });
             }
@@ -407,7 +573,7 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
                 .iter()
                 .find(|n| cast_matches(code, n))
             {
-                ctx.diags.push(Diagnostic {
+                diags.push(Diagnostic {
                     rule: Rule::Casts,
                     file: rel.clone(),
                     line: lineno,
@@ -415,7 +581,7 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
                         "lossy `{}` cast in deterministic crate `{}`; convert with \
                          `From`/`TryFrom` or annotate with a reason",
                         needle.trim_start(),
-                        ctx.crate_name
+                        rec.crate_name
                     ),
                 });
             }
@@ -426,7 +592,7 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
         // they stay replayable and cost nothing when disabled.
         if deterministic && !allowed.contains(&Rule::Stdout) {
             if let Some(needle) = STDOUT_NEEDLES.iter().find(|n| code.contains(**n)) {
-                ctx.diags.push(Diagnostic {
+                diags.push(Diagnostic {
                     rule: Rule::Stdout,
                     file: rel.clone(),
                     line: lineno,
@@ -434,7 +600,7 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
                         "`{}` in deterministic crate `{}`; emit through the bpush-obs \
                          sink (or annotate with a reason)",
                         needle.trim_end_matches('('),
-                        ctx.crate_name
+                        rec.crate_name
                     ),
                 });
             }
@@ -445,7 +611,7 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
             && code.contains("std::sync")
             && (code.contains("Mutex") || code.contains("RwLock"))
         {
-            ctx.diags.push(Diagnostic {
+            diags.push(Diagnostic {
                 rule: Rule::Locks,
                 file: rel.clone(),
                 line: lineno,
@@ -457,7 +623,7 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
         // Collect ReadOnlyProtocol impls for rule L4.
         if code.contains("impl") {
             if let Some(type_name) = protocol_impl_target(code) {
-                ctx.impls.push(ProtocolImpl {
+                impls.push(ProtocolImpl {
                     type_name,
                     file: rel.clone(),
                     line: lineno,
@@ -466,7 +632,6 @@ fn lint_src_file(ctx: LintCtx<'_>) -> Result<(), LintError> {
             }
         }
     }
-    Ok(())
 }
 
 /// Whether `code` contains the cast `needle` as a whole token — i.e. not
@@ -500,242 +665,36 @@ fn protocol_impl_target(code: &str) -> Option<String> {
     }
 }
 
-/// One physical source line after the lexical pass: executable text in
-/// `code` (string contents blanked), comment text in `comment`.
-#[derive(Debug, Default, Clone)]
-struct SplitLine {
-    code: String,
-    comment: String,
-}
-
-/// Splits a source file into per-line (code, comment) pairs.
-///
-/// String literal *contents* are replaced by spaces so that needles
-/// quoted in strings never match; delimiters are preserved. Line and
-/// block comments (nesting included) land in `comment`. Char literals
-/// are blanked like strings; lifetimes pass through untouched.
-fn split_source(text: &str) -> Vec<SplitLine> {
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-    }
-    let chars: Vec<char> = text.chars().collect();
-    let mut out = Vec::new();
-    let mut cur = SplitLine::default();
-    let mut st = St::Code;
-    let mut prev_code: Option<char> = None;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            out.push(std::mem::take(&mut cur));
-            if matches!(st, St::LineComment) {
-                st = St::Code;
-            }
-            i += 1;
-            continue;
-        }
-        match st {
-            St::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    st = St::LineComment;
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(1);
-                    i += 2;
-                } else if c == '"' {
-                    cur.code.push('"');
-                    prev_code = Some('"');
-                    st = St::Str;
-                    i += 1;
-                } else if c == 'r'
-                    && matches!(next, Some('"') | Some('#'))
-                    && !prev_code.is_some_and(|p| p.is_alphanumeric() || p == '_')
-                {
-                    // Possible raw string: r"..." or r#"..."#.
-                    let mut hashes = 0;
-                    while chars.get(i + 1 + hashes) == Some(&'#') {
-                        hashes += 1;
-                    }
-                    if chars.get(i + 1 + hashes) == Some(&'"') {
-                        cur.code.push('r');
-                        cur.code.push('"');
-                        prev_code = Some('"');
-                        st = St::RawStr(hashes);
-                        i += 2 + hashes;
-                    } else {
-                        cur.code.push(c);
-                        prev_code = Some(c);
-                        i += 1;
-                    }
-                } else if c == 'b' && next == Some('"') {
-                    cur.code.push('b');
-                    cur.code.push('"');
-                    prev_code = Some('"');
-                    st = St::Str;
-                    i += 2;
-                } else if c == '\'' || (c == 'b' && next == Some('\'')) {
-                    let start = if c == 'b' { i + 1 } else { i };
-                    let consumed = char_literal_len(&chars, start);
-                    if consumed > 0 {
-                        cur.code.push('\'');
-                        cur.code.push('\'');
-                        prev_code = Some('\'');
-                        i = start + consumed;
-                    } else {
-                        // A lifetime (or a lone `b`): emit verbatim.
-                        cur.code.push(c);
-                        prev_code = Some(c);
-                        i += 1;
-                    }
-                } else {
-                    cur.code.push(c);
-                    if !c.is_whitespace() {
-                        prev_code = Some(c);
-                    }
-                    i += 1;
-                }
-            }
-            St::LineComment => {
-                cur.comment.push(c);
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    cur.comment.push(c);
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    // Skip the escaped char unless it is the newline itself.
-                    if chars.get(i + 1) == Some(&'\n') {
-                        i += 1;
-                    } else {
-                        cur.code.push(' ');
-                        i += 2;
-                    }
-                } else if c == '"' {
-                    cur.code.push('"');
-                    st = St::Code;
-                    i += 1;
-                } else {
-                    cur.code.push(' ');
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
-                    cur.code.push('"');
-                    st = St::Code;
-                    i += 1 + hashes;
-                } else {
-                    cur.code.push(' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    // A trailing newline already flushed the last line; only a file
-    // without one still has pending content.
-    if !text.is_empty() && !text.ends_with('\n') {
-        out.push(cur);
-    }
-    out
-}
-
-/// Length in chars of the char literal starting at `chars[start]`
-/// (which must be `'`), or 0 if it is a lifetime instead.
-fn char_literal_len(chars: &[char], start: usize) -> usize {
-    if chars.get(start) != Some(&'\'') {
-        return 0;
-    }
-    match chars.get(start + 1) {
-        Some('\\') => {
-            // Escape: scan (bounded) for the closing quote.
-            for len in 3..=12 {
-                match chars.get(start + len - 1) {
-                    Some('\'') => return len,
-                    Some('\n') | None => return 0,
-                    _ => {}
-                }
-            }
-            0
-        }
-        Some(_) if chars.get(start + 2) == Some(&'\'') => 3,
-        _ => 0,
-    }
-}
-
-/// Marks the lines belonging to `#[cfg(test)]` items (the attribute
-/// line through the matching close brace, or the terminating `;` for
-/// brace-less items).
-fn test_mask(lines: &[SplitLine]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        let Some(pos) = lines[i].code.find("cfg(test)") else {
-            i += 1;
-            continue;
-        };
-        let mut depth: i64 = 0;
-        let mut opened = false;
-        let mut j = i;
-        let mut col = pos;
-        'region: while j < lines.len() {
-            mask[j] = true;
-            for c in lines[j].code.chars().skip(col) {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => {
-                        depth -= 1;
-                        if opened && depth <= 0 {
-                            break 'region;
-                        }
-                    }
-                    ';' if !opened && depth == 0 => break 'region,
-                    _ => {}
-                }
-            }
-            j += 1;
-            col = 0;
-        }
-        i = j + 1;
-    }
-    mask
-}
-
-/// Per-line allow sets plus malformed-annotation findings as
-/// `(1-based line, message)` pairs.
+/// Per-line allow sets, malformed-annotation findings as `(1-based
+/// line, message)` pairs, and the per-rule annotation counts (the
+/// suppression budget).
 #[allow(clippy::type_complexity)]
-fn collect_allows(lines: &[SplitLine]) -> (Vec<BTreeSet<Rule>>, Vec<(usize, String)>) {
+fn collect_allows(
+    lines: &[SplitLine],
+) -> (
+    Vec<BTreeSet<Rule>>,
+    Vec<(usize, String)>,
+    Vec<(Rule, usize)>,
+) {
     let mut allows: Vec<BTreeSet<Rule>> = vec![BTreeSet::new(); lines.len()];
     let mut malformed = Vec::new();
+    let mut counts: Vec<(Rule, usize)> = Vec::new();
     for i in 0..lines.len() {
+        // Doc comments (leader-stripped to a leading `/` or `!`) are
+        // prose — an allow example in rustdoc is not an annotation.
+        if lines[i].comment.starts_with('/') || lines[i].comment.starts_with('!') {
+            continue;
+        }
         match parse_allow(&lines[i].comment) {
             None => {}
             Some(Err(message)) => malformed.push((i + 1, message)),
             Some(Ok(rules)) => {
                 for r in &rules {
                     allows[i].insert(*r);
+                    match counts.iter_mut().find(|(cr, _)| cr == r) {
+                        Some(slot) => slot.1 += 1,
+                        None => counts.push((*r, 1)),
+                    }
                 }
                 // A standalone comment line also covers the line below.
                 if lines[i].code.trim().is_empty() && i + 1 < lines.len() {
@@ -746,7 +705,7 @@ fn collect_allows(lines: &[SplitLine]) -> (Vec<BTreeSet<Rule>>, Vec<(usize, Stri
             }
         }
     }
-    (allows, malformed)
+    (allows, malformed, counts)
 }
 
 /// Parses an allow annotation out of a comment, if present.
@@ -769,7 +728,8 @@ fn parse_allow(comment: &str) -> Option<Result<Vec<Rule>, String>> {
             None => {
                 return Some(Err(format!(
                     "unknown rule `{name}` in allow annotation (expected one of: \
-                     panic, determinism, crate-attrs, conformance, locks, casts, stdout)"
+                     panic, determinism, crate-attrs, conformance, locks, casts, \
+                     stdout, hot-alloc, sans-io, lock-order, taint)"
                 )))
             }
         }
@@ -823,6 +783,58 @@ pub fn diagnostics_to_json(diagnostics: &[Diagnostic]) -> String {
     out
 }
 
+/// Renders the full report as one JSON object (`cargo xtask lint
+/// --json`).
+///
+/// Schema (stable; checked by `tests/json_schema.rs`):
+///
+/// ```json
+/// {
+///   "clean": true,
+///   "files": 42,
+///   "timing": {"read_ns": 0, "lex_ns": 0, "rules_ns": 0},
+///   "suppressions": [{"rule": "L0/annotation", "count": 0}],
+///   "diagnostics": []
+/// }
+/// ```
+pub fn report_to_json(report: &LintReport) -> String {
+    use fmt::Write as _;
+    let mut out = String::from("{\"clean\":");
+    out.push_str(if report.clean() { "true" } else { "false" });
+    let _ = write!(
+        out,
+        ",\"files\":{},\"timing\":{{\"read_ns\":{},\"lex_ns\":{},\"rules_ns\":{}}}",
+        report.files, report.timing.read_ns, report.timing.lex_ns, report.timing.rules_ns
+    );
+    out.push_str(",\"suppressions\":[");
+    for (i, (rule, count)) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"count\":{count}}}",
+            json_string(rule.code())
+        );
+    }
+    out.push_str("],\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_string(d.rule.code()),
+            json_string(&d.file.display().to_string()),
+            d.line,
+            json_string(&d.message)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Escapes `s` as a JSON string literal (quotes included).
 fn json_string(s: &str) -> String {
     use fmt::Write as _;
@@ -859,7 +871,7 @@ fn crate_root_file(src: &Path) -> Option<PathBuf> {
     None
 }
 
-fn read_file(path: &Path) -> Result<String, LintError> {
+pub(crate) fn read_file(path: &Path) -> Result<String, LintError> {
     fs::read_to_string(path).map_err(|source| LintError::Io {
         path: path.to_path_buf(),
         source,
@@ -903,81 +915,6 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
 mod tests {
     use super::*;
 
-    fn codes(src: &str) -> Vec<String> {
-        split_source(src).into_iter().map(|l| l.code).collect()
-    }
-
-    #[test]
-    fn strings_are_blanked_but_delimited() {
-        let lines = codes("let x = \"panic!(boom)\";\n");
-        assert!(lines[0].contains('"'));
-        assert!(!lines[0].contains("panic!("));
-    }
-
-    #[test]
-    fn raw_strings_are_blanked() {
-        let lines = codes("let x = r#\"a.unwrap()b\"#;\n");
-        assert!(!lines[0].contains(".unwrap()"));
-        assert!(lines[0].ends_with(';'));
-    }
-
-    #[test]
-    fn comments_are_split_out() {
-        let split = split_source("let x = 1; // .unwrap() in prose\n/* block\nspans */ let y;\n");
-        assert!(!split[0].code.contains(".unwrap()"));
-        assert!(split[0].comment.contains(".unwrap()"));
-        assert!(split[1].comment.contains("block"));
-        assert!(split[2].code.contains("let y"));
-    }
-
-    #[test]
-    fn doc_comments_are_comments() {
-        let split = split_source("/// asserts: assert!(x > 0)\nfn f() {}\n");
-        assert!(!split[0].code.contains("assert!("));
-        assert!(split[1].code.contains("fn f"));
-    }
-
-    #[test]
-    fn lifetimes_survive_and_char_literals_blank() {
-        let lines = codes("fn f<'a>(x: &'a str) -> char { '\\'' }\n");
-        assert!(lines[0].contains("<'a>"));
-        assert!(lines[0].contains("&'a str"));
-        // The char literal body is blanked to a quote pair.
-        assert!(lines[0].contains("''"));
-    }
-
-    #[test]
-    fn multiline_strings_keep_line_count() {
-        let src = "let s = \"line one\nline two\";\nlet t = 5;\n";
-        let lines = codes(src);
-        assert_eq!(lines.len(), 3);
-        assert!(lines[2].contains("let t"));
-    }
-
-    #[test]
-    fn cfg_test_mod_is_masked() {
-        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
-        let lines = split_source(src);
-        let mask = test_mask(&lines);
-        assert_eq!(mask, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn cfg_test_single_item_ends_at_semicolon() {
-        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
-        let lines = split_source(src);
-        let mask = test_mask(&lines);
-        assert_eq!(mask, vec![true, true, false]);
-    }
-
-    #[test]
-    fn cfg_not_test_is_not_masked() {
-        let src = "#[cfg(not(test))]\nfn live() {}\n";
-        let lines = split_source(src);
-        let mask = test_mask(&lines);
-        assert_eq!(mask, vec![false, false]);
-    }
-
     #[test]
     fn allow_parses_with_reason() {
         let parsed = parse_allow(" lint: allow(panic) — checked above");
@@ -1003,6 +940,35 @@ mod tests {
     }
 
     #[test]
+    fn allow_accepts_the_new_rules() {
+        let parsed = parse_allow(" bpush-lint: allow(hot-alloc) — amortized growth");
+        assert_eq!(parsed, Some(Ok(vec![Rule::HotAlloc])));
+        let parsed = parse_allow(" lint: allow(sans-io, lock-order, taint) — boundary shim");
+        assert_eq!(
+            parsed,
+            Some(Ok(vec![Rule::SansIo, Rule::LockOrder, Rule::Taint]))
+        );
+    }
+
+    #[test]
+    fn rule_parse_accepts_codes_and_allow_names() {
+        assert_eq!(Rule::parse("L8/hot-alloc"), Some(Rule::HotAlloc));
+        assert_eq!(Rule::parse("hot-alloc"), Some(Rule::HotAlloc));
+        assert_eq!(Rule::parse("L0/annotation"), Some(Rule::Annotation));
+        assert_eq!(Rule::parse("bogus"), None);
+    }
+
+    #[test]
+    fn suppression_counts_accumulate() {
+        let lines = split_source(
+            "fn f() {\n    x(); // lint: allow(panic) — reason one\n    y(); // lint: allow(panic, casts) — reason two\n}\n",
+        );
+        let (_, malformed, counts) = collect_allows(&lines);
+        assert!(malformed.is_empty());
+        assert_eq!(counts, vec![(Rule::Panic, 2), (Rule::Casts, 1)]);
+    }
+
+    #[test]
     fn impl_target_extraction() {
         assert_eq!(
             protocol_impl_target("impl ReadOnlyProtocol for Sgt {"),
@@ -1015,5 +981,28 @@ mod tests {
             Some("Instrumented".to_string())
         );
         assert_eq!(protocol_impl_target("impl Foo for Bar {"), None);
+    }
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let report = LintReport {
+            diagnostics: Vec::new(),
+            files: 3,
+            timing: LintTiming {
+                read_ns: 1,
+                lex_ns: 2,
+                rules_ns: 3,
+            },
+            suppressions: vec![(Rule::Panic, 4)],
+            hot_functions: Vec::new(),
+            sans_io_files: Vec::new(),
+        };
+        assert_eq!(
+            report_to_json(&report),
+            "{\"clean\":true,\"files\":3,\
+             \"timing\":{\"read_ns\":1,\"lex_ns\":2,\"rules_ns\":3},\
+             \"suppressions\":[{\"rule\":\"L1/panic\",\"count\":4}],\
+             \"diagnostics\":[]}"
+        );
     }
 }

@@ -26,11 +26,15 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: cargo run -p xtask -- <command>
 
 commands:
-  lint [--root <workspace-root>] [--json]
-      Runs the bpush rule catalog (L1/panic, L2/determinism,
-      L3/crate-attrs, L4/conformance, L5/locks, L6/casts, L7/stdout)
-      over every crate under <root>/crates and exits non-zero if any
-      rule fires.
+  lint [--root <workspace-root>] [--rule <code>] [--json]
+      Runs the bpush rule catalog (L0/annotation through L11/taint:
+      panic, determinism, crate-attrs, conformance, locks, casts,
+      stdout, hot-alloc, sans-io, lock-order, taint) over every crate
+      under <root>/crates and exits non-zero if any rule fires.
+      --rule restricts the findings to one rule (given by code, e.g.
+      `L8/hot-alloc`, or by allow-name, e.g. `hot-alloc`); --json
+      prints the full report (findings, per-rule suppression counts,
+      single-pass micro-timings).
   mc [--scope ci|default] [--protocol <name>] [--json]
      [--replay <file> [--trace <path>]]
       Exhaustively enumerates bounded executions for every processing
@@ -86,12 +90,21 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut rule: Option<xtask::Rule> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return Err("--root needs a directory argument".into()),
+            },
+            "--rule" => match it.next() {
+                Some(name) => {
+                    rule = Some(xtask::Rule::parse(name).ok_or_else(|| {
+                        format!("unknown rule `{name}` (use a code like L8/hot-alloc)")
+                    })?);
+                }
+                None => return Err("--rule needs a rule code argument".into()),
             },
             "--json" => json = true,
             other => return Err(format!("unknown lint option `{other}`\n{USAGE}").into()),
@@ -102,31 +115,43 @@ fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         None => find_workspace_root()?,
     };
 
-    let diagnostics = xtask::lint_workspace(&root)?;
+    let mut report = xtask::lint_workspace_report(&root)?;
+    if let Some(rule) = rule {
+        report.diagnostics.retain(|d| d.rule == rule);
+    }
     if json {
-        println!("{}", xtask::diagnostics_to_json(&diagnostics));
-        return Ok(if diagnostics.is_empty() {
+        println!("{}", xtask::report_to_json(&report));
+        return Ok(if report.clean() {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         });
     }
-    if diagnostics.is_empty() {
-        let crates = xtask::workspace_crates(&root)?;
+    if report.clean() {
+        let suppressed: usize = report.suppressions.iter().map(|(_, n)| n).sum();
         println!(
-            "xtask lint: clean — {} crates under {} satisfy the rule catalog",
-            crates.len(),
-            root.join("crates").display()
+            "xtask lint: clean — {} files under {} satisfy the rule catalog \
+             ({} allow annotations; read {}us, lex {}us, rules {}us)",
+            report.files,
+            root.join("crates").display(),
+            suppressed,
+            report.timing.read_ns / 1_000,
+            report.timing.lex_ns / 1_000,
+            report.timing.rules_ns / 1_000,
         );
         return Ok(ExitCode::SUCCESS);
     }
-    for d in &diagnostics {
+    for d in &report.diagnostics {
         println!("{d}");
     }
     eprintln!(
         "xtask lint: {} violation{} found",
-        diagnostics.len(),
-        if diagnostics.len() == 1 { "" } else { "s" }
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        }
     );
     Ok(ExitCode::FAILURE)
 }
@@ -315,6 +340,8 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         println!("{rendered}");
     } else {
         print!("{}", xtask::bench::render_text(&report));
+        let trajectory = xtask::bench::load_trajectory(&find_workspace_root()?)?;
+        print!("\n{}", xtask::bench::render_trajectory(&trajectory));
         println!("\nwrote {}", path.display());
     }
     Ok(ExitCode::SUCCESS)

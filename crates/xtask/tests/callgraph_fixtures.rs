@@ -1,0 +1,197 @@
+//! Proves the interprocedural rules (L8–L11) against a fixture workspace
+//! with one passing and one violating case per rule, then self-checks the
+//! real workspace's contract surfaces: the hot-path set must cover the
+//! PR-3 hot functions, the sans-IO surface must cover the protocol core,
+//! and the escape-hatch budget must stay within its pinned ceiling.
+
+use std::path::{Path, PathBuf};
+
+use xtask::{lint_workspace, lint_workspace_report, Rule};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("callgraph")
+}
+
+fn real_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}
+
+/// Every seeded interprocedural violation is reported with its exact
+/// rule, file, and line — and the passing twins stay silent.
+#[test]
+fn fixtures_yield_exact_interprocedural_diagnostics() {
+    let diags = lint_workspace(&fixture_root()).expect("fixture tree lints");
+    let got: Vec<(&str, String, usize)> = diags
+        .iter()
+        .map(|d| (d.rule.code(), d.file.display().to_string(), d.line))
+        .collect();
+
+    let want: Vec<(&str, String, usize)> = [
+        // core: the renamed `Instant` import (alias leg) …
+        ("L11/taint", "crates/core/src/lib.rs", 6),
+        // … and the clock reached through the helper crate (cross-crate leg).
+        ("L11/taint", "crates/core/src/lib.rs", 14),
+        // hotpath: `feed` allocates one hop away; `probe` is clean.
+        ("L8/hot-alloc", "crates/hotpath/src/lib.rs", 15),
+        // lockorder: the alpha→beta edge (via the call under the guard)
+        // that closes the cycle against backward's beta→alpha.
+        ("L10/lock-order", "crates/lockorder/src/lib.rs", 26),
+        // sansio: `decode` reaches a clock; `width` is pure.
+        ("L9/sans-io", "crates/sansio/src/lib.rs", 14),
+    ]
+    .into_iter()
+    .map(|(r, f, l)| (r, f.to_string(), l))
+    .collect();
+
+    assert_eq!(
+        got,
+        want,
+        "diagnostics mismatch; full output:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The seeded determinism mutant (`use std::time::Instant as Stamp;`
+/// plus a helper-indirected clock read) evades L2's text match but is
+/// caught twice by L11's token-level taint.
+#[test]
+fn taint_mutant_passes_l2_but_is_caught_by_l11() {
+    let diags = lint_workspace(&fixture_root()).expect("fixture tree lints");
+    let core_diags: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file.starts_with("crates/core"))
+        .collect();
+    assert!(
+        core_diags.iter().all(|d| d.rule == Rule::Taint),
+        "the mutant must evade every rule except L11: {core_diags:?}"
+    );
+    assert_eq!(core_diags.len(), 2, "both taint legs must fire");
+    assert!(
+        !core_diags.iter().any(|d| d.rule == Rule::Determinism),
+        "L2's text match must NOT see the renamed import"
+    );
+}
+
+/// Diagnostics carry the resolved call chain and the needle's exact
+/// location, so a violation two crates away is still actionable.
+#[test]
+fn diagnostic_messages_name_the_chain_and_needle() {
+    let diags = lint_workspace(&fixture_root()).expect("fixture tree lints");
+    let msg = |rule: Rule| {
+        diags
+            .iter()
+            .find(|d| d.rule == rule)
+            .map(|d| d.message.clone())
+            .unwrap_or_default()
+    };
+    let hot = msg(Rule::HotAlloc);
+    assert!(hot.contains("`feed`"), "{hot}");
+    assert!(hot.contains("crates/util/src/lib.rs:12"), "{hot}");
+    assert!(hot.contains("feed → grow"), "{hot}");
+
+    let sans = msg(Rule::SansIo);
+    assert!(sans.contains("`decode`"), "{sans}");
+    assert!(sans.contains("`Instant::now`"), "{sans}");
+    assert!(sans.contains("decode → stamp_micros"), "{sans}");
+
+    let lock = msg(Rule::LockOrder);
+    assert!(
+        lock.contains("lockorder/alpha → lockorder/beta → lockorder/alpha"),
+        "{lock}"
+    );
+
+    let taint = msg(Rule::Taint);
+    assert!(taint.contains("`Stamp`"), "{taint}");
+    assert!(taint.contains("std::time::Instant"), "{taint}");
+}
+
+/// The workspace hot-path set provably covers the PR-3 hot functions:
+/// removing a `hot_path` marker from any of these (e.g. from
+/// `SerializationGraph::path_exists`) fails this test.
+#[test]
+fn hot_path_set_covers_the_pr3_hot_functions() {
+    let report = lint_workspace_report(&real_root()).expect("workspace lints");
+    const REQUIRED: &[&str] = &[
+        // PR-3 SGT hot path (allocation-freedom contract).
+        "sgraph::path_exists",
+        "sgraph::would_close_cycle",
+        "sgraph::remove_query",
+        // Per-cycle report probes.
+        "broadcast::any_stale",
+        "broadcast::any_invalidated",
+        "broadcast::matches_in",
+        "broadcast::any_entry_matching",
+        "broadcast::gallop_to",
+        "broadcast::lookup",
+        // Broadcast feed decode path.
+        "broadcast::take",
+        "broadcast::take_u32",
+        "broadcast::take_txn",
+    ];
+    for name in REQUIRED {
+        assert!(
+            report.hot_functions.iter().any(|h| h == name),
+            "`{name}` must carry the hot_path contract; current set: {:?}",
+            report.hot_functions
+        );
+    }
+}
+
+/// The sans-IO surface covers the protocol core — the ROADMAP item-1
+/// boundary: codec, control information, protocol vocabulary, readsets.
+#[test]
+fn sans_io_surface_covers_the_protocol_core() {
+    let report = lint_workspace_report(&real_root()).expect("workspace lints");
+    for file in [
+        "crates/broadcast/src/control.rs",
+        "crates/broadcast/src/wire.rs",
+        "crates/core/src/protocol.rs",
+        "crates/core/src/readset.rs",
+    ] {
+        assert!(
+            report.sans_io_files.iter().any(|f| f == file),
+            "`{file}` must declare sans_io; current surface: {:?}",
+            report.sans_io_files
+        );
+    }
+}
+
+/// The escape hatch is a budget, not a loophole: per-rule allow counts
+/// in the real workspace must stay under a pinned ceiling. Raising a
+/// ceiling is a reviewed decision, not a drive-by.
+#[test]
+fn suppression_budget_stays_within_ceiling() {
+    let report = lint_workspace_report(&real_root()).expect("workspace lints");
+    let ceiling = |rule: Rule| -> usize {
+        match rule {
+            Rule::Panic => 32,    // currently 29
+            Rule::Casts => 3,     // currently 1
+            Rule::HotAlloc => 6,  // currently 4 (amortized growth sites)
+            Rule::LockOrder => 2, // currently 1 (name-resolution over-approximation)
+            _ => 0,
+        }
+    };
+    let mut total = 0;
+    for (rule, count) in &report.suppressions {
+        total += count;
+        assert!(
+            *count <= ceiling(*rule),
+            "{} has {} allows, over its ceiling of {}",
+            rule.code(),
+            count,
+            ceiling(*rule)
+        );
+    }
+    assert!(total <= 40, "workspace-wide allow budget exceeded: {total}");
+}

@@ -1,0 +1,17 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: L8 hot-path allocation-freedom through helper indirection.
+
+use fixture_util::{grow, pure_len};
+
+/// Allocation-free probe — the passing case.
+// bpush-lint: hot_path — fixture: allocation-free probe
+pub fn probe(xs: &[u32]) -> usize {
+    pure_len(xs)
+}
+
+/// Reaches an allocation through the helper crate — the violation.
+// bpush-lint: hot_path — fixture: reaches an allocation one hop away
+pub fn feed(xs: &mut Vec<u32>, x: u32) {
+    grow(xs, x);
+}

@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: L10 lock-order cycle closed through a call under a guard.
+
+use parking_lot::Mutex;
+
+/// Two guarded slots whose owners disagree on acquisition order.
+pub struct Slots {
+    /// First slot.
+    pub alpha: Mutex<u32>,
+    /// Second slot.
+    pub beta: Mutex<u32>,
+}
+
+impl Slots {
+    /// Locks `beta` alone; `forward` calls this while holding `alpha`.
+    pub fn bump_beta(&self) -> u32 {
+        let b = self.beta.lock();
+        *b
+    }
+
+    /// Takes `alpha`, then `beta` through [`Self::bump_beta`] — one
+    /// direction of the cycle, closed interprocedurally.
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        *a + self.bump_beta()
+    }
+
+    /// Takes `beta` then `alpha` directly — the inversion under test.
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+}

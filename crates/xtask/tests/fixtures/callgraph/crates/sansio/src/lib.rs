@@ -1,0 +1,17 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: L9 sans-IO purity — the whole file is protocol-core.
+
+// bpush-lint: sans_io — fixture: protocol core
+use fixture_util::{pure_len, stamp_micros};
+
+/// Pure computation — the passing case.
+pub fn width(xs: &[u32]) -> usize {
+    pure_len(xs)
+}
+
+/// Reaches a clock through the helper crate — the violation.
+pub fn decode(xs: &[u32]) -> u64 {
+    let _n = pure_len(xs);
+    stamp_micros()
+}

@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: the helper crate the interprocedural fixtures reach into.
+
+/// Pure helper — safe to reach from any contract (the passing target).
+pub fn pure_len(xs: &[u32]) -> usize {
+    xs.len()
+}
+
+/// Allocating helper — the L8 violating target.
+pub fn grow(xs: &mut Vec<u32>, x: u32) {
+    xs.push(x);
+}
+
+/// Clock helper — the L9 and L11 violating target.
+pub fn stamp_micros() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

@@ -257,6 +257,78 @@ fn lint_json_clean_case() {
     assert!(root.get("diagnostics").as_arr().is_empty());
 }
 
+/// The full-report schema behind `cargo xtask lint --json`:
+/// `{"clean", "files", "timing": {"read_ns", "lex_ns", "rules_ns"},
+/// "suppressions": [{"rule", "count"}], "diagnostics"}`, with one
+/// suppression entry per rule, covering all twelve rule ids in catalog
+/// order — the escape-hatch budget is part of the machine contract.
+#[test]
+fn lint_report_json_matches_the_documented_schema() {
+    let report = xtask::LintReport {
+        diagnostics: vec![Diagnostic {
+            rule: Rule::HotAlloc,
+            file: PathBuf::from("crates/x/src/lib.rs"),
+            line: 3,
+            message: "hot_path fn `f` reaches `Box::new`".to_string(),
+        }],
+        files: 7,
+        timing: xtask::LintTiming {
+            read_ns: 11,
+            lex_ns: 22,
+            rules_ns: 33,
+        },
+        suppressions: xtask::ALL_RULES.iter().map(|r| (*r, 0)).collect(),
+        hot_functions: vec!["sgraph::path_exists".to_string()],
+        sans_io_files: vec!["crates/broadcast/src/wire.rs".to_string()],
+    };
+    let root = parse_json(&xtask::report_to_json(&report));
+
+    assert_eq!(
+        root.keys(),
+        ["clean", "files", "timing", "suppressions", "diagnostics"]
+    );
+    assert!(!root.get("clean").as_bool());
+    assert_eq!(root.get("files").as_u64(), 7);
+
+    let timing = root.get("timing");
+    assert_eq!(timing.keys(), ["read_ns", "lex_ns", "rules_ns"]);
+    assert_eq!(timing.get("read_ns").as_u64(), 11);
+    assert_eq!(timing.get("lex_ns").as_u64(), 22);
+    assert_eq!(timing.get("rules_ns").as_u64(), 33);
+
+    let rules: Vec<&str> = root
+        .get("suppressions")
+        .as_arr()
+        .iter()
+        .map(|s| {
+            assert_eq!(s.keys(), ["rule", "count"]);
+            let _ = s.get("count").as_u64();
+            s.get("rule").as_str()
+        })
+        .collect();
+    assert_eq!(
+        rules,
+        [
+            "L0/annotation",
+            "L1/panic",
+            "L2/determinism",
+            "L3/crate-attrs",
+            "L4/conformance",
+            "L5/locks",
+            "L6/casts",
+            "L7/stdout",
+            "L8/hot-alloc",
+            "L9/sans-io",
+            "L10/lock-order",
+            "L11/taint",
+        ]
+    );
+
+    let rendered = root.get("diagnostics").as_arr();
+    assert_eq!(rendered.len(), 1);
+    assert_eq!(rendered[0].get("rule").as_str(), "L8/hot-alloc");
+}
+
 // ---------------------------------------------------------------------
 // `cargo xtask mc --json`
 // ---------------------------------------------------------------------
