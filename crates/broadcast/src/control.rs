@@ -23,13 +23,14 @@ fn gallop_to<T, K: Ord + Copy>(xs: &[T], start: usize, key: K, key_of: impl Fn(&
     let mut step = 1usize;
     let mut lo = start;
     let mut hi = start;
+    // bpush-lint: allow(panic-reach) — hi < n is checked by the loop condition
     while hi < n && key_of(&xs[hi]) < key {
         lo = hi + 1;
         hi += step;
         step <<= 1;
     }
     let hi = hi.min(n);
-    lo + xs[lo..hi].partition_point(|x| key_of(x) < key)
+    lo + xs[lo..hi].partition_point(|x| key_of(x) < key) // bpush-lint: allow(panic-reach) — lo ≤ hi ≤ n by construction of the probe bracket
 }
 
 /// Binary-search lookup in a sorted `(key, value)` slice.
@@ -38,7 +39,7 @@ fn lookup<K: Ord + Copy, V: Copy>(entries: &[(K, V)], key: K) -> Option<V> {
     entries
         .binary_search_by_key(&key, |e| e.0)
         .ok()
-        .map(|i| entries[i].1)
+        .map(|i| entries[i].1) // bpush-lint: allow(panic-reach) — i is a binary_search hit, in bounds by contract
 }
 
 /// Galloping merge of sorted `(key, cycle)` entries against a sorted,
@@ -207,7 +208,7 @@ impl InvalidationReport {
         }
         let mut buckets: Vec<(BucketId, Cycle)> = Vec::new();
         for (x, &c) in &dedup {
-            let b = BucketId::new(x.index() / items_per_bucket);
+            let b = BucketId::new(x.index() / items_per_bucket); // bpush-lint: allow(panic-reach) — items_per_bucket is validated nonzero above
             match buckets.last_mut() {
                 // items are sorted, so bucket ids arrive nondecreasing
                 Some(last) if last.0 == b => last.1 = last.1.max(c),
@@ -264,7 +265,7 @@ impl InvalidationReport {
             Granularity::Item => lookup(&self.items, item),
             Granularity::Bucket => lookup(
                 &self.buckets,
-                BucketId::new(item.index() / self.items_per_bucket),
+                BucketId::new(item.index() / self.items_per_bucket), // bpush-lint: allow(panic-reach) — items_per_bucket is validated nonzero at construction
             ),
         }
     }
@@ -287,7 +288,7 @@ impl InvalidationReport {
     /// readset with every report.
     // bpush-lint: hot_path — per-cycle client staleness probe (PR-3 allocation-freedom contract)
     pub fn any_stale(&self, readset: &[ItemId], state: Cycle) -> bool {
-        debug_assert!(readset.windows(2).all(|w| w[0] < w[1]), "readset sorted");
+        debug_assert!(readset.windows(2).all(|w| w[0] < w[1]), "readset sorted"); // bpush-lint: allow(panic-reach) — debug-only assertion; windows(2) yields exactly-2 slices
         match self.granularity {
             Granularity::Item => {
                 any_entry_matching(&self.items, readset.iter().copied(), |u| u >= state)
@@ -298,7 +299,7 @@ impl InvalidationReport {
                 &self.buckets,
                 readset
                     .iter()
-                    .map(|x| BucketId::new(x.index() / self.items_per_bucket)),
+                    .map(|x| BucketId::new(x.index() / self.items_per_bucket)), // bpush-lint: allow(panic-reach) — items_per_bucket is validated nonzero at construction
                 |u| u >= state,
             ),
         }
@@ -421,7 +422,7 @@ impl AugmentedReport {
         &'a self,
         readset: &'a [ItemId],
     ) -> impl Iterator<Item = (ItemId, TxnId)> + 'a {
-        debug_assert!(readset.windows(2).all(|w| w[0] < w[1]), "readset sorted");
+        debug_assert!(readset.windows(2).all(|w| w[0] < w[1]), "readset sorted"); // bpush-lint: allow(panic-reach) — debug-only assertion; windows(2) yields exactly-2 slices
         let entries = self.first_writers.as_slice();
         let mut ei = 0usize;
         let mut ri = 0usize;

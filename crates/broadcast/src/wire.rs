@@ -11,6 +11,8 @@
 //! the difference", §3.2), and transaction identifiers `log₂ N` bits of
 //! sequence plus `log₂ S` bits of cycle age (§3.3).
 
+// bpush-lint: decode_path — all broadcast-feed input is read through BitReader take_* accessors
+
 // bpush-lint: sans_io — protocol core: the codec is pure bytes-in/bytes-out (the ROADMAP item-1 sans-IO boundary)
 
 use bpush_types::{BpushError, Cycle, Granularity, ItemId, TxnId};
@@ -120,7 +122,12 @@ impl<'a> BitReader<'a> {
         }
         let mut out = 0u64;
         for _ in 0..width {
-            let byte = self.bytes[(self.pos / 8) as usize];
+            let byte = match self.bytes.get((self.pos / 8) as usize) {
+                Some(&b) => b,
+                // unreachable given the width check above; kept as a
+                // checked read so truncation can never panic
+                None => return Err(BpushError::invalid_config("bit stream underflow")),
+            };
             let bit = (byte >> (7 - (self.pos % 8))) & 1;
             out = (out << 1) | u64::from(bit);
             self.pos += 1;
@@ -142,7 +149,10 @@ pub fn encode_invalidation(report: &InvalidationReport, params: WireParams) -> V
     w.put(entries.len() as u64, params.count_bits);
     for (item, update_cycle) in entries {
         w.put(u64::from(item.index()), params.key_bits);
-        let age = report.cycle().number() - update_cycle.number();
+        let age = report
+            .cycle()
+            .number()
+            .saturating_sub(update_cycle.number());
         w.put(age.min((1 << params.age_bits) - 1), params.age_bits);
     }
     w.into_bytes()
@@ -174,7 +184,7 @@ pub fn decode_invalidation(
 }
 
 fn put_txn(w: &mut BitWriter, t: TxnId, now: Cycle, params: WireParams) {
-    let age = now.number() - t.cycle().number();
+    let age = now.number().saturating_sub(t.cycle().number());
     w.put(age.min((1 << params.txn_age_bits) - 1), params.txn_age_bits);
     w.put(u64::from(t.seq()), params.seq_bits);
 }
@@ -300,6 +310,47 @@ mod tests {
     fn writer_rejects_oversized_values() {
         let mut w = BitWriter::new();
         w.put(8, 3);
+    }
+
+    /// The checked `take` reads bit-for-bit what the original unchecked
+    /// indexing read on every in-bounds stream — the L14 fix changes
+    /// only the out-of-bounds path (panic → error).
+    #[test]
+    fn checked_take_matches_the_unchecked_oracle() {
+        // The pre-fix algorithm: raw indexing, no underflow handling.
+        fn oracle(bytes: &[u8], pos: &mut u64, width: u32) -> u64 {
+            let mut out = 0u64;
+            for _ in 0..width {
+                let byte = bytes[(*pos / 8) as usize];
+                let bit = (byte >> (7 - (*pos % 8))) & 1;
+                out = (out << 1) | u64::from(bit);
+                *pos += 1;
+            }
+            out
+        }
+        let mut w = BitWriter::new();
+        let fields: [(u64, u32); 6] = [
+            (0b1, 1),
+            (0x2A, 7),
+            (0, 3),
+            (0xFFFF_FFFF, 32),
+            (0x1234, 13),
+            (1, 8),
+        ];
+        for (value, width) in fields {
+            w.put(value, width);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut pos = 0u64;
+        for (value, width) in fields {
+            let got = r.take(width).unwrap();
+            assert_eq!(got, oracle(&bytes, &mut pos, width));
+            assert_eq!(got, value);
+        }
+        assert_eq!(r.position(), pos);
+        // Out of bounds is the only divergence: an error, not a panic.
+        assert!(r.take(64).is_err());
     }
 
     fn params() -> WireParams {

@@ -146,18 +146,20 @@ impl ClientCache {
             // than the item's last reported update, nor older knowledge
             // than when we started listening (§4.1 — the client derives
             // the value's effective version from the reports themselves).
-            _ => match self.knowledge_since {
-                Some(since) => {
-                    let floor = self
-                        .update_floor
-                        .get(&record.item())
-                        .copied()
-                        .unwrap_or(since)
-                        .max(since);
-                    floor.min(fetched)
+            CacheMode::None | CacheMode::Plain | CacheMode::Versioned => {
+                match self.knowledge_since {
+                    Some(since) => {
+                        let floor = self
+                            .update_floor
+                            .get(&record.item())
+                            .copied()
+                            .unwrap_or(since)
+                            .max(since);
+                        floor.min(fetched)
+                    }
+                    None => fetched,
                 }
-                None => fetched,
-            },
+            }
         }
     }
 
@@ -169,7 +171,7 @@ impl ClientCache {
         let n = report.cycle();
         let covered = match self.last_heard {
             None => self.current.is_empty(),
-            Some(h) => n.number() <= h.number() + u64::from(report.window()),
+            Some(h) => n.number() <= h.number().saturating_add(u64::from(report.window())),
         };
         if !covered {
             for entry in self.current.values_mut() {

@@ -29,6 +29,7 @@ use crate::cache::ClientCache;
 
 /// Where the next read of a transaction will come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// bpush-lint: protocol_enum — session read automaton state
 pub enum ReadStep {
     /// The read completed from the cache; the value is recorded.
     Done,

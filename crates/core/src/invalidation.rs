@@ -129,7 +129,7 @@ impl ReadOnlyProtocol for InvalidationOnly {
         // Does the report's window cover everything since we last heard?
         let covered = match self.last_heard {
             None => true, // nothing read before we first tune in
-            Some(h) => n.number() <= h.number() + u64::from(report.window()),
+            Some(h) => n.number() <= h.number().saturating_add(u64::from(report.window())),
         };
         for q in self.queries.values_mut() {
             if q.doomed.is_some() {

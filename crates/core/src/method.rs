@@ -14,7 +14,7 @@ use crate::sgt::{Sgt, SgtConfig};
 /// The processing-method configurations the paper's evaluation compares
 /// (the curves of Figures 5, 6 and 8 and the columns of Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[non_exhaustive]
+// bpush-lint: protocol_enum — the paper’s method matrix; every handler must name each
 pub enum Method {
     /// §3.1 without a client cache.
     InvalidationOnly,
@@ -117,7 +117,10 @@ impl Method {
         match self {
             Method::MultiversionBroadcast => ServerOptions::multiversion(layout),
             Method::Sgt | Method::SgtCache | Method::SgtVersionedItems => ServerOptions::sgt(),
-            _ => ServerOptions::plain(),
+            Method::InvalidationOnly
+            | Method::InvalidationCache
+            | Method::InvalidationVersionedCache
+            | Method::MultiversionCaching => ServerOptions::plain(),
         }
     }
 }
@@ -146,6 +149,30 @@ mod tests {
     fn names_are_unique() {
         let names: std::collections::HashSet<_> = Method::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), Method::ALL.len());
+    }
+
+    /// Pins `server_options` for every method, including the
+    /// non-comparison `SgtVersionedItems`: the L13 rewrite from a
+    /// wildcard arm to named variants must not move any method's
+    /// server-side requirements.
+    #[test]
+    fn server_options_pinned_for_every_method() {
+        let layout = MultiversionLayout::Overflow;
+        for m in Method::ALL.into_iter().chain([Method::SgtVersionedItems]) {
+            let opts = m.server_options(layout);
+            let (want_mode, want_sgt) = match m {
+                Method::MultiversionBroadcast => (BroadcastMode::Multiversion(layout), false),
+                Method::Sgt | Method::SgtCache | Method::SgtVersionedItems => {
+                    (BroadcastMode::Plain, true)
+                }
+                Method::InvalidationOnly
+                | Method::InvalidationCache
+                | Method::InvalidationVersionedCache
+                | Method::MultiversionCaching => (BroadcastMode::Plain, false),
+            };
+            assert_eq!(opts.mode, want_mode, "{m}");
+            assert_eq!(opts.sgt_info, want_sgt, "{m}");
+        }
     }
 
     #[test]

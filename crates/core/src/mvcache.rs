@@ -91,7 +91,7 @@ impl ReadOnlyProtocol for MultiversionCaching {
         let report = ctrl.invalidation();
         let covered = match self.last_heard {
             None => true,
-            Some(h) => n.number() <= h.number() + u64::from(report.window()),
+            Some(h) => n.number() <= h.number().saturating_add(u64::from(report.window())),
         };
         for q in self.queries.values_mut() {
             if q.doomed.is_some() || q.pinned.is_some() {

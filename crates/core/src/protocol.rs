@@ -14,6 +14,7 @@ pub use bpush_types::AbortReason;
 /// Where a read candidate came from; used for latency accounting and for
 /// `cache_only` constraints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// bpush-lint: protocol_enum — the read-path data source a client answer came from
 pub enum Source {
     /// A coherent (current) cache entry.
     CacheCurrent,
@@ -91,6 +92,7 @@ pub struct ReadConstraint {
 
 /// The protocol's answer to "may query `q` read item `x` now?".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// bpush-lint: protocol_enum — per-read client decision driven by the control report
 pub enum ReadDirective {
     /// Proceed, fetching a value that satisfies the constraint.
     Read(ReadConstraint),
@@ -100,6 +102,7 @@ pub enum ReadDirective {
 
 /// Result of offering a candidate to the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// bpush-lint: protocol_enum — terminal read status surfaced to the session layer
 pub enum ReadOutcome {
     /// The read is accepted and recorded in the query's readset.
     Accepted,
@@ -109,6 +112,7 @@ pub enum ReadOutcome {
 
 /// What the client cache must provide for a method to work (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// bpush-lint: protocol_enum — cache discipline negotiated by the method matrix
 pub enum CacheMode {
     /// No cache.
     None,
@@ -130,6 +134,7 @@ pub enum CacheMode {
 /// exactly. This is the replay seam the model checker
 /// (`bpush-mc`) serializes its counterexamples against.
 #[derive(Debug, Clone)]
+// bpush-lint: protocol_enum — client protocol automaton state
 pub enum ProtocolStep {
     /// The control information of a cycle the client heard.
     Control(ControlInfo),

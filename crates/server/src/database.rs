@@ -113,7 +113,11 @@ impl MultiversionStore {
             // still needed iff superseded within the last `retain - 1`
             // cycles: successor.version > now - retain + 1
             let needed = u64::from(retain) > 1
-                && successor.version().number() + u64::from(retain) > now.number() + 1;
+                && successor
+                    .version()
+                    .number()
+                    .saturating_add(u64::from(retain))
+                    > now.number().saturating_add(1);
             if needed {
                 out.push(chain[i]);
             } else {
@@ -135,7 +139,11 @@ impl MultiversionStore {
             let mut first_kept = cutoff;
             for i in (0..cutoff).rev() {
                 let needed = u64::from(retain) > 1
-                    && chain[i + 1].version().number() + u64::from(retain) > now.number() + 1;
+                    && chain[i + 1]
+                        .version()
+                        .number()
+                        .saturating_add(u64::from(retain))
+                        > now.number().saturating_add(1);
                 if needed {
                     first_kept = i;
                 } else {

@@ -218,24 +218,24 @@ impl SerializationGraph {
     /// touch `by_cycle`; callers that remove transaction nodes maintain
     /// it themselves.
     fn unlink(&mut self, id: u32) {
-        let node = self.nodes[id as usize];
-        let outs = std::mem::take(&mut self.out_ids[id as usize]);
-        self.out[id as usize].clear();
+        let node = self.nodes[id as usize]; // bpush-lint: allow(panic-reach) — id is a live arena slot < nodes.len() by the free-list invariant
+        let outs = std::mem::take(&mut self.out_ids[id as usize]); // bpush-lint: allow(panic-reach) — id is a live arena slot < nodes.len() by the free-list invariant
+        self.out[id as usize].clear(); // bpush-lint: allow(panic-reach) — id is a live arena slot < nodes.len() by the free-list invariant
         self.edge_count -= outs.len();
         for s in outs {
             if s != id {
-                self.in_ids[s as usize].retain(|&p| p != id);
+                self.in_ids[s as usize].retain(|&p| p != id); // bpush-lint: allow(panic-reach) — s is a recorded neighbor id, always a live arena slot
             }
         }
-        let ins = std::mem::take(&mut self.in_ids[id as usize]);
+        let ins = std::mem::take(&mut self.in_ids[id as usize]); // bpush-lint: allow(panic-reach) — id is a live arena slot < nodes.len() by the free-list invariant
         for p in ins {
             if p == id {
                 continue; // the self-loop was accounted with the out edges
             }
-            let succ_ids = &mut self.out_ids[p as usize];
+            let succ_ids = &mut self.out_ids[p as usize]; // bpush-lint: allow(panic-reach) — p is a recorded neighbor id, always a live arena slot
             if let Some(pos) = succ_ids.iter().position(|&s| s == id) {
                 succ_ids.remove(pos);
-                self.out[p as usize].remove(pos);
+                self.out[p as usize].remove(pos); // bpush-lint: allow(panic-reach) — p is a recorded neighbor id, always a live arena slot
                 self.edge_count -= 1;
             }
         }
@@ -285,14 +285,16 @@ impl SerializationGraph {
         let epoch = scratch.begin(self.nodes.len());
         let DfsScratch { visited, stack, .. } = &mut *scratch;
         // bpush-lint: allow(hot-alloc) — amortized: the reusable scratch stack grows to its high-water mark once
-        stack.extend_from_slice(&self.out_ids[from as usize]);
+        stack.extend_from_slice(&self.out_ids[from as usize]); // bpush-lint: allow(panic-reach) — from is an interned id < nodes.len()
         while let Some(id) = stack.pop() {
             if id == to {
                 return true;
             }
+            // bpush-lint: allow(panic-reach) — visited is sized to nodes.len() by scratch.begin
             if visited[id as usize] != epoch {
+                // bpush-lint: allow(panic-reach) — visited is sized to nodes.len() by scratch.begin
                 visited[id as usize] = epoch;
-                // bpush-lint: allow(hot-alloc) — amortized: same reusable scratch stack as above
+                // bpush-lint: allow(hot-alloc, panic-reach) — amortized reusable scratch stack; id is always a live arena slot
                 stack.extend_from_slice(&self.out_ids[id as usize]);
             }
         }

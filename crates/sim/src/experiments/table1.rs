@@ -17,7 +17,6 @@ pub fn currency_of(method: Method) -> &'static str {
         }
         Method::MultiversionBroadcast => "state at first read",
         Method::Sgt | Method::SgtCache | Method::SgtVersionedItems => "between first and last read",
-        _ => "unspecified",
     }
 }
 
@@ -30,7 +29,6 @@ pub fn tolerance_of(method: Method) -> &'static str {
         Method::Sgt | Method::SgtCache => "none",
         Method::SgtVersionedItems => "some (versions)",
         Method::MultiversionCaching => "some (cache)",
-        _ => "unspecified",
     }
 }
 
@@ -91,7 +89,6 @@ pub fn run(scale: Scale) -> Result<Table, BpushError> {
             Method::MultiversionCaching => {
                 model.percent_increase(model.multiversion_caching_extra(u, span))
             }
-            _ => 0.0,
         };
         table.push_row([
             m.method.name().to_owned(),

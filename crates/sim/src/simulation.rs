@@ -175,7 +175,7 @@ impl Simulation {
         for i in 0..config.n_clients {
             let cache = match method.cache_mode() {
                 CacheMode::None => None,
-                mode => {
+                mode @ (CacheMode::Plain | CacheMode::Versioned | CacheMode::Multiversion) => {
                     let cache_cfg = &config.client.cache;
                     if !cache_cfg.is_enabled() {
                         None

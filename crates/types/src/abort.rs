@@ -11,7 +11,7 @@ use std::fmt;
 
 /// Why a query was (or must be) aborted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[non_exhaustive]
+// bpush-lint: protocol_enum — why a read-only transaction restarted
 pub enum AbortReason {
     /// An item the query had read was updated (invalidation-only method).
     Invalidated,

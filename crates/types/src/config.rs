@@ -16,6 +16,7 @@ use crate::error::BpushError;
 /// buckets, trading a smaller report for conservative aborts — a bucket
 /// counts as updated when *any* of its items was updated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+// bpush-lint: protocol_enum — invalidation report granularity on the wire
 pub enum Granularity {
     /// Per-item control information (paper default).
     #[default]

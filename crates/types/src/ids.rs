@@ -119,7 +119,7 @@ impl Cycle {
     /// The cycle immediately after this one.
     #[must_use]
     pub const fn next(self) -> Cycle {
-        Cycle(self.0 + 1)
+        Cycle(self.0.saturating_add(1))
     }
 
     /// The cycle immediately before this one.
@@ -155,7 +155,7 @@ impl Cycle {
     /// `self + n` cycles.
     #[must_use]
     pub const fn plus(self, n: u64) -> Cycle {
-        Cycle(self.0 + n)
+        Cycle(self.0.saturating_add(n))
     }
 }
 
@@ -258,7 +258,7 @@ impl QueryId {
     /// The next query id issued by the same client.
     #[must_use]
     pub const fn next(self) -> QueryId {
-        QueryId(self.0 + 1)
+        QueryId(self.0.saturating_add(1))
     }
 }
 
@@ -301,7 +301,7 @@ impl Slot {
     /// `self + n` slots.
     #[must_use]
     pub const fn plus(self, n: u64) -> Slot {
-        Slot(self.0 + n)
+        Slot(self.0.saturating_add(n))
     }
 
     /// Slots elapsed since `earlier`.
@@ -416,6 +416,24 @@ mod tests {
         let q = QueryId::new(7);
         assert_eq!(q.next().number(), 8);
         assert_eq!(q.to_string(), "Q7");
+    }
+
+    /// Tick arithmetic saturates at the top of the counter instead of
+    /// overflowing (L15 discipline); everywhere below the boundary the
+    /// behavior is the plain increment the protocol always had.
+    #[test]
+    fn tick_arithmetic_saturates_at_the_counter_top() {
+        assert_eq!(Cycle::new(u64::MAX).next(), Cycle::new(u64::MAX));
+        assert_eq!(Cycle::new(u64::MAX - 1).next(), Cycle::new(u64::MAX));
+        assert_eq!(Cycle::new(u64::MAX).plus(5), Cycle::new(u64::MAX));
+        assert_eq!(Cycle::new(7).plus(u64::MAX), Cycle::new(u64::MAX));
+        assert_eq!(QueryId::new(u64::MAX).next(), QueryId::new(u64::MAX));
+        assert_eq!(Slot::new(u64::MAX).plus(2), Slot::new(u64::MAX));
+        // Below the boundary nothing changed.
+        assert_eq!(Cycle::new(41).next(), Cycle::new(42));
+        assert_eq!(Cycle::new(40).plus(2), Cycle::new(42));
+        assert_eq!(QueryId::new(41).next(), QueryId::new(42));
+        assert_eq!(Slot::new(40).plus(2), Slot::new(42));
     }
 
     #[test]

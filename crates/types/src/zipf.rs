@@ -178,7 +178,8 @@ impl AccessPattern {
         if item.index() >= self.range_len {
             return 0.0;
         }
-        let rank = (item.index() + self.range_len - self.offset) % self.range_len;
+        let rank = ((u64::from(item.index()) + u64::from(self.range_len) - u64::from(self.offset))
+            % u64::from(self.range_len)) as u32;
         self.zipf.pmf(rank as usize)
     }
 

@@ -1,13 +1,15 @@
 //! Drivers for the interprocedural rules: L8/hot-alloc, L9/sans-io,
-//! L10/lock-order, L11/taint. Each consumes the per-file indexes from
-//! [`crate::items`] through the resolved [`crate::callgraph`] and emits
-//! ordinary [`Diagnostic`]s; [`Analysis`] carries the summary facts the
-//! self-tests pin (hot-function coverage, sans-IO surface).
+//! L10/lock-order, L11/taint, and the dataflow layer L12/panic-reach,
+//! L13/state-total, L14/decode-bounds, L15/overflow. Each consumes the
+//! per-file indexes from [`crate::items`] through the resolved
+//! [`crate::callgraph`] and emits ordinary [`Diagnostic`]s; [`Analysis`]
+//! carries the summary facts the self-tests pin (hot-function coverage,
+//! sans-IO surface, protocol-enum set, decode surface).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::callgraph::{CallGraph, DepMap};
-use crate::items::FileIndex;
+use crate::items::{EnumDef, FileIndex};
 use crate::{Diagnostic, Rule, DETERMINISTIC_CRATES};
 
 /// Path last-segments whose import is a determinism-taint source (L11).
@@ -20,9 +22,13 @@ pub struct Analysis {
     pub hot_functions: Vec<String>,
     /// Every file declaring `sans_io`, as workspace-relative paths, sorted.
     pub sans_io_files: Vec<String>,
+    /// Every enum carrying the `protocol_enum` annotation, sorted by name.
+    pub protocol_enums: Vec<String>,
+    /// Every file declaring `decode_path`, as workspace-relative paths, sorted.
+    pub decode_files: Vec<String>,
 }
 
-/// Runs L8–L11 over the indexed files, appending findings to `diags`.
+/// Runs L8–L15 over the indexed files, appending findings to `diags`.
 #[must_use]
 pub fn run(files: &[FileIndex], deps: &DepMap, diags: &mut Vec<Diagnostic>) -> Analysis {
     let graph = CallGraph::build(files, deps);
@@ -43,6 +49,10 @@ pub fn run(files: &[FileIndex], deps: &DepMap, diags: &mut Vec<Diagnostic>) -> A
             sans.insert(file.rel.display().to_string());
             check_purity(&graph, id, Rule::SansIo, diags);
         }
+        // L12: the same entry points own the panic-freedom contract.
+        if f.hot || file.sans_io {
+            check_panic_reach(&graph, id, diags);
+        }
     }
     analysis.hot_functions = hot.into_iter().collect();
     analysis.sans_io_files = files
@@ -55,6 +65,9 @@ pub fn run(files: &[FileIndex], deps: &DepMap, diags: &mut Vec<Diagnostic>) -> A
 
     check_lock_order(&graph, diags);
     check_taint(&graph, files, diags);
+    check_state_total(files, diags, &mut analysis);
+    check_decode_bounds(&graph, files, diags, &mut analysis);
+    check_overflow(files, diags);
     analysis
 }
 
@@ -276,6 +289,228 @@ fn check_taint(graph: &CallGraph<'_>, files: &[FileIndex], diags: &mut Vec<Diagn
                         rfile.rel.display(),
                         n.line,
                         graph.chain(id, rid, &parent),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L12: nothing reachable from a `hot_path`/`sans_io` entry point may
+/// hit an implicit panic site — a raw index/slice, a division with a
+/// non-constant divisor, or `unreachable!`. These are exactly the sites
+/// L1's text needles miss (no `unwrap`/`panic!` token), and a helper
+/// crate two hops away is still on the hook.
+fn check_panic_reach(graph: &CallGraph<'_>, start: usize, diags: &mut Vec<Diagnostic>) {
+    let (file, f) = graph.fn_at(start);
+    let (reached, parent) = graph.reachable(start);
+    for id in reached {
+        let (nfile, nf) = graph.fn_at(id);
+        let sites = nf.panics.iter().map(|n| (n.what.as_str(), n.line)).chain(
+            nf.indexes
+                .iter()
+                .filter(|s| !s.allowed_panic)
+                .map(|s| (s.what.as_str(), s.line)),
+        );
+        for (what, line) in sites {
+            let via = if id == start {
+                String::new()
+            } else {
+                format!(" via {}", graph.chain(start, id, &parent))
+            };
+            diags.push(Diagnostic {
+                rule: Rule::PanicReach,
+                file: file.rel.clone(),
+                line: f.line,
+                message: format!(
+                    "protocol entry fn `{}` reaches implicit panic site {} at {}:{}{via}; \
+                     use checked accessors/arithmetic or annotate the site with a reason",
+                    f.name,
+                    what,
+                    nfile.rel.display(),
+                    line,
+                ),
+            });
+        }
+    }
+}
+
+/// L13: a match that names a `protocol_enum`-marked variant must name
+/// every variant — a wildcard `_` or catch-all binding arm silences the
+/// compiler's exhaustiveness check for the next segment kind added.
+fn check_state_total(files: &[FileIndex], diags: &mut Vec<Diagnostic>, analysis: &mut Analysis) {
+    let mut enums: BTreeMap<&str, &EnumDef> = BTreeMap::new();
+    for file in files {
+        for e in &file.enums {
+            if e.protocol {
+                enums.entry(e.name.as_str()).or_insert(e);
+            }
+        }
+    }
+    analysis.protocol_enums = enums.keys().map(|s| (*s).to_string()).collect();
+
+    for file in files {
+        for m in &file.matches {
+            if m.is_test {
+                continue;
+            }
+            // Which marked enums this match is over, and the variants
+            // its arms name — `Enum::Variant` references in patterns.
+            let mut named: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+            for arm in &m.arms {
+                for w in arm.pat.windows(3) {
+                    if w[1] != "::" {
+                        continue;
+                    }
+                    if let Some(e) = enums.get(w[0].as_str()) {
+                        if e.variants.iter().any(|v| *v == w[2]) {
+                            named
+                                .entry(e.name.as_str())
+                                .or_default()
+                                .insert(w[2].as_str());
+                        }
+                    }
+                }
+            }
+            if named.is_empty() {
+                continue;
+            }
+            let Some(arm) = m.arms.iter().find(|a| !a.allowed && is_catch_all(&a.pat)) else {
+                continue;
+            };
+            for (ename, seen) in &named {
+                let e = enums[ename];
+                let hidden: Vec<&str> = e
+                    .variants
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|v| !seen.contains(*v))
+                    .collect();
+                let hides = if hidden.is_empty() {
+                    "every future variant".to_string()
+                } else {
+                    format!("`{}`", hidden.join("`, `"))
+                };
+                diags.push(Diagnostic {
+                    rule: Rule::StateTotal,
+                    file: file.rel.clone(),
+                    line: arm.line,
+                    message: format!(
+                        "catch-all arm `{}` over protocol enum `{ename}` hides {hides}; \
+                         name every variant so a new kind is a lint error at every handler",
+                        arm.pat.first().map(String::as_str).unwrap_or("_"),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether a match arm pattern swallows the rest of the value space: a
+/// wildcard `_` or a lowercase catch-all binding, with or without a
+/// guard (a guarded catch-all is still non-total).
+fn is_catch_all(pat: &[String]) -> bool {
+    let Some(first) = pat.first() else {
+        return false;
+    };
+    if !(pat.len() == 1 || pat.get(1).is_some_and(|t| t == "if")) {
+        return false;
+    }
+    if first == "_" {
+        return true;
+    }
+    first.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && first.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && !crate::items::CALL_KEYWORDS.contains(&first.as_str())
+        && first != "true"
+        && first != "false"
+}
+
+/// L14: a `decode_path` file may only touch input bytes through the
+/// checked `take_*` accessors — every raw index/slice site is a
+/// finding, enriched with the call chain from a `decode_*` entry when
+/// one reaches it.
+fn check_decode_bounds(
+    graph: &CallGraph<'_>,
+    files: &[FileIndex],
+    diags: &mut Vec<Diagnostic>,
+    analysis: &mut Analysis,
+) {
+    analysis.decode_files = files
+        .iter()
+        .filter(|f| f.decode_path)
+        .map(|f| f.rel.display().to_string())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let decode_entries: Vec<usize> = graph
+        .ids()
+        .filter(|&id| {
+            let (file, f) = graph.fn_at(id);
+            file.decode_path && !f.is_test && f.name.starts_with("decode")
+        })
+        .collect();
+
+    for id in graph.ids() {
+        let (file, f) = graph.fn_at(id);
+        if !file.decode_path || f.is_test {
+            continue;
+        }
+        for s in &f.indexes {
+            if s.allowed_decode {
+                continue;
+            }
+            let from = decode_entries
+                .iter()
+                .find_map(|&eid| {
+                    if eid == id {
+                        return None;
+                    }
+                    let (reached, parent) = graph.reachable(eid);
+                    if reached.binary_search(&id).is_ok() {
+                        Some(format!(
+                            " (reached from decode entry via {})",
+                            graph.chain(eid, id, &parent)
+                        ))
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or_default();
+            diags.push(Diagnostic {
+                rule: Rule::DecodeBounds,
+                file: file.rel.clone(),
+                line: s.line,
+                message: format!(
+                    "raw byte access {} in decode-path fn `{}`{from}; read input only \
+                     through the checked `take_*` accessors",
+                    s.what, f.name,
+                ),
+            });
+        }
+    }
+}
+
+/// L15: every unchecked `+`/`-`/`*` where an operand is tick-sourced
+/// (an extracted fact from [`crate::items`]) is a finding — tick
+/// counters grow monotonically for the life of the broadcast, so plain
+/// arithmetic is a silent-wraparound hazard.
+fn check_overflow(files: &[FileIndex], diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            for n in &f.ticks {
+                diags.push(Diagnostic {
+                    rule: Rule::Overflow,
+                    file: file.rel.clone(),
+                    line: n.line,
+                    message: format!(
+                        "{} in fn `{}`; use checked/saturating/wrapping arithmetic or \
+                         annotate with a reason",
+                        n.what, f.name,
                     ),
                 });
             }

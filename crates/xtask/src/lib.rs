@@ -19,12 +19,18 @@
 //! | `L9/sans-io` | files declared `// bpush-lint: sans_io` (the protocol core) must not transitively reach clocks, threads, channels, filesystem, or sockets |
 //! | `L10/lock-order` | the workspace lock-acquisition graph must be acyclic (deadlock freedom) |
 //! | `L11/taint` | token-level determinism taint: renamed imports and cross-crate call chains cannot smuggle `Instant`/`HashMap`-style constructs into the deterministic crates past L2's text match |
+//! | `L12/panic-reach` | nothing reachable from a `hot_path` or `sans_io` entry point may hit an implicit panic site (indexing, slicing, non-constant division, `unreachable!`) |
+//! | `L13/state-total` | matches over `protocol_enum`-marked enums must name every variant — wildcard `_` and catch-all binding arms are banned |
+//! | `L14/decode-bounds` | files marked `decode_path` may only touch input bytes through checked `take_*` accessors — no raw indexing/slicing |
+//! | `L15/overflow` | arithmetic on tick/cycle/id-typed values must be checked/wrapping/saturating or carry an annotated justification |
 //!
-//! Rules L0–L7 are line-level; L8–L11 are interprocedural, built on the
-//! token stream from [`lex`], the item index from [`items`], and the
-//! workspace call graph from [`callgraph`] (see [`analysis`] for the
-//! drivers). Every file is read and lexed exactly once per run and all
-//! twelve rules share that pass; `--json` reports the micro-timings.
+//! Rules L0–L7 are line-level; L8–L15 are interprocedural dataflow
+//! rules, built on the token stream from [`lex`], the item index from
+//! [`items`], and the workspace call graph from [`callgraph`] (see
+//! [`analysis`] for the drivers). Every file is read, lexed, and
+//! indexed exactly once per run — in parallel across `std::thread`
+//! workers with deterministic path-sorted output — and all sixteen
+//! rules share that pass; `--json` reports the per-phase micro-timings.
 //!
 //! # Escape hatch
 //!
@@ -33,7 +39,8 @@
 //! the end of the offending line or alone on the line directly above it.
 //! The rule name goes in the parentheses (`panic`, `determinism`,
 //! `crate-attrs`, `conformance`, `locks`, `casts`, `stdout`,
-//! `hot-alloc`, `sans-io`, `lock-order`, or `taint`; comma-separated for
+//! `hot-alloc`, `sans-io`, `lock-order`, `taint`, `panic-reach`,
+//! `state-total`, `decode-bounds`, or `overflow`; comma-separated for
 //! more than one) and the trailing reason is mandatory — an annotation
 //! with no reason, or naming an unknown rule, is itself reported as
 //! `L0/annotation`. `lint --json` publishes the per-rule suppression
@@ -44,7 +51,11 @@
 //! * `// bpush-lint: hot_path` above (or on) a `fn` marks it as an L8
 //!   contract holder: nothing it transitively calls may allocate.
 //! * `// bpush-lint: sans_io` anywhere in a file declares the whole file
-//!   protocol-core for L9.
+//!   protocol-core for L9 (its functions also become L12 entry points).
+//! * `// bpush-lint: protocol_enum` above (or on) an `enum` makes every
+//!   match over it an L13 exhaustiveness contract.
+//! * `// bpush-lint: decode_path` anywhere in a file bans raw byte
+//!   indexing in it for L14.
 //!
 //! # How matching works
 //!
@@ -73,7 +84,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use lex::{lex_tokens, split_source, test_mask, SplitLine, Token};
+use lex::{lex_tokens, split_source, test_mask, SplitLine};
 
 /// Identifier of one rule in the lint catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -102,6 +113,16 @@ pub enum Rule {
     LockOrder,
     /// `L11/taint`: determinism taint smuggled past L2's text match.
     Taint,
+    /// `L12/panic-reach`: an implicit panic site is reachable from a
+    /// `hot_path`/`sans_io` entry point.
+    PanicReach,
+    /// `L13/state-total`: a match over a protocol enum hides variants
+    /// behind a wildcard or catch-all arm.
+    StateTotal,
+    /// `L14/decode-bounds`: raw byte indexing in a decode-path file.
+    DecodeBounds,
+    /// `L15/overflow`: unchecked arithmetic on a tick-typed value.
+    Overflow,
 }
 
 /// Every rule, in catalog order (the order `suppressions` reports in).
@@ -118,6 +139,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::SansIo,
     Rule::LockOrder,
     Rule::Taint,
+    Rule::PanicReach,
+    Rule::StateTotal,
+    Rule::DecodeBounds,
+    Rule::Overflow,
 ];
 
 impl Rule {
@@ -136,6 +161,10 @@ impl Rule {
             Rule::SansIo => "L9/sans-io",
             Rule::LockOrder => "L10/lock-order",
             Rule::Taint => "L11/taint",
+            Rule::PanicReach => "L12/panic-reach",
+            Rule::StateTotal => "L13/state-total",
+            Rule::DecodeBounds => "L14/decode-bounds",
+            Rule::Overflow => "L15/overflow",
         }
     }
 
@@ -154,6 +183,10 @@ impl Rule {
             Rule::SansIo => "sans-io",
             Rule::LockOrder => "lock-order",
             Rule::Taint => "taint",
+            Rule::PanicReach => "panic-reach",
+            Rule::StateTotal => "state-total",
+            Rule::DecodeBounds => "decode-bounds",
+            Rule::Overflow => "overflow",
         }
     }
 
@@ -172,6 +205,23 @@ impl Rule {
             .copied()
             .filter(|r| *r != Rule::Annotation)
             .find(|r| r.allow_name() == name)
+    }
+
+    /// Whether every finding of this rule is attributable to the file
+    /// it is reported in — the rules `lint --changed` can scope to the
+    /// touched files. The interprocedural reachability rules (L4, L8,
+    /// L9, L10, L11, L12) can blame a file for an edit elsewhere, so
+    /// they always see the whole graph.
+    pub fn file_scoped(self) -> bool {
+        !matches!(
+            self,
+            Rule::Conformance
+                | Rule::HotAlloc
+                | Rule::SansIo
+                | Rule::LockOrder
+                | Rule::Taint
+                | Rule::PanicReach
+        )
     }
 }
 
@@ -301,15 +351,22 @@ pub fn workspace_crates(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError
     Ok(found)
 }
 
-/// Micro-timings of the shared single pass, in nanoseconds.
+/// Micro-timings of the shared single pass, in nanoseconds. The
+/// per-file phases (`read`, `lex`, `index`) run on `workers` threads
+/// and are summed across them (CPU time, not wall time); `rules_ns` is
+/// the wall time of the single-threaded rules phase.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LintTiming {
     /// Time spent reading source files off disk.
     pub read_ns: u64,
     /// Time spent in the lexical pass (split + tokenize), once per file.
     pub lex_ns: u64,
-    /// Time spent running all twelve rules over the shared pass.
+    /// Time spent building the per-file item indexes.
+    pub index_ns: u64,
+    /// Time spent running all sixteen rules over the shared pass.
     pub rules_ns: u64,
+    /// Worker threads the per-file phases ran on.
+    pub workers: usize,
 }
 
 /// The full result of one lint run: findings plus the summary facts the
@@ -329,6 +386,10 @@ pub struct LintReport {
     pub hot_functions: Vec<String>,
     /// Every file declaring `sans_io` (L9 surface), workspace-relative.
     pub sans_io_files: Vec<String>,
+    /// Every enum carrying the `protocol_enum` annotation (L13 set).
+    pub protocol_enums: Vec<String>,
+    /// Every file declaring `decode_path` (L14 surface), workspace-relative.
+    pub decode_files: Vec<String>,
 }
 
 impl LintReport {
@@ -358,82 +419,176 @@ struct FileRecord {
     is_crate_root: bool,
     lines: Vec<SplitLine>,
     mask: Vec<bool>,
-    tokens: Vec<Token>,
     allows: Vec<BTreeSet<Rule>>,
     malformed: Vec<(usize, String)>,
     allow_counts: Vec<(Rule, usize)>,
 }
 
 /// Runs the whole catalog and returns the full [`LintReport`] —
-/// findings, suppression budget, timings, and the L8/L9 surfaces.
+/// findings, suppression budget, timings, and the L8/L9/L13/L14
+/// surfaces. The per-file read + lex + index phases run across the
+/// default worker count (see [`default_workers`]).
 ///
 /// # Errors
 /// Propagates I/O failures; findings are *not* errors.
 pub fn lint_workspace_report(root: &Path) -> Result<LintReport, LintError> {
+    lint_workspace_report_with_workers(root, default_workers())
+}
+
+/// Worker threads the per-file phases run on by default: the machine's
+/// available parallelism, capped at 8 (the pass saturates well before
+/// that on this workspace's file count).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// One prepared source file: the shared record plus its item index.
+type Prepared = (FileRecord, items::FileIndex);
+
+/// Reads, lexes, and indexes one source file, accumulating the phase
+/// timings. This is the per-file unit of work the workers run.
+fn prepare_file(
+    root: &Path,
+    name: &str,
+    file: &Path,
+    is_crate_root: bool,
+    read_ns: &mut u64,
+    lex_ns: &mut u64,
+    index_ns: &mut u64,
+) -> Result<Prepared, LintError> {
+    let t0 = Instant::now();
+    let text = read_file(file)?;
+    *read_ns = read_ns.saturating_add(elapsed_ns(t0));
+
+    let t1 = Instant::now();
+    let lines = split_source(&text);
+    let tokens = lex_tokens(&lines);
+    *lex_ns = lex_ns.saturating_add(elapsed_ns(t1));
+
+    let mask = test_mask(&lines);
+    let (allows, malformed, allow_counts) = collect_allows(&lines);
+    let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+
+    let t2 = Instant::now();
+    let index = items::index_file(name, &rel, &lines, &mask, &tokens, &allows);
+    *index_ns = index_ns.saturating_add(elapsed_ns(t2));
+
+    let rec = FileRecord {
+        crate_name: name.to_string(),
+        rel,
+        is_crate_root,
+        lines,
+        mask,
+        allows,
+        malformed,
+        allow_counts,
+    };
+    Ok((rec, index))
+}
+
+/// [`lint_workspace_report`] with an explicit worker count for the
+/// per-file phases. The file list is enumerated serially in sorted
+/// order, split into contiguous chunks, and reassembled by position, so
+/// the report is byte-identical for every worker count (pinned by a
+/// test).
+///
+/// # Errors
+/// Propagates I/O failures; findings are *not* errors.
+pub fn lint_workspace_report_with_workers(
+    root: &Path,
+    workers: usize,
+) -> Result<LintReport, LintError> {
     let crates = workspace_crates(root)?;
     let deps = callgraph::DepMap::load(&crates)?;
 
-    let mut timing = LintTiming::default();
-    let mut records: Vec<FileRecord> = Vec::new();
-    let mut evidence: Vec<String> = Vec::new();
-
+    // Serial enumeration: the path-sorted work list that fixes the
+    // output order regardless of worker count.
+    let mut sources: Vec<(String, PathBuf, bool)> = Vec::new();
+    let mut evidence_files: Vec<PathBuf> = Vec::new();
     for (name, path) in &crates {
         let src = path.join("src");
         if src.is_dir() {
             let mut files = Vec::new();
             walk_rs(&src, &mut files)?;
             let root_file = crate_root_file(&src);
-            for file in &files {
-                let t0 = Instant::now();
-                let text = read_file(file)?;
-                timing.read_ns = timing.read_ns.saturating_add(elapsed_ns(t0));
-
-                let t1 = Instant::now();
-                let lines = split_source(&text);
-                let tokens = lex_tokens(&lines);
-                timing.lex_ns = timing.lex_ns.saturating_add(elapsed_ns(t1));
-
-                let mask = test_mask(&lines);
-                let (allows, malformed, allow_counts) = collect_allows(&lines);
-                records.push(FileRecord {
-                    crate_name: name.clone(),
-                    rel: file.strip_prefix(root).unwrap_or(file).to_path_buf(),
-                    is_crate_root: Some(file.as_path()) == root_file.as_deref(),
-                    lines,
-                    mask,
-                    tokens,
-                    allows,
-                    malformed,
-                    allow_counts,
-                });
+            for file in files {
+                let is_root = Some(file.as_path()) == root_file.as_deref();
+                sources.push((name.clone(), file, is_root));
             }
         }
         let tests = path.join("tests");
         if tests.is_dir() {
-            let mut files = Vec::new();
-            walk_rs(&tests, &mut files)?;
-            let t0 = Instant::now();
-            for file in &files {
-                evidence.push(read_file(file)?);
-            }
-            timing.read_ns = timing.read_ns.saturating_add(elapsed_ns(t0));
+            walk_rs(&tests, &mut evidence_files)?;
         }
+    }
+
+    let mut timing = LintTiming::default();
+    let workers = workers.clamp(1, sources.len().max(1));
+    timing.workers = workers;
+    let chunk = sources.len().div_ceil(workers.max(1)).max(1);
+
+    let mut slots: Vec<Option<Prepared>> = Vec::new();
+    slots.resize_with(sources.len(), || None);
+    let worker_results: Vec<Result<(u64, u64, u64), LintError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slots
+            .chunks_mut(chunk)
+            .zip(sources.chunks(chunk))
+            .map(|(out, work)| {
+                scope.spawn(move || {
+                    let (mut read_ns, mut lex_ns, mut index_ns) = (0u64, 0u64, 0u64);
+                    for (slot, (name, file, is_root)) in out.iter_mut().zip(work) {
+                        *slot = Some(prepare_file(
+                            root,
+                            name,
+                            file,
+                            *is_root,
+                            &mut read_ns,
+                            &mut lex_ns,
+                            &mut index_ns,
+                        )?);
+                    }
+                    Ok((read_ns, lex_ns, index_ns))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    for result in worker_results {
+        let (read_ns, lex_ns, index_ns) = result?;
+        timing.read_ns = timing.read_ns.saturating_add(read_ns);
+        timing.lex_ns = timing.lex_ns.saturating_add(lex_ns);
+        timing.index_ns = timing.index_ns.saturating_add(index_ns);
+    }
+
+    let t0 = Instant::now();
+    let mut evidence: Vec<String> = Vec::new();
+    for file in &evidence_files {
+        evidence.push(read_file(file)?);
+    }
+    timing.read_ns = timing.read_ns.saturating_add(elapsed_ns(t0));
+
+    let mut records: Vec<FileRecord> = Vec::with_capacity(slots.len());
+    let mut indexes: Vec<items::FileIndex> = Vec::with_capacity(slots.len());
+    // Every slot was filled or its worker's error already returned.
+    for (rec, index) in slots.into_iter().flatten() {
+        records.push(rec);
+        indexes.push(index);
     }
 
     let t2 = Instant::now();
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut impls: Vec<ProtocolImpl> = Vec::new();
-    let mut indexes: Vec<items::FileIndex> = Vec::new();
     for rec in &records {
         lint_record(rec, &mut diags, &mut impls);
-        indexes.push(items::index_file(
-            &rec.crate_name,
-            &rec.rel,
-            &rec.lines,
-            &rec.mask,
-            &rec.tokens,
-            &rec.allows,
-        ));
     }
 
     // Rule L4: every impl needs a tests/ file naming the type alongside
@@ -459,7 +614,7 @@ pub fn lint_workspace_report(root: &Path) -> Result<LintReport, LintError> {
         }
     }
 
-    // Rules L8–L11: the interprocedural pass over the shared index.
+    // Rules L8–L15: the interprocedural pass over the shared index.
     let summary = analysis::run(&indexes, &deps, &mut diags);
 
     diags.sort_by(|a, b| {
@@ -483,6 +638,8 @@ pub fn lint_workspace_report(root: &Path) -> Result<LintReport, LintError> {
         suppressions,
         hot_functions: summary.hot_functions,
         sans_io_files: summary.sans_io_files,
+        protocol_enums: summary.protocol_enums,
+        decode_files: summary.decode_files,
     })
 }
 
@@ -729,7 +886,8 @@ fn parse_allow(comment: &str) -> Option<Result<Vec<Rule>, String>> {
                 return Some(Err(format!(
                     "unknown rule `{name}` in allow annotation (expected one of: \
                      panic, determinism, crate-attrs, conformance, locks, casts, \
-                     stdout, hot-alloc, sans-io, lock-order, taint)"
+                     stdout, hot-alloc, sans-io, lock-order, taint, panic-reach, \
+                     state-total, decode-bounds, overflow)"
                 )))
             }
         }
@@ -792,7 +950,7 @@ pub fn diagnostics_to_json(diagnostics: &[Diagnostic]) -> String {
 /// {
 ///   "clean": true,
 ///   "files": 42,
-///   "timing": {"read_ns": 0, "lex_ns": 0, "rules_ns": 0},
+///   "timing": {"read_ns": 0, "lex_ns": 0, "index_ns": 0, "rules_ns": 0, "workers": 1},
 ///   "suppressions": [{"rule": "L0/annotation", "count": 0}],
 ///   "diagnostics": []
 /// }
@@ -803,8 +961,14 @@ pub fn report_to_json(report: &LintReport) -> String {
     out.push_str(if report.clean() { "true" } else { "false" });
     let _ = write!(
         out,
-        ",\"files\":{},\"timing\":{{\"read_ns\":{},\"lex_ns\":{},\"rules_ns\":{}}}",
-        report.files, report.timing.read_ns, report.timing.lex_ns, report.timing.rules_ns
+        ",\"files\":{},\"timing\":{{\"read_ns\":{},\"lex_ns\":{},\"index_ns\":{},\
+         \"rules_ns\":{},\"workers\":{}}}",
+        report.files,
+        report.timing.read_ns,
+        report.timing.lex_ns,
+        report.timing.index_ns,
+        report.timing.rules_ns,
+        report.timing.workers
     );
     out.push_str(",\"suppressions\":[");
     for (i, (rule, count)) in report.suppressions.iter().enumerate() {
@@ -991,18 +1155,40 @@ mod tests {
             timing: LintTiming {
                 read_ns: 1,
                 lex_ns: 2,
+                index_ns: 5,
                 rules_ns: 3,
+                workers: 4,
             },
             suppressions: vec![(Rule::Panic, 4)],
             hot_functions: Vec::new(),
             sans_io_files: Vec::new(),
+            protocol_enums: Vec::new(),
+            decode_files: Vec::new(),
         };
         assert_eq!(
             report_to_json(&report),
             "{\"clean\":true,\"files\":3,\
-             \"timing\":{\"read_ns\":1,\"lex_ns\":2,\"rules_ns\":3},\
+             \"timing\":{\"read_ns\":1,\"lex_ns\":2,\"index_ns\":5,\
+             \"rules_ns\":3,\"workers\":4},\
              \"suppressions\":[{\"rule\":\"L1/panic\",\"count\":4}],\
              \"diagnostics\":[]}"
         );
+    }
+
+    #[test]
+    fn new_rules_parse_and_report_file_scope() {
+        assert_eq!(Rule::parse("L12/panic-reach"), Some(Rule::PanicReach));
+        assert_eq!(Rule::parse("state-total"), Some(Rule::StateTotal));
+        assert_eq!(Rule::parse("decode-bounds"), Some(Rule::DecodeBounds));
+        assert_eq!(Rule::parse("L15/overflow"), Some(Rule::Overflow));
+        // `--changed` scoping: site-attributable rules are file-scoped,
+        // reachability rules are not.
+        assert!(Rule::StateTotal.file_scoped());
+        assert!(Rule::DecodeBounds.file_scoped());
+        assert!(Rule::Overflow.file_scoped());
+        assert!(Rule::Panic.file_scoped());
+        assert!(!Rule::PanicReach.file_scoped());
+        assert!(!Rule::HotAlloc.file_scoped());
+        assert!(!Rule::Conformance.file_scoped());
     }
 }

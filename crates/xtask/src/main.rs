@@ -26,15 +26,22 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: cargo run -p xtask -- <command>
 
 commands:
-  lint [--root <workspace-root>] [--rule <code>] [--json]
-      Runs the bpush rule catalog (L0/annotation through L11/taint:
+  lint [--root <workspace-root>] [--rule <code>] [--changed]
+       [--workers <n>] [--budget-ms <n>] [--json]
+      Runs the bpush rule catalog (L0/annotation through L15/overflow:
       panic, determinism, crate-attrs, conformance, locks, casts,
-      stdout, hot-alloc, sans-io, lock-order, taint) over every crate
-      under <root>/crates and exits non-zero if any rule fires.
+      stdout, hot-alloc, sans-io, lock-order, taint, panic-reach,
+      state-total, decode-bounds, overflow) over every crate under
+      <root>/crates and exits non-zero if any rule fires.
       --rule restricts the findings to one rule (given by code, e.g.
-      `L8/hot-alloc`, or by allow-name, e.g. `hot-alloc`); --json
-      prints the full report (findings, per-rule suppression counts,
-      single-pass micro-timings).
+      `L8/hot-alloc`, or by allow-name, e.g. `hot-alloc`); --changed
+      restricts the file-scoped rules to files touched per git (the
+      interprocedural rules still see the whole graph) for a fast
+      pre-commit loop; --workers overrides the thread count of the
+      per-file pass (the report is identical for any value);
+      --budget-ms fails the run when the single-pass micro-timings
+      exceed the given wall-time ceiling; --json prints the full
+      report (findings, per-rule suppression counts, timings).
   mc [--scope ci|default] [--protocol <name>] [--json]
      [--replay <file> [--trace <path>]]
       Exhaustively enumerates bounded executions for every processing
@@ -91,6 +98,9 @@ fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut rule: Option<xtask::Rule> = None;
+    let mut changed = false;
+    let mut workers: Option<usize> = None;
+    let mut budget_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -106,6 +116,25 @@ fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 }
                 None => return Err("--rule needs a rule code argument".into()),
             },
+            "--changed" => changed = true,
+            "--workers" => match it.next() {
+                Some(n) => {
+                    workers = Some(
+                        n.parse()
+                            .map_err(|_| format!("--workers needs a thread count, got `{n}`"))?,
+                    );
+                }
+                None => return Err("--workers needs a thread count argument".into()),
+            },
+            "--budget-ms" => match it.next() {
+                Some(n) => {
+                    budget_ms = Some(
+                        n.parse()
+                            .map_err(|_| format!("--budget-ms needs a number, got `{n}`"))?,
+                    );
+                }
+                None => return Err("--budget-ms needs a millisecond ceiling argument".into()),
+            },
             "--json" => json = true,
             other => return Err(format!("unknown lint option `{other}`\n{USAGE}").into()),
         }
@@ -115,45 +144,104 @@ fn lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         None => find_workspace_root()?,
     };
 
-    let mut report = xtask::lint_workspace_report(&root)?;
+    let mut report = xtask::lint_workspace_report_with_workers(
+        &root,
+        workers.unwrap_or_else(xtask::default_workers),
+    )?;
     if let Some(rule) = rule {
         report.diagnostics.retain(|d| d.rule == rule);
     }
+    if changed {
+        let touched = git_changed_files(&root)?;
+        report
+            .diagnostics
+            .retain(|d| !d.rule.file_scoped() || touched.contains(&d.file));
+    }
+    let total_ns = report
+        .timing
+        .read_ns
+        .saturating_add(report.timing.lex_ns)
+        .saturating_add(report.timing.index_ns)
+        .saturating_add(report.timing.rules_ns);
+    let over_budget = budget_ms.is_some_and(|ms| total_ns > ms.saturating_mul(1_000_000));
     if json {
         println!("{}", xtask::report_to_json(&report));
-        return Ok(if report.clean() {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        });
-    }
-    if report.clean() {
+    } else if report.clean() {
         let suppressed: usize = report.suppressions.iter().map(|(_, n)| n).sum();
         println!(
             "xtask lint: clean — {} files under {} satisfy the rule catalog \
-             ({} allow annotations; read {}us, lex {}us, rules {}us)",
+             ({} allow annotations; read {}us, lex {}us, index {}us, rules {}us \
+             on {} workers)",
             report.files,
             root.join("crates").display(),
             suppressed,
             report.timing.read_ns / 1_000,
             report.timing.lex_ns / 1_000,
+            report.timing.index_ns / 1_000,
             report.timing.rules_ns / 1_000,
+            report.timing.workers,
         );
-        return Ok(ExitCode::SUCCESS);
-    }
-    for d in &report.diagnostics {
-        println!("{d}");
-    }
-    eprintln!(
-        "xtask lint: {} violation{} found",
-        report.diagnostics.len(),
-        if report.diagnostics.len() == 1 {
-            ""
-        } else {
-            "s"
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
         }
-    );
-    Ok(ExitCode::FAILURE)
+        eprintln!(
+            "xtask lint: {} violation{} found",
+            report.diagnostics.len(),
+            if report.diagnostics.len() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
+    }
+    if over_budget {
+        eprintln!(
+            "xtask lint: over budget — single pass took {}ms, ceiling is {}ms",
+            total_ns / 1_000_000,
+            budget_ms.unwrap_or_default(),
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Workspace-relative paths of files git considers touched: anything
+/// differing from HEAD plus untracked files — the `--changed` scope.
+fn git_changed_files(
+    root: &std::path::Path,
+) -> Result<std::collections::BTreeSet<PathBuf>, Box<dyn std::error::Error>> {
+    let mut touched = std::collections::BTreeSet::new();
+    for args in [
+        &["diff", "--name-only", "HEAD"][..],
+        &["ls-files", "--others", "--exclude-standard"][..],
+    ] {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .map_err(|e| format!("--changed needs git on PATH: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git {} failed under {}: {}",
+                args.join(" "),
+                root.display(),
+                String::from_utf8_lossy(&out.stderr).trim()
+            )
+            .into());
+        }
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            if !line.is_empty() {
+                touched.insert(PathBuf::from(line));
+            }
+        }
+    }
+    Ok(touched)
 }
 
 fn mc(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {

@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: L14 decode-path bounds discipline.
+
+// bpush-lint: decode_path — fixture: all input via take_*
+
+/// Checked reader — the passing case.
+pub fn take_u8(bytes: &[u8], pos: &mut usize) -> Option<u8> {
+    let b = bytes.get(*pos).copied();
+    *pos += 1;
+    b
+}
+
+/// Decodes a header through a raw-indexing helper — the violation.
+pub fn decode_header(bytes: &[u8]) -> u8 {
+    peek(bytes)
+}
+
+fn peek(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

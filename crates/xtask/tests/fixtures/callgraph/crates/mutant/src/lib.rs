@@ -1,0 +1,31 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: seeded mutant — behaviorally clean on every input today's
+//! tests feed it, but L13 and L14 catch the latent wildcard arm and
+//! the unchecked decode index.
+
+// bpush-lint: decode_path — fixture: mutant decode helper
+
+/// Report-entry kind on the mutant's wire.
+// bpush-lint: protocol_enum — fixture: the mutant's wire vocabulary
+pub enum Kind {
+    /// Per-item entry.
+    Item,
+    /// Per-bucket entry.
+    Bucket,
+}
+
+/// Hides `Bucket` behind a wildcard — caught by L13, invisible to
+/// behavioral tests until a third kind exists.
+pub fn width_of(kind: Kind) -> usize {
+    match kind {
+        Kind::Item => 4,
+        _ => 2,
+    }
+}
+
+/// Reads the first entry with an unchecked index — caught by L14,
+/// invisible to behavioral tests that only feed non-empty frames.
+pub fn decode_first(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

@@ -1,0 +1,28 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: L15 overflow discipline on tick-typed values.
+
+/// A broadcast-cycle stamp.
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The raw counter.
+    pub fn number(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating advance — the passing case.
+    pub fn advance(self) -> Cycle {
+        Cycle(self.0.saturating_add(1))
+    }
+
+    /// Unchecked advance — the violation.
+    pub fn bump(self) -> Cycle {
+        Cycle(self.0 + 1)
+    }
+}
+
+/// Unchecked age computation — the second violation.
+pub fn age(now: Cycle, then: Cycle) -> u64 {
+    now.number() - then.number()
+}

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: L12 panic reachability from a hot entry point.
+
+/// Checked probe — the passing case.
+// bpush-lint: hot_path — fixture: checked accessor only
+pub fn probe(xs: &[u32], i: usize) -> u32 {
+    xs.get(i).copied().unwrap_or(0)
+}
+
+/// Reaches a raw index through a local helper — the violation.
+// bpush-lint: hot_path — fixture: reaches an indexing panic one hop away
+pub fn scan(xs: &[u32], i: usize) -> u32 {
+    pick(xs, i)
+}
+
+fn pick(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+/// Divides by a caller-supplied value — the second violation.
+// bpush-lint: hot_path — fixture: non-constant divisor
+pub fn share(total: u64, n: u64) -> u64 {
+    total / n
+}

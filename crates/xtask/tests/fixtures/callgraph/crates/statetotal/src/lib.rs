@@ -1,0 +1,31 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Fixture: L13 state-machine exhaustiveness over a protocol enum.
+
+/// The protocol automaton states.
+// bpush-lint: protocol_enum — fixture: handler matches must stay total
+pub enum Step {
+    /// Waiting for the next control report.
+    Idle,
+    /// Reads in flight.
+    Reading,
+    /// Terminal.
+    Done,
+}
+
+/// Names every variant — the passing case.
+pub fn advance(s: Step) -> u32 {
+    match s {
+        Step::Idle => 0,
+        Step::Reading => 1,
+        Step::Done => 2,
+    }
+}
+
+/// Hides `Reading` and `Done` behind a wildcard — the violation.
+pub fn label(s: Step) -> u32 {
+    match s {
+        Step::Idle => 0,
+        _ => 9,
+    }
+}

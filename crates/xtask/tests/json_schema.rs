@@ -258,10 +258,11 @@ fn lint_json_clean_case() {
 }
 
 /// The full-report schema behind `cargo xtask lint --json`:
-/// `{"clean", "files", "timing": {"read_ns", "lex_ns", "rules_ns"},
-/// "suppressions": [{"rule", "count"}], "diagnostics"}`, with one
-/// suppression entry per rule, covering all twelve rule ids in catalog
-/// order — the escape-hatch budget is part of the machine contract.
+/// `{"clean", "files", "timing": {"read_ns", "lex_ns", "index_ns",
+/// "rules_ns", "workers"}, "suppressions": [{"rule", "count"}],
+/// "diagnostics"}`, with one suppression entry per rule, covering all
+/// sixteen rule ids in catalog order — the escape-hatch budget is part
+/// of the machine contract.
 #[test]
 fn lint_report_json_matches_the_documented_schema() {
     let report = xtask::LintReport {
@@ -275,11 +276,15 @@ fn lint_report_json_matches_the_documented_schema() {
         timing: xtask::LintTiming {
             read_ns: 11,
             lex_ns: 22,
+            index_ns: 27,
             rules_ns: 33,
+            workers: 4,
         },
         suppressions: xtask::ALL_RULES.iter().map(|r| (*r, 0)).collect(),
         hot_functions: vec!["sgraph::path_exists".to_string()],
         sans_io_files: vec!["crates/broadcast/src/wire.rs".to_string()],
+        protocol_enums: vec!["Method".to_string()],
+        decode_files: vec!["crates/broadcast/src/wire.rs".to_string()],
     };
     let root = parse_json(&xtask::report_to_json(&report));
 
@@ -291,10 +296,15 @@ fn lint_report_json_matches_the_documented_schema() {
     assert_eq!(root.get("files").as_u64(), 7);
 
     let timing = root.get("timing");
-    assert_eq!(timing.keys(), ["read_ns", "lex_ns", "rules_ns"]);
+    assert_eq!(
+        timing.keys(),
+        ["read_ns", "lex_ns", "index_ns", "rules_ns", "workers"]
+    );
     assert_eq!(timing.get("read_ns").as_u64(), 11);
     assert_eq!(timing.get("lex_ns").as_u64(), 22);
+    assert_eq!(timing.get("index_ns").as_u64(), 27);
     assert_eq!(timing.get("rules_ns").as_u64(), 33);
+    assert_eq!(timing.get("workers").as_u64(), 4);
 
     let rules: Vec<&str> = root
         .get("suppressions")
@@ -321,6 +331,10 @@ fn lint_report_json_matches_the_documented_schema() {
             "L9/sans-io",
             "L10/lock-order",
             "L11/taint",
+            "L12/panic-reach",
+            "L13/state-total",
+            "L14/decode-bounds",
+            "L15/overflow",
         ]
     );
 
