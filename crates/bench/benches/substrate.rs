@@ -176,6 +176,12 @@ fn bench_report_membership(c: &mut Criterion) {
     group.bench_function("any-stale-gallop", |b| {
         b.iter(|| report.any_stale(&readset, state));
     });
+    // the PR-8 word-AND path over the same probe (ReadSet caches the
+    // word-block form the `*_set` probes consume)
+    let rs: bpush_core::ReadSet = readset.iter().copied().collect();
+    group.bench_function("any-stale-words", |b| {
+        b.iter(|| report.any_stale_set(rs.as_slice(), rs.word_blocks(), state));
+    });
     group.bench_function("any-stale-per-item", |b| {
         // the pre-interning shape: one granularity-aware probe per member
         b.iter(|| readset.iter().any(|&x| report.stale_at(x, state)));
@@ -192,12 +198,77 @@ fn bench_report_membership(c: &mut Criterion) {
     group.bench_function("augmented-matches-gallop", |b| {
         b.iter(|| aug.matches_in(&readset).count());
     });
+    group.bench_function("augmented-matches-words", |b| {
+        b.iter(|| aug.matches_in_set(rs.as_slice(), rs.word_blocks()).count());
+    });
     group.bench_function("augmented-matches-scan", |b| {
         // the pre-interning shape: walk every entry, probe the readset
         b.iter(|| {
             aug.entries()
                 .filter(|(x, _)| readset.binary_search(x).is_ok())
                 .count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_batch_validation(c: &mut Criterion) {
+    use bpush_broadcast::InvalidationReport;
+    use bpush_core::batch::{stale_verdicts, CohortScreen};
+    use bpush_core::ReadSet;
+    use bpush_types::Granularity;
+
+    let mut group = c.benchmark_group("substrate/batch-validation");
+    // 64 cohorts of 4 readsets in disjoint 64-id regions; the report
+    // touches only the low eighth, so most cohorts screen out in one
+    // word-AND pass — the shape one broadcast cycle presents to a
+    // client population
+    let report = InvalidationReport::new(
+        Cycle::new(1),
+        1,
+        (0..300u32).map(|i| ItemId::new(i * 37 % 512)),
+        Granularity::Item,
+        1,
+    );
+    let cohorts: Vec<Vec<ReadSet>> = (0..64u32)
+        .map(|j| {
+            (0..4u32)
+                .map(|q| {
+                    (0..12u32)
+                        .map(|k| ItemId::new(j * 64 + (q * 17 + k * 5) % 64))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let screens: Vec<CohortScreen> = cohorts
+        .iter()
+        .map(|c| CohortScreen::for_readsets(c.iter()))
+        .collect();
+    group.bench_function("cohort-screen-words", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (cohort, screen) in cohorts.iter().zip(&screens) {
+                let cohort: Vec<(&ReadSet, Cycle)> =
+                    cohort.iter().map(|rs| (rs, Cycle::ZERO)).collect();
+                stale_verdicts(&report, screen, &cohort, &mut out);
+                hits += out.iter().filter(|&&b| b).count();
+            }
+            hits
+        });
+    });
+    group.bench_function("per-query-gallop", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for cohort in &cohorts {
+                for rs in cohort {
+                    if report.any_stale(rs.as_slice(), Cycle::ZERO) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
         });
     });
     group.finish();
@@ -357,6 +428,7 @@ criterion_group!(
     bench_sgraph,
     bench_sgraph_scaling,
     bench_report_membership,
+    bench_batch_validation,
     bench_cache,
     bench_workload,
     bench_bcast_assembly,

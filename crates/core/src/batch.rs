@@ -1,0 +1,277 @@
+//! Batched, word-parallel validation of query cohorts.
+//!
+//! Each protocol validates every co-resident query against every cycle's
+//! invalidation (and, for SGT, augmented) report. Per query that probe is
+//! already a handful of word ANDs (`InvalidationReport::any_stale_set`),
+//! but the far more common outcome is that the *whole cohort* is
+//! untouched by the report. [`CohortScreen`] maintains one union bitmap
+//! over everything any active query has read; one word-AND pass against
+//! the report's bitmap then clears the entire cohort at once, and the
+//! per-query probes run only on the rare cycles where the union actually
+//! intersects the report.
+//!
+//! The screen is conservative by construction: bits are only ever added
+//! while any query is active (a finished query's bits linger until the
+//! cohort drains), so a "disjoint" verdict is always exact, while a
+//! non-disjoint verdict merely falls back to the per-query probes —
+//! verdicts are identical to per-query validation in every case, which
+//! the differential proptests in `tests/` pin down.
+
+// bpush-lint: sans_io — protocol core: pure bitmap arithmetic over report/readset ids
+
+use bpush_broadcast::{AugmentedReport, InvalidationReport};
+use bpush_types::{Cycle, ItemId};
+
+use crate::readset::ReadSet;
+
+/// Union bitmap over the items read by a cohort of co-resident queries,
+/// mirroring the dense word-block form of [`ReadSet`] (same base-word /
+/// span-cap rules). Maintained incrementally on every accepted read and
+/// cleared when the cohort drains.
+#[derive(Debug, Clone)]
+pub struct CohortScreen {
+    /// First 64-bit word of the block: bit `b` of `words[w]` is item
+    /// `(base_word + w) * 64 + b`.
+    base_word: u32,
+    words: Vec<u64>,
+    /// Cleared once the union's span exceeds [`ReadSet::MAX_SPAN_WORDS`];
+    /// a degraded screen answers "maybe" forever (until [`CohortScreen::clear`]).
+    dense: bool,
+    /// Whether any read was noted since the last clear.
+    any: bool,
+}
+
+impl CohortScreen {
+    /// An empty screen.
+    pub fn new() -> Self {
+        CohortScreen {
+            base_word: 0,
+            words: Vec::new(),
+            dense: true,
+            any: false,
+        }
+    }
+
+    /// Notes that some active query read `item`. Mirrors
+    /// `ReadSet::note_word`, degrading permanently past the span cap.
+    pub fn note_read(&mut self, item: ItemId) {
+        self.any = true;
+        if !self.dense {
+            return;
+        }
+        let w = item.index() >> 6;
+        let bit = 1u64 << (item.index() & 63);
+        if self.words.is_empty() {
+            self.base_word = w;
+            self.words.push(bit);
+            return;
+        }
+        if w < self.base_word {
+            let grow = (self.base_word - w) as usize;
+            if grow + self.words.len() > ReadSet::MAX_SPAN_WORDS {
+                self.degrade();
+                return;
+            }
+            let old_len = self.words.len();
+            self.words.resize(old_len + grow, 0);
+            self.words.rotate_right(grow);
+            self.base_word = w;
+        } else {
+            let off = (w - self.base_word) as usize;
+            if off >= ReadSet::MAX_SPAN_WORDS {
+                self.degrade();
+                return;
+            }
+            if off >= self.words.len() {
+                self.words.resize(off + 1, 0);
+            }
+        }
+        let off = (w - self.base_word) as usize;
+        if let Some(slot) = self.words.get_mut(off) {
+            *slot |= bit;
+        }
+    }
+
+    fn degrade(&mut self) {
+        self.dense = false;
+        self.base_word = 0;
+        self.words = Vec::new();
+    }
+
+    /// Resets the screen to empty (the cohort drained). This is the only
+    /// point at which a degraded screen recovers its dense form.
+    pub fn clear(&mut self) {
+        self.base_word = 0;
+        self.words.clear();
+        self.dense = true;
+        self.any = false;
+    }
+
+    /// Whether any read has been noted since the last clear.
+    pub fn is_empty(&self) -> bool {
+        !self.any
+    }
+
+    /// The screen's word block, when dense and nonempty.
+    fn word_blocks(&self) -> Option<(u32, &[u64])> {
+        if self.dense && !self.words.is_empty() {
+            Some((self.base_word, self.words.as_slice()))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the whole cohort is provably untouched by `report`: no
+    /// noted read, an empty report, or a word-AND miss between the union
+    /// bitmap and the report bitmap. `false` means "maybe" — callers
+    /// fall back to the per-query probes, so a stale (lingering) bit
+    /// never changes a verdict.
+    // bpush-lint: hot_path — per-cycle whole-cohort screen (PR-8 allocation-freedom contract)
+    pub fn is_disjoint_from(&self, report: &InvalidationReport) -> bool {
+        if !self.any || report.is_empty() {
+            return true;
+        }
+        report.intersects_words(self.word_blocks()) == Some(false)
+    }
+
+    /// [`CohortScreen::is_disjoint_from`] against an augmented report.
+    // bpush-lint: hot_path — per-cycle whole-cohort SGT screen (PR-8 allocation-freedom contract)
+    pub fn is_disjoint_from_augmented(&self, report: &AugmentedReport) -> bool {
+        if !self.any || report.is_empty() {
+            return true;
+        }
+        report.intersects_words(self.word_blocks()) == Some(false)
+    }
+
+    /// Builds the union screen over a set of readsets (cold path; the
+    /// protocols maintain their screens incrementally instead).
+    pub fn for_readsets<'a>(readsets: impl IntoIterator<Item = &'a ReadSet>) -> Self {
+        let mut screen = CohortScreen::new();
+        for rs in readsets {
+            for item in rs.iter() {
+                screen.note_read(item);
+            }
+        }
+        screen
+    }
+}
+
+impl Default for CohortScreen {
+    fn default() -> Self {
+        CohortScreen::new()
+    }
+}
+
+/// Batch staleness validation: the verdict of
+/// [`InvalidationReport::any_stale`] for every `(readset, verified
+/// state)` in `cohort`, written into `out` (cleared first, one `bool`
+/// per cohort entry, in order). One word-AND pass of `screen` against
+/// the report settles the whole cohort in the common disjoint case; the
+/// per-query word probes run otherwise. Verdicts are identical to
+/// calling `any_stale` per query — the differential proptests pin this.
+pub fn stale_verdicts(
+    report: &InvalidationReport,
+    screen: &CohortScreen,
+    cohort: &[(&ReadSet, Cycle)],
+    out: &mut Vec<bool>,
+) {
+    out.clear();
+    if screen.is_disjoint_from(report) {
+        out.resize(cohort.len(), false);
+        return;
+    }
+    for (rs, state) in cohort {
+        out.push(report.any_stale_set(rs.as_slice(), rs.word_blocks(), *state));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpush_types::{Granularity, TxnId};
+
+    fn report(cycle: u64, items: &[u32]) -> InvalidationReport {
+        InvalidationReport::new(
+            Cycle::new(cycle),
+            1,
+            items.iter().map(|&i| ItemId::new(i)),
+            Granularity::Item,
+            1,
+        )
+    }
+
+    #[test]
+    fn empty_screen_is_disjoint_from_everything() {
+        let s = CohortScreen::new();
+        assert!(s.is_empty());
+        assert!(s.is_disjoint_from(&report(1, &[1, 2, 3])));
+        let aug = AugmentedReport::new(
+            Cycle::new(1),
+            [(ItemId::new(1), TxnId::new(Cycle::new(1), 0))],
+        );
+        assert!(s.is_disjoint_from_augmented(&aug));
+    }
+
+    #[test]
+    fn screen_catches_overlap_and_misses_disjoint() {
+        let mut s = CohortScreen::new();
+        s.note_read(ItemId::new(5));
+        s.note_read(ItemId::new(900));
+        assert!(!s.is_empty());
+        assert!(!s.is_disjoint_from(&report(1, &[900, 1000])));
+        assert!(s.is_disjoint_from(&report(1, &[4, 6, 899, 901])));
+        assert!(s.is_disjoint_from(&report(1, &[])), "empty report");
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.is_disjoint_from(&report(1, &[5])));
+    }
+
+    #[test]
+    fn degraded_screen_answers_maybe() {
+        let mut s = CohortScreen::new();
+        s.note_read(ItemId::new(0));
+        s.note_read(ItemId::new(u32::MAX));
+        // disjoint in truth, but the degraded screen cannot prove it
+        assert!(!s.is_disjoint_from(&report(1, &[7])));
+        s.clear();
+        s.note_read(ItemId::new(1));
+        assert!(s.is_disjoint_from(&report(1, &[7])), "clear restores dense");
+    }
+
+    #[test]
+    fn bucket_reports_are_never_screened_out() {
+        let mut s = CohortScreen::new();
+        s.note_read(ItemId::new(6));
+        let r = report(1, &[5]).at_granularity(Granularity::Bucket);
+        // item granularity bits cannot speak for bucket membership
+        assert!(!s.is_disjoint_from(&r));
+    }
+
+    #[test]
+    fn batch_verdicts_match_per_query() {
+        let r = report(4, &[3, 64, 129]);
+        let a: ReadSet = [ItemId::new(1), ItemId::new(64)].into_iter().collect();
+        let b: ReadSet = [ItemId::new(2)].into_iter().collect();
+        let c = ReadSet::new();
+        let cohort: Vec<(&ReadSet, Cycle)> = vec![
+            (&a, Cycle::new(0)),
+            (&b, Cycle::new(3)),
+            (&c, Cycle::new(4)),
+        ];
+        let screen = CohortScreen::for_readsets([&a, &b, &c]);
+        let mut out = Vec::new();
+        stale_verdicts(&r, &screen, &cohort, &mut out);
+        let oracle: Vec<bool> = cohort
+            .iter()
+            .map(|(rs, state)| r.any_stale(rs.as_slice(), *state))
+            .collect();
+        assert_eq!(out, oracle);
+
+        // fully disjoint cohort -> the screen settles it in one pass
+        let d: ReadSet = [ItemId::new(500)].into_iter().collect();
+        let cohort: Vec<(&ReadSet, Cycle)> = vec![(&d, Cycle::new(0)), (&d, Cycle::new(9))];
+        let screen = CohortScreen::for_readsets([&d]);
+        stale_verdicts(&r, &screen, &cohort, &mut out);
+        assert_eq!(out, vec![false, false]);
+    }
+}

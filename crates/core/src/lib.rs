@@ -51,6 +51,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod conformance;
 pub mod instrument;
 mod invalidation;
@@ -62,6 +63,7 @@ mod readset;
 mod sgt;
 pub mod validator;
 
+pub use batch::CohortScreen;
 pub use invalidation::InvalidationOnly;
 pub use method::Method;
 pub use multiversion::MultiversionBroadcast;

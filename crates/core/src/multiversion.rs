@@ -33,6 +33,10 @@ struct MvState {
 /// The method needs no invalidation processing at all and tolerates
 /// missed cycles as long as the needed versions are still on air —
 /// a transaction of span `s` can miss up to `V − s` cycles (§5.2.2).
+///
+/// Because `on_control` is a no-op by design, this is the one method the
+/// batched word-AND validation engine ([`crate::batch::CohortScreen`])
+/// does not apply to: there is no per-cycle report probe to screen.
 #[derive(Debug, Default)]
 pub struct MultiversionBroadcast {
     queries: BTreeMap<QueryId, MvState>,

@@ -184,6 +184,128 @@ impl<'a> SerializabilityValidator<'a> {
     }
 }
 
+/// Batch form of [`SerializabilityValidator::check_serializable`] for
+/// validating many committed readsets against one (final) conflict
+/// graph: the transactions reachable from each overwriter are computed
+/// once, memoized as a sorted list, and every readset's check becomes a
+/// merge intersection of two sorted sequences instead of a fresh DFS.
+///
+/// Verdicts are identical to the per-readset check (the differential
+/// proptests pin this); the *witness pair* inside a violation may
+/// differ, because the DFS reports the first hit in traversal order
+/// while the merge reports the smallest.
+#[derive(Debug)]
+pub struct SerializabilityBatch<'a> {
+    history: &'a WriteHistory,
+    graph: &'a bpush_sgraph::SerializationGraph,
+    /// Overwriter -> sorted transactions reachable from it (including
+    /// itself when it lies on a cycle). Borrowing the graph for the
+    /// batch's whole lifetime is what makes the memo sound.
+    reach: std::collections::BTreeMap<TxnId, Vec<TxnId>>,
+    /// Scratch for the per-readset sorted writer list, reused across
+    /// checks.
+    writers: Vec<TxnId>,
+}
+
+impl<'a> SerializabilityBatch<'a> {
+    /// Creates a batch over the final `history` and conflict `graph`.
+    pub fn new(history: &'a WriteHistory, graph: &'a bpush_sgraph::SerializationGraph) -> Self {
+        SerializabilityBatch {
+            history,
+            graph,
+            reach: std::collections::BTreeMap::new(),
+            writers: Vec::new(),
+        }
+    }
+
+    /// The sorted transactions reachable from `o` in the conflict graph,
+    /// computed on first use.
+    fn reachable(&mut self, o: TxnId) -> &[TxnId] {
+        let graph = self.graph;
+        self.reach.entry(o).or_insert_with(|| {
+            use bpush_sgraph::Node;
+            let mut txns = std::collections::BTreeSet::new();
+            let mut stack = vec![Node::Txn(o)];
+            let mut seen = std::collections::BTreeSet::new();
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n) {
+                    continue;
+                }
+                if let Some(t) = n.as_txn() {
+                    txns.insert(t);
+                }
+                stack.extend_from_slice(graph.successors(n));
+            }
+            txns.into_iter().collect()
+        })
+    }
+
+    /// Batch equivalent of
+    /// [`SerializabilityValidator::check_serializable`] for one readset.
+    ///
+    /// # Errors
+    /// Returns [`ConsistencyViolation`] with a witnessing pair when a
+    /// cycle through the query exists.
+    pub fn check(&mut self, reads: &[ReadRecord]) -> Result<(), ConsistencyViolation> {
+        self.writers.clear();
+        self.writers
+            .extend(reads.iter().filter_map(|r| r.value.writer()));
+        self.writers.sort_unstable();
+        self.writers.dedup();
+        for r in reads {
+            let Some(over) = self.history.next_overwrite(r.item, r.value) else {
+                continue;
+            };
+            // committed overwrites always carry a writer; a tagless one
+            // would be a substrate bug the per-readset oracle panics on
+            let Some(o) = over.writer() else { continue };
+            if self.writers.binary_search(&o).is_ok() {
+                return Err(ConsistencyViolation {
+                    fresh_writer: o,
+                    stale_overwrite: o,
+                });
+            }
+            // writers is borrowed around the reachable() call below, so
+            // swap it out of self for the merge
+            let writers = std::mem::take(&mut self.writers);
+            let hit = merge_hit(self.reachable(o), &writers, o);
+            self.writers = writers;
+            if let Some(t) = hit {
+                return Err(ConsistencyViolation {
+                    fresh_writer: t,
+                    stale_overwrite: o,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// First transaction (in id order) present in both sorted sequences,
+/// ignoring `skip` — the merge-intersection core of the batch check.
+fn merge_hit(reach: &[TxnId], writers: &[TxnId], skip: TxnId) -> Option<TxnId> {
+    let mut ri = reach.iter().peekable();
+    let mut wi = writers.iter().peekable();
+    while let (Some(&&r), Some(&&w)) = (ri.peek(), wi.peek()) {
+        match r.cmp(&w) {
+            std::cmp::Ordering::Less => {
+                ri.next();
+            }
+            std::cmp::Ordering::Greater => {
+                wi.next();
+            }
+            std::cmp::Ordering::Equal => {
+                if r != skip {
+                    return Some(r);
+                }
+                ri.next();
+                wi.next();
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +409,46 @@ mod tests {
         let interval = val.check(&reads).unwrap();
         assert_eq!(interval.after, Some(t(3, 0)));
         assert_eq!(interval.before, None);
+    }
+
+    #[test]
+    fn batch_check_agrees_with_per_readset_dfs() {
+        use bpush_sgraph::{Node, SerializationGraph};
+        let h = history();
+        let val = SerializabilityValidator::new(&h);
+        let mut graph = SerializationGraph::new();
+        // conflict chain T1.0 -> T2.0 -> T3.0 plus a back edge forming a
+        // cycle T2.0 -> T3.0 -> T2.0
+        graph.add_edge(Node::Txn(t(1, 0)), Node::Txn(t(2, 0)));
+        graph.add_edge(Node::Txn(t(2, 0)), Node::Txn(t(3, 0)));
+        graph.add_edge(Node::Txn(t(3, 0)), Node::Txn(t(2, 0)));
+        let mut batch = SerializabilityBatch::new(&h, &graph);
+        let readsets: Vec<Vec<ReadRecord>> = vec![
+            vec![],
+            vec![ReadRecord::new(x(0), v(t(1, 0)))],
+            vec![
+                ReadRecord::new(x(0), v(t(1, 0))),
+                ReadRecord::new(x(1), v(t(2, 0))),
+            ],
+            vec![
+                ReadRecord::new(x(0), ItemValue::initial()),
+                ReadRecord::new(x(1), v(t(2, 0))),
+            ],
+            vec![
+                ReadRecord::new(x(0), v(t(3, 0))),
+                ReadRecord::new(x(1), v(t(2, 0))),
+            ],
+        ];
+        for reads in &readsets {
+            let oracle = val.check_serializable(&graph, reads).is_ok();
+            assert_eq!(
+                batch.check(reads).is_ok(),
+                oracle,
+                "verdicts must agree on {reads:?}"
+            );
+            // memoization must not change later verdicts: re-check
+            assert_eq!(batch.check(reads).is_ok(), oracle);
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod sharded;
 pub mod table1;
 pub mod tuning;
 
@@ -118,7 +119,7 @@ pub const ALL_EXPERIMENTS: [&str; 8] = [
 
 /// Extension/ablation studies beyond the paper's artifacts (§2.2, §4 and
 /// §7 design choices, quantified).
-pub const EXTENSION_EXPERIMENTS: [&str; 7] = [
+pub const EXTENSION_EXPERIMENTS: [&str; 8] = [
     "ablation_layout",
     "ablation_read_order",
     "ablation_cache",
@@ -126,6 +127,7 @@ pub const EXTENSION_EXPERIMENTS: [&str; 7] = [
     "disks",
     "tuning",
     "indexing",
+    "sharded",
 ];
 
 /// Runs one experiment by id.
@@ -150,6 +152,7 @@ pub fn run(id: &str, scale: Scale) -> Result<Vec<Table>, BpushError> {
         "disks" => ablations::disks(scale).map(|t| vec![t]),
         "tuning" => tuning::run(scale).map(|t| vec![t]),
         "indexing" => ablations::indexing(scale).map(|t| vec![t]),
+        "sharded" => sharded::run(scale).map(|t| vec![t]),
         other => Err(BpushError::invalid_config(format!(
             "unknown experiment id `{other}`"
         ))),

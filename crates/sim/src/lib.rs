@@ -36,6 +36,6 @@ pub mod runner;
 mod simulation;
 mod table;
 
-pub use runner::{run_jobs, run_replicated, Job};
+pub use runner::{run_jobs, run_replicated, run_sharded, run_sharded_with_workers, Job};
 pub use simulation::{MethodMetrics, Simulation};
 pub use table::{fnum, Table};

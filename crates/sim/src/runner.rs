@@ -1,8 +1,7 @@
-//! Parallel execution of simulation jobs (parameter sweeps).
+//! Parallel execution of simulation jobs (parameter sweeps) and of the
+//! client shards of one large simulation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 
 use bpush_core::Method;
 use bpush_types::config::MultiversionLayout;
@@ -32,6 +31,68 @@ impl Job {
     }
 }
 
+/// The machine's available parallelism, floored at 1.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Lock-free indexed dispatch: `workers` threads claim indices
+/// `0..n` with a single `fetch_add` each and run `task` on them; the
+/// results come back in index order. Each worker accumulates its own
+/// `(index, result)` chunk — no slot locks, no shared mutable state
+/// beyond the claim counter — and the chunks are scattered into the
+/// pre-sized output after `scope` joins every worker (which is what
+/// publishes the writes and propagates panics).
+fn run_indexed<T, F>(n: usize, workers: usize, task: F) -> Vec<Result<T, BpushError>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, BpushError> + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let next = AtomicUsize::new(0);
+    let chunks: Vec<Vec<(usize, Result<T, BpushError>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        mine.push((idx, task(idx)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let mut slots: Vec<Option<Result<T, BpushError>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (idx, result) in chunks.into_iter().flatten() {
+        if let Some(slot) = slots.get_mut(idx) {
+            *slot = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or(Err(BpushError::invalid_config(
+                "internal: a simulation job was never executed",
+            )))
+        })
+        .collect()
+}
+
 /// Runs all jobs, in parallel across the machine's cores, returning the
 /// metrics in job order.
 ///
@@ -39,45 +100,32 @@ impl Job {
 /// Returns the first configuration or budget error encountered.
 pub fn run_jobs(jobs: Vec<Job>) -> Result<Vec<MethodMetrics>, BpushError> {
     let n = jobs.len();
-    // Lock-free dispatch: workers claim the next job index with a single
-    // fetch_add, and each job writes into its own pre-sized slot — no
-    // shared lock is ever contended, so sweep fan-out scales with cores.
-    // (The per-slot Mutex is never under contention: exactly one worker
-    // touches each slot, and `scope` joining the workers publishes the
-    // writes; the lock only satisfies the borrow checker across threads.)
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<MethodMetrics, BpushError>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n.max(1));
+    run_indexed(n, default_workers(), |idx| {
+        let job = jobs
+            .get(idx)
+            .ok_or_else(|| BpushError::invalid_config("internal: job index out of range"))?;
+        Simulation::with_layout(job.config.clone(), job.method, job.layout)
+            .and_then(Simulation::run)
+    })
+    .into_iter()
+    .collect()
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let job = &jobs[idx];
-                let outcome = Simulation::with_layout(job.config.clone(), job.method, job.layout)
-                    .and_then(Simulation::run);
-                *slots[idx].lock() = Some(outcome);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            // std::thread::scope joins every worker before returning (and
-            // propagates their panics), so each slot has been filled
-            slot.into_inner().unwrap_or(Err(BpushError::invalid_config(
-                "internal: a simulation job was never executed",
-            )))
-        })
-        .collect()
+/// The per-replication seed: replication 0 keeps the base seed
+/// unchanged (so single-replication runs — the default everywhere — are
+/// bit-identical to an unreplicated run), and later replications mix
+/// `rep` into the seed SplitMix64-style. The previous
+/// `seed + rep * 0x9e37_79b9` stream collided across nearby base seeds
+/// (`mix(s, 1) == mix(s + 0x9e37_79b9, 0)`); the multiply–xor–shift
+/// cascade decorrelates every `(seed, rep)` pair.
+fn mix_replication_seed(seed: u64, rep: u32) -> u64 {
+    if rep == 0 {
+        return seed;
+    }
+    let mut z = seed ^ u64::from(rep).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Runs every job `replications` times with derived seeds and merges the
@@ -97,7 +145,7 @@ pub fn run_replicated(jobs: Vec<Job>, replications: u32) -> Result<Vec<MethodMet
     for job in &jobs {
         for rep in 0..replications {
             let mut j = job.clone();
-            j.config.seed = j.config.seed.wrapping_add(u64::from(rep) * 0x9e37_79b9);
+            j.config.seed = mix_replication_seed(j.config.seed, rep);
             expanded.push(j);
         }
     }
@@ -111,6 +159,69 @@ pub fn run_replicated(jobs: Vec<Job>, replications: u32) -> Result<Vec<MethodMet
         merged.push(acc);
     }
     Ok(merged)
+}
+
+/// The half-open client ranges partitioning `n_clients` into `shards`
+/// near-equal shards, in shard order.
+fn shard_bounds(n_clients: u32, shards: u32) -> Vec<std::ops::Range<u32>> {
+    let bound = |s: u32| -> u32 {
+        // u64 arithmetic so n_clients * shards cannot overflow
+        (u64::from(n_clients) * u64::from(s) / u64::from(shards)) as u32
+    };
+    (0..shards)
+        .map(|s| bound(s)..bound(s + 1))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Runs ONE large simulation with its clients sharded across the
+/// machine's cores, merging the shards deterministically. See
+/// [`run_sharded_with_workers`] for the determinism contract.
+///
+/// # Errors
+/// Propagates the first configuration or budget error from any shard.
+pub fn run_sharded(job: &Job, shards: u32) -> Result<MethodMetrics, BpushError> {
+    run_sharded_with_workers(job, shards, default_workers())
+}
+
+/// [`run_sharded`] with an explicit worker-thread count.
+///
+/// The client population is split into `shards` fixed, near-equal
+/// ranges (clamped to `1..=n_clients`); each shard replays the same
+/// deterministic server stream against its own clients
+/// ([`Simulation::with_client_range`]), and shard metrics are merged in
+/// shard order. The partition and the merge order depend only on
+/// `shards` — never on `workers` or thread scheduling — so the merged
+/// metrics are byte-identical at any worker count, and `shards == 1`
+/// is bit-identical to an unsharded [`Simulation::run`].
+///
+/// # Errors
+/// Propagates the first configuration or budget error from any shard.
+pub fn run_sharded_with_workers(
+    job: &Job,
+    shards: u32,
+    workers: usize,
+) -> Result<MethodMetrics, BpushError> {
+    job.config.validate()?;
+    let shards = shards.clamp(1, job.config.n_clients.max(1));
+    let bounds = shard_bounds(job.config.n_clients, shards);
+    let results = run_indexed(bounds.len(), workers, |idx| {
+        let range = bounds
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| BpushError::invalid_config("internal: shard index out of range"))?;
+        Simulation::with_client_range(job.config.clone(), job.method, job.layout, range)
+            .and_then(Simulation::run)
+    });
+    let mut merged: Option<MethodMetrics> = None;
+    for result in results {
+        let shard = result?;
+        match &mut merged {
+            None => merged = Some(shard),
+            Some(acc) => acc.merge(&shard),
+        }
+    }
+    merged.ok_or_else(|| BpushError::invalid_config("internal: no shard produced metrics"))
 }
 
 #[cfg(test)]
@@ -187,6 +298,105 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         assert!(run_jobs(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replication_seed_mix_is_collision_free_and_rep0_stable() {
+        // the old derivation: seed + rep * 0x9e37_79b9 — collides across
+        // nearby base seeds
+        let old = |seed: u64, rep: u32| seed.wrapping_add(u64::from(rep) * 0x9e37_79b9);
+        assert_eq!(
+            old(7, 1),
+            old(7 + 0x9e37_79b9, 0),
+            "the old stream really did collide (regression premise)"
+        );
+        assert_ne!(
+            mix_replication_seed(7, 1),
+            mix_replication_seed(7 + 0x9e37_79b9, 0),
+            "the mixed stream must not"
+        );
+        // rep 0 must keep the base seed bit-identical: every experiment
+        // runs run_replicated(jobs, 1), which must equal the plain run
+        for seed in [0u64, 1, 7, u64::MAX] {
+            assert_eq!(mix_replication_seed(seed, 0), seed);
+        }
+        // distinctness across a seed x rep grid
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..64u64 {
+            for rep in 0..16u32 {
+                assert!(
+                    seen.insert(mix_replication_seed(seed, rep)),
+                    "collision at seed={seed} rep={rep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_bounds_partition_exactly() {
+        for (n, s) in [(8u32, 3u32), (2, 5), (1, 1), (7, 7), (100, 8)] {
+            let bounds = shard_bounds(n, s.min(n));
+            assert_eq!(bounds.first().map(|r| r.start), Some(0));
+            assert_eq!(bounds.last().map(|r| r.end), Some(n));
+            for pair in bounds.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "contiguous: {bounds:?}");
+            }
+            assert!(bounds.iter().all(|r| !r.is_empty()), "{bounds:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_single_shard_equals_plain_run() {
+        let mut cfg = tiny_config(11);
+        cfg.n_clients = 3;
+        let job = Job::new(Method::Sgt, cfg);
+        let plain = Simulation::with_layout(job.config.clone(), job.method, job.layout)
+            .unwrap()
+            .run()
+            .unwrap();
+        let sharded = run_sharded(&job, 1).unwrap();
+        assert_eq!(
+            sharded.deterministic_snapshot(),
+            plain.deterministic_snapshot()
+        );
+    }
+
+    #[test]
+    fn sharded_metrics_are_byte_identical_across_worker_counts() {
+        let mut cfg = tiny_config(5);
+        cfg.n_clients = 4;
+        for method in [Method::InvalidationOnly, Method::Sgt] {
+            let job = Job::new(method, cfg.clone());
+            let base = run_sharded_with_workers(&job, 4, 1)
+                .unwrap()
+                .deterministic_snapshot();
+            for workers in [2usize, 3, 8] {
+                let again = run_sharded_with_workers(&job, 4, workers)
+                    .unwrap()
+                    .deterministic_snapshot();
+                assert_eq!(again, base, "{method} at {workers} workers");
+            }
+            // and pooled query counts match the unsharded run
+            let plain = Simulation::with_layout(job.config.clone(), job.method, job.layout)
+                .unwrap()
+                .run()
+                .unwrap();
+            let sharded = run_sharded_with_workers(&job, 4, 2).unwrap();
+            assert_eq!(sharded.queries, plain.queries, "{method}");
+            assert_eq!(sharded.aborts.hits(), plain.aborts.hits(), "{method}");
+            assert_eq!(sharded.violations, plain.violations, "{method}");
+        }
+    }
+
+    #[test]
+    fn sharded_clamps_excess_shards() {
+        let mut cfg = tiny_config(2);
+        cfg.n_clients = 2;
+        let job = Job::new(Method::InvalidationOnly, cfg);
+        // more shards than clients: clamped, still correct
+        let m = run_sharded(&job, 64).unwrap();
+        assert!(m.queries > 0);
+        assert_eq!(m.violations, 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The cycle-driven simulation engine tying server and clients together.
 
 use bpush_client::{CacheParams, ClientCache, QueryExecutor, QueryOutcome};
-use bpush_core::validator::SerializabilityValidator;
+use bpush_core::validator::SerializabilityBatch;
 use bpush_core::{AbortReason, CacheMode, Method};
 use bpush_obs::{Actor, Obs};
 use bpush_server::BroadcastServer;
@@ -71,6 +71,37 @@ impl MethodMetrics {
     /// Broadcast-size increase over the bare data segment, in percent.
     pub fn overhead_pct(&self) -> f64 {
         (self.mean_bcast_slots - self.base_slots as f64) / self.base_slots as f64 * 100.0
+    }
+
+    /// Every field except `validation_ns`, rendered to a string: the
+    /// deterministic projection of the metrics. `validation_ns` is
+    /// wall-clock time and legitimately varies run to run; everything
+    /// else is a pure function of the seed, so the sharded-runner tests
+    /// assert byte-identical snapshots across worker counts.
+    pub fn deterministic_snapshot(&self) -> String {
+        format!(
+            "method={:?} queries={} aborts={:?} reasons={:?} latency_cycles={:?} \
+             latency_slots={:?} latency_hist={:?} span={:?} tuning={:?} breads={:?} \
+             cache_hit={:?} mean_bcast_slots={:?} base_slots={} violations={} cycles={} \
+             peak_nodes={} peak_edges={}",
+            self.method,
+            self.queries,
+            self.aborts,
+            self.abort_reasons,
+            self.latency_cycles,
+            self.latency_slots,
+            self.latency_hist,
+            self.span,
+            self.tuning_slots,
+            self.broadcast_reads,
+            self.cache_hit_rate,
+            self.mean_bcast_slots,
+            self.base_slots,
+            self.violations,
+            self.cycles,
+            self.peak_graph_nodes,
+            self.peak_graph_edges,
+        )
     }
 
     /// Merges metrics from an independent replication of the same
@@ -164,15 +195,45 @@ impl Simulation {
         method: Method,
         layout: MultiversionLayout,
     ) -> Result<Self, BpushError> {
+        let all = 0..config.n_clients;
+        Simulation::with_client_range(config, method, layout, all)
+    }
+
+    /// Builds a *shard* of a simulation: the same server stream, but only
+    /// the clients with global indices in `clients`. The server's update
+    /// workload is derived purely from the seed (clients never feed back
+    /// into it), so every shard replays the identical broadcast prefix,
+    /// and each client's seed comes from its *global* index — a client
+    /// behaves bit-identically whether it runs in a shard or in the full
+    /// simulation. [`crate::run_sharded`] builds on this to spread one
+    /// large simulation's clients across threads deterministically.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] for inconsistent
+    /// configurations, an empty range, or a range beyond `n_clients`.
+    pub fn with_client_range(
+        config: SimConfig,
+        method: Method,
+        layout: MultiversionLayout,
+        clients: std::ops::Range<u32>,
+    ) -> Result<Self, BpushError> {
         config.validate()?;
+        if clients.is_empty() {
+            return Err(BpushError::invalid_config(
+                "a simulation shard needs at least one client",
+            ));
+        }
+        if clients.end > config.n_clients {
+            return Err(BpushError::invalid_config("client range exceeds n_clients"));
+        }
         let seeds = SeedSequence::new(config.seed);
         let server = BroadcastServer::new(
             config.server.clone(),
             method.server_options(layout),
             seeds.derive(&["server"]),
         )?;
-        let mut clients = Vec::with_capacity(config.n_clients as usize);
-        for i in 0..config.n_clients {
+        let mut built = Vec::with_capacity(clients.len());
+        for i in clients {
             let cache = match method.cache_mode() {
                 CacheMode::None => None,
                 mode @ (CacheMode::Plain | CacheMode::Versioned | CacheMode::Multiversion) => {
@@ -194,7 +255,7 @@ impl Simulation {
                     }
                 }
             };
-            clients.push(QueryExecutor::new(
+            built.push(QueryExecutor::new(
                 ClientId::new(i),
                 config.client.clone(),
                 method.build_protocol(),
@@ -207,7 +268,7 @@ impl Simulation {
             config,
             method,
             server,
-            clients,
+            clients: built,
             obs: Obs::off(),
         })
     }
@@ -357,11 +418,15 @@ impl Simulation {
         let _validator_span =
             self.obs
                 .span("validator.check", Cycle::new(cycles), Actor::Validator);
-        let validator = SerializabilityValidator::new(self.server.history());
-        let graph = self.server.conflict_graph();
+        // The batch checker memoizes per-overwriter reachability across
+        // the whole outcome set; the per-readset DFS form
+        // (`SerializabilityValidator::check_serializable`) remains the
+        // differential oracle in the test suites.
+        let mut batch =
+            SerializabilityBatch::new(self.server.history(), self.server.conflict_graph());
         let mut violations = 0;
         for o in outcomes.iter().filter(|o| o.committed()) {
-            if validator.check_serializable(graph, &o.reads).is_err() {
+            if batch.check(&o.reads).is_err() {
                 violations += 1;
             }
         }

@@ -26,12 +26,14 @@ use std::path::Path;
 use std::time::Instant;
 
 use crate::jsonv::{self, Json};
-use bpush_core::Method;
+use bpush_broadcast::InvalidationReport;
+use bpush_core::batch::{stale_verdicts, CohortScreen};
+use bpush_core::{Method, ReadSet};
 use bpush_sgraph::baseline::BaselineGraph;
 use bpush_sgraph::{Node, SerializationGraph};
 use bpush_sim::experiments::{config_for, defaults, Scale};
-use bpush_sim::Simulation;
-use bpush_types::{BpushError, Cycle, QueryId, TxnId};
+use bpush_sim::{run_sharded_with_workers, Job, Simulation};
+use bpush_types::{BpushError, Cycle, Granularity, ItemId, QueryId, TxnId};
 
 /// One timed substrate workload.
 #[derive(Debug, Clone)]
@@ -130,6 +132,125 @@ macro_rules! substrate_workload {
     }};
 }
 
+/// SplitMix64 — the deterministic id stream for the membership fixture
+/// (same mix the sim runner uses for replication seeds).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The report-membership fixture: a region-structured id universe where
+/// the report touches only the low regions, so most cohorts are
+/// provably disjoint — the shape one broadcast cycle presents to a
+/// client population, and the case the PR-8 word-AND path is built for.
+struct MembershipFixture {
+    report: InvalidationReport,
+    /// Per cohort: the readsets of its co-resident queries.
+    cohorts: Vec<Vec<ReadSet>>,
+    /// Per cohort: the incrementally-maintained union screen.
+    screens: Vec<CohortScreen>,
+}
+
+/// Ids per region; cohort `j` reads only within region `j`.
+const REGION: u64 = 64;
+
+fn membership_fixture(quick: bool) -> MembershipFixture {
+    let (regions, per_cohort, per_readset, updates) = if quick {
+        (24usize, 3usize, 8u64, 120u64)
+    } else {
+        (64, 4, 12, 300)
+    };
+    // the report names `updates` items inside the low eighth of the
+    // universe: cohorts there fall back to per-query probes, the rest
+    // screen out in one word-AND pass
+    let hot_span = (regions as u64 * REGION) / 8;
+    let report = InvalidationReport::new(
+        Cycle::new(1),
+        1,
+        (0..updates).map(|i| ItemId::new((mix(i) % hot_span) as u32)),
+        Granularity::Item,
+        1,
+    );
+    let mut cohorts = Vec::with_capacity(regions);
+    let mut screens = Vec::with_capacity(regions);
+    for j in 0..regions as u64 {
+        let mut cohort = Vec::with_capacity(per_cohort);
+        for q in 0..per_cohort as u64 {
+            let rs: ReadSet = (0..per_readset)
+                .map(|k| ItemId::new((j * REGION + mix(j * 131 + q * 17 + k) % REGION) as u32))
+                .collect();
+            cohort.push(rs);
+        }
+        screens.push(CohortScreen::for_readsets(cohort.iter()));
+        cohorts.push(cohort);
+    }
+    MembershipFixture {
+        report,
+        cohorts,
+        screens,
+    }
+}
+
+impl MembershipFixture {
+    /// Every readset probed through the word-AND membership path.
+    fn probe_words(&self) -> u64 {
+        let mut hits = 0u64;
+        for cohort in &self.cohorts {
+            for rs in cohort {
+                if self
+                    .report
+                    .any_stale_set(rs.as_slice(), rs.word_blocks(), Cycle::ZERO)
+                {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    }
+
+    /// Every readset probed through the PR-3 galloping path.
+    fn probe_gallop(&self) -> u64 {
+        let mut hits = 0u64;
+        for cohort in &self.cohorts {
+            for rs in cohort {
+                if self.report.any_stale(rs.as_slice(), Cycle::ZERO) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    }
+
+    /// Whole cohorts through the batch engine: one screen pass each,
+    /// per-query word probes only where the screen cannot settle it.
+    fn batch_words(&self, out: &mut Vec<bool>) -> u64 {
+        let mut hits = 0u64;
+        for (cohort, screen) in self.cohorts.iter().zip(&self.screens) {
+            let cohort: Vec<(&ReadSet, Cycle)> =
+                cohort.iter().map(|rs| (rs, Cycle::ZERO)).collect();
+            stale_verdicts(&self.report, screen, &cohort, out);
+            hits += out.iter().filter(|&&b| b).count() as u64;
+        }
+        hits
+    }
+
+    /// The same cohorts validated query by query with galloping probes —
+    /// the PR-3 client loop the batch engine replaces.
+    fn batch_gallop(&self) -> u64 {
+        let mut hits = 0u64;
+        for cohort in &self.cohorts {
+            for rs in cohort {
+                if self.report.any_stale(rs.as_slice(), Cycle::ZERO) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    }
+}
+
 /// Times `iters` repetitions of `work`, returning `(total_ns,
 /// last_checksum)`.
 fn time_ns(iters: u64, mut work: impl FnMut() -> u64) -> (u64, u64) {
@@ -161,7 +282,7 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, BpushError> {
             "substrate checksum mismatch: interned {interned_sum} != baseline {baseline_sum}"
         )));
     }
-    let substrate = vec![
+    let mut substrate = vec![
         SubstrateBench {
             name: "sgt-substrate-interned".to_owned(),
             iters,
@@ -176,6 +297,41 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, BpushError> {
         },
     ];
     let sgt_speedup_pct = baseline_ns.saturating_mul(100) / interned_ns.max(1);
+
+    // PR-8: word-AND report membership vs the PR-3 galloping probes,
+    // and the batch cohort engine vs the per-query validation loop.
+    // Each pair runs the identical probe stream; the hit counts are the
+    // differential checksum.
+    let fixture = membership_fixture(quick);
+    let probe_iters: u64 = if quick { 60 } else { 400 };
+    let (words_ns, words_sum) = time_ns(probe_iters, || fixture.probe_words());
+    let (gallop_ns, gallop_sum) = time_ns(probe_iters, || fixture.probe_gallop());
+    if words_sum != gallop_sum {
+        return Err(BpushError::invalid_config(format!(
+            "membership checksum mismatch: words {words_sum} != gallop {gallop_sum}"
+        )));
+    }
+    let mut verdicts = Vec::new();
+    let (bwords_ns, bwords_sum) = time_ns(probe_iters, || fixture.batch_words(&mut verdicts));
+    let (bgallop_ns, bgallop_sum) = time_ns(probe_iters, || fixture.batch_gallop());
+    if bwords_sum != bgallop_sum {
+        return Err(BpushError::invalid_config(format!(
+            "batch checksum mismatch: words {bwords_sum} != gallop {bgallop_sum}"
+        )));
+    }
+    for (name, ns) in [
+        ("report-membership-words", words_ns),
+        ("report-membership-gallop", gallop_ns),
+        ("batch-validation-words", bwords_ns),
+        ("batch-validation-gallop", bgallop_ns),
+    ] {
+        substrate.push(SubstrateBench {
+            name: name.to_owned(),
+            iters: probe_iters,
+            total_ns: ns,
+            ns_per_iter: ns / probe_iters.max(1),
+        });
+    }
 
     let scale = if quick { Scale::Quick } else { Scale::Paper };
     let base = defaults(scale);
@@ -192,6 +348,31 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, BpushError> {
             queries: metrics.queries,
             committed: metrics.queries.saturating_sub(metrics.aborts.hits()),
         });
+    }
+
+    // PR-8: the sharded runner at 1/2/4 worker threads over a fixed
+    // shard layout; the deterministic metric snapshots must be
+    // byte-identical at every worker count (the merge is in shard
+    // order), which doubles as the run's differential check.
+    let shard_job = Job::new(Method::InvalidationOnly, base.clone());
+    let shards = base.n_clients.clamp(1, 4);
+    let mut shard_snapshots: Vec<String> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let start = Instant::now();
+        let metrics = run_sharded_with_workers(&shard_job, shards, workers)?;
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shard_snapshots.push(metrics.deterministic_snapshot());
+        substrate.push(SubstrateBench {
+            name: format!("sharded-runner-{workers}w"),
+            iters: 1,
+            total_ns: ns,
+            ns_per_iter: ns,
+        });
+    }
+    if !shard_snapshots.windows(2).all(|w| w[0] == w[1]) {
+        return Err(BpushError::invalid_config(
+            "sharded runner metrics diverged across worker counts",
+        ));
     }
 
     Ok(BenchReport {
@@ -396,9 +577,23 @@ mod tests {
     fn quick_bench_produces_full_report() {
         let report = run_bench(true).unwrap();
         assert!(report.quick);
-        assert_eq!(report.substrate.len(), 2);
+        assert_eq!(report.substrate.len(), 9);
         assert_eq!(report.substrate[0].name, "sgt-substrate-interned");
         assert_eq!(report.substrate[1].name, "sgt-substrate-baseline");
+        for name in [
+            "report-membership-words",
+            "report-membership-gallop",
+            "batch-validation-words",
+            "batch-validation-gallop",
+            "sharded-runner-1w",
+            "sharded-runner-2w",
+            "sharded-runner-4w",
+        ] {
+            assert!(
+                report.substrate.iter().any(|s| s.name == name),
+                "missing substrate entry `{name}`"
+            );
+        }
         for s in &report.substrate {
             assert!(s.total_ns > 0);
             assert!(s.ns_per_iter > 0);

@@ -289,6 +289,15 @@ fn hot_path_set_covers_the_pr3_hot_functions() {
         "broadcast::take",
         "broadcast::take_u32",
         "broadcast::take_txn",
+        // PR-8 word-parallel report membership + batched cohort screens.
+        "broadcast::intersects",
+        "broadcast::intersects_words",
+        "broadcast::any_stale_set",
+        "broadcast::any_invalidated_set",
+        "broadcast::matches_in_set",
+        "core::word_blocks",
+        "core::is_disjoint_from",
+        "core::is_disjoint_from_augmented",
     ];
     for name in REQUIRED {
         assert!(

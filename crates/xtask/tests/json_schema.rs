@@ -520,6 +520,57 @@ fn checked_in_bench_report_holds_the_speedup_target() {
     assert_eq!(methods, expected);
 }
 
+/// The checked-in `BENCH_8.json` parses, satisfies the schema, carries
+/// the PR-8 word-parallel substrate pairs with the word-AND paths at or
+/// above the 150% floor over the PR-3 galloping paths, and records the
+/// sharded-runner scaling entries at 1/2/4 worker threads.
+#[test]
+fn checked_in_pr8_report_holds_the_word_parallel_floor() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let root = parse_json(text.trim_end());
+    assert_bench_schema(&root);
+    assert!(!root.get("quick").as_bool(), "check in a full-scale report");
+
+    let substrate = root.get("substrate").as_arr();
+    let total_ns_of = |name: &str| -> u64 {
+        substrate
+            .iter()
+            .find(|s| s.get("name").as_str() == name)
+            .unwrap_or_else(|| panic!("BENCH_8.json is missing substrate entry `{name}`"))
+            .get("total_ns")
+            .as_u64()
+    };
+    for (words, gallop) in [
+        ("report-membership-words", "report-membership-gallop"),
+        ("batch-validation-words", "batch-validation-gallop"),
+    ] {
+        let words_ns = total_ns_of(words);
+        let gallop_ns = total_ns_of(gallop);
+        let speedup_pct = gallop_ns.saturating_mul(100) / words_ns.max(1);
+        assert!(
+            speedup_pct >= 150,
+            "{words} must stay >= 150% of {gallop}, got {speedup_pct}% \
+             (the ratio is wall-clock and machine-dependent: regenerate \
+             BENCH_8.json with `cargo xtask bench --json --out BENCH_8.json` \
+             on a quiet machine at full scale — see EXPERIMENTS.md)"
+        );
+    }
+    for workers in ["1w", "2w", "4w"] {
+        let _ = total_ns_of(&format!("sharded-runner-{workers}"));
+    }
+
+    let methods: Vec<&str> = root
+        .get("methods")
+        .as_arr()
+        .iter()
+        .map(|m| m.get("method").as_str())
+        .collect();
+    let expected: Vec<&str> = bpush_core::Method::ALL.iter().map(|m| m.name()).collect();
+    assert_eq!(methods, expected);
+}
+
 // ---------------------------------------------------------------------
 // `cargo xtask trace` (`metrics.json`)
 // ---------------------------------------------------------------------
