@@ -344,6 +344,11 @@ impl InvalidationReport {
         self.granularity
     }
 
+    /// Items per bucket used for bucket-granularity coarsening.
+    pub fn items_per_bucket(&self) -> u32 {
+        self.items_per_bucket
+    }
+
     /// Returns the same report re-expressed at a different granularity.
     #[must_use]
     pub fn at_granularity(mut self, granularity: Granularity) -> Self {

@@ -47,6 +47,11 @@ impl Directory {
         self.slots.get(&item).copied()
     }
 
+    /// All entries in item order, for serialization.
+    pub fn entries(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
+        self.slots.iter().map(|(&item, &slot)| (item, slot))
+    }
+
     /// Number of indexed items.
     pub fn len(&self) -> usize {
         self.slots.len()

@@ -1,0 +1,580 @@
+//! Segment framing for the broadcast feed: the sans-IO transport layer.
+//!
+//! A transport (the in-process simulator, the model checker, or a future
+//! socket server) delivers the broadcast as a byte stream. This module
+//! frames that stream into self-describing **segments** — control, data
+//! and directory — and decodes each back into the in-memory structures
+//! the protocols consume. The client side is a pure push parser
+//! ([`WireFeed`]): bytes in, complete segments out, no clock, no channel,
+//! and no allocation on the scan path (payload decoding builds the
+//! per-cycle report structures, exactly like the struct-fed path does).
+//!
+//! Segment layout (byte-aligned so a socket transport can frame without
+//! bit state): a 13-byte header — kind (1 byte), cycle (8 bytes, big
+//! endian), payload length (4 bytes, big endian) — followed by the
+//! bit-packed payload produced by [`crate::wire`]. Control payloads are
+//! self-describing: window, granularity, items-per-bucket and the
+//! presence flags for the SGT reports ride in-band, so decoding needs
+//! only the deployment's fixed [`WireParams`] widths.
+
+// bpush-lint: sans_io — protocol core: pure byte-stream framing, no clocks/threads/files/sockets
+
+// bpush-lint: decode_path — all broadcast-feed input is read through checked take_* accessors
+
+use bpush_types::{BpushError, Cycle, Granularity, ItemId, ItemValue, TxnId};
+
+use crate::bcast::Bcast;
+use crate::bucket::ItemRecord;
+use crate::control::ControlInfo;
+use crate::directory::Directory;
+use crate::wire::{
+    decode_augmented_from, decode_diff_from, decode_invalidation_from, encode_augmented_into,
+    encode_diff_into, encode_invalidation_into, BitReader, BitWriter, WireParams,
+};
+
+/// Bytes in a segment header: kind, cycle, payload length.
+pub const SEGMENT_HEADER_BYTES: usize = 1 + 8 + 4;
+
+/// What a framed segment carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// bpush-lint: protocol_enum — the segment vocabulary of the broadcast feed
+pub enum SegmentKind {
+    /// The control information preceding a cycle's data (§3).
+    Control,
+    /// Data-segment records (current versions, §2.1).
+    Data,
+    /// The on-air directory (§3.2 shifting-position organizations).
+    Directory,
+}
+
+impl SegmentKind {
+    /// The header byte of this kind.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            SegmentKind::Control => 0,
+            SegmentKind::Data => 1,
+            SegmentKind::Directory => 2,
+        }
+    }
+
+    /// Parses a header byte.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] for an unknown kind byte.
+    // bpush-lint: hot_path — per-segment header parse on the broadcast feed path
+    pub fn from_byte(b: u8) -> Result<Self, BpushError> {
+        match b {
+            0 => Ok(SegmentKind::Control),
+            1 => Ok(SegmentKind::Data),
+            2 => Ok(SegmentKind::Directory),
+            _ => Err(BpushError::invalid_config("unknown segment kind byte")),
+        }
+    }
+}
+
+/// A complete segment, borrowed out of a [`WireFeed`]'s buffer: the
+/// framing scan hands these out without copying the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentView<'a> {
+    /// What the segment carries.
+    pub kind: SegmentKind,
+    /// The broadcast cycle the segment belongs to.
+    pub cycle: Cycle,
+    /// The bit-packed payload.
+    pub payload: &'a [u8],
+}
+
+/// A decoded segment, ready for the protocol layer.
+#[derive(Debug, Clone, PartialEq)]
+// bpush-lint: protocol_enum — decoded form of the segment vocabulary
+pub enum DecodedSegment {
+    /// A decoded control segment.
+    Control(ControlInfo),
+    /// Decoded data-segment records.
+    Data(Cycle, Vec<ItemRecord>),
+    /// A decoded directory.
+    Directory(Directory),
+}
+
+/// Frames `payload` as a segment of `kind` for `cycle`.
+fn frame(kind: SegmentKind, cycle: Cycle, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_BYTES + payload.len());
+    out.push(kind.to_byte());
+    out.extend_from_slice(&cycle.number().to_be_bytes());
+    // lint: allow(casts) — the length field is u32 by wire-format definition; single-cycle payloads sit far below 4 GiB
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes one cycle's control information as a complete framed segment.
+///
+/// The payload is self-describing: window, granularity, items-per-bucket
+/// and the SGT presence flags precede the report bodies, so the decoder
+/// needs nothing beyond the fixed [`WireParams`] widths.
+pub fn encode_control_segment(ctrl: &ControlInfo, params: WireParams) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    let inv = ctrl.invalidation();
+    w.put(u64::from(inv.window()), 32);
+    w.put(u64::from(inv.granularity() == Granularity::Bucket), 1);
+    w.put(u64::from(inv.items_per_bucket()), 32);
+    w.put(u64::from(ctrl.augmented().is_some()), 1);
+    w.put(u64::from(ctrl.graph_diff().is_some()), 1);
+    encode_invalidation_into(&mut w, inv, params);
+    if let Some(aug) = ctrl.augmented() {
+        encode_augmented_into(&mut w, aug, ctrl.cycle(), params);
+    }
+    if let Some(diff) = ctrl.graph_diff() {
+        encode_diff_into(&mut w, diff, ctrl.cycle(), params);
+    }
+    frame(SegmentKind::Control, ctrl.cycle(), &w.into_bytes())
+}
+
+/// Decodes a control-segment payload for `cycle`.
+///
+/// # Errors
+/// Returns [`BpushError::InvalidConfig`] on a truncated or malformed
+/// payload (including report invariant violations — see
+/// [`crate::wire::decode_augmented`] and [`crate::wire::decode_diff`]).
+pub fn decode_control_payload(
+    payload: &[u8],
+    params: WireParams,
+    cycle: Cycle,
+) -> Result<ControlInfo, BpushError> {
+    let mut r = BitReader::new(payload);
+    let window = take_u32_field(&mut r)?;
+    let bucket = r.take(1)? == 1;
+    let items_per_bucket = take_u32_field(&mut r)?;
+    let has_augmented = r.take(1)? == 1;
+    let has_diff = r.take(1)? == 1;
+    let granularity = if bucket {
+        Granularity::Bucket
+    } else {
+        Granularity::Item
+    };
+    let invalidation =
+        decode_invalidation_from(&mut r, params, cycle, window, granularity, items_per_bucket)?;
+    let augmented = if has_augmented {
+        Some(decode_augmented_from(&mut r, params, cycle)?)
+    } else {
+        None
+    };
+    let graph_diff = if has_diff {
+        Some(decode_diff_from(&mut r, params, cycle)?)
+    } else {
+        None
+    };
+    ControlInfo::try_new(cycle, invalidation, augmented, graph_diff)
+}
+
+/// Reads a 32-bit header field out of a payload stream.
+// bpush-lint: hot_path — per-field decode primitive on the broadcast feed path
+fn take_u32_field(r: &mut BitReader<'_>) -> Result<u32, BpushError> {
+    u32::try_from(r.take(32)?)
+        .map_err(|_| BpushError::invalid_config("wire field does not fit in 32 bits"))
+}
+
+/// Encodes data-segment records (current versions with their SGT tags
+/// and overflow pointers) as a complete framed segment. Values carry no
+/// payload bytes in this model — a value is identified by its writer —
+/// so a record transmits the item key, the value's writer, the optional
+/// last-writer tag and the optional overflow pointer.
+pub fn encode_data_segment(cycle: Cycle, records: &[ItemRecord], params: WireParams) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.put(records.len() as u64, 32);
+    for rec in records {
+        w.put(u64::from(rec.item().index()), params.key_bits);
+        put_opt_txn(&mut w, rec.value().writer(), cycle, params);
+        put_opt_txn(&mut w, rec.last_writer(), cycle, params);
+        match rec.overflow_ptr() {
+            Some(ptr) => {
+                w.put(1, 1);
+                w.put(ptr, 64);
+            }
+            None => w.put(0, 1),
+        }
+    }
+    frame(SegmentKind::Data, cycle, &w.into_bytes())
+}
+
+/// Decodes a data-segment payload for `cycle`.
+///
+/// # Errors
+/// Returns [`BpushError::InvalidConfig`] on a truncated stream.
+pub fn decode_data_payload(
+    payload: &[u8],
+    params: WireParams,
+    cycle: Cycle,
+) -> Result<Vec<ItemRecord>, BpushError> {
+    let mut r = BitReader::new(payload);
+    let count = r.take(32)?;
+    // 3 flag bits + the item key is the minimum footprint of one record
+    let min_bits = params.key_bits + 3;
+    let cap = count.min(r.remaining_bits() / u64::from(min_bits.max(1))) as usize; // bpush-lint: allow(panic-reach) — the divisor is clamped to ≥ 1
+    let mut records = Vec::with_capacity(cap);
+    for _ in 0..count {
+        let item = ItemId::new(take_u32_width(&mut r, params.key_bits)?);
+        let value = match take_opt_txn(&mut r, cycle, params)? {
+            Some(writer) => ItemValue::written_by(writer),
+            None => ItemValue::initial(),
+        };
+        let tag = take_opt_txn(&mut r, cycle, params)?;
+        let mut rec = ItemRecord::new(item, value, tag);
+        if r.take(1)? == 1 {
+            rec = rec.with_overflow_ptr(r.take(64)?);
+        }
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Reads a `width`-bit field checked-narrowed to `u32`.
+// bpush-lint: hot_path — per-field decode primitive on the broadcast feed path
+fn take_u32_width(r: &mut BitReader<'_>, width: u32) -> Result<u32, BpushError> {
+    u32::try_from(r.take(width)?)
+        .map_err(|_| BpushError::invalid_config("wire field does not fit in 32 bits"))
+}
+
+fn put_opt_txn(w: &mut BitWriter, t: Option<TxnId>, now: Cycle, params: WireParams) {
+    match t {
+        Some(t) => {
+            w.put(1, 1);
+            crate::wire::put_txn(w, t, now, params);
+        }
+        None => w.put(0, 1),
+    }
+}
+
+// bpush-lint: hot_path — per-record optional-txn decode on the broadcast feed path
+fn take_opt_txn(
+    r: &mut BitReader<'_>,
+    now: Cycle,
+    params: WireParams,
+) -> Result<Option<TxnId>, BpushError> {
+    if r.take(1)? == 0 {
+        return Ok(None);
+    }
+    crate::wire::take_txn(r, now, params).map(Some)
+}
+
+/// Encodes a directory as a complete framed segment: one key and one
+/// 64-bit slot offset per entry.
+pub fn encode_directory_segment(dir: &Directory, params: WireParams) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.put(dir.len() as u64, 32);
+    for (item, slot) in dir.entries() {
+        w.put(u64::from(item.index()), params.key_bits);
+        w.put(slot, 64);
+    }
+    frame(SegmentKind::Directory, dir.cycle(), &w.into_bytes())
+}
+
+/// Decodes a directory payload for `cycle`.
+///
+/// # Errors
+/// Returns [`BpushError::InvalidConfig`] on a truncated stream.
+pub fn decode_directory_payload(
+    payload: &[u8],
+    params: WireParams,
+    cycle: Cycle,
+) -> Result<Directory, BpushError> {
+    let mut r = BitReader::new(payload);
+    let count = r.take(32)?;
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        let item = ItemId::new(take_u32_width(&mut r, params.key_bits)?);
+        let slot = r.take(64)?;
+        entries.push((item, slot));
+    }
+    Ok(Directory::new(cycle, entries))
+}
+
+/// Encodes a whole bcast as its on-wire segment sequence: directory (for
+/// shifting-position organizations) first, then control, then the data
+/// segment — the §2.1 cycle structure a transport actually transmits.
+pub fn encode_bcast_segments(bcast: &Bcast, params: WireParams) -> Vec<u8> {
+    let mut out = Vec::new();
+    if let Some(dir) = bcast.directory() {
+        out.extend_from_slice(&encode_directory_segment(dir, params));
+    }
+    out.extend_from_slice(&encode_control_segment(bcast.control(), params));
+    let records: Vec<ItemRecord> = bcast.records().copied().collect();
+    out.extend_from_slice(&encode_data_segment(bcast.cycle(), &records, params));
+    out
+}
+
+/// Decodes any complete segment into its in-memory form.
+///
+/// # Errors
+/// Returns [`BpushError::InvalidConfig`] on a malformed payload.
+pub fn decode_segment(
+    seg: SegmentView<'_>,
+    params: WireParams,
+) -> Result<DecodedSegment, BpushError> {
+    match seg.kind {
+        SegmentKind::Control => {
+            decode_control_payload(seg.payload, params, seg.cycle).map(DecodedSegment::Control)
+        }
+        SegmentKind::Data => decode_data_payload(seg.payload, params, seg.cycle)
+            .map(|records| DecodedSegment::Data(seg.cycle, records)),
+        SegmentKind::Directory => {
+            decode_directory_payload(seg.payload, params, seg.cycle).map(DecodedSegment::Directory)
+        }
+    }
+}
+
+/// An incremental segment parser: push byte chunks of any size in, pop
+/// complete segments out. This is the client's transport boundary — a
+/// socket reader, the simulator and the model checker all feed it the
+/// same bytes, and everything past it is the pure protocol core.
+///
+/// The scan path allocates nothing: [`WireFeed::pop`] hands out
+/// [`SegmentView`]s borrowing the internal buffer. Buffer space itself
+/// amortizes across [`WireFeed::push`] calls and is compacted as
+/// segments are consumed.
+///
+/// # Example
+/// ```
+/// use bpush_broadcast::feed::{encode_control_segment, SegmentKind, WireFeed};
+/// use bpush_broadcast::wire::WireParams;
+/// use bpush_broadcast::ControlInfo;
+/// use bpush_types::Cycle;
+///
+/// let params = WireParams::derive(100, 1, 4, 4);
+/// let bytes = encode_control_segment(&ControlInfo::empty(Cycle::new(2)), params);
+/// let mut feed = WireFeed::new();
+/// // deliver byte-by-byte, as a slow socket would
+/// for b in &bytes {
+///     feed.push(std::slice::from_ref(b));
+/// }
+/// let seg = feed.pop().unwrap().expect("one complete segment");
+/// assert_eq!(seg.kind, SegmentKind::Control);
+/// assert_eq!(seg.cycle, Cycle::new(2));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct WireFeed {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by popped segments.
+    read: usize,
+}
+
+impl WireFeed {
+    /// An empty feed.
+    pub fn new() -> Self {
+        WireFeed::default()
+    }
+
+    /// Appends a chunk of transport bytes. Consumed buffer space is
+    /// reclaimed here, outside the scan path.
+    pub fn push(&mut self, chunk: &[u8]) {
+        if self.read > 0 {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed by a popped segment.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Pops the next complete segment, or `None` when more bytes are
+    /// needed. The view borrows this feed's buffer and is consumed by
+    /// the call — the next `pop` moves past it.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] on an unknown segment kind:
+    /// the stream is unsynchronized and the transport must resync (§2.1
+    /// self-description) before feeding more bytes.
+    // bpush-lint: hot_path — the segment-boundary scan of the broadcast feed path
+    pub fn pop(&mut self) -> Result<Option<SegmentView<'_>>, BpushError> {
+        let mut header = self.buf.iter().skip(self.read).copied();
+        let Some(kind_byte) = header.next() else {
+            return Ok(None);
+        };
+        let kind = SegmentKind::from_byte(kind_byte)?;
+        let mut cycle: u64 = 0;
+        let mut len: u64 = 0;
+        let mut have = 0usize;
+        for b in header.by_ref().take(8) {
+            cycle = (cycle << 8) | u64::from(b);
+            have += 1;
+        }
+        for b in header.take(4) {
+            len = (len << 8) | u64::from(b);
+            have += 1;
+        }
+        if have < 12 {
+            return Ok(None);
+        }
+        let start = self.read + SEGMENT_HEADER_BYTES;
+        let end = start + len as usize;
+        if end > self.buf.len() {
+            return Ok(None);
+        }
+        let Some(payload) = self.buf.get(start..end) else {
+            return Ok(None);
+        };
+        self.read = end;
+        Ok(Some(SegmentView {
+            kind,
+            cycle: Cycle::new(cycle),
+            payload,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{AugmentedReport, InvalidationReport};
+    use bpush_sgraph::GraphDiff;
+
+    fn params() -> WireParams {
+        WireParams::derive(1000, 4, 10, 8)
+    }
+
+    fn sgt_control(cycle: u64) -> ControlInfo {
+        let c = Cycle::new(cycle);
+        let prev = c.prev();
+        let inv = InvalidationReport::with_dated(
+            c,
+            4,
+            [
+                (ItemId::new(3), prev),
+                (ItemId::new(99), Cycle::new(cycle.saturating_sub(9))),
+            ],
+            Granularity::Item,
+            4,
+        );
+        let aug = AugmentedReport::new(prev, [(ItemId::new(3), TxnId::new(prev, 2))]);
+        let old = TxnId::new(Cycle::ZERO, 1);
+        let diff = GraphDiff::new(
+            prev,
+            vec![TxnId::new(prev, 2)],
+            vec![(old, TxnId::new(prev, 2))],
+        );
+        ControlInfo::new(c, inv, Some(aug), Some(diff))
+    }
+
+    #[test]
+    fn control_segment_roundtrip_with_sgt_reports() {
+        let ctrl = sgt_control(20);
+        let bytes = encode_control_segment(&ctrl, params());
+        let mut feed = WireFeed::new();
+        feed.push(&bytes);
+        let seg = feed.pop().unwrap().expect("complete");
+        assert_eq!(seg.kind, SegmentKind::Control);
+        assert_eq!(seg.cycle, Cycle::new(20));
+        let decoded = decode_control_payload(seg.payload, params(), seg.cycle).unwrap();
+        assert_eq!(decoded, ctrl);
+    }
+
+    #[test]
+    fn bucket_granularity_and_window_ride_in_band() {
+        let c = Cycle::new(7);
+        let inv = InvalidationReport::new(
+            c,
+            3,
+            [ItemId::new(5), ItemId::new(11)],
+            Granularity::Bucket,
+            4,
+        );
+        let ctrl = ControlInfo::new(c, inv, None, None);
+        let bytes = encode_control_segment(&ctrl, params());
+        let mut feed = WireFeed::new();
+        feed.push(&bytes);
+        let seg = feed.pop().unwrap().expect("complete");
+        let decoded = decode_control_payload(seg.payload, params(), seg.cycle).unwrap();
+        assert_eq!(decoded, ctrl);
+        assert_eq!(decoded.invalidation().granularity(), Granularity::Bucket);
+        assert_eq!(decoded.invalidation().window(), 3);
+        // conservative bucket verdicts survive the wire
+        assert!(decoded.invalidation().invalidates(ItemId::new(4)));
+    }
+
+    #[test]
+    fn arbitrary_chunk_boundaries_reassemble() {
+        let a = encode_control_segment(&sgt_control(20), params());
+        let b = encode_control_segment(&ControlInfo::empty(Cycle::new(21)), params());
+        let stream: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        for chunk in [1usize, 2, 3, 7, stream.len()] {
+            let mut feed = WireFeed::new();
+            let mut cycles = Vec::new();
+            for piece in stream.chunks(chunk) {
+                feed.push(piece);
+                while let Some(seg) = feed.pop().unwrap() {
+                    cycles.push(seg.cycle.number());
+                }
+            }
+            assert_eq!(cycles, vec![20, 21], "chunk size {chunk}");
+            assert_eq!(feed.buffered(), 0, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn data_segment_roundtrip() {
+        let c = Cycle::new(9);
+        let w = TxnId::new(Cycle::new(7), 3);
+        let records = vec![
+            ItemRecord::new(ItemId::new(0), ItemValue::initial(), None),
+            ItemRecord::new(ItemId::new(5), ItemValue::written_by(w), Some(w)),
+            ItemRecord::new(ItemId::new(7), ItemValue::written_by(w), None).with_overflow_ptr(12),
+        ];
+        let bytes = encode_data_segment(c, &records, params());
+        let mut feed = WireFeed::new();
+        feed.push(&bytes);
+        let seg = feed.pop().unwrap().expect("complete");
+        assert_eq!(seg.kind, SegmentKind::Data);
+        match decode_segment(seg, params()).unwrap() {
+            DecodedSegment::Data(cycle, decoded) => {
+                assert_eq!(cycle, c);
+                assert_eq!(decoded, records);
+            }
+            other => panic!("expected data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directory_segment_roundtrip() {
+        let dir = Directory::new(Cycle::new(4), (0..10u32).map(|i| (ItemId::new(i), u64::from(i) + 3)));
+        let bytes = encode_directory_segment(&dir, params());
+        let mut feed = WireFeed::new();
+        feed.push(&bytes);
+        let seg = feed.pop().unwrap().expect("complete");
+        assert_eq!(seg.kind, SegmentKind::Directory);
+        match decode_segment(seg, params()).unwrap() {
+            DecodedSegment::Directory(decoded) => assert_eq!(decoded, dir),
+            other => panic!("expected directory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_byte_is_an_error_not_a_panic() {
+        let mut feed = WireFeed::new();
+        feed.push(&[9, 0, 0, 0]);
+        assert!(feed.pop().is_err());
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let ctrl = sgt_control(20);
+        let bytes = encode_control_segment(&ctrl, params());
+        let seg = SegmentView {
+            kind: SegmentKind::Control,
+            cycle: Cycle::new(20),
+            payload: bytes.get(SEGMENT_HEADER_BYTES..bytes.len() - 1).unwrap(),
+        };
+        assert!(decode_segment(seg, params()).is_err());
+    }
+
+    #[test]
+    fn empty_feed_pops_nothing() {
+        let mut feed = WireFeed::new();
+        assert!(feed.pop().unwrap().is_none());
+        feed.push(&[0]); // a control kind byte alone is not a header
+        assert!(feed.pop().unwrap().is_none());
+        assert_eq!(feed.buffered(), 1);
+    }
+}

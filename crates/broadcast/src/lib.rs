@@ -53,6 +53,7 @@ mod bcast;
 mod bucket;
 pub mod control;
 mod directory;
+pub mod feed;
 pub mod organization;
 pub mod size_model;
 pub mod wire;

@@ -9,7 +9,10 @@
 //! bits, update ages `log₂(w + 1)` bits relative to the report cycle
 //! ("instead of broadcasting the number of the cycle ... we can broadcast
 //! the difference", §3.2), and transaction identifiers `log₂ N` bits of
-//! sequence plus `log₂ S` bits of cycle age (§3.3).
+//! sequence plus `log₂ S` bits of cycle age (§3.3). Each age field
+//! reserves one escape code for cycles outside the relative range (see
+//! [`WireParams`]), so decoding is always *exact* — never a clamped
+//! approximation of what the server put on the air.
 
 // bpush-lint: decode_path — all broadcast-feed input is read through BitReader take_* accessors
 
@@ -21,15 +24,25 @@ use crate::control::{AugmentedReport, InvalidationReport};
 
 /// Fixed field widths for one deployment, derived from the broadcast
 /// parameters.
+///
+/// Age fields reserve their all-ones pattern as an escape code: an age
+/// outside the direct range (an update re-announced from before the
+/// window, a conflict edge from a transaction older than the relevance
+/// horizon) is transmitted as the escape followed by the absolute
+/// 64-bit cycle number. Every cycle therefore round-trips exactly; the
+/// compact relative form remains the common case the paper's §3.2
+/// economy describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireParams {
     /// Bits per item key: `⌈log₂ D⌉`.
     pub key_bits: u32,
-    /// Bits per update age: `⌈log₂(window + 1)⌉`.
+    /// Bits per update age: `⌈log₂(window + 2)⌉` — window + 1 direct
+    /// ages (0..=window) plus the reserved escape code.
     pub age_bits: u32,
     /// Bits per in-cycle transaction sequence number: `⌈log₂ N⌉`.
     pub seq_bits: u32,
-    /// Bits per transaction cycle age: `⌈log₂(S + 1)⌉`.
+    /// Bits per transaction cycle age: `⌈log₂(S + 2)⌉` — span + 1
+    /// direct ages plus the reserved escape code.
     pub txn_age_bits: u32,
     /// Bits for entry counts (report/diff lengths).
     pub count_bits: u32,
@@ -43,12 +56,54 @@ impl WireParams {
         let bits = |n: u64| -> u32 { crate::size_model::bits_for(n) };
         WireParams {
             key_bits: bits(u64::from(d_items.saturating_sub(1))),
-            age_bits: bits(u64::from(window)),
+            // +1 keeps the all-ones escape code out of the direct range
+            // even when the bound itself is all-ones (window 1, 3, 7…).
+            age_bits: bits(u64::from(window) + 1),
             seq_bits: bits(u64::from(n_txns.saturating_sub(1))),
-            txn_age_bits: bits(u64::from(span)),
+            txn_age_bits: bits(u64::from(span) + 1),
             count_bits: 24,
         }
     }
+}
+
+/// The all-ones escape pattern of a `width`-bit age field.
+const fn age_escape(width: u32) -> u64 {
+    u64::MAX >> (64 - width)
+}
+
+/// Writes the cycle `then` relative to `now` as a `width`-bit age.
+/// Ages that fit below the escape pattern are written directly; older
+/// (or future-dated) cycles escape to an absolute 64-bit cycle number,
+/// so any cycle round-trips exactly.
+fn put_cycle_rel(w: &mut BitWriter, now: Cycle, then: Cycle, width: u32) {
+    let escape = age_escape(width);
+    match now.number().checked_sub(then.number()) {
+        Some(age) if age < escape => w.put(age, width),
+        _ => {
+            w.put(escape, width);
+            w.put(then.number(), 64);
+        }
+    }
+}
+
+/// Reads a cycle written by [`put_cycle_rel`].
+// bpush-lint: hot_path — per-entry age decode on the broadcast feed path
+fn take_cycle_rel(r: &mut BitReader<'_>, now: Cycle, width: u32) -> Result<Cycle, BpushError> {
+    let age = r.take(width)?;
+    if age == age_escape(width) {
+        return Ok(Cycle::new(r.take(64)?));
+    }
+    Ok(Cycle::new(now.number().saturating_sub(age)))
+}
+
+/// Bounds a decode-side `Vec` preallocation: an honest stream carrying
+/// `count` entries of at least `entry_bits` each must still hold that
+/// many bits past the reader's position, so capacity beyond that bound
+/// only serves adversarial counts (a 24-bit count field can claim 16M
+/// entries on a 3-byte stream).
+fn capped_capacity(count: u64, entry_bits: u32, r: &BitReader<'_>) -> usize {
+    // bpush-lint: allow(panic-reach) — the divisor is clamped to ≥ 1
+    count.min(r.remaining_bits() / u64::from(entry_bits.max(1))) as usize
 }
 
 /// An append-only bit stream.
@@ -139,23 +194,35 @@ impl<'a> BitReader<'a> {
     pub fn position(&self) -> u64 {
         self.pos
     }
+
+    /// Bits still unread.
+    // bpush-lint: hot_path — decode-side budget probe on the broadcast feed path
+    pub fn remaining_bits(&self) -> u64 {
+        (self.bytes.len() as u64 * 8).saturating_sub(self.pos)
+    }
 }
 
 /// Encodes an invalidation report: count, then per entry the item key and
 /// the update age (report cycle − update cycle).
 pub fn encode_invalidation(report: &InvalidationReport, params: WireParams) -> Vec<u8> {
     let mut w = BitWriter::new();
+    encode_invalidation_into(&mut w, report, params);
+    w.into_bytes()
+}
+
+/// Appends an invalidation report to an open bit stream (the segment
+/// framing layer embeds reports mid-stream).
+pub(crate) fn encode_invalidation_into(
+    w: &mut BitWriter,
+    report: &InvalidationReport,
+    params: WireParams,
+) {
     let entries: Vec<(ItemId, Cycle)> = report.dated_items().collect();
     w.put(entries.len() as u64, params.count_bits);
     for (item, update_cycle) in entries {
         w.put(u64::from(item.index()), params.key_bits);
-        let age = report
-            .cycle()
-            .number()
-            .saturating_sub(update_cycle.number());
-        w.put(age.min((1 << params.age_bits) - 1), params.age_bits);
+        put_cycle_rel(w, report.cycle(), update_cycle, params.age_bits);
     }
-    w.into_bytes()
 }
 
 /// Decodes an invalidation report broadcast at `cycle` with window
@@ -172,20 +239,31 @@ pub fn decode_invalidation(
     items_per_bucket: u32,
 ) -> Result<InvalidationReport, BpushError> {
     let mut r = BitReader::new(bytes);
+    decode_invalidation_from(&mut r, params, cycle, window, granularity, items_per_bucket)
+}
+
+/// Reads an invalidation report from an open bit stream.
+pub(crate) fn decode_invalidation_from(
+    r: &mut BitReader<'_>,
+    params: WireParams,
+    cycle: Cycle,
+    window: u32,
+    granularity: Granularity,
+    items_per_bucket: u32,
+) -> Result<InvalidationReport, BpushError> {
     let count = r.take(params.count_bits)?;
-    let mut entries = Vec::with_capacity(count as usize);
+    let cap = capped_capacity(count, params.key_bits + params.age_bits, r);
+    let mut entries = Vec::with_capacity(cap);
     for _ in 0..count {
-        let item = ItemId::new(take_u32(&mut r, params.key_bits)?);
-        let age = r.take(params.age_bits)?;
-        let update = Cycle::new(cycle.number().saturating_sub(age));
+        let item = ItemId::new(take_u32(r, params.key_bits)?);
+        let update = take_cycle_rel(r, cycle, params.age_bits)?;
         entries.push((item, update));
     }
     InvalidationReport::try_with_dated(cycle, window, entries, granularity, items_per_bucket)
 }
 
-fn put_txn(w: &mut BitWriter, t: TxnId, now: Cycle, params: WireParams) {
-    let age = now.number().saturating_sub(t.cycle().number());
-    w.put(age.min((1 << params.txn_age_bits) - 1), params.txn_age_bits);
+pub(crate) fn put_txn(w: &mut BitWriter, t: TxnId, now: Cycle, params: WireParams) {
+    put_cycle_rel(w, now, t.cycle(), params.txn_age_bits);
     w.put(u64::from(t.seq()), params.seq_bits);
 }
 
@@ -199,13 +277,14 @@ fn take_u32(r: &mut BitReader<'_>, width: u32) -> Result<u32, BpushError> {
 }
 
 // bpush-lint: hot_path — per-entry transaction-id decode on the broadcast feed path
-fn take_txn(r: &mut BitReader<'_>, now: Cycle, params: WireParams) -> Result<TxnId, BpushError> {
-    let age = r.take(params.txn_age_bits)?;
+pub(crate) fn take_txn(
+    r: &mut BitReader<'_>,
+    now: Cycle,
+    params: WireParams,
+) -> Result<TxnId, BpushError> {
+    let cycle = take_cycle_rel(r, now, params.txn_age_bits)?;
     let seq = take_u32(r, params.seq_bits)?;
-    Ok(TxnId::new(
-        Cycle::new(now.number().saturating_sub(age)),
-        seq,
-    ))
+    Ok(TxnId::new(cycle, seq))
 }
 
 /// Encodes an augmented report (item → first writer, §3.3): writers are
@@ -213,30 +292,58 @@ fn take_txn(r: &mut BitReader<'_>, now: Cycle, params: WireParams) -> Result<Txn
 /// cycle at whose beginning the report airs.
 pub fn encode_augmented(report: &AugmentedReport, now: Cycle, params: WireParams) -> Vec<u8> {
     let mut w = BitWriter::new();
+    encode_augmented_into(&mut w, report, now, params);
+    w.into_bytes()
+}
+
+/// Appends an augmented report to an open bit stream.
+pub(crate) fn encode_augmented_into(
+    w: &mut BitWriter,
+    report: &AugmentedReport,
+    now: Cycle,
+    params: WireParams,
+) {
     let entries: Vec<(ItemId, TxnId)> = report.entries().collect();
     w.put(entries.len() as u64, params.count_bits);
     for (item, txn) in entries {
         w.put(u64::from(item.index()), params.key_bits);
-        put_txn(&mut w, txn, now, params);
+        put_txn(w, txn, now, params);
     }
-    w.into_bytes()
 }
 
 /// Decodes an augmented report describing the cycle before `now`.
 ///
 /// # Errors
-/// Returns [`BpushError::InvalidConfig`] on a truncated stream.
+/// Returns [`BpushError::InvalidConfig`] on a truncated stream, or when
+/// a decoded first writer did not commit during the covered cycle (the
+/// [`AugmentedReport`] invariant — honest encoders never produce such a
+/// stream, so it is malformed input, not a panic).
 pub fn decode_augmented(
     bytes: &[u8],
     params: WireParams,
     now: Cycle,
 ) -> Result<AugmentedReport, BpushError> {
     let mut r = BitReader::new(bytes);
+    decode_augmented_from(&mut r, params, now)
+}
+
+/// Reads an augmented report from an open bit stream.
+pub(crate) fn decode_augmented_from(
+    r: &mut BitReader<'_>,
+    params: WireParams,
+    now: Cycle,
+) -> Result<AugmentedReport, BpushError> {
     let count = r.take(params.count_bits)?;
-    let mut entries = Vec::with_capacity(count as usize);
+    let entry_bits = params.key_bits + params.txn_age_bits + params.seq_bits;
+    let mut entries = Vec::with_capacity(capped_capacity(count, entry_bits, r));
     for _ in 0..count {
-        let item = ItemId::new(take_u32(&mut r, params.key_bits)?);
-        let txn = take_txn(&mut r, now, params)?;
+        let item = ItemId::new(take_u32(r, params.key_bits)?);
+        let txn = take_txn(r, now, params)?;
+        if txn.cycle() != now.prev() {
+            return Err(BpushError::invalid_config(
+                "augmented-report writer outside the covered cycle",
+            ));
+        }
         entries.push((item, txn));
     }
     Ok(AugmentedReport::new(now.prev(), entries))
@@ -246,41 +353,77 @@ pub fn decode_augmented(
 /// conflict edges as transaction-id pairs.
 pub fn encode_diff(diff: &bpush_sgraph::GraphDiff, now: Cycle, params: WireParams) -> Vec<u8> {
     let mut w = BitWriter::new();
+    encode_diff_into(&mut w, diff, now, params);
+    w.into_bytes()
+}
+
+/// Appends a graph diff to an open bit stream.
+pub(crate) fn encode_diff_into(
+    w: &mut BitWriter,
+    diff: &bpush_sgraph::GraphDiff,
+    now: Cycle,
+    params: WireParams,
+) {
     w.put(diff.committed().len() as u64, params.count_bits);
     for &t in diff.committed() {
-        put_txn(&mut w, t, now, params);
+        put_txn(w, t, now, params);
     }
     w.put(diff.edges().len() as u64, params.count_bits);
     for &(a, b) in diff.edges() {
-        put_txn(&mut w, a, now, params);
-        put_txn(&mut w, b, now, params);
+        put_txn(w, a, now, params);
+        put_txn(w, b, now, params);
     }
-    w.into_bytes()
 }
 
 /// Decodes a graph diff describing the cycle before `now`.
 ///
 /// # Errors
-/// Returns [`BpushError::InvalidConfig`] on a truncated stream.
+/// Returns [`BpushError::InvalidConfig`] on a truncated stream, or when
+/// the decoded diff violates the [`bpush_sgraph::GraphDiff`] invariants
+/// (committed transactions outside the covered cycle, edges not pointing
+/// forward into it) — honest encoders never produce such streams, so
+/// they are malformed input, not panics.
 pub fn decode_diff(
     bytes: &[u8],
     params: WireParams,
     now: Cycle,
 ) -> Result<bpush_sgraph::GraphDiff, BpushError> {
     let mut r = BitReader::new(bytes);
+    decode_diff_from(&mut r, params, now)
+}
+
+/// Reads a graph diff from an open bit stream.
+pub(crate) fn decode_diff_from(
+    r: &mut BitReader<'_>,
+    params: WireParams,
+    now: Cycle,
+) -> Result<bpush_sgraph::GraphDiff, BpushError> {
+    let prev = now.prev();
+    let txn_bits = params.txn_age_bits + params.seq_bits;
     let n_committed = r.take(params.count_bits)?;
-    let mut committed = Vec::with_capacity(n_committed as usize);
+    let mut committed = Vec::with_capacity(capped_capacity(n_committed, txn_bits, r));
     for _ in 0..n_committed {
-        committed.push(take_txn(&mut r, now, params)?);
+        let t = take_txn(r, now, params)?;
+        if t.cycle() != prev {
+            return Err(BpushError::invalid_config(
+                "graph-diff commit outside the covered cycle",
+            ));
+        }
+        committed.push(t);
     }
     let n_edges = r.take(params.count_bits)?;
-    let mut edges = Vec::with_capacity(n_edges as usize);
+    let mut edges = Vec::with_capacity(capped_capacity(n_edges, 2 * txn_bits, r));
     for _ in 0..n_edges {
-        let a = take_txn(&mut r, now, params)?;
-        let b = take_txn(&mut r, now, params)?;
+        let a = take_txn(r, now, params)?;
+        let b = take_txn(r, now, params)?;
+        if b.cycle() != prev || a >= b {
+            return Err(BpushError::invalid_config(
+                "graph-diff edge does not point forward into the covered cycle",
+            ));
+        }
         edges.push((a, b));
     }
-    Ok(bpush_sgraph::GraphDiff::new(now.prev(), committed, edges))
+    Ok(bpush_sgraph::GraphDiff::new(prev, committed, edges))
 }
 
 #[cfg(test)]
@@ -442,6 +585,130 @@ mod tests {
         let diff = bpush_sgraph::GraphDiff::empty(now.prev());
         let bytes = encode_diff(&diff, now, params());
         assert_eq!(decode_diff(&bytes, params(), now).unwrap(), diff);
+    }
+
+    /// Regression (wire/in-memory divergence): a windowed report may
+    /// re-announce an update from *before* the representable age range
+    /// (§5.2.2 resynchronization). The old encoder clamped the age, so
+    /// the decoded report dated the update later than the server did —
+    /// changing `stale_at` verdicts. The escape code round-trips it.
+    #[test]
+    fn rewound_updates_roundtrip_beyond_the_window() {
+        let cycle = Cycle::new(20);
+        // window 4 -> 3 age bits -> direct ages 0..=6; age 18 escapes
+        let report = InvalidationReport::with_dated(
+            cycle,
+            4,
+            [(ItemId::new(3), Cycle::new(2))],
+            Granularity::Item,
+            1,
+        );
+        let bytes = encode_invalidation(&report, params());
+        let decoded =
+            decode_invalidation(&bytes, params(), cycle, 4, Granularity::Item, 1).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(decoded.update_cycle(ItemId::new(3)), Some(Cycle::new(2)));
+        // the verdict the clamp used to flip: a value current since
+        // cycle 3 is NOT stale under an update dated cycle 2
+        assert!(!decoded.stale_at(ItemId::new(3), Cycle::new(3)));
+    }
+
+    /// Regression (wire/in-memory divergence): graph-diff conflict
+    /// edges may originate from transactions older than the relevance
+    /// horizon. The old encoder clamped the cycle age, so the decoded
+    /// `from` endpoint named a *different transaction* — corrupting the
+    /// client's serialization graph. The escape code round-trips it.
+    #[test]
+    fn old_diff_edge_endpoints_roundtrip_beyond_the_horizon() {
+        let now = Cycle::new(40);
+        let prev = now.prev();
+        // span 8 -> 4 txn-age bits -> direct ages 0..=14; age 40 escapes
+        let old = TxnId::new(Cycle::ZERO, 3);
+        let t = TxnId::new(prev, 0);
+        let diff = bpush_sgraph::GraphDiff::new(prev, vec![t], vec![(old, t)]);
+        let bytes = encode_diff(&diff, now, params());
+        let decoded = decode_diff(&bytes, params(), now).unwrap();
+        assert_eq!(decoded, diff);
+        assert_eq!(decoded.edges()[0].0, old);
+    }
+
+    /// Regression (wire/in-memory divergence): an entry dated *after*
+    /// the report cycle (nothing in the constructor forbids it) used to
+    /// encode through `saturating_sub` as age 0 and decode to the report
+    /// cycle itself. The escape code round-trips the absolute cycle.
+    #[test]
+    fn future_dated_entries_roundtrip() {
+        let cycle = Cycle::new(20);
+        let report = InvalidationReport::with_dated(
+            cycle,
+            4,
+            [(ItemId::new(7), Cycle::new(21))],
+            Granularity::Item,
+            1,
+        );
+        let bytes = encode_invalidation(&report, params());
+        let decoded =
+            decode_invalidation(&bytes, params(), cycle, 4, Granularity::Item, 1).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(decoded.update_cycle(ItemId::new(7)), Some(Cycle::new(21)));
+    }
+
+    /// Regression (decode-path robustness): a malformed stream whose
+    /// decoded first writer lies outside the covered cycle used to reach
+    /// `AugmentedReport::new`'s debug assertion — a panic on untrusted
+    /// input. It is now rejected as an error.
+    #[test]
+    fn malformed_augmented_writers_are_rejected_not_panicked() {
+        let now = Cycle::new(9);
+        let p = params();
+        let mut w = BitWriter::new();
+        w.put(1, p.count_bits); // one entry
+        w.put(5, p.key_bits); // item 5
+        w.put(3, p.txn_age_bits); // writer aged 3 cycles: not now.prev()
+        w.put(0, p.seq_bits);
+        let err = decode_augmented(&w.into_bytes(), p, now).unwrap_err();
+        assert!(err.to_string().contains("covered cycle"), "{err}");
+    }
+
+    /// Regression (decode-path robustness): malformed diff streams —
+    /// a commit outside the covered cycle, or an edge not pointing
+    /// forward into it — used to reach `GraphDiff::new`'s debug
+    /// assertions. They are now rejected as errors.
+    #[test]
+    fn malformed_diff_streams_are_rejected_not_panicked() {
+        let now = Cycle::new(9);
+        let p = params();
+        // a commit aged 2 cycles: not the covered cycle
+        let mut w = BitWriter::new();
+        w.put(1, p.count_bits);
+        w.put(2, p.txn_age_bits);
+        w.put(0, p.seq_bits);
+        w.put(0, p.count_bits); // no edges
+        assert!(decode_diff(&w.into_bytes(), p, now).is_err());
+        // an edge whose endpoints are not ordered forward: (prev,1) -> (prev,1)
+        let mut w = BitWriter::new();
+        w.put(0, p.count_bits); // no commits
+        w.put(1, p.count_bits); // one edge
+        for _ in 0..2 {
+            w.put(1, p.txn_age_bits);
+            w.put(1, p.seq_bits);
+        }
+        assert!(decode_diff(&w.into_bytes(), p, now).is_err());
+    }
+
+    /// An adversarial count field (24 bits can claim 16M entries on a
+    /// 3-byte stream) must neither preallocate for the claim nor panic:
+    /// capacity is bounded by the bits actually present, and the decode
+    /// fails with an underflow error.
+    #[test]
+    fn adversarial_counts_are_capped_and_rejected() {
+        let p = params();
+        let mut w = BitWriter::new();
+        w.put((1 << p.count_bits) - 1, p.count_bits);
+        let bytes = w.into_bytes();
+        assert!(decode_invalidation(&bytes, p, Cycle::new(5), 1, Granularity::Item, 1).is_err());
+        assert!(decode_augmented(&bytes, p, Cycle::new(5)).is_err());
+        assert!(decode_diff(&bytes, p, Cycle::new(5)).is_err());
     }
 
     #[test]

@@ -201,6 +201,159 @@ proptest! {
         let _ = decode_diff(&bytes[..cut], params(), Cycle::new(now));
     }
 
+    /// Differential roundtrip with UNCONSTRAINED update dates: ages may
+    /// exceed the window (§5.2.2 re-announcements), even the escape
+    /// threshold, or lie in the future — the encoder's escape code must
+    /// reproduce every date exactly, and the decoded report must return
+    /// the same staleness verdicts as the original at every probed
+    /// state. (The pre-escape encoder clamped these ages, which this
+    /// test catches immediately.)
+    #[test]
+    fn invalidation_roundtrip_with_unconstrained_dates(
+        cycle in 0u64..200,
+        granularity_bucket in proptest::bool::ANY,
+        ipb in 1u32..8,
+        raw in proptest::collection::vec((0u32..1024, 0u64..300), 0..64),
+    ) {
+        let granularity = if granularity_bucket { Granularity::Bucket } else { Granularity::Item };
+        let entries: Vec<(ItemId, Cycle)> = raw
+            .iter()
+            .map(|&(i, date)| (ItemId::new(i), Cycle::new(date)))
+            .collect();
+        let report = InvalidationReport::with_dated(
+            Cycle::new(cycle),
+            8,
+            entries,
+            granularity,
+            ipb,
+        );
+        let bytes = encode_invalidation(&report, params());
+        let decoded = decode_invalidation(
+            &bytes,
+            params(),
+            Cycle::new(cycle),
+            8,
+            granularity,
+            ipb,
+        )
+        .unwrap();
+        prop_assert_eq!(&decoded, &report);
+        for &(i, _) in &raw {
+            for probe in [i.saturating_sub(1), i, i + 1] {
+                let x = ItemId::new(probe);
+                prop_assert_eq!(decoded.update_cycle(x), report.update_cycle(x));
+                for state in [0, cycle / 2, cycle, cycle + 1] {
+                    let s = Cycle::new(state);
+                    prop_assert_eq!(decoded.stale_at(x, s), report.stale_at(x, s));
+                }
+            }
+        }
+    }
+
+    /// Differential roundtrip across the span cap: ids wide enough that
+    /// the report's dense bitmap degrades (`DENSE_SPAN_WORDS`). The
+    /// decoded report must give the word-parallel probes the same
+    /// verdicts as the original — whether either side kept its bitmap
+    /// or fell back to the galloping merge.
+    #[test]
+    fn span_cap_degrade_keeps_word_parallel_verdicts(
+        cycle in 1u64..100,
+        near in proptest::collection::vec(0u32..512, 0..16),
+        far in proptest::collection::vec(1_000_000u32..1_002_000, 0..4),
+    ) {
+        let p = WireParams::derive(2_000_000, 1, 16, 16);
+        let items: Vec<ItemId> = near.iter().chain(far.iter()).map(|&i| ItemId::new(i)).collect();
+        let report = InvalidationReport::new(Cycle::new(cycle), 1, items.clone(), Granularity::Item, 4);
+        let bytes = encode_invalidation(&report, p);
+        let decoded = decode_invalidation(&bytes, p, Cycle::new(cycle), 1, Granularity::Item, 4).unwrap();
+        prop_assert_eq!(&decoded, &report);
+        // probe with a word block over the low id range
+        let mut words = vec![0u64; 8];
+        for &i in &near {
+            words[(i >> 6) as usize % 8] |= 1u64 << (i & 63);
+        }
+        let block = Some((0u32, words.as_slice()));
+        prop_assert_eq!(decoded.intersects_words(block), report.intersects_words(block));
+        let readset: Vec<ItemId> = {
+            let mut v: Vec<u32> = near.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.into_iter().map(ItemId::new).collect()
+        };
+        prop_assert_eq!(
+            decoded.any_invalidated_set(&readset, block),
+            report.any_invalidated_set(&readset, block)
+        );
+        prop_assert_eq!(decoded.any_invalidated(&readset), report.any_invalidated(&readset));
+    }
+
+    /// Graph diffs with UNCONSTRAINED edge origins: `from` endpoints
+    /// arbitrarily older than the relevance horizon must round-trip
+    /// exactly (the pre-escape encoder clamped their cycle age, decoding
+    /// to a different transaction id).
+    #[test]
+    fn diff_roundtrip_with_ancient_edge_origins(
+        now in 1u64..200,
+        raw_edges in proptest::collection::vec((0u64..200, 0u32..16, 0u32..16), 0..16),
+    ) {
+        let prev = Cycle::new(now.saturating_sub(1));
+        let committed: Vec<TxnId> = (0..4).map(|s| TxnId::new(prev, s)).collect();
+        let edges: Vec<(TxnId, TxnId)> = raw_edges
+            .iter()
+            .map(|&(from_cycle, s1, s2)| {
+                (TxnId::new(Cycle::new(from_cycle), s1), TxnId::new(prev, s2))
+            })
+            .filter(|(a, b)| a < b)
+            .collect();
+        let diff = GraphDiff::new(prev, committed, edges);
+        let bytes = encode_diff(&diff, Cycle::new(now), params());
+        let decoded = decode_diff(&bytes, params(), Cycle::new(now)).unwrap();
+        prop_assert_eq!(decoded, diff);
+    }
+
+    /// Roundtrip under edge-case derived widths: the tiniest deployment
+    /// (1 item, window 1, 1 txn/cycle, span 0) up through mixed small
+    /// parameters. `WireParams::derive` must never produce a width a
+    /// legitimate report of that deployment cannot encode through.
+    #[test]
+    fn derive_edge_widths_roundtrip(
+        d_items in 1u32..16,
+        window in 1u32..4,
+        n_txns in 1u32..4,
+        span in 0u32..4,
+        cycle in 1u64..50,
+        raw in proptest::collection::vec((0u32..16, 0u64..50), 0..8),
+    ) {
+        let p = WireParams::derive(d_items, window, n_txns, span);
+        let entries: Vec<(ItemId, Cycle)> = raw
+            .iter()
+            .map(|&(i, date)| (ItemId::new(i % d_items), Cycle::new(date)))
+            .collect();
+        let report = InvalidationReport::with_dated(
+            Cycle::new(cycle),
+            window,
+            entries,
+            Granularity::Item,
+            1,
+        );
+        let bytes = encode_invalidation(&report, p);
+        let decoded =
+            decode_invalidation(&bytes, p, Cycle::new(cycle), window, Granularity::Item, 1)
+                .unwrap();
+        prop_assert_eq!(&decoded, &report);
+
+        let prev = Cycle::new(cycle - 1);
+        let writers: Vec<(ItemId, TxnId)> = raw
+            .iter()
+            .map(|&(i, seq)| {
+                (ItemId::new(i % d_items), TxnId::new(prev, (seq as u32) % n_txns))
+            })
+            .collect();
+        let aug = AugmentedReport::new(prev, writers);
+        let bytes = encode_augmented(&aug, Cycle::new(cycle), p);
+        prop_assert_eq!(decode_augmented(&bytes, p, Cycle::new(cycle)).unwrap(), aug);
+    }
+
     /// Arbitrary garbage bytes through all three decoders and the raw
     /// bit reader: errors, never panics, and the bit reader never hands
     /// back more bits than the buffer holds.

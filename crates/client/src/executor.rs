@@ -201,6 +201,22 @@ impl QueryExecutor {
         self
     }
 
+    /// Feeds this client's control reports through the wire codec: the
+    /// protocol is wrapped in a [`bpush_core::wirefed::WireFed`]
+    /// decorator that encodes every report to framed broadcast segments
+    /// and decodes it back before the protocol hears it. The run must
+    /// stay bit-identical to the struct-fed run — any difference is a
+    /// wire/in-memory divergence in the codec. Call before
+    /// [`QueryExecutor::with_obs`] so instrumentation counts the
+    /// decoded reports.
+    #[must_use]
+    pub fn with_wire_feed(mut self, params: bpush_broadcast::wire::WireParams) -> Self {
+        let placeholder = bpush_core::Method::InvalidationOnly.build_protocol();
+        let inner = std::mem::replace(&mut self.protocol, placeholder);
+        self.protocol = Box::new(bpush_core::wirefed::WireFed::new(inner, params));
+        self
+    }
+
     /// The wrapped protocol's operation counters, when this executor
     /// was instrumented via [`QueryExecutor::with_obs`].
     pub fn protocol_stats(&self) -> Option<ProtocolStats> {

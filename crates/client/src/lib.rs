@@ -48,7 +48,9 @@ mod cache;
 mod executor;
 pub mod lru;
 pub mod session;
+pub mod wire;
 
 pub use cache::{CacheParams, CacheStats, ClientCache};
 pub use executor::{CacheDecision, QueryExecutor, QueryOutcome, ScriptedCacheDecision};
 pub use session::{BroadcastSession, ReadStep, TxnHandle};
+pub use wire::{WireClient, WireTxn};

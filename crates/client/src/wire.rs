@@ -1,0 +1,421 @@
+//! The wire-fed client: bytes in, directives out.
+//!
+//! [`WireClient`] is the sans-IO form of [`BroadcastSession`]
+//! (crate::session): where the session consumes in-memory
+//! [`Bcast`](bpush_broadcast::Bcast) structs, the wire client consumes
+//! the framed byte stream a transport delivers
+//! ([`bpush_broadcast::feed`]) and reconstructs everything it needs —
+//! control reports, data records, the directory — from the segments
+//! alone. It owns no socket and no clock: the embedding transport calls
+//! [`WireClient::push`] with whatever bytes arrived (any chunking), and
+//! the client surfaces [`ReadDirective`]s and read outcomes. The same
+//! state machine therefore runs unmodified under the simulator, the
+//! model checker, and a future socket transport.
+//!
+//! ```text
+//! transport loop:                 wire client:
+//!   bytes arrive          ──────▶ push(chunk)        (segments decoded)
+//!   t = begin()           ◀────── transaction handle
+//!   read(t, x)?           ──────▶ value | abort reason
+//!   commit(t)             ──────▶ readset (consistent!)
+//! ```
+
+use std::collections::BTreeMap;
+
+use bpush_broadcast::feed::{decode_segment, DecodedSegment, WireFeed};
+use bpush_broadcast::wire::WireParams;
+use bpush_broadcast::{Directory, ItemRecord};
+use bpush_core::validator::ReadRecord;
+use bpush_core::{
+    AbortReason, ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome,
+};
+use bpush_types::{BpushError, Cycle, ItemId, ItemValue, QueryId};
+
+/// Handle to an in-flight read-only transaction on a [`WireClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTxn(QueryId);
+
+/// A client fed by the broadcast byte stream instead of in-memory
+/// structs.
+///
+/// # Example
+/// ```
+/// use bpush_broadcast::feed::encode_bcast_segments;
+/// use bpush_broadcast::wire::WireParams;
+/// use bpush_client::wire::WireClient;
+/// use bpush_core::Method;
+/// use bpush_server::{BroadcastServer, ServerOptions};
+/// use bpush_types::{ItemId, ServerConfig};
+///
+/// let config = ServerConfig { broadcast_size: 50, update_range: 25,
+///     server_read_range: 50, updates_per_cycle: 5,
+///     ..ServerConfig::default() };
+/// let mut server = BroadcastServer::new(config, ServerOptions::plain(), 1)?;
+/// let params = WireParams::derive(50, 4, 8, 8);
+/// let mut client = WireClient::new(Method::InvalidationOnly.build_protocol(), params);
+///
+/// let bcast = server.run_cycle();
+/// client.push(&encode_bcast_segments(&bcast, params))?;
+/// let t = client.begin();
+/// let value = client.read(t, ItemId::new(3)).expect("readable");
+/// let readset = client.commit(t);
+/// assert_eq!(readset.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct WireClient {
+    protocol: Box<dyn ReadOnlyProtocol>,
+    params: WireParams,
+    feed: WireFeed,
+    now: Option<Cycle>,
+    records: BTreeMap<ItemId, ItemRecord>,
+    directory: Option<Directory>,
+    next_id: QueryId,
+    active: Vec<(QueryId, Vec<ReadRecord>)>,
+}
+
+impl WireClient {
+    /// Creates a wire client around any protocol. `params` are the
+    /// deployment's agreed wire widths (both ends must use the same).
+    pub fn new(protocol: Box<dyn ReadOnlyProtocol>, params: WireParams) -> Self {
+        WireClient {
+            protocol,
+            params,
+            feed: WireFeed::new(),
+            now: None,
+            records: BTreeMap::new(),
+            directory: None,
+            next_id: QueryId::new(0),
+            active: Vec::new(),
+        }
+    }
+
+    /// The protocol's reporting name.
+    pub fn protocol_name(&self) -> &'static str {
+        self.protocol.name()
+    }
+
+    /// The wrapped protocol (e.g. to snapshot or read its counters).
+    pub fn protocol(&self) -> &dyn ReadOnlyProtocol {
+        &*self.protocol
+    }
+
+    /// The cycle of the last control segment heard, if any.
+    pub fn now(&self) -> Option<Cycle> {
+        self.now
+    }
+
+    /// The most recent directory segment heard, if any.
+    pub fn directory(&self) -> Option<&Directory> {
+        self.directory.as_ref()
+    }
+
+    /// Feeds transport bytes (any chunk size) and processes every
+    /// segment that completes: control segments drive the protocol,
+    /// data segments refresh the current-version table, directory
+    /// segments replace the cached directory.
+    ///
+    /// # Errors
+    /// Returns [`BpushError::InvalidConfig`] on a malformed stream; the
+    /// transport must resynchronize before feeding more bytes.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<(), BpushError> {
+        self.feed.push(chunk);
+        loop {
+            let Some(seg) = self.feed.pop()? else {
+                return Ok(());
+            };
+            match decode_segment(seg, self.params)? {
+                DecodedSegment::Control(ctrl) => {
+                    self.protocol.on_control(&ctrl);
+                    self.now = Some(ctrl.cycle());
+                }
+                DecodedSegment::Data(_, records) => {
+                    self.records = records.into_iter().map(|r| (r.item(), r)).collect();
+                }
+                DecodedSegment::Directory(dir) => {
+                    self.directory = Some(dir);
+                }
+            }
+        }
+    }
+
+    /// Tells the client it missed `cycle` entirely (disconnection).
+    pub fn missed_cycle(&mut self, cycle: Cycle) {
+        self.protocol.on_missed_cycle(cycle);
+    }
+
+    /// Starts a read-only transaction.
+    ///
+    /// # Panics
+    /// Panics if no control segment has been heard yet.
+    pub fn begin(&mut self) -> WireTxn {
+        // lint: allow(panic) — documented panic: callers must hear a cycle first
+        let now = self.now.expect("hear a control segment before beginning");
+        let id = self.next_id;
+        self.next_id = id.next();
+        self.protocol.begin_query(id, now);
+        self.active.push((id, Vec::new()));
+        WireTxn(id)
+    }
+
+    /// The protocol's directive for reading `item` now — the raw
+    /// bytes-in/directives-out surface. [`WireClient::read`] is the
+    /// convenience that also resolves the value.
+    ///
+    /// # Panics
+    /// Panics if no control segment has been heard yet.
+    pub fn directive(&self, txn: WireTxn, item: ItemId) -> ReadDirective {
+        // lint: allow(panic) — documented panic: callers must hear a cycle first
+        let now = self.now.expect("hear a control segment before reading");
+        self.protocol.read_directive(txn.0, item, now)
+    }
+
+    fn txn_index(&self, txn: WireTxn) -> usize {
+        self.active
+            .iter()
+            .position(|(id, _)| *id == txn.0)
+            // lint: allow(panic) — documented panic: stale handles are a caller bug
+            .expect("unknown or finished wire transaction")
+    }
+
+    /// Reads `item` from the last heard data segment, subject to the
+    /// protocol's directive.
+    ///
+    /// # Errors
+    /// Returns the abort reason if the transaction is doomed, the
+    /// needed version is not on air, or the protocol rejects the value;
+    /// the transaction is dropped and its handle becomes invalid.
+    ///
+    /// # Panics
+    /// Panics if the handle is unknown or no cycle has been heard.
+    pub fn read(&mut self, txn: WireTxn, item: ItemId) -> Result<ItemValue, AbortReason> {
+        let idx = self.txn_index(txn);
+        // lint: allow(panic) — documented panic: callers must hear a cycle first
+        let now = self.now.expect("hear a control segment before reading");
+        let constraint = match self.protocol.read_directive(txn.0, item, now) {
+            ReadDirective::Doom(reason) => {
+                self.drop_txn(idx);
+                return Err(reason);
+            }
+            ReadDirective::Read(c) => c,
+        };
+        let candidate = match self.records.get(&item) {
+            Some(rec) => ReadCandidate::from_broadcast(rec),
+            None => {
+                self.drop_txn(idx);
+                return Err(AbortReason::VersionUnavailable);
+            }
+        };
+        if !candidate.current_at(constraint.state) {
+            self.drop_txn(idx);
+            return Err(AbortReason::VersionUnavailable);
+        }
+        match self.protocol.apply_read(txn.0, item, &candidate, now) {
+            ReadOutcome::Accepted => {
+                let value = candidate.value;
+                if let Some((_, reads)) = self.active.get_mut(idx) {
+                    reads.push(ReadRecord::new(item, value));
+                }
+                Ok(value)
+            }
+            ReadOutcome::Rejected(reason) => {
+                self.drop_txn(idx);
+                Err(reason)
+            }
+        }
+    }
+
+    fn drop_txn(&mut self, idx: usize) {
+        let (id, _) = self.active.remove(idx);
+        self.protocol.finish_query(id);
+    }
+
+    /// Commits the transaction, returning its (consistent) readset.
+    ///
+    /// # Panics
+    /// Panics if the handle is unknown.
+    pub fn commit(&mut self, txn: WireTxn) -> Vec<ReadRecord> {
+        let idx = self.txn_index(txn);
+        let (id, reads) = self.active.remove(idx);
+        self.protocol.finish_query(id);
+        reads
+    }
+
+    /// Abandons the transaction.
+    ///
+    /// # Panics
+    /// Panics if the handle is unknown.
+    pub fn abort(&mut self, txn: WireTxn) {
+        let idx = self.txn_index(txn);
+        self.drop_txn(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{BroadcastSession, ReadStep};
+    use bpush_broadcast::feed::encode_bcast_segments;
+    use bpush_core::Method;
+    use bpush_server::{BroadcastServer, ServerOptions};
+    use bpush_types::ServerConfig;
+
+    fn server(sgt: bool) -> BroadcastServer {
+        BroadcastServer::new(
+            ServerConfig {
+                broadcast_size: 40,
+                update_range: 20,
+                server_read_range: 40,
+                updates_per_cycle: 5,
+                txns_per_cycle: 5,
+                offset: 0,
+                ..ServerConfig::default()
+            },
+            if sgt {
+                ServerOptions::sgt()
+            } else {
+                ServerOptions::plain()
+            },
+            9,
+        )
+        .unwrap()
+    }
+
+    fn params() -> WireParams {
+        WireParams::derive(40, 4, 8, 8)
+    }
+
+    /// The same query script, run struct-fed and wire-fed, commits and
+    /// aborts identically for every method.
+    #[test]
+    fn wire_fed_matches_struct_fed_sessions() {
+        let mut total_commits = 0usize;
+        for method in Method::ALL {
+            let sgt = matches!(method, Method::Sgt | Method::SgtCache);
+            let mut srv_a = server(sgt);
+            let mut srv_b = server(sgt);
+            let mut session = BroadcastSession::new(method.build_protocol(), None);
+            let mut wire = WireClient::new(method.build_protocol(), params());
+            let mut outcomes_a = Vec::new();
+            let mut outcomes_b = Vec::new();
+            for cycle in 0..12u32 {
+                let bcast_a = srv_a.run_cycle();
+                let bcast_b = srv_b.run_cycle();
+                session.on_bcast(&bcast_a);
+                wire.push(&encode_bcast_segments(&bcast_b, params())).unwrap();
+                let ta = session.begin();
+                let tb = wire.begin();
+                let items = [cycle % 7, cycle % 11 + 7, 39 - cycle % 5];
+                let mut alive_a = true;
+                for &i in &items {
+                    if !alive_a {
+                        break;
+                    }
+                    match session.read(ta, ItemId::new(i), &bcast_a) {
+                        Ok(ReadStep::Tune { .. }) => {
+                            if session.deliver(ta, ItemId::new(i), &bcast_a).is_err() {
+                                alive_a = false;
+                            }
+                        }
+                        Ok(_) => {}
+                        Err(_) => alive_a = false,
+                    }
+                }
+                outcomes_a.push(if alive_a {
+                    Some(session.commit(ta).unwrap().len())
+                } else {
+                    None
+                });
+                let mut alive_b = true;
+                for &i in &items {
+                    if !alive_b {
+                        break;
+                    }
+                    if wire.read(tb, ItemId::new(i)).is_err() {
+                        alive_b = false;
+                    }
+                }
+                outcomes_b.push(if alive_b { Some(wire.commit(tb).len()) } else { None });
+            }
+            assert_eq!(outcomes_a, outcomes_b, "{method}");
+            total_commits += outcomes_a.iter().flatten().count();
+        }
+        assert!(total_commits > 0, "the script must commit somewhere");
+    }
+
+    /// Chunking the byte stream differently never changes behaviour.
+    #[test]
+    fn chunk_boundaries_are_invisible() {
+        let run = |chunk: usize| {
+            let mut srv = server(true);
+            let mut wire = WireClient::new(Method::Sgt.build_protocol(), params());
+            let mut committed = 0usize;
+            for _ in 0..8 {
+                let bytes = encode_bcast_segments(&srv.run_cycle(), params());
+                for piece in bytes.chunks(chunk) {
+                    wire.push(piece).unwrap();
+                }
+                let t = wire.begin();
+                if wire.read(t, ItemId::new(2)).is_ok() && wire.read(t, ItemId::new(9)).is_ok() {
+                    committed += wire.commit(t).len();
+                }
+            }
+            committed
+        };
+        let reference = run(1024);
+        assert!(reference > 0, "the script must commit at least once");
+        for chunk in [1usize, 3, 13] {
+            assert_eq!(run(chunk), reference, "chunk size {chunk}");
+        }
+    }
+
+    /// Committed wire-fed readsets satisfy the paper's correctness
+    /// criterion against the server's ground truth.
+    #[test]
+    fn wire_fed_readsets_validate() {
+        let mut srv = server(false);
+        let mut wire = WireClient::new(Method::InvalidationOnly.build_protocol(), params());
+        let mut committed = Vec::new();
+        for _ in 0..20 {
+            let bytes = encode_bcast_segments(&srv.run_cycle(), params());
+            wire.push(&bytes).unwrap();
+            let t = wire.begin();
+            let ok = [2u32, 7, 11]
+                .iter()
+                .all(|&i| wire.read(t, ItemId::new(i)).is_ok());
+            if ok {
+                committed.push(wire.commit(t));
+            }
+        }
+        assert!(!committed.is_empty());
+        let validator = bpush_core::validator::SerializabilityValidator::new(srv.history());
+        for reads in &committed {
+            validator.check(reads).unwrap();
+        }
+    }
+
+    /// Directives surface raw, before any value is resolved.
+    #[test]
+    fn directives_out() {
+        let mut srv = server(false);
+        let mut wire = WireClient::new(Method::InvalidationOnly.build_protocol(), params());
+        wire.push(&encode_bcast_segments(&srv.run_cycle(), params()))
+            .unwrap();
+        assert_eq!(wire.protocol_name(), "inv-only");
+        assert_eq!(wire.now(), Some(Cycle::ZERO));
+        let t = wire.begin();
+        assert!(matches!(
+            wire.directive(t, ItemId::new(1)),
+            ReadDirective::Read(_)
+        ));
+        wire.abort(t);
+    }
+
+    /// Garbage on the stream is an error, not a panic, and valid traffic
+    /// can resume on a fresh feed.
+    #[test]
+    fn malformed_streams_error_cleanly() {
+        let mut wire = WireClient::new(Method::InvalidationOnly.build_protocol(), params());
+        assert!(wire.push(&[0xFF; 32]).is_err());
+    }
+}

@@ -62,6 +62,7 @@ mod protocol;
 mod readset;
 mod sgt;
 pub mod validator;
+pub mod wirefed;
 
 pub use batch::CohortScreen;
 pub use invalidation::InvalidationOnly;

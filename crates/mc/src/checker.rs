@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use bpush_core::validator::{ConsistencyViolation, SerializabilityValidator};
 use bpush_types::{BpushError, Cycle, ItemId};
 
-use crate::exec::{run_client_obs, run_schedule, ClientChoices};
+use crate::exec::{run_client_obs, run_schedule, ClientChoices, FeedMode};
 use crate::fnv64;
 use crate::ground::GroundTruth;
 use crate::minimize::minimize;
@@ -63,6 +63,23 @@ pub fn check_spec(spec: ProtocolSpec, scope: &Scope) -> Result<McReport, BpushEr
     check_spec_traced(spec, scope, &bpush_obs::Obs::off())
 }
 
+/// [`check_spec`] with an explicit [`FeedMode`]: `FeedMode::Wire` runs
+/// every bounded execution with the protocol hearing wire-decoded
+/// control reports instead of in-memory structs. With a faithful codec
+/// the returned report — executions, committed/aborted split, distinct
+/// canonical states — is bit-identical to the struct-fed check.
+///
+/// # Errors
+/// Returns [`BpushError`] if the scope implies an invalid server
+/// configuration.
+pub fn check_spec_fed(
+    spec: ProtocolSpec,
+    scope: &Scope,
+    feed: FeedMode,
+) -> Result<McReport, BpushError> {
+    check_spec_impl(spec, scope, &bpush_obs::Obs::off(), feed)
+}
+
 /// [`check_spec`] with an observability sink attached: every bounded
 /// execution streams its per-operation events into `obs` (the protocol
 /// runs wrapped in the instrumentation decorator, whose snapshots
@@ -76,6 +93,15 @@ pub fn check_spec_traced(
     spec: ProtocolSpec,
     scope: &Scope,
     obs: &bpush_obs::Obs,
+) -> Result<McReport, BpushError> {
+    check_spec_impl(spec, scope, obs, FeedMode::Struct)
+}
+
+fn check_spec_impl(
+    spec: ProtocolSpec,
+    scope: &Scope,
+    obs: &bpush_obs::Obs,
+    feed: FeedMode,
 ) -> Result<McReport, BpushError> {
     let scripts = commit_scripts(scope);
     let choices = client_choices(scope, spec.uses_cache());
@@ -100,7 +126,7 @@ pub fn check_spec_traced(
         )?;
         let validator = SerializabilityValidator::new(gt.server.history());
         for choice in &choices {
-            let exec = run_client_obs(spec, choice, &gt, obs);
+            let exec = run_client_obs(spec, choice, &gt, obs, feed);
             report.executions += 1;
             states.extend(exec.state_hashes.iter().copied());
             if !exec.committed {

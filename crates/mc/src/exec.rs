@@ -3,6 +3,7 @@
 
 use bpush_core::instrument::Instrumented;
 use bpush_core::validator::{ConsistencyViolation, ReadRecord, SerializabilityValidator};
+use bpush_core::wirefed::WireFed;
 use bpush_core::{
     AbortReason, ProtocolStep, ReadCandidate, ReadConstraint, ReadDirective, ReadOnlyProtocol,
     ReadOutcome, Source,
@@ -14,6 +15,22 @@ use crate::fnv64;
 use crate::ground::GroundTruth;
 use crate::schedule::{ReadSpec, Schedule};
 use crate::spec::ProtocolSpec;
+
+/// How the client under test hears its broadcast control information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeedMode {
+    /// In-memory [`ControlInfo`](bpush_broadcast::ControlInfo) structs,
+    /// as the simulator's in-process clients historically consumed.
+    #[default]
+    Struct,
+    /// Wire-format segments: every control report is encoded, framed,
+    /// byte-buffered and decoded before the protocol sees it
+    /// ([`bpush_core::wirefed::WireFed`]). A faithful codec makes this
+    /// mode bit-identical to [`FeedMode::Struct`] — same fates, same
+    /// readsets, same canonical state hashes — which the conformance
+    /// battery asserts for every method.
+    Wire,
+}
 
 /// The outcome of replaying one bounded execution.
 #[derive(Debug, Clone)]
@@ -57,15 +74,16 @@ pub(crate) fn run_client_obs(
     choices: &ClientChoices,
     gt: &GroundTruth,
     obs: &Obs,
+    feed: FeedMode,
 ) -> Execution {
+    let base: Box<dyn ReadOnlyProtocol> = match feed {
+        FeedMode::Struct => spec.build(),
+        FeedMode::Wire => Box::new(WireFed::new(spec.build(), gt.wire_params)),
+    };
     let mut protocol: Box<dyn ReadOnlyProtocol> = if obs.is_enabled() {
-        Box::new(Instrumented::with_obs(
-            spec.build(),
-            obs.clone(),
-            Actor::Client(0),
-        ))
+        Box::new(Instrumented::with_obs(base, obs.clone(), Actor::Client(0)))
     } else {
-        spec.build()
+        base
     };
     let q = QueryId::new(0);
     let mut begun = false;
@@ -231,6 +249,38 @@ pub fn run_schedule(spec: ProtocolSpec, schedule: &Schedule) -> Result<Execution
     run_schedule_traced(spec, schedule, &Obs::off())
 }
 
+/// [`run_schedule`] with an explicit [`FeedMode`]: `FeedMode::Wire`
+/// replays the same schedule with every control report roundtripped
+/// through the wire codec before the protocol hears it.
+///
+/// # Errors
+/// Returns [`BpushError`] when the schedule fails validation or the
+/// server configuration it implies is rejected.
+pub fn run_schedule_fed(
+    spec: ProtocolSpec,
+    schedule: &Schedule,
+    feed: FeedMode,
+) -> Result<Execution, BpushError> {
+    run_schedule_impl(spec, schedule, &Obs::off(), feed)
+}
+
+/// [`run_schedule_fed`] with an observability sink attached: the replay
+/// streams per-operation events into `obs` exactly as
+/// [`run_schedule_traced`] does, with the protocol additionally hearing
+/// its control reports through the chosen [`FeedMode`].
+///
+/// # Errors
+/// Returns [`BpushError`] when the schedule fails validation or the
+/// server configuration it implies is rejected.
+pub fn run_schedule_traced_fed(
+    spec: ProtocolSpec,
+    schedule: &Schedule,
+    obs: &Obs,
+    feed: FeedMode,
+) -> Result<Execution, BpushError> {
+    run_schedule_impl(spec, schedule, obs, feed)
+}
+
 /// [`run_schedule`] with an observability sink attached: the replay
 /// streams per-operation events (control processing, read accepts and
 /// rejects, the query's fate) into `obs`, from which a chrome-trace or
@@ -244,6 +294,15 @@ pub fn run_schedule_traced(
     spec: ProtocolSpec,
     schedule: &Schedule,
     obs: &Obs,
+) -> Result<Execution, BpushError> {
+    run_schedule_impl(spec, schedule, obs, FeedMode::Struct)
+}
+
+fn run_schedule_impl(
+    spec: ProtocolSpec,
+    schedule: &Schedule,
+    obs: &Obs,
+    feed: FeedMode,
 ) -> Result<Execution, BpushError> {
     schedule
         .validate()
@@ -260,7 +319,7 @@ pub fn run_schedule_traced(
         missed: schedule.missed.clone(),
         reads: schedule.reads.clone(),
     };
-    let mut exec = run_client_obs(spec, &choices, &gt, obs);
+    let mut exec = run_client_obs(spec, &choices, &gt, obs, feed);
     if exec.committed {
         let validator = SerializabilityValidator::new(gt.server.history());
         exec.violation = validator

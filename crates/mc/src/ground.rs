@@ -6,6 +6,7 @@
 //! artifacts — the model checks the shipped code paths, not a
 //! re-implementation of them.
 
+use bpush_broadcast::wire::WireParams;
 use bpush_server::{BroadcastServer, ScriptedWorkload};
 use bpush_types::{BpushError, Cycle, ItemId, ServerConfig};
 
@@ -26,6 +27,9 @@ pub(crate) struct GroundTruth {
     /// of every item) rendered as a stable string — the server half of
     /// the checker's canonical state hash.
     pub(crate) version_vectors: Vec<String>,
+    /// Wire widths sized for this bounded universe, used when the
+    /// client runs wire-fed ([`crate::FeedMode::Wire`]).
+    pub(crate) wire_params: WireParams,
 }
 
 impl GroundTruth {
@@ -64,10 +68,12 @@ impl GroundTruth {
             version_vectors.push(render_version_vector(&server, items));
             bcasts.push(bcast);
         }
+        let span = u32::try_from(cycles).unwrap_or(u32::MAX);
         Ok(GroundTruth {
             bcasts,
             server,
             version_vectors,
+            wire_params: WireParams::derive(items.max(1), 1, 1, span),
         })
     }
 

@@ -38,8 +38,11 @@ mod scope;
 mod spec;
 
 pub use broken::BrokenInvalidation;
-pub use checker::{check_all, check_spec, check_spec_traced, McReport, McViolation};
-pub use exec::{run_schedule, run_schedule_traced, Execution};
+pub use checker::{check_all, check_spec, check_spec_fed, check_spec_traced, McReport, McViolation};
+pub use exec::{
+    run_schedule, run_schedule_fed, run_schedule_traced, run_schedule_traced_fed, Execution,
+    FeedMode,
+};
 pub use minimize::minimize;
 pub use report::{render_json, render_text};
 pub use schedule::{ReadSpec, Schedule, ScheduleError};

@@ -128,7 +128,7 @@ pub fn cache_size(scale: Scale) -> Result<Table, BpushError> {
             row.push(fnum(100.0 - m.abort_pct(), 2));
             row.push(
                 m.cache_hit_rate
-                    .map_or_else(|| "-".into(), |r| fnum(r * 100.0, 1)),
+                    .map_or_else(|| "-".into(), |r| fnum(r.rate() * 100.0, 1)),
             );
         }
         table.push_row(row);

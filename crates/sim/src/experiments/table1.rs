@@ -99,7 +99,7 @@ pub fn run(scale: Scale) -> Result<Table, BpushError> {
             fnum(m.latency_hist.quantile(0.95), 2),
             fnum(m.span.mean(), 2),
             m.cache_hit_rate
-                .map_or_else(|| "-".to_owned(), |r| fnum(r * 100.0, 1)),
+                .map_or_else(|| "-".to_owned(), |r| fnum(r.rate() * 100.0, 1)),
             currency_of(m.method).to_owned(),
             tolerance_of(m.method).to_owned(),
             if m.peak_graph_nodes == 0 && m.peak_graph_edges == 0 {

@@ -37,8 +37,10 @@ pub struct MethodMetrics {
     pub tuning_slots: Summary,
     /// Broadcast (non-cache) reads per committed query.
     pub broadcast_reads: Summary,
-    /// Cache hit rate across all clients, if the method caches.
-    pub cache_hit_rate: Option<f64>,
+    /// Cache hits / lookups pooled across all clients, if the method
+    /// caches — kept as exact integer counts so merging replications
+    /// and shards is exact.
+    pub cache_hit_rate: Option<Ratio>,
     /// Mean on-air bcast length in slots.
     pub mean_bcast_slots: f64,
     /// Data-segment length (the no-overhead baseline).
@@ -130,14 +132,16 @@ impl MethodMetrics {
         self.tuning_slots.merge(&other.tuning_slots);
         self.broadcast_reads.merge(&other.broadcast_reads);
         self.cache_hit_rate = match (self.cache_hit_rate, other.cache_hit_rate) {
-            // weight by query volume (lookup counts are not retained; this
-            // is exact when replications run equal workloads, as they do)
-            (Some(a), Some(b)) => {
-                let (qa, qb) = (self.queries as f64, other.queries as f64);
-                Some((a * qa + b * qb) / (qa + qb).max(1.0))
+            (Some(mut a), Some(b)) => {
+                a.merge(&b);
+                Some(a)
             }
             (a, b) => a.or(b),
         };
+        // keep a canonical order so a merged tally is bit-identical to
+        // the single-run tally regardless of which shard saw which
+        // reason first
+        self.abort_reasons.sort_by_key(|&(reason, _)| reason);
         self.violations += other.violations;
         self.cycles += other.cycles;
         self.peak_graph_nodes = self.peak_graph_nodes.max(other.peak_graph_nodes);
@@ -303,6 +307,26 @@ impl Simulation {
         }
     }
 
+    /// Feeds every client's control reports through the wire codec:
+    /// each client's protocol is wrapped in a
+    /// [`bpush_core::wirefed::WireFed`] decorator that encodes the
+    /// report to framed broadcast segments and decodes it back before
+    /// the protocol hears it. A wire-fed run must produce bit-identical
+    /// [`MethodMetrics::deterministic_snapshot`]s to the struct-fed
+    /// run — any difference is a wire/in-memory divergence. Call before
+    /// [`Simulation::with_obs`] so instrumentation counts the decoded
+    /// reports.
+    #[must_use]
+    pub fn with_wire_feed(mut self) -> Self {
+        let params = wire_params_for(&self.config);
+        self.clients = self
+            .clients
+            .into_iter()
+            .map(|c| c.with_wire_feed(params))
+            .collect();
+        self
+    }
+
     /// Replaces the server's broadcast mode (e.g. with a
     /// [`bpush_server::BroadcastMode::Disks`] organization), rebuilding
     /// the server from the same seed. Must be called before
@@ -465,7 +489,7 @@ impl Simulation {
                     total += s.hits + s.misses;
                 }
             }
-            (total > 0).then(|| hits as f64 / total as f64)
+            (total > 0).then(|| Ratio::from_counts(hits, total))
         } else {
             None
         };
@@ -491,6 +515,20 @@ impl Simulation {
             validation_ns,
         })
     }
+}
+
+/// Wire widths sized for a simulation's configured universe: keys span
+/// the broadcast set and sequence numbers span one cycle's update
+/// transactions (both exact bounds), while the two age fields are
+/// escape-coded, so `window` and `span` only size the common case and
+/// out-of-range ages still round-trip exactly.
+fn wire_params_for(config: &SimConfig) -> bpush_broadcast::wire::WireParams {
+    bpush_broadcast::wire::WireParams::derive(
+        config.server.broadcast_size,
+        config.server.report_window,
+        config.server.txns_per_cycle,
+        u32::try_from(config.max_cycles).unwrap_or(u32::MAX),
+    )
 }
 
 #[cfg(test)]
@@ -597,6 +635,58 @@ mod tests {
                 "{method}"
             );
         }
+    }
+
+    /// The sans-IO acceptance check at the simulation level: every
+    /// method run wire-fed (reports encoded to framed segments and
+    /// decoded back on the feed path) produces a bit-identical
+    /// deterministic metrics snapshot to the struct-fed run. Any
+    /// encode/decode divergence in the codec surfaces here.
+    #[test]
+    fn wire_fed_runs_are_bit_identical() {
+        for method in Method::ALL {
+            let struct_fed = Simulation::new(quick_config(), method)
+                .unwrap()
+                .run()
+                .unwrap();
+            let wire_fed = Simulation::new(quick_config(), method)
+                .unwrap()
+                .with_wire_feed()
+                .run()
+                .unwrap();
+            assert_eq!(
+                struct_fed.deterministic_snapshot(),
+                wire_fed.deterministic_snapshot(),
+                "{method}: the wire perturbed the simulation"
+            );
+        }
+    }
+
+    /// Wire feeding composes with instrumentation: the decoded reports
+    /// are what the instrumented protocol counts, and the counters
+    /// reconcile exactly with a struct-fed traced run.
+    #[test]
+    fn wire_fed_composes_with_instrumentation() {
+        let method = Method::Sgt;
+        let obs_a = Obs::recording(1 << 14);
+        Simulation::new(quick_config(), method)
+            .unwrap()
+            .with_obs(obs_a.clone())
+            .run()
+            .unwrap();
+        let obs_b = Obs::recording(1 << 14);
+        Simulation::new(quick_config(), method)
+            .unwrap()
+            .with_wire_feed()
+            .with_obs(obs_b.clone())
+            .run()
+            .unwrap();
+        let snap_a = obs_a.snapshot().expect("recording");
+        let snap_b = obs_b.snapshot().expect("recording");
+        assert_eq!(
+            snap_a.counters, snap_b.counters,
+            "wire-fed counters diverged from struct-fed"
+        );
     }
 
     #[test]

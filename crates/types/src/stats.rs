@@ -2,7 +2,23 @@
 
 use std::fmt;
 
-/// Running summary of a stream of observations (Welford's algorithm).
+/// Scale of the fixed-point observation quantization: 2⁻²⁰ (about six
+/// decimal digits of fraction). Integer-valued observations — most of
+/// the harness's metrics — are represented exactly.
+const SCALE: f64 = (1u64 << 20) as f64;
+
+/// Running summary of a stream of observations, kept as exact
+/// fixed-point integer sums.
+///
+/// Observations are quantized to multiples of 2⁻²⁰ at [`Summary::record`]
+/// time and accumulated as 128-bit integer sums of values and squared
+/// values. Integer addition is associative and commutative, so
+/// [`Summary::merge`] is *exact*: however a stream is partitioned into
+/// sub-summaries, merging them in any grouping or order reproduces the
+/// bit-identical summary — the property the sharded runner's
+/// shard-count invariance rests on (DESIGN §8a). The previous Welford
+/// representation merged means and M2 terms in floating point, which
+/// drifted by last-ulp amounts depending on the grouping.
 ///
 /// # Example
 /// ```
@@ -20,8 +36,10 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     count: u64,
-    mean: f64,
-    m2: f64,
+    /// Σ round(x·2²⁰), exact.
+    sum: i128,
+    /// Σ round(x·2²⁰)², exact.
+    sum_sq: i128,
     min: f64,
     max: f64,
 }
@@ -31,8 +49,8 @@ impl Summary {
     pub fn new() -> Self {
         Summary {
             count: 0,
-            mean: 0.0,
-            m2: 0.0,
+            sum: 0,
+            sum_sq: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -41,9 +59,10 @@ impl Summary {
     /// Records one observation.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
+        // `as` conversion saturates at the i128 range and maps NaN to 0
+        let q = (x * SCALE).round() as i128;
+        self.sum = self.sum.saturating_add(q);
+        self.sum_sq = self.sum_sq.saturating_add(q.saturating_mul(q));
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
@@ -58,17 +77,33 @@ impl Summary {
         if self.count == 0 {
             0.0
         } else {
-            self.mean
+            (self.sum as f64 / SCALE) / self.count as f64
         }
     }
 
     /// Unbiased sample variance; 0 with fewer than two observations.
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
-            0.0
-        } else {
-            self.m2 / (self.count - 1) as f64
+            return 0.0;
         }
+        let n = i128::from(self.count);
+        // n·Σq² − (Σq)² ≥ 0 holds exactly on the integer sums
+        // (Cauchy–Schwarz); checked arithmetic guards the astronomically
+        // unlikely i128 overflow, falling back to a float evaluation of
+        // the same sums — still a pure function of the exact sums, so
+        // merge exactness is unaffected.
+        let numerator = n
+            .checked_mul(self.sum_sq)
+            .zip(self.sum.checked_mul(self.sum))
+            .map_or_else(
+                || {
+                    let nf = self.count as f64;
+                    (nf * self.sum_sq as f64 - self.sum as f64 * self.sum as f64).max(0.0)
+                },
+                |(a, b)| (a - b) as f64,
+            );
+        let nf = self.count as f64;
+        numerator / (nf * (nf - 1.0)) / (SCALE * SCALE)
     }
 
     /// Sample standard deviation.
@@ -86,7 +121,8 @@ impl Summary {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Merges another summary into this one (parallel sweeps).
+    /// Merges another summary into this one (parallel sweeps). Exact:
+    /// integer sums add, so merging commutes and associates bit for bit.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
             return;
@@ -95,13 +131,9 @@ impl Summary {
             *self = *other;
             return;
         }
-        let n1 = self.count as f64;
-        let n2 = other.count as f64;
-        let delta = other.mean - self.mean;
-        let total = n1 + n2;
-        self.mean += delta * n2 / total;
-        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
         self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -157,6 +189,16 @@ impl Ratio {
     /// An empty counter.
     pub fn new() -> Self {
         Ratio::default()
+    }
+
+    /// A counter with `hits` of `total` events pre-recorded, for pooling
+    /// tallies kept elsewhere as plain integers.
+    ///
+    /// # Panics
+    /// Panics if `hits > total`.
+    pub fn from_counts(hits: u64, total: u64) -> Self {
+        assert!(hits <= total, "hits cannot exceed total");
+        Ratio { hits, total }
     }
 
     /// Records one event; `hit` marks it as counting toward the numerator.
@@ -339,17 +381,39 @@ mod tests {
     }
 
     #[test]
-    fn merge_equals_sequential() {
+    fn merge_equals_sequential_exactly() {
         let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
         let whole: Summary = xs.iter().copied().collect();
         let mut left: Summary = xs[..37].iter().copied().collect();
         let right: Summary = xs[37..].iter().copied().collect();
         left.merge(&right);
-        assert_eq!(left.count(), whole.count());
-        assert!((left.mean() - whole.mean()).abs() < 1e-9);
-        assert!((left.variance() - whole.variance()).abs() < 1e-9);
-        assert_eq!(left.min(), whole.min());
-        assert_eq!(left.max(), whole.max());
+        // integer sums: not approximately — bit-identically
+        assert_eq!(left, whole);
+    }
+
+    /// The shard-count invariance contract (DESIGN §8a): every way of
+    /// partitioning a stream into sub-summaries merges to the
+    /// bit-identical summary, whatever the grouping.
+    #[test]
+    fn merge_is_partition_invariant() {
+        let xs: Vec<f64> = (0..96).map(|i| (f64::from(i) * 0.7).cos() * 1e6).collect();
+        let whole: Summary = xs.iter().copied().collect();
+        for parts in [1usize, 2, 3, 4, 8, 96] {
+            let chunk = xs.len() / parts;
+            let mut merged = Summary::new();
+            for piece in xs.chunks(chunk) {
+                let s: Summary = piece.iter().copied().collect();
+                merged.merge(&s);
+            }
+            assert_eq!(merged, whole, "{parts} partitions");
+        }
+        // and merging right-to-left gives the same bits as left-to-right
+        let mut reversed = Summary::new();
+        for piece in xs.chunks(24).rev() {
+            let s: Summary = piece.iter().copied().collect();
+            reversed.merge(&s);
+        }
+        assert_eq!(reversed, whole);
     }
 
     #[test]

@@ -26,14 +26,18 @@ use std::path::Path;
 use std::time::Instant;
 
 use crate::jsonv::{self, Json};
-use bpush_broadcast::InvalidationReport;
+use bpush_broadcast::feed::{decode_segment, encode_bcast_segments, DecodedSegment, WireFeed};
+use bpush_broadcast::wire::WireParams;
+use bpush_broadcast::{Bcast, InvalidationReport};
 use bpush_core::batch::{stale_verdicts, CohortScreen};
 use bpush_core::{Method, ReadSet};
+use bpush_server::BroadcastServer;
 use bpush_sgraph::baseline::BaselineGraph;
 use bpush_sgraph::{Node, SerializationGraph};
 use bpush_sim::experiments::{config_for, defaults, Scale};
 use bpush_sim::{run_sharded_with_workers, Job, Simulation};
-use bpush_types::{BpushError, Cycle, Granularity, ItemId, QueryId, TxnId};
+use bpush_types::config::MultiversionLayout;
+use bpush_types::{BpushError, Cycle, Granularity, ItemId, QueryId, ServerConfig, TxnId};
 
 /// One timed substrate workload.
 #[derive(Debug, Clone)]
@@ -251,6 +255,123 @@ impl MembershipFixture {
     }
 }
 
+/// One multiply–add checksum step (same fold the substrate workload
+/// uses).
+fn fold_step(acc: u64, x: u64) -> u64 {
+    acc.wrapping_mul(1_000_003).wrapping_add(x)
+}
+
+/// FNV-1a over a string, for hashing protocol snapshots into the
+/// wire-feed checksum.
+fn fnv64_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// The sans-IO feed fixture: an SGT server's cycles captured both as
+/// in-memory [`Bcast`]s and as framed wire segments
+/// (`bpush_broadcast::feed`). The two probe passes drive the same
+/// protocol state machine over the same cycles — one reassembling and
+/// decoding wire bytes, one hearing the structs directly — and fold an
+/// identical checksum over the final protocol snapshot plus the
+/// data/directory content, so any encode/decode divergence fails the
+/// bench instead of silently skewing it.
+struct WireFixture {
+    bcasts: Vec<Bcast>,
+    /// Per cycle, the framed segment bytes on the air.
+    streams: Vec<Vec<u8>>,
+    params: WireParams,
+}
+
+fn wire_fixture(quick: bool) -> Result<WireFixture, BpushError> {
+    let cycles: u64 = if quick { 24 } else { 96 };
+    let config = ServerConfig {
+        broadcast_size: 200,
+        update_range: 100,
+        server_read_range: 200,
+        updates_per_cycle: 20,
+        txns_per_cycle: 5,
+        ..ServerConfig::default()
+    };
+    let params = WireParams::derive(
+        config.broadcast_size,
+        config.report_window,
+        config.txns_per_cycle,
+        u32::try_from(cycles).unwrap_or(u32::MAX),
+    );
+    let mut server = BroadcastServer::new(
+        config,
+        Method::Sgt.server_options(MultiversionLayout::Overflow),
+        17,
+    )?;
+    let mut bcasts = Vec::new();
+    let mut streams = Vec::new();
+    for _ in 0..cycles {
+        let bcast = server.run_cycle();
+        streams.push(encode_bcast_segments(&bcast, params));
+        bcasts.push(bcast);
+    }
+    Ok(WireFixture {
+        bcasts,
+        streams,
+        params,
+    })
+}
+
+impl WireFixture {
+    /// Bytes in: reassemble segments from 64-byte transport chunks,
+    /// decode each, and feed the control reports to a fresh SGT
+    /// protocol.
+    fn decode_feed(&self) -> u64 {
+        let mut protocol = Method::Sgt.build_protocol();
+        let mut feed = WireFeed::new();
+        let mut fold = 0u64;
+        for stream in &self.streams {
+            for chunk in stream.chunks(64) {
+                feed.push(chunk);
+            }
+            loop {
+                // The fixture encoded these bytes itself; malformed
+                // input here is a framing bug worth a loud stop.
+                // lint: allow(panic) — fixture-encoded bytes; a decode failure is a framing bug
+                let Some(seg) = feed.pop().expect("well-formed fixture stream") else {
+                    break;
+                };
+                // lint: allow(panic) — fixture-encoded bytes; a decode failure is a framing bug
+                match decode_segment(seg, self.params).expect("well-formed fixture stream") {
+                    DecodedSegment::Control(ctrl) => protocol.on_control(&ctrl),
+                    DecodedSegment::Data(_, records) => {
+                        fold = fold_step(fold, records.len() as u64);
+                    }
+                    DecodedSegment::Directory(dir) => {
+                        fold = fold_step(fold, dir.entries().count() as u64);
+                    }
+                }
+            }
+        }
+        fold_step(fnv64_str(&protocol.debug_snapshot()), fold)
+    }
+
+    /// The same cycles heard as in-memory structs, folding the same
+    /// checksum in the same order (directory, control, data).
+    fn struct_feed(&self) -> u64 {
+        let mut protocol = Method::Sgt.build_protocol();
+        let mut fold = 0u64;
+        for bcast in &self.bcasts {
+            if let Some(dir) = bcast.directory() {
+                fold = fold_step(fold, dir.entries().count() as u64);
+            }
+            protocol.on_control(bcast.control());
+            fold = fold_step(fold, bcast.records().count() as u64);
+        }
+        fold_step(fnv64_str(&protocol.debug_snapshot()), fold)
+    }
+}
+
 /// Times `iters` repetitions of `work`, returning `(total_ns,
 /// last_checksum)`.
 fn time_ns(iters: u64, mut work: impl FnMut() -> u64) -> (u64, u64) {
@@ -330,6 +451,28 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, BpushError> {
             iters: probe_iters,
             total_ns: ns,
             ns_per_iter: ns / probe_iters.max(1),
+        });
+    }
+
+    // Sans-IO wire feed: the framed-segment decode path against the
+    // struct-fed path, same protocol, same cycles. The checksum over
+    // the final protocol snapshot plus decoded content is the
+    // differential check — a mismatch is an encode/decode divergence.
+    let wire = wire_fixture(quick)?;
+    let feed_iters: u64 = if quick { 40 } else { 200 };
+    let (wire_ns, wire_sum) = time_ns(feed_iters, || wire.decode_feed());
+    let (struct_ns, struct_sum) = time_ns(feed_iters, || wire.struct_feed());
+    if wire_sum != struct_sum {
+        return Err(BpushError::invalid_config(format!(
+            "wire-feed checksum mismatch: wire {wire_sum} != struct {struct_sum}"
+        )));
+    }
+    for (name, ns) in [("wire-decode-feed", wire_ns), ("struct-feed", struct_ns)] {
+        substrate.push(SubstrateBench {
+            name: name.to_owned(),
+            iters: feed_iters,
+            total_ns: ns,
+            ns_per_iter: ns / feed_iters.max(1),
         });
     }
 
@@ -577,7 +720,7 @@ mod tests {
     fn quick_bench_produces_full_report() {
         let report = run_bench(true).unwrap();
         assert!(report.quick);
-        assert_eq!(report.substrate.len(), 9);
+        assert_eq!(report.substrate.len(), 11);
         assert_eq!(report.substrate[0].name, "sgt-substrate-interned");
         assert_eq!(report.substrate[1].name, "sgt-substrate-baseline");
         for name in [
@@ -585,6 +728,8 @@ mod tests {
             "report-membership-gallop",
             "batch-validation-words",
             "batch-validation-gallop",
+            "wire-decode-feed",
+            "struct-feed",
             "sharded-runner-1w",
             "sharded-runner-2w",
             "sharded-runner-4w",

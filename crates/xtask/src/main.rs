@@ -42,14 +42,19 @@ commands:
       --budget-ms fails the run when the single-pass micro-timings
       exceed the given wall-time ceiling; --json prints the full
       report (findings, per-rule suppression counts, timings).
-  mc [--scope ci|default] [--protocol <name>] [--json]
+  mc [--scope ci|default] [--protocol <name>] [--wire-fed] [--json]
      [--replay <file> [--trace <path>]]
       Exhaustively enumerates bounded executions for every processing
       method (default scope: `default`), validates each committed
       readset, and exits non-zero on any serializability violation,
-      printing the minimized replayable counterexample. With --replay,
-      re-runs one serialized mc-schedule file instead; --trace
-      additionally writes the replay's chrome trace_event JSON.
+      printing the minimized replayable counterexample. With --wire-fed
+      every client hears its control reports through the wire codec
+      (encode → framed bytes → decode) instead of in-memory structs; at
+      the ci scope a wire-fed cross-check of one method runs even
+      without the flag and fails the command if the wire-fed report is
+      not bit-identical to the struct-fed one. With --replay, re-runs
+      one serialized mc-schedule file instead; --trace additionally
+      writes the replay's chrome trace_event JSON.
   bench [--quick] [--json] [--out <path>]
       Runs the SGT-substrate microbench (dense interned graph vs the
       BTree baseline, same fixed workload) and a per-method end-to-end
@@ -247,12 +252,14 @@ fn git_changed_files(
 fn mc(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut scope = bpush_mc::Scope::default();
     let mut json = false;
+    let mut wire_fed = false;
     let mut protocols: Vec<bpush_mc::ProtocolSpec> = Vec::new();
     let mut replay: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--wire-fed" => wire_fed = true,
             "--replay" => match it.next() {
                 Some(path) => replay = Some(PathBuf::from(path)),
                 None => return Err("--replay needs an mc-schedule file argument".into()),
@@ -290,15 +297,54 @@ fn mc(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if protocols.is_empty() {
         protocols = bpush_mc::ProtocolSpec::genuine();
     }
+    let feed = if wire_fed {
+        bpush_mc::FeedMode::Wire
+    } else {
+        bpush_mc::FeedMode::Struct
+    };
     let reports = protocols
-        .into_iter()
-        .map(|spec| bpush_mc::check_spec(spec, &scope))
+        .iter()
+        .map(|spec| bpush_mc::check_spec_fed(*spec, &scope, feed))
         .collect::<Result<Vec<_>, _>>()?;
-    let passed = reports.iter().all(bpush_mc::McReport::passed);
+    let mut passed = reports.iter().all(bpush_mc::McReport::passed);
     if json {
         println!("{}", bpush_mc::render_json(&scope, &reports));
     } else {
         print!("{}", bpush_mc::render_text(&scope, &reports));
+    }
+    // At the ci scope, a struct-fed run additionally cross-checks one
+    // method wire-fed: the wire codec must not change the report.
+    if !wire_fed && scope.preset_name() == Some("ci") {
+        let spec = protocols
+            .iter()
+            .copied()
+            .find(|s| s.name() == "sgt")
+            .unwrap_or(protocols[0]);
+        let struct_report = reports
+            .iter()
+            .find(|r| r.spec == spec)
+            .ok_or("ci cross-check lost its struct-fed report")?;
+        let wire_report = bpush_mc::check_spec_fed(spec, &scope, bpush_mc::FeedMode::Wire)?;
+        let identical = wire_report.executions == struct_report.executions
+            && wire_report.committed == struct_report.committed
+            && wire_report.aborted == struct_report.aborted
+            && wire_report.distinct_states == struct_report.distinct_states
+            && wire_report.passed() == struct_report.passed();
+        if identical {
+            if !json {
+                println!(
+                    "wire-fed cross-check: {spec} — bit-identical \
+                     ({} executions, {} distinct states)",
+                    wire_report.executions, wire_report.distinct_states
+                );
+            }
+        } else {
+            eprintln!(
+                "wire-fed cross-check FAILED: {spec} — wire-fed report diverged \
+                 from the struct-fed run (codec divergence)"
+            );
+            passed = false;
+        }
     }
     Ok(if passed {
         ExitCode::SUCCESS

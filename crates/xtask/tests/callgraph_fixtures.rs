@@ -289,6 +289,12 @@ fn hot_path_set_covers_the_pr3_hot_functions() {
         "broadcast::take",
         "broadcast::take_u32",
         "broadcast::take_txn",
+        // PR-9 sans-IO segment framing: the wire-fed feed path.
+        "broadcast::from_byte",
+        "broadcast::take_u32_field",
+        "broadcast::take_u32_width",
+        "broadcast::take_opt_txn",
+        "broadcast::pop",
         // PR-8 word-parallel report membership + batched cohort screens.
         "broadcast::intersects",
         "broadcast::intersects_words",
@@ -315,6 +321,7 @@ fn sans_io_surface_covers_the_protocol_core() {
     let report = lint_workspace_report(&real_root()).expect("workspace lints");
     for file in [
         "crates/broadcast/src/control.rs",
+        "crates/broadcast/src/feed.rs",
         "crates/broadcast/src/wire.rs",
         "crates/core/src/protocol.rs",
         "crates/core/src/readset.rs",
@@ -336,12 +343,14 @@ fn protocol_enum_surface_covers_the_wire_vocabulary() {
     for name in [
         "AbortReason",
         "CacheMode",
+        "DecodedSegment",
         "Granularity",
         "Method",
         "ProtocolStep",
         "ReadDirective",
         "ReadOutcome",
         "ReadStep",
+        "SegmentKind",
         "Source",
     ] {
         assert!(
@@ -357,14 +366,16 @@ fn protocol_enum_surface_covers_the_wire_vocabulary() {
 #[test]
 fn decode_path_surface_covers_the_wire_codec() {
     let report = lint_workspace_report(&real_root()).expect("workspace lints");
-    assert!(
-        report
-            .decode_files
-            .iter()
-            .any(|f| f == "crates/broadcast/src/wire.rs"),
-        "the wire codec must declare decode_path; current surface: {:?}",
-        report.decode_files
-    );
+    for file in [
+        "crates/broadcast/src/wire.rs",
+        "crates/broadcast/src/feed.rs",
+    ] {
+        assert!(
+            report.decode_files.iter().any(|f| f == file),
+            "`{file}` must declare decode_path; current surface: {:?}",
+            report.decode_files
+        );
+    }
 }
 
 /// The escape hatch is a budget, not a loophole: per-rule allow counts
@@ -375,11 +386,15 @@ fn suppression_budget_stays_within_ceiling() {
     let report = lint_workspace_report(&real_root()).expect("workspace lints");
     let ceiling = |rule: Rule| -> usize {
         match rule {
-            Rule::Panic => 32,    // currently 29
-            Rule::Casts => 3,     // currently 1
+            // currently 38: PR-9 added the wire-fed divergence detectors
+            // (`WireFed::roundtrip`, `WireClient` framing — a decode
+            // failure there IS the bug the decorator exists to surface)
+            // and two bench-fixture expects on self-encoded bytes.
+            Rule::Panic => 40,
+            Rule::Casts => 3,     // currently 2 (u32 length field in segment framing)
             Rule::HotAlloc => 6,  // currently 4 (amortized growth sites)
             Rule::LockOrder => 2, // currently 1 (name-resolution over-approximation)
-            // currently 19: structurally-bounded hot-path indexing (CSR
+            // currently 21: structurally-bounded hot-path indexing (CSR
             // arena slots, galloping-probe brackets) and nonzero-by-
             // construction divisors — each carries its invariant inline.
             Rule::PanicReach => 22,
@@ -397,5 +412,5 @@ fn suppression_budget_stays_within_ceiling() {
             ceiling(*rule)
         );
     }
-    assert!(total <= 62, "workspace-wide allow budget exceeded: {total}");
+    assert!(total <= 68, "workspace-wide allow budget exceeded: {total}");
 }
