@@ -87,6 +87,10 @@ pub struct SegmentView<'a> {
 /// A decoded segment, ready for the protocol layer.
 #[derive(Debug, Clone, PartialEq)]
 // bpush-lint: protocol_enum — decoded form of the segment vocabulary
+// Boxing the inline ControlInfo would trade 240 stack bytes for a heap
+// allocation on every decoded control segment — the per-cycle decode
+// path stays allocation-free instead.
+#[allow(clippy::large_enum_variant)]
 pub enum DecodedSegment {
     /// A decoded control segment.
     Control(ControlInfo),
@@ -538,7 +542,10 @@ mod tests {
 
     #[test]
     fn directory_segment_roundtrip() {
-        let dir = Directory::new(Cycle::new(4), (0..10u32).map(|i| (ItemId::new(i), u64::from(i) + 3)));
+        let dir = Directory::new(
+            Cycle::new(4),
+            (0..10u32).map(|i| (ItemId::new(i), u64::from(i) + 3)),
+        );
         let bytes = encode_directory_segment(&dir, params());
         let mut feed = WireFeed::new();
         feed.push(&bytes);

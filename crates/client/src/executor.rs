@@ -217,6 +217,23 @@ impl QueryExecutor {
         self
     }
 
+    /// Replaces the inner protocol — the fault-injection seam the
+    /// monitor-layer tests use to run a broken mutant under an otherwise
+    /// identical workload. Call before [`QueryExecutor::with_wire_feed`]
+    /// / [`QueryExecutor::with_obs`] so the decorators wrap the
+    /// replacement.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: Box<dyn ReadOnlyProtocol>) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// The inner protocol's opaque state snapshot — the input to the
+    /// flight recorder's client-state fingerprint.
+    pub fn debug_snapshot(&self) -> String {
+        self.protocol.debug_snapshot()
+    }
+
     /// The wrapped protocol's operation counters, when this executor
     /// was instrumented via [`QueryExecutor::with_obs`].
     pub fn protocol_stats(&self) -> Option<ProtocolStats> {

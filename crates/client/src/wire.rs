@@ -1,7 +1,8 @@
 //! The wire-fed client: bytes in, directives out.
 //!
-//! [`WireClient`] is the sans-IO form of [`BroadcastSession`]
-//! (crate::session): where the session consumes in-memory
+//! [`WireClient`] is the sans-IO form of
+//! [`BroadcastSession`](crate::BroadcastSession): where the session
+//! consumes in-memory
 //! [`Bcast`](bpush_broadcast::Bcast) structs, the wire client consumes
 //! the framed byte stream a transport delivers
 //! ([`bpush_broadcast::feed`]) and reconstructs everything it needs —
@@ -26,9 +27,7 @@ use bpush_broadcast::feed::{decode_segment, DecodedSegment, WireFeed};
 use bpush_broadcast::wire::WireParams;
 use bpush_broadcast::{Directory, ItemRecord};
 use bpush_core::validator::ReadRecord;
-use bpush_core::{
-    AbortReason, ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome,
-};
+use bpush_core::{AbortReason, ReadCandidate, ReadDirective, ReadOnlyProtocol, ReadOutcome};
 use bpush_types::{BpushError, Cycle, ItemId, ItemValue, QueryId};
 
 /// Handle to an in-flight read-only transaction on a [`WireClient`].
@@ -302,7 +301,8 @@ mod tests {
                 let bcast_a = srv_a.run_cycle();
                 let bcast_b = srv_b.run_cycle();
                 session.on_bcast(&bcast_a);
-                wire.push(&encode_bcast_segments(&bcast_b, params())).unwrap();
+                wire.push(&encode_bcast_segments(&bcast_b, params()))
+                    .unwrap();
                 let ta = session.begin();
                 let tb = wire.begin();
                 let items = [cycle % 7, cycle % 11 + 7, 39 - cycle % 5];
@@ -335,7 +335,11 @@ mod tests {
                         alive_b = false;
                     }
                 }
-                outcomes_b.push(if alive_b { Some(wire.commit(tb).len()) } else { None });
+                outcomes_b.push(if alive_b {
+                    Some(wire.commit(tb).len())
+                } else {
+                    None
+                });
             }
             assert_eq!(outcomes_a, outcomes_b, "{method}");
             total_commits += outcomes_a.iter().flatten().count();

@@ -150,6 +150,25 @@ impl ReadOnlyProtocol for Instrumented {
         self.inner.on_control(ctrl);
         self.obs
             .emit(ctrl.cycle(), self.actor, EventKind::ControlProcessed);
+        // Typed monitor feed: the per-entry control information the
+        // event stream compresses away, in the same order the genuine
+        // methods consume it (diff before augmented entries, §3.3).
+        if let (Some(mon), Actor::Client(c)) = (self.obs.monitors(), self.actor) {
+            let report = ctrl.invalidation();
+            mon.control_begin(c, ctrl.cycle(), report.window());
+            for (item, wc) in report.dated_items() {
+                mon.report_entry(c, item, wc);
+            }
+            if let Some(diff) = ctrl.graph_diff() {
+                mon.graph_diff(c, diff);
+            }
+            if let Some(aug) = ctrl.augmented() {
+                for (item, writer) in aug.entries() {
+                    mon.augmented_entry(c, item, writer);
+                }
+            }
+            mon.control_done(c, ctrl.cycle());
+        }
         // Surface prunes of the validation structure (SGT's graph) by
         // observing the node/edge counts shrink across the control step.
         if self.obs.is_enabled() {
@@ -214,11 +233,26 @@ impl ReadOnlyProtocol for Instrumented {
             }
         });
         match outcome {
-            ReadOutcome::Accepted => self.obs.emit(
-                now,
-                self.actor,
-                EventKind::ReadAccepted { item: item.index() },
-            ),
+            ReadOutcome::Accepted => {
+                self.obs.emit(
+                    now,
+                    self.actor,
+                    EventKind::ReadAccepted { item: item.index() },
+                );
+                if let (Some(mon), Actor::Client(c)) = (self.obs.monitors(), self.actor) {
+                    mon.read_meta(
+                        c,
+                        q.number(),
+                        item,
+                        now,
+                        candidate.valid_from,
+                        candidate.valid_until,
+                        candidate
+                            .last_writer_tag
+                            .or_else(|| candidate.value.writer()),
+                    );
+                }
+            }
             ReadOutcome::Rejected(reason) => self.obs.emit(
                 now,
                 self.actor,
@@ -383,6 +417,80 @@ mod tests {
         assert_eq!(snap.counter("queries.begun"), 1);
         assert_eq!(snap.counter("reads.accepted"), 1);
         assert!(snap.events.iter().all(|e| e.actor == Actor::Client(3)));
+    }
+
+    #[test]
+    fn monitors_ride_the_obs_handle_and_genuine_runs_pass() {
+        use bpush_obs::{MonitorConfig, Monitors};
+        for method in [Method::InvalidationOnly, Method::Sgt] {
+            let (policy, coverage) = method.monitor_policy();
+            let monitors = Monitors::new(MonitorConfig::new(1, policy, coverage));
+            let obs = Obs::off().with_monitors(monitors.clone());
+            assert!(obs.is_enabled(), "monitors alone enable the sink");
+            let mut p =
+                Instrumented::with_obs(method.build_protocol(), obs.clone(), Actor::Client(0));
+            let q = QueryId::new(0);
+            p.on_control(&ControlInfo::empty(Cycle::ZERO));
+            p.begin_query(q, Cycle::ZERO);
+            let good = ReadCandidate {
+                value: ItemValue::initial(),
+                last_writer_tag: None,
+                valid_from: Cycle::ZERO,
+                valid_until: None,
+                source: Source::BroadcastCurrent,
+            };
+            assert_eq!(
+                p.apply_read(q, ItemId::new(1), &good, Cycle::ZERO),
+                ReadOutcome::Accepted
+            );
+            // an unrelated invalidation must not trip the monitor
+            let report = bpush_broadcast::InvalidationReport::new(
+                Cycle::new(1),
+                1,
+                [ItemId::new(9)],
+                bpush_types::Granularity::Item,
+                1,
+            );
+            p.on_control(&ControlInfo::new(Cycle::new(1), report, None, None));
+            obs.emit(
+                Cycle::new(1),
+                Actor::Client(0),
+                EventKind::QueryCommitted {
+                    query: 0,
+                    latency_slots: 4,
+                },
+            );
+            p.finish_query(q);
+            let v = monitors.verdict();
+            assert!(v.pass(), "{method}: {}", v.render());
+            assert_eq!(v.controls, 2, "{method}");
+            assert_eq!(v.commits, 1, "{method}");
+        }
+    }
+
+    #[test]
+    fn monitors_catch_a_read_accepted_past_an_invalidation() {
+        use bpush_obs::{MonitorConfig, MonitorPolicy, Monitors};
+        // Drive the monitor the way a *broken* inv-only would behave:
+        // accept a read after a report entry hit the readset.
+        let (policy, coverage) = Method::InvalidationOnly.monitor_policy();
+        assert_eq!(policy, MonitorPolicy::Current);
+        let monitors = Monitors::new(MonitorConfig::new(1, policy, coverage));
+        let obs = Obs::off().with_monitors(monitors.clone());
+        obs.emit(
+            Cycle::ZERO,
+            Actor::Client(0),
+            EventKind::QueryBegun { query: 0 },
+        );
+        monitors.read_meta(0, 0, ItemId::new(1), Cycle::ZERO, Cycle::ZERO, None, None);
+        monitors.control_begin(0, Cycle::new(1), 1);
+        monitors.report_entry(0, ItemId::new(1), Cycle::ZERO);
+        monitors.control_done(0, Cycle::new(1));
+        // a genuine protocol would doom; the broken one reads on
+        monitors.read_meta(0, 0, ItemId::new(2), Cycle::new(1), Cycle::ZERO, None, None);
+        let v = monitors.verdict();
+        assert!(!v.pass());
+        assert_eq!(v.violations[0].item, 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use bpush_obs::{CoverageRule, MonitorPolicy};
 use bpush_server::ServerOptions;
 use bpush_types::config::MultiversionLayout;
 
@@ -111,6 +112,29 @@ impl Method {
         }
     }
 
+    /// The invariant family and gap rule an online monitor must check
+    /// this method against (the consistency criterion each method
+    /// guarantees, per the §3/§4 correctness arguments).
+    pub fn monitor_policy(self) -> (MonitorPolicy, CoverageRule) {
+        match self {
+            // §3.1: committed readsets are current as of the last clean
+            // report; uncovered gaps must doom (window rule, §5.2.2).
+            Method::InvalidationOnly | Method::InvalidationCache => {
+                (MonitorPolicy::Current, CoverageRule::WindowGap)
+            }
+            // §4.1/§3.2: the readset need only share one database state;
+            // gaps pin the query instead of dooming it.
+            Method::InvalidationVersionedCache
+            | Method::MultiversionBroadcast
+            | Method::MultiversionCaching => (MonitorPolicy::Snapshot, CoverageRule::Ignore),
+            // §3.3: the serialization graph stays acyclic; plain SGT
+            // cannot tolerate any missed cycle.
+            Method::Sgt | Method::SgtCache => (MonitorPolicy::Graph, CoverageRule::StrictGap),
+            // §5.2.2: per-item versions let SGT survive disconnections.
+            Method::SgtVersionedItems => (MonitorPolicy::Graph, CoverageRule::Ignore),
+        }
+    }
+
     /// The server-side support the method needs, given the multiversion
     /// layout to use when applicable.
     pub fn server_options(self, layout: MultiversionLayout) -> ServerOptions {
@@ -189,6 +213,26 @@ mod tests {
             BroadcastMode::Plain
         );
         assert!(!Method::MultiversionCaching.server_options(layout).sgt_info);
+    }
+
+    /// Pins the invariant family per method: the differential oracle
+    /// (mc ground truth vs online monitors) depends on this mapping.
+    #[test]
+    fn monitor_policies_pinned_for_every_method() {
+        for m in Method::ALL.into_iter().chain([Method::SgtVersionedItems]) {
+            let (policy, coverage) = m.monitor_policy();
+            let want = match m {
+                Method::InvalidationOnly | Method::InvalidationCache => {
+                    (MonitorPolicy::Current, CoverageRule::WindowGap)
+                }
+                Method::InvalidationVersionedCache
+                | Method::MultiversionBroadcast
+                | Method::MultiversionCaching => (MonitorPolicy::Snapshot, CoverageRule::Ignore),
+                Method::Sgt | Method::SgtCache => (MonitorPolicy::Graph, CoverageRule::StrictGap),
+                Method::SgtVersionedItems => (MonitorPolicy::Graph, CoverageRule::Ignore),
+            };
+            assert_eq!((policy, coverage), want, "{m}");
+        }
     }
 
     #[test]

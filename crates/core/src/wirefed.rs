@@ -3,7 +3,7 @@
 //! [`WireFed`] wraps any [`ReadOnlyProtocol`] and intercepts
 //! [`ReadOnlyProtocol::on_control`]: the in-memory [`ControlInfo`] is
 //! encoded as a framed control segment, pushed through a
-//! [`WireFeed`](bpush_broadcast::feed::WireFeed) byte buffer, decoded
+//! [`WireFeed`] byte buffer, decoded
 //! back, and only the *decoded* report reaches the inner protocol — the
 //! client sees exactly what a socket-fed client would see. Every other
 //! trait method delegates untouched, and
@@ -101,10 +101,7 @@ impl WireFed {
         assert_eq!(seg.cycle, ctrl.cycle());
         let decoded = decode_control_payload(seg.payload, self.params, seg.cycle)
             .expect("a wire-encoded control report must decode"); // lint: allow(panic) — divergence detector by design
-        debug_assert_eq!(
-            &decoded, ctrl,
-            "wire roundtrip changed the control report"
-        );
+        debug_assert_eq!(&decoded, ctrl, "wire roundtrip changed the control report");
         decoded
     }
 }
@@ -267,7 +264,10 @@ mod tests {
         assert_eq!(p.name(), "mv-caching");
         assert_eq!(p.cache_mode(), CacheMode::Multiversion);
         p.on_missed_cycle(Cycle::new(2));
-        assert_eq!(p.params().key_bits, WireParams::derive(1000, 8, 32, 16).key_bits);
+        assert_eq!(
+            p.params().key_bits,
+            WireParams::derive(1000, 8, 32, 16).key_bits
+        );
         assert_eq!(p.into_inner().cache_mode(), CacheMode::Multiversion);
     }
 }

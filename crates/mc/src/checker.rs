@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use bpush_core::validator::{ConsistencyViolation, SerializabilityValidator};
 use bpush_types::{BpushError, Cycle, ItemId};
 
-use crate::exec::{run_client_obs, run_schedule, ClientChoices, FeedMode};
+use crate::exec::{monitors_for_spec, run_client_obs, run_schedule, ClientChoices, FeedMode};
 use crate::fnv64;
 use crate::ground::GroundTruth;
 use crate::minimize::minimize;
@@ -163,6 +163,87 @@ fn check_spec_impl(
     }
     report.distinct_states = states.len() as u64;
     Ok(report)
+}
+
+/// The outcome of a per-execution differential audit of the online
+/// monitors against the checker's exhaustive ground truth.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorAudit {
+    /// Bounded executions audited.
+    pub executions: u64,
+    /// Executions in which the query committed.
+    pub committed: u64,
+    /// Executions the monitors flagged (any violation retained or
+    /// dropped).
+    pub flagged: u64,
+    /// Committed executions whose readset failed serializability — the
+    /// checker's ground-truth notion of an invalid execution.
+    pub invalid: u64,
+    /// Ground-truth-invalid executions the monitors stayed silent on:
+    /// missed detections. Zero is the oracle claim.
+    pub invalid_unflagged: u64,
+    /// Executions whose monitored replay diverged from the bare replay
+    /// in fate, readset, or canonical per-cycle state hashes — the
+    /// monitors must be observers, never participants. Zero always.
+    pub perturbed: u64,
+}
+
+/// Runs every bounded execution of `spec` at `scope` twice — bare, then
+/// with a fresh single-lane monitor engine attached — and scores the
+/// monitors against the checker's ground truth: valid executions must
+/// pass, ground-truth violations must be flagged, and attaching the
+/// monitors must not perturb the replay (bit-identical fates, readsets
+/// and canonical state hashes). Unlike [`check_spec`], the sweep never
+/// stops early, so the tallies cover the whole space.
+///
+/// # Errors
+/// Returns [`BpushError`] if the scope implies an invalid server
+/// configuration.
+pub fn audit_monitors(spec: ProtocolSpec, scope: &Scope) -> Result<MonitorAudit, BpushError> {
+    let scripts = commit_scripts(scope);
+    let choices = client_choices(scope, spec.uses_cache());
+    let mut audit = MonitorAudit::default();
+    for script in &scripts {
+        let gt = GroundTruth::build(
+            spec,
+            scope.items,
+            scope.versions_retained,
+            scope.cycles,
+            script,
+        )?;
+        let validator = SerializabilityValidator::new(gt.server.history());
+        for choice in &choices {
+            let bare = run_client_obs(spec, choice, &gt, &bpush_obs::Obs::off(), FeedMode::Struct);
+            let monitors = monitors_for_spec(spec, scope.reads_per_query);
+            let obs = bpush_obs::Obs::off().with_monitors(monitors.clone());
+            let watched = run_client_obs(spec, choice, &gt, &obs, FeedMode::Struct);
+            audit.executions += 1;
+            if watched.committed != bare.committed
+                || watched.abort != bare.abort
+                || watched.reads != bare.reads
+                || watched.state_hashes != bare.state_hashes
+            {
+                audit.perturbed += 1;
+            }
+            let flagged = !monitors.verdict().pass();
+            if flagged {
+                audit.flagged += 1;
+            }
+            if watched.committed {
+                audit.committed += 1;
+                if validator
+                    .check_serializable(gt.server.conflict_graph(), &watched.reads)
+                    .is_err()
+                {
+                    audit.invalid += 1;
+                    if !flagged {
+                        audit.invalid_unflagged += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(audit)
 }
 
 /// Checks every genuine protocol at the given scope.
@@ -402,6 +483,69 @@ mod tests {
             );
             assert_eq!(snap.counter("queries.aborted"), traced.aborted, "{spec}");
         }
+    }
+
+    /// The ground-truth oracle for the online monitors: every
+    /// mc-enumerated execution of every genuine protocol passes its
+    /// monitors (no false positives across the exhaustive ci space),
+    /// and attaching the monitors never perturbs a replay — same
+    /// fates, same readsets, same canonical state hashes.
+    #[test]
+    fn monitors_pass_every_genuine_execution_at_ci_scope() {
+        for spec in ProtocolSpec::genuine() {
+            let audit = audit_monitors(spec, &Scope::ci()).unwrap();
+            assert!(audit.executions >= 8, "{spec}");
+            assert_eq!(
+                audit.flagged, 0,
+                "{spec}: monitors flagged a valid execution"
+            );
+            assert_eq!(audit.invalid, 0, "{spec}: a genuine method violated");
+            assert_eq!(
+                audit.perturbed, 0,
+                "{spec}: monitors perturbed the replay (state hashes diverged)"
+            );
+        }
+    }
+
+    /// The detection half of the oracle: every ground-truth-invalid
+    /// execution of the broken fixture is flagged by the monitors, and
+    /// the monitors catch strictly more than the end-state validator
+    /// (they also flag runs that accept a doomed read but happen to
+    /// dodge a torn commit).
+    #[test]
+    fn monitors_flag_every_broken_violation_at_ci_scope() {
+        let audit = audit_monitors(ProtocolSpec::BrokenInvalidation, &Scope::ci()).unwrap();
+        assert!(audit.invalid > 0, "the seeded bug must produce violations");
+        assert_eq!(
+            audit.invalid_unflagged, 0,
+            "a ground-truth violation escaped the monitors"
+        );
+        assert!(audit.flagged >= audit.invalid);
+        assert_eq!(audit.perturbed, 0);
+    }
+
+    /// Monitored single-schedule replay agrees with the audit on the
+    /// pinned boundary counterexample.
+    #[test]
+    fn monitored_replay_flags_the_minimized_counterexample() {
+        let report = check_spec(ProtocolSpec::BrokenInvalidation, &Scope::ci()).unwrap();
+        let minimized = report.violation.expect("seeded bug is found").schedule;
+        let (exec, verdict) =
+            crate::exec::run_schedule_monitored(ProtocolSpec::BrokenInvalidation, &minimized)
+                .unwrap();
+        assert!(exec.committed, "the counterexample commits");
+        assert!(exec.violation.is_some(), "…a torn readset");
+        assert!(!verdict.pass(), "…which the monitors flag online");
+        let (exec, verdict) = crate::exec::run_schedule_monitored(
+            ProtocolSpec::Genuine(bpush_core::Method::InvalidationOnly),
+            &minimized,
+        )
+        .unwrap();
+        assert!(
+            !exec.committed,
+            "the genuine method aborts the same schedule"
+        );
+        assert!(verdict.pass(), "…and its monitors stay silent");
     }
 
     #[test]

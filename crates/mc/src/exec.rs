@@ -5,10 +5,10 @@ use bpush_core::instrument::Instrumented;
 use bpush_core::validator::{ConsistencyViolation, ReadRecord, SerializabilityValidator};
 use bpush_core::wirefed::WireFed;
 use bpush_core::{
-    AbortReason, ProtocolStep, ReadCandidate, ReadConstraint, ReadDirective, ReadOnlyProtocol,
-    ReadOutcome, Source,
+    AbortReason, Method, ProtocolStep, ReadCandidate, ReadConstraint, ReadDirective,
+    ReadOnlyProtocol, ReadOutcome, Source,
 };
-use bpush_obs::{Actor, EventKind, Obs};
+use bpush_obs::{Actor, EventKind, MonitorConfig, MonitorVerdict, Monitors, Obs};
 use bpush_types::{BpushError, Cycle, ItemValue, QueryId};
 
 use crate::fnv64;
@@ -296,6 +296,40 @@ pub fn run_schedule_traced(
     obs: &Obs,
 ) -> Result<Execution, BpushError> {
     run_schedule_impl(spec, schedule, obs, FeedMode::Struct)
+}
+
+/// Single-lane online monitors matched to `spec`'s published invariant
+/// family ([`Method::monitor_policy`]): the broken fixture is audited
+/// against the rules of the genuine method it corrupts.
+pub fn monitors_for_spec(spec: ProtocolSpec, reads: usize) -> Monitors {
+    let method = match spec {
+        ProtocolSpec::Genuine(m) => m,
+        ProtocolSpec::BrokenInvalidation => Method::InvalidationOnly,
+    };
+    let (policy, coverage) = method.monitor_policy();
+    let mut cfg = MonitorConfig::new(1, policy, coverage);
+    cfg.reads_per_query = u32::try_from(reads).unwrap_or(u32::MAX).max(1);
+    Monitors::new(cfg)
+}
+
+/// [`run_schedule`] with fresh online monitors attached: the replay
+/// streams through the instrumentation decorator into a single-lane
+/// monitor engine, and the verdict comes back alongside the execution.
+/// A fresh engine per replay matters — mc executions restart at cycle
+/// zero, which a reused engine's stream monitor would rightly flag as a
+/// cycle regression.
+///
+/// # Errors
+/// Returns [`BpushError`] when the schedule fails validation or the
+/// server configuration it implies is rejected.
+pub fn run_schedule_monitored(
+    spec: ProtocolSpec,
+    schedule: &Schedule,
+) -> Result<(Execution, MonitorVerdict), BpushError> {
+    let monitors = monitors_for_spec(spec, schedule.reads.len());
+    let obs = Obs::off().with_monitors(monitors.clone());
+    let exec = run_schedule_traced(spec, schedule, &obs)?;
+    Ok((exec, monitors.verdict()))
 }
 
 fn run_schedule_impl(

@@ -10,7 +10,7 @@
 #![allow(clippy::unwrap_used)]
 
 use bpush_core::validator::SerializabilityValidator;
-use bpush_mc::{run_schedule, ProtocolSpec, ReadSpec, Schedule};
+use bpush_mc::{run_schedule, run_schedule_monitored, ProtocolSpec, ReadSpec, Schedule};
 use bpush_server::{BroadcastServer, ScriptedWorkload};
 use bpush_types::{Cycle, ItemId, ServerConfig};
 use proptest::prelude::*;
@@ -162,6 +162,45 @@ proptest! {
                 exec.violation.is_none(),
                 "{} committed a non-serializable readset under {:?}: {:?}",
                 spec, &schedule, &exec.violation
+            );
+        }
+    }
+
+    /// Differential check of the online monitors against the executor's
+    /// ground truth at random points of the bounded space: genuine
+    /// methods never trip their monitors, the monitored replay is
+    /// bit-identical to the bare one, and every non-serializable commit
+    /// of the broken fixture is flagged online.
+    #[test]
+    fn monitors_agree_with_the_executor(
+        spec_pick in 0usize..8,
+        raw_commits in proptest::collection::vec((0u8..4, 0u8..8), 0..4),
+        raw_reads in proptest::collection::vec((0u8..8, 0u8..4, proptest::bool::ANY), 1..4),
+    ) {
+        let schedule = build_schedule(&raw_commits, &raw_reads);
+
+        let spec = ProtocolSpec::genuine()[spec_pick % ProtocolSpec::genuine().len()];
+        let bare = run_schedule(spec, &schedule).unwrap();
+        let (watched, verdict) = run_schedule_monitored(spec, &schedule).unwrap();
+        prop_assert_eq!(bare.committed, watched.committed, "{}", spec);
+        prop_assert_eq!(bare.abort, watched.abort, "{}", spec);
+        prop_assert_eq!(&bare.reads, &watched.reads, "{}", spec);
+        prop_assert_eq!(
+            &bare.state_hashes, &watched.state_hashes,
+            "{}: monitors perturbed the canonical state hashes", spec
+        );
+        prop_assert!(
+            verdict.pass(),
+            "{} tripped its monitors on a valid execution under {:?}:\n{}",
+            spec, &schedule, verdict.render()
+        );
+
+        let (broken, verdict) =
+            run_schedule_monitored(ProtocolSpec::BrokenInvalidation, &schedule).unwrap();
+        if broken.committed && broken.violation.is_some() {
+            prop_assert!(
+                !verdict.pass(),
+                "a torn commit escaped the monitors under {:?}", &schedule
             );
         }
     }

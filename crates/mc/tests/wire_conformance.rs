@@ -138,8 +138,12 @@ fn ci_scope_exhaustive_check_is_feed_invariant() {
 /// the wire must not mask genuine protocol defects.
 #[test]
 fn wire_fed_checker_still_catches_the_broken_fixture() {
-    let report = check_spec_fed(ProtocolSpec::BrokenInvalidation, &Scope::ci(), FeedMode::Wire)
-        .unwrap();
+    let report = check_spec_fed(
+        ProtocolSpec::BrokenInvalidation,
+        &Scope::ci(),
+        FeedMode::Wire,
+    )
+    .unwrap();
     assert!(
         report.violation.is_some(),
         "the seeded bug must be found wire-fed too"

@@ -90,11 +90,14 @@ pub fn text_summary(snap: &TraceSnapshot) -> String {
         for (name, h) in &snap.histograms {
             let _ = writeln!(
                 out,
-                "  {name}: count={} mean={} min={} max={}",
+                "  {name}: count={} mean={} min={} max={} p50={} p90={} p99={}",
                 h.count(),
                 h.mean().unwrap_or(0),
                 h.min().unwrap_or(0),
                 h.max().unwrap_or(0),
+                h.p50().unwrap_or(0),
+                h.p90().unwrap_or(0),
+                h.p99().unwrap_or(0),
             );
         }
     }
@@ -303,6 +306,10 @@ mod tests {
         let text = text_summary(&sample());
         assert!(text.contains("queries.committed"));
         assert!(text.contains("bcast.slots: count=1"));
+        assert!(
+            text.contains("p50=") && text.contains("p99="),
+            "histogram lines surface latency percentiles: {text}"
+        );
     }
 
     #[test]

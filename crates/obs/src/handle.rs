@@ -8,6 +8,7 @@ use bpush_types::Cycle;
 
 use crate::event::{Actor, Event, EventKind};
 use crate::hist::Log2Histogram;
+use crate::monitor::Monitors;
 use crate::registry::MetricsRegistry;
 use crate::ring::RingBuffer;
 
@@ -85,12 +86,16 @@ impl TraceSnapshot {
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     inner: Option<Arc<Mutex<Recorder>>>,
+    monitors: Option<Monitors>,
 }
 
 impl Obs {
     /// The no-op sink: nothing is recorded, nothing is allocated.
     pub fn off() -> Self {
-        Obs { inner: None }
+        Obs {
+            inner: None,
+            monitors: None,
+        }
     }
 
     /// A recording sink retaining the last `capacity` events
@@ -102,18 +107,39 @@ impl Obs {
                 registry: MetricsRegistry::new(),
                 next_tick: 0,
             }))),
+            monitors: None,
         }
     }
 
-    /// Whether this handle records anything.
-    pub fn is_enabled(&self) -> bool {
-        self.inner.is_some()
+    /// Attaches an online monitor set: every event emitted through this
+    /// handle (and its clones) is also streamed through the monitors. A
+    /// handle may carry monitors without a recorder — invariants are
+    /// then checked online with no event retention at all.
+    #[must_use]
+    pub fn with_monitors(mut self, monitors: Monitors) -> Self {
+        self.monitors = Some(monitors);
+        self
     }
 
-    /// Records one event (and bumps its canonical counters).
+    /// The attached monitor set, if any.
+    pub fn monitors(&self) -> Option<&Monitors> {
+        self.monitors.as_ref()
+    }
+
+    /// Whether this handle records or monitors anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some() || self.monitors.is_some()
+    }
+
+    /// Records one event (and bumps its canonical counters), then
+    /// streams it through the attached monitors, if any.
     pub fn emit(&self, cycle: Cycle, actor: Actor, kind: EventKind) {
         if let Some(rec) = &self.inner {
+            // bpush-lint: allow(lock-order) — recorder guard is a statement temporary, released before the monitor engine locks; the recorder→engine order is the only one in the workspace
             rec.lock().record_event(cycle, actor, kind);
+        }
+        if let Some(mon) = &self.monitors {
+            mon.feed_event(cycle, actor, kind);
         }
     }
 

@@ -125,6 +125,50 @@ impl Log2Histogram {
             .collect()
     }
 
+    /// The `p`-th percentile estimate (`p` in `0..=100`), or `None`
+    /// when empty.
+    ///
+    /// All-integer: walks the cumulative bucket counts to the bucket
+    /// containing the `ceil(p/100 · count)`-th smallest sample and
+    /// returns that bucket's midpoint (`floor + (ceil - floor) / 2`),
+    /// clamped into the observed `[min, max]` range. Exact for buckets
+    /// of width one (values 0 and 1), within a factor of two elsewhere
+    /// — the same resolution as the buckets themselves.
+    pub fn percentile(&self, p: u8) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = u64::from(p.min(100));
+        // rank = ceil(p/100 * count), at least 1 so p=0 is the minimum
+        let rank = (p.saturating_mul(self.count).saturating_add(99) / 100).max(1);
+        let mut seen = 0u64;
+        for (k, c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*c);
+            if seen >= rank {
+                let floor = Self::bucket_floor(k);
+                let ceil = Self::bucket_ceil(k);
+                let mid = floor + (ceil - floor) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        self.max()
+    }
+
+    /// The median estimate ([`Log2Histogram::percentile`] at 50).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50)
+    }
+
+    /// The 90th-percentile estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99)
+    }
+
     /// Folds `other` into `self`. Equivalent (bucket-, count-, sum-,
     /// min/max-exactly) to having recorded the concatenation of both
     /// input streams.
@@ -198,6 +242,45 @@ mod tests {
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), None);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn percentiles_are_pinned_bucket_midpoints() {
+        let mut h = Log2Histogram::new();
+        // 100 samples: 50× value 2 (bucket 2: [2,3]), 40× value 10
+        // (bucket 4: [8,15]), 10× value 100 (bucket 7: [64,127])
+        for _ in 0..50 {
+            h.record(2);
+        }
+        for _ in 0..40 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(100);
+        }
+        assert_eq!(h.p50(), Some(2), "midpoint of [2,3] clamped to min=2");
+        assert_eq!(h.p90(), Some(11), "midpoint of [8,15]");
+        assert_eq!(h.p99(), Some(95), "midpoint of [64,127] = 95");
+        assert_eq!(h.percentile(0), Some(2), "p0 is the smallest sample");
+        assert_eq!(
+            h.percentile(100),
+            Some(95),
+            "p100 clamps to max=100's bucket midpoint"
+        );
+    }
+
+    #[test]
+    fn percentiles_clamp_into_the_observed_range() {
+        let mut h = Log2Histogram::new();
+        h.record(9); // bucket 4: [8,15], midpoint 11
+        assert_eq!(h.p50(), Some(9), "single sample clamps to max");
+        assert_eq!(h.p99(), Some(9));
+        let mut exact = Log2Histogram::new();
+        exact.record(0);
+        exact.record(1);
+        assert_eq!(exact.p50(), Some(0), "width-one buckets are exact");
+        assert_eq!(exact.p99(), Some(1));
+        assert_eq!(Log2Histogram::new().p50(), None, "empty has no percentile");
     }
 
     #[test]

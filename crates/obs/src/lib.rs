@@ -21,6 +21,13 @@
 //!   chrome://tracing `trace_event` array ([`export::chrome_trace`])
 //!   that opens directly in Perfetto, and a compact terminal summary
 //!   ([`export::text_summary`]).
+//! * **Online monitors** — deterministic invariant state machines over
+//!   the event stream ([`monitor::Monitors`]): currency/staleness,
+//!   commit-implies-serializable, report coverage, and stream sanity,
+//!   each producing an all-integer [`monitor::MonitorVerdict`].
+//! * **Flight recorder** — a bounded ring of recent wire-format frames
+//!   ([`flight::FlightRecorder`]) that freezes into a replayable
+//!   `bpush-capture-v1` [`flight::Capture`] when a monitor fires.
 //!
 //! Everything funnels through an [`Obs`] handle: a cheaply cloneable
 //! sink that is a no-op by default ([`Obs::off`]) — a single `Option`
@@ -55,13 +62,19 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod handle;
 pub mod hist;
+pub mod monitor;
 pub mod registry;
 pub mod ring;
 
 pub use event::{Actor, Event, EventKind};
+pub use flight::{Capture, FlightRecorder, Frame, CAPTURE_MAGIC};
 pub use handle::{Obs, SpanGuard, TraceSnapshot, DEFAULT_CAPACITY};
 pub use hist::Log2Histogram;
+pub use monitor::{
+    CoverageRule, MonitorConfig, MonitorPolicy, MonitorVerdict, Monitors, Violation,
+};
 pub use registry::MetricsRegistry;
 pub use ring::RingBuffer;

@@ -1,0 +1,1635 @@
+//! Online invariant monitors over the [`Obs`](crate::Obs) event stream.
+//!
+//! Each monitor is a small deterministic state machine over integers:
+//! fed the same same-seed event stream, it produces byte-identical
+//! verdicts ([`MonitorVerdict::render`]). The engine mirrors the
+//! *published rules* of the processing methods (§3 of the paper) rather
+//! than their implementations, so a protocol that diverges from its own
+//! rule — such as the seeded `BrokenInvalidation` mutant — is caught
+//! online, while every genuine method passes:
+//!
+//! * **Currency** ([`MonitorKind::Currency`], policy
+//!   [`MonitorPolicy::Current`]) — mirrors the §3.1 invalidation screen
+//!   at item granularity: once a report entry hits the active readset at
+//!   or after the query's verified state, the protocol must doom the
+//!   query; a read *accepted* past that point is a violation. An
+//!   optional staleness bound caps commit-time currency distance.
+//! * **Serializability** ([`MonitorKind::Serializability`]) — for
+//!   [`MonitorPolicy::Graph`] methods, an incremental shadow
+//!   serialization graph (reusing `bpush_sgraph`) replays the §3.3 edge
+//!   discipline; an accepted read whose dependency edge closes a cycle,
+//!   or a commit while the query sits on a cycle, is a violation. For
+//!   [`MonitorPolicy::Snapshot`] methods, the committed readset's
+//!   validity intervals must share a database state.
+//! * **Coverage** ([`MonitorKind::Coverage`]) — every committed readset
+//!   was screened against every overlapping report: an uncovered report
+//!   gap (window rule, §5.2.2) or a missed cycle under a strict-gap
+//!   method must doom the query before any further read is accepted.
+//! * **Stream** ([`MonitorKind::Stream`]) — span balance and per-lane
+//!   cycle monotonicity of the event stream itself.
+//!
+//! The typed feed ([`Monitors::report_entry`] and friends) carries the
+//! per-entry control information the event stream compresses away; it is
+//! driven by the `Instrumented` protocol decorator in `bpush-core`.
+
+// bpush-lint: sans_io — monitor feed path: pure state machines over integers, no clocks/threads/files/sockets
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bpush_sgraph::{GraphDiff, Node, SerializationGraph};
+use bpush_types::{AbortReason, Cycle, ItemId, QueryId, TxnId};
+
+use crate::event::{Actor, EventKind};
+
+/// Sentinel for "no item" in an all-integer [`Violation`].
+pub const NO_ITEM: u32 = u32::MAX;
+/// Sentinel for "no cycle / not applicable" in an all-integer field.
+pub const NO_CYCLE: u64 = u64::MAX;
+
+/// Which invariant family a method is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// bpush-lint: protocol_enum — monitor rule family mirroring the method matrix
+pub enum MonitorPolicy {
+    /// Committed readsets must be current (§3.1 invalidation screen).
+    Current,
+    /// Committed readsets must share one database state (§4.1/§3.2).
+    Snapshot,
+    /// Commits must leave the serialization graph acyclic (§3.3).
+    Graph,
+}
+
+/// How missed cycles must be handled by the method under watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// bpush-lint: protocol_enum — gap-handling rule mirroring §5.2.2
+pub enum CoverageRule {
+    /// A gap is tolerable iff the next heard report's window covers it.
+    WindowGap,
+    /// Any missed cycle dooms active queries (plain SGT).
+    StrictGap,
+    /// Gaps never doom (multiversion / versioned methods).
+    Ignore,
+}
+
+/// Which monitor produced a [`Violation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// bpush-lint: protocol_enum — verdict dimension of the monitor engine
+pub enum MonitorKind {
+    /// The §3.1 currency screen was bypassed.
+    Currency,
+    /// A commit was provably non-serializable under the method's rule.
+    Serializability,
+    /// A readset escaped screening against an overlapping report.
+    Coverage,
+    /// The event stream itself was malformed (spans, cycle order).
+    Stream,
+    /// Not a violation: an [`AbortReason`] watch filter matched.
+    AbortWatch,
+}
+
+impl MonitorKind {
+    /// Short stable kebab-case label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MonitorKind::Currency => "currency",
+            MonitorKind::Serializability => "serializability",
+            MonitorKind::Coverage => "coverage",
+            MonitorKind::Stream => "stream",
+            MonitorKind::AbortWatch => "abort-watch",
+        }
+    }
+
+    /// Parses [`MonitorKind::label`] output.
+    pub fn from_label(s: &str) -> Option<MonitorKind> {
+        match s {
+            "currency" => Some(MonitorKind::Currency),
+            "serializability" => Some(MonitorKind::Serializability),
+            "coverage" => Some(MonitorKind::Coverage),
+            "stream" => Some(MonitorKind::Stream),
+            "abort-watch" => Some(MonitorKind::AbortWatch),
+            _ => None,
+        }
+    }
+}
+
+/// One detected invariant violation, all-integer so verdicts render
+/// byte-identically across same-seed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Which monitor fired.
+    pub kind: MonitorKind,
+    /// The client lane ([`Actor::Client`] index).
+    pub client: u32,
+    /// The query id involved.
+    pub query: u64,
+    /// The cycle at which the violation was confirmed.
+    pub cycle: u64,
+    /// The offending item ([`NO_ITEM`] when not item-specific).
+    pub item: u32,
+    /// The conflicting write's cycle ([`NO_CYCLE`] when n/a).
+    pub write_cycle: u64,
+    /// Kind-specific detail: the report cycle that should have doomed
+    /// the query (currency/coverage), the conflicting writer's sequence
+    /// number (serializability), or the stream lane's last cycle.
+    pub detail: u64,
+}
+
+impl Violation {
+    const EMPTY: Violation = Violation {
+        kind: MonitorKind::Stream,
+        client: 0,
+        query: 0,
+        cycle: 0,
+        item: NO_ITEM,
+        write_cycle: NO_CYCLE,
+        detail: 0,
+    };
+
+    /// Canonical one-line rendering, stable across runs.
+    pub fn render(&self) -> String {
+        format!(
+            "violation kind={} client={} query={} cycle={} item={} write_cycle={} detail={}",
+            self.kind.label(),
+            self.client,
+            self.query,
+            self.cycle,
+            self.item,
+            self.write_cycle,
+            self.detail
+        )
+    }
+
+    /// Parses a [`Violation::render`] line.
+    pub fn parse(line: &str) -> Option<Violation> {
+        let mut kind = None;
+        let mut client = None;
+        let mut query = None;
+        let mut cycle = None;
+        let mut item = None;
+        let mut write_cycle = None;
+        let mut detail = None;
+        let mut seen = 0usize;
+        for part in line.split_ascii_whitespace() {
+            if part == "violation" {
+                continue;
+            }
+            let (key, value) = part.split_once('=')?;
+            match key {
+                "kind" => kind = MonitorKind::from_label(value),
+                "client" => client = value.parse().ok(),
+                "query" => query = value.parse().ok(),
+                "cycle" => cycle = value.parse().ok(),
+                "item" => item = value.parse().ok(),
+                "write_cycle" => write_cycle = value.parse().ok(),
+                "detail" => detail = value.parse().ok(),
+                _ => return None,
+            }
+            seen = seen.saturating_add(1);
+        }
+        if seen != 7 {
+            return None;
+        }
+        Some(Violation {
+            kind: kind?,
+            client: client?,
+            query: query?,
+            cycle: cycle?,
+            item: item?,
+            write_cycle: write_cycle?,
+            detail: detail?,
+        })
+    }
+}
+
+/// A matched [`AbortReason`] watch filter hit (not a violation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchHit {
+    /// The client lane.
+    pub client: u32,
+    /// The aborted query.
+    pub query: u64,
+    /// The abort cycle.
+    pub cycle: u64,
+    /// The matched reason.
+    pub reason: AbortReason,
+}
+
+impl WatchHit {
+    const EMPTY: WatchHit = WatchHit {
+        client: 0,
+        query: 0,
+        cycle: 0,
+        reason: AbortReason::Invalidated,
+    };
+}
+
+/// Configuration of a [`Monitors`] engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Number of client lanes to preallocate.
+    pub clients: u32,
+    /// Readset slots per lane; queries reading more overflow (counted,
+    /// their commit checks are skipped rather than guessed).
+    pub reads_per_query: u32,
+    /// The invariant family of the method under watch.
+    pub policy: MonitorPolicy,
+    /// The gap rule of the method under watch.
+    pub coverage: CoverageRule,
+    /// Optional commit-time staleness ceiling in cycles: a commit whose
+    /// readset was last verified more than this many cycles ago is a
+    /// currency violation. `None` (default) disables the bound.
+    pub staleness_bound: Option<u64>,
+    /// Violation slots to retain (further violations are counted).
+    pub max_violations: u32,
+    /// Flight-recorder trigger: also capture on this abort reason.
+    pub watch: Option<AbortReason>,
+}
+
+impl MonitorConfig {
+    /// A config with conventional capacities.
+    pub fn new(clients: u32, policy: MonitorPolicy, coverage: CoverageRule) -> Self {
+        MonitorConfig {
+            clients,
+            reads_per_query: 64,
+            policy,
+            coverage,
+            staleness_bound: None,
+            max_violations: 64,
+            watch: None,
+        }
+    }
+}
+
+/// One readset slot mirrored by a lane.
+#[derive(Debug, Clone, Copy)]
+struct ReadSlot {
+    item: u32,
+    /// Inclusive earliest state at which the value is known current.
+    valid_from: u64,
+    /// Exclusive state bound at which it is superseded ([`NO_CYCLE`] =
+    /// open); tightened by later report entries.
+    valid_until: u64,
+}
+
+impl ReadSlot {
+    const EMPTY: ReadSlot = ReadSlot {
+        item: NO_ITEM,
+        valid_from: 0,
+        valid_until: NO_CYCLE,
+    };
+}
+
+/// An armed expect-doom record: the method's own rule requires the
+/// active query to abort; accepting a further read is a violation.
+#[derive(Debug, Clone, Copy)]
+struct DoomExpect {
+    kind: MonitorKind,
+    item: u32,
+    write_cycle: u64,
+    detail: u64,
+}
+
+/// Per-client protocol monitor state.
+#[derive(Debug, Clone)]
+struct Lane {
+    /// Last heard control cycle ([`NO_CYCLE`] = never).
+    heard: u64,
+    /// Control cycle currently being fed ([`NO_CYCLE`] = none).
+    feeding: u64,
+    active: bool,
+    query: u64,
+    /// The query's verified database state (§3.1 `verified_state`).
+    verified: u64,
+    doom: Option<DoomExpect>,
+    doom_reported: bool,
+    /// Graph policy: a cycle through the query exists (precedence-edge
+    /// closure); a commit in this state is a violation.
+    pending_cycle: Option<DoomExpect>,
+    /// Graph policy: earliest first-writer cycle (`c_o`, Lemma 1).
+    c_o: u64,
+    reads: Box<[ReadSlot]>,
+    nreads: u32,
+    overflow: bool,
+    /// Finished query ids whose shadow-graph node awaits removal (graph
+    /// mutation is deferred off the event hot path).
+    pending_remove: [u64; 4],
+    npending: u32,
+    pending_spill: bool,
+}
+
+impl Lane {
+    fn with_capacity(slots: usize) -> Lane {
+        Lane {
+            heard: NO_CYCLE,
+            feeding: NO_CYCLE,
+            active: false,
+            query: 0,
+            verified: 0,
+            doom: None,
+            doom_reported: false,
+            pending_cycle: None,
+            c_o: NO_CYCLE,
+            reads: vec![ReadSlot::EMPTY; slots].into_boxed_slice(),
+            nreads: 0,
+            overflow: false,
+            pending_remove: [0; 4],
+            npending: 0,
+            pending_spill: false,
+        }
+    }
+
+    /// Whether `item` is in the mirrored readset.
+    fn holds(&self, item: u32) -> bool {
+        let n = self.nreads as usize;
+        self.reads.iter().take(n).any(|s| s.item == item)
+    }
+
+    fn begin(&mut self, query: u64, cycle: u64) {
+        self.active = true;
+        self.query = query;
+        self.verified = cycle;
+        self.doom = None;
+        self.doom_reported = false;
+        self.pending_cycle = None;
+        self.c_o = NO_CYCLE;
+        self.nreads = 0;
+        self.overflow = false;
+    }
+
+    /// Ends the active query, queueing its graph node for removal.
+    fn retire(&mut self, graph_policy: bool) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        self.doom = None;
+        self.doom_reported = false;
+        self.pending_cycle = None;
+        if graph_policy {
+            match self.pending_remove.get_mut(self.npending as usize) {
+                Some(slot) => {
+                    *slot = self.query;
+                    self.npending = self.npending.saturating_add(1);
+                }
+                None => self.pending_spill = true,
+            }
+        }
+    }
+}
+
+/// Per-actor event-stream sanity state.
+#[derive(Debug, Clone, Copy)]
+struct StreamLane {
+    depth: u64,
+    last_cycle: u64,
+}
+
+impl StreamLane {
+    const EMPTY: StreamLane = StreamLane {
+        depth: 0,
+        last_cycle: 0,
+    };
+}
+
+/// The monitor engine: all state machines plus the bounded verdict.
+#[derive(Debug)]
+pub struct MonitorEngine {
+    config: MonitorConfig,
+    lanes: Box<[Lane]>,
+    streams: Box<[StreamLane]>,
+    graphs: Vec<SerializationGraph>,
+    violations: Box<[Violation]>,
+    nviol: u32,
+    violations_dropped: u64,
+    watch_hits: Box<[WatchHit]>,
+    nwatch: u32,
+    watch_dropped: u64,
+    events: u64,
+    controls: u64,
+    commits: u64,
+    aborts: u64,
+    checks: u64,
+    graph_edges: u64,
+    overflows: u64,
+    unknown_actors: u64,
+    triggers: u64,
+}
+
+impl MonitorEngine {
+    /// Builds the engine, preallocating every lane and slot.
+    pub fn new(config: MonitorConfig) -> Self {
+        let clients = config.clients as usize;
+        let slots = config.reads_per_query as usize;
+        let graphs = if config.policy == MonitorPolicy::Graph {
+            (0..clients).map(|_| SerializationGraph::new()).collect()
+        } else {
+            Vec::new()
+        };
+        MonitorEngine {
+            config,
+            lanes: (0..clients)
+                .map(|_| Lane::with_capacity(slots))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            streams: vec![StreamLane::EMPTY; clients.saturating_add(2)].into_boxed_slice(),
+            graphs,
+            violations: vec![Violation::EMPTY; config.max_violations as usize].into_boxed_slice(),
+            nviol: 0,
+            violations_dropped: 0,
+            watch_hits: vec![WatchHit::EMPTY; config.max_violations as usize].into_boxed_slice(),
+            nwatch: 0,
+            watch_dropped: 0,
+            events: 0,
+            controls: 0,
+            commits: 0,
+            aborts: 0,
+            checks: 0,
+            graph_edges: 0,
+            overflows: 0,
+            unknown_actors: 0,
+            triggers: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+
+    fn mon_note_violation(&mut self, v: Violation) {
+        self.triggers = self.triggers.saturating_add(1);
+        match self.violations.get_mut(self.nviol as usize) {
+            Some(slot) => {
+                *slot = v;
+                self.nviol = self.nviol.saturating_add(1);
+            }
+            None => self.violations_dropped = self.violations_dropped.saturating_add(1),
+        }
+    }
+
+    fn mon_note_watch(&mut self, hit: WatchHit) {
+        self.triggers = self.triggers.saturating_add(1);
+        match self.watch_hits.get_mut(self.nwatch as usize) {
+            Some(slot) => {
+                *slot = hit;
+                self.nwatch = self.nwatch.saturating_add(1);
+            }
+            None => self.watch_dropped = self.watch_dropped.saturating_add(1),
+        }
+    }
+
+    /// Streams one event through every monitor. This is the per-event
+    /// hot path: pure integer state-machine updates, no allocation, no
+    /// graph mutation (graph work is deferred to the typed feed).
+    // bpush-lint: hot_path — monitor feed: runs once per emitted event on every instrumented run
+    pub fn on_event(&mut self, cycle: Cycle, actor: Actor, kind: EventKind) {
+        self.events = self.events.saturating_add(1);
+        let n = cycle.number();
+        let tid = actor.tid() as usize;
+        let stream_client = match actor {
+            Actor::Client(i) => i,
+            _ => NO_ITEM,
+        };
+        let mut regressed: Option<u64> = None;
+        let mut unbalanced = false;
+        match self.streams.get_mut(tid) {
+            None => self.unknown_actors = self.unknown_actors.saturating_add(1),
+            Some(stream) => {
+                if n < stream.last_cycle {
+                    regressed = Some(stream.last_cycle);
+                } else {
+                    stream.last_cycle = n;
+                }
+                match kind {
+                    EventKind::SpanBegin { .. } => {
+                        stream.depth = stream.depth.saturating_add(1);
+                    }
+                    EventKind::SpanEnd { .. } => {
+                        if stream.depth == 0 {
+                            unbalanced = true;
+                        } else {
+                            stream.depth = stream.depth.saturating_sub(1);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(last) = regressed {
+            self.mon_note_violation(Violation {
+                kind: MonitorKind::Stream,
+                client: stream_client,
+                query: 0,
+                cycle: n,
+                item: NO_ITEM,
+                write_cycle: NO_CYCLE,
+                detail: last,
+            });
+        }
+        if unbalanced {
+            self.mon_note_violation(Violation {
+                kind: MonitorKind::Stream,
+                client: stream_client,
+                query: 0,
+                cycle: n,
+                item: NO_ITEM,
+                write_cycle: NO_CYCLE,
+                detail: 0,
+            });
+        }
+        let client = match actor {
+            Actor::Client(i) => i,
+            _ => return,
+        };
+        let graph_policy = self.config.policy == MonitorPolicy::Graph;
+        let strict_gap = self.config.coverage == CoverageRule::StrictGap;
+        let policy = self.config.policy;
+        let staleness_bound = self.config.staleness_bound;
+        let watch = self.config.watch;
+        let mut fire: Option<Violation> = None;
+        let mut watch_fire: Option<WatchHit> = None;
+        if let Some(lane) = self.lanes.get_mut(client as usize) {
+            match kind {
+                EventKind::QueryBegun { query } => {
+                    lane.retire(graph_policy);
+                    lane.begin(query, n);
+                }
+                EventKind::MissedCycle if strict_gap && lane.active && lane.doom.is_none() => {
+                    lane.doom = Some(DoomExpect {
+                        kind: MonitorKind::Coverage,
+                        item: NO_ITEM,
+                        write_cycle: NO_CYCLE,
+                        detail: n,
+                    });
+                }
+                EventKind::QueryCommitted { query, .. } => {
+                    self.commits = self.commits.saturating_add(1);
+                    if lane.active && lane.query == query {
+                        fire = Lane::commit_verdict(lane, policy, staleness_bound, client, n);
+                        lane.retire(graph_policy);
+                    }
+                }
+                EventKind::QueryAborted { query, reason } => {
+                    self.aborts = self.aborts.saturating_add(1);
+                    if watch == Some(reason) {
+                        watch_fire = Some(WatchHit {
+                            client,
+                            query,
+                            cycle: n,
+                            reason,
+                        });
+                    }
+                    if lane.active && lane.query == query {
+                        lane.retire(graph_policy);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(v) = fire {
+            self.mon_note_violation(v);
+        }
+        if let Some(hit) = watch_fire {
+            self.mon_note_watch(hit);
+        }
+    }
+
+    /// Begins feeding the control information of `cycle` (window from
+    /// the invalidation report) into the client's lane.
+    pub fn mon_control_begin(&mut self, client: u32, cycle: Cycle, window: u32) {
+        self.controls = self.controls.saturating_add(1);
+        self.mon_flush_graph(client);
+        let n = cycle.number();
+        let window_gap = self.config.coverage == CoverageRule::WindowGap;
+        if let Some(lane) = self.lanes.get_mut(client as usize) {
+            lane.feeding = n;
+            if window_gap && lane.active && lane.doom.is_none() && lane.heard != NO_CYCLE {
+                let covered = n <= lane.heard.saturating_add(u64::from(window));
+                if !covered {
+                    lane.doom = Some(DoomExpect {
+                        kind: MonitorKind::Coverage,
+                        item: NO_ITEM,
+                        write_cycle: NO_CYCLE,
+                        detail: n,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Feeds one dated invalidation-report entry: `item` was updated
+    /// during `write_cycle`.
+    pub fn mon_report_entry(&mut self, client: u32, item: ItemId, write_cycle: Cycle) {
+        self.checks = self.checks.saturating_add(1);
+        let idx = item.index();
+        let wc = write_cycle.number();
+        let policy = self.config.policy;
+        if let Some(lane) = self.lanes.get_mut(client as usize) {
+            if !lane.active {
+                return;
+            }
+            match policy {
+                MonitorPolicy::Current => {
+                    if lane.doom.is_none() && wc >= lane.verified && lane.holds(idx) {
+                        let report = lane.feeding;
+                        lane.doom = Some(DoomExpect {
+                            kind: MonitorKind::Currency,
+                            item: idx,
+                            write_cycle: wc,
+                            detail: report,
+                        });
+                    }
+                }
+                MonitorPolicy::Snapshot => {
+                    // A version current no later than `wc` was superseded
+                    // by the write: its validity ends at `wc + 1`
+                    // (exclusive) at the latest.
+                    let bound = wc.saturating_add(1);
+                    let nreads = lane.nreads as usize;
+                    for slot in lane.reads.iter_mut().take(nreads) {
+                        if slot.item == idx && slot.valid_from <= wc && bound < slot.valid_until {
+                            slot.valid_until = bound;
+                        }
+                    }
+                }
+                MonitorPolicy::Graph => {}
+            }
+        }
+    }
+
+    /// Feeds one augmented-report entry: `item` was first overwritten by
+    /// `writer` (announced in the control info currently being fed).
+    pub fn mon_augmented_entry(&mut self, client: u32, item: ItemId, writer: TxnId) {
+        if self.config.policy != MonitorPolicy::Graph {
+            return;
+        }
+        self.mon_flush_graph(client);
+        let idx = item.index();
+        let wc = writer.cycle().number();
+        let mut edge = None;
+        if let Some(lane) = self.lanes.get_mut(client as usize) {
+            if lane.active && lane.holds(idx) {
+                if wc < lane.c_o {
+                    lane.c_o = wc;
+                }
+                edge = Some(QueryId::new(lane.query));
+            }
+        }
+        let Some(q) = edge else { return };
+        let Some(graph) = self.graphs.get_mut(client as usize) else {
+            return;
+        };
+        // Claim 2: one precedence edge to the first writer suffices. The
+        // genuine method adds it unconditionally; if it closes a cycle
+        // the query must abort before committing.
+        let closes = graph.would_close_cycle(Node::Query(q), Node::Txn(writer));
+        graph.add_edge(Node::Query(q), Node::Txn(writer));
+        self.graph_edges = self.graph_edges.saturating_add(1);
+        if closes {
+            if let Some(lane) = self.lanes.get_mut(client as usize) {
+                if lane.pending_cycle.is_none() {
+                    lane.pending_cycle = Some(DoomExpect {
+                        kind: MonitorKind::Serializability,
+                        item: idx,
+                        write_cycle: wc,
+                        detail: u64::from(writer.seq()),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Integrates a broadcast serialization-graph diff into the client's
+    /// shadow graph.
+    pub fn mon_graph_diff(&mut self, client: u32, diff: &GraphDiff) {
+        if self.config.policy != MonitorPolicy::Graph {
+            return;
+        }
+        self.mon_flush_graph(client);
+        if let Some(graph) = self.graphs.get_mut(client as usize) {
+            graph.apply_diff(diff);
+        }
+    }
+
+    /// Ends the control feed for `cycle`: advances watermarks and prunes
+    /// the shadow graph (Lemma 1 discipline).
+    pub fn mon_control_done(&mut self, client: u32, cycle: Cycle) {
+        let n = cycle.number();
+        let graph_policy = self.config.policy == MonitorPolicy::Graph;
+        let mut prune = None;
+        if let Some(lane) = self.lanes.get_mut(client as usize) {
+            if lane.active && lane.doom.is_none() {
+                // Whole readset screened clean through this report: the
+                // readset is current at the state this bcast carries.
+                lane.verified = n;
+            }
+            lane.heard = n;
+            lane.feeding = NO_CYCLE;
+            if graph_policy {
+                prune = Some(if !lane.active {
+                    NO_CYCLE // clear
+                } else if lane.c_o != NO_CYCLE {
+                    lane.c_o
+                } else {
+                    n
+                });
+            }
+        }
+        if let Some(bound) = prune {
+            if let Some(graph) = self.graphs.get_mut(client as usize) {
+                if bound == NO_CYCLE {
+                    graph.clear();
+                } else {
+                    graph.prune_before(Cycle::new(bound));
+                }
+            }
+        }
+    }
+
+    /// Feeds one *accepted* read: the mirrored readset gains a slot and,
+    /// under the graph policy, the §3.3 dependency edge is replayed. An
+    /// accepted read while the method's own rule requires the query to
+    /// be doomed is the online divergence signal.
+    // The argument list mirrors the client's version-read metadata tuple
+    // one-to-one; bundling it into a struct would only move the field
+    // names away from the single call site in the sim feed shim.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mon_read_meta(
+        &mut self,
+        client: u32,
+        query: u64,
+        item: ItemId,
+        now: Cycle,
+        valid_from: Cycle,
+        valid_until: Option<Cycle>,
+        writer: Option<TxnId>,
+    ) {
+        self.mon_flush_graph(client);
+        let idx = item.index();
+        let n = now.number();
+        let graph_policy = self.config.policy == MonitorPolicy::Graph;
+        let mut fire = None;
+        let mut dep = None;
+        if let Some(lane) = self.lanes.get_mut(client as usize) {
+            if !lane.active || lane.query != query {
+                return;
+            }
+            if let Some(doom) = lane.doom {
+                if !lane.doom_reported {
+                    lane.doom_reported = true;
+                    fire = Some(Violation {
+                        kind: doom.kind,
+                        client,
+                        query,
+                        cycle: n,
+                        item: doom.item,
+                        write_cycle: doom.write_cycle,
+                        detail: doom.detail,
+                    });
+                }
+            }
+            let slot = ReadSlot {
+                item: idx,
+                valid_from: valid_from.number(),
+                valid_until: valid_until.map_or(NO_CYCLE, |c| c.number()),
+            };
+            match lane.reads.get_mut(lane.nreads as usize) {
+                Some(s) => {
+                    *s = slot;
+                    lane.nreads = lane.nreads.saturating_add(1);
+                }
+                None => {
+                    if !lane.overflow {
+                        lane.overflow = true;
+                        self.overflows = self.overflows.saturating_add(1);
+                    }
+                }
+            }
+            if graph_policy {
+                dep = writer.map(|t| (QueryId::new(lane.query), t));
+            }
+        }
+        if let Some(v) = fire {
+            self.mon_note_violation(v);
+        }
+        let Some((q, t)) = dep else { return };
+        let Some(graph) = self.graphs.get_mut(client as usize) else {
+            return;
+        };
+        // Claim 3: one dependency edge from the last writer suffices.
+        // The genuine method *rejects* a read that would close a cycle,
+        // so an accepted one is an online serializability violation.
+        let closes = graph.would_close_cycle(Node::Txn(t), Node::Query(q));
+        graph.add_edge(Node::Txn(t), Node::Query(q));
+        self.graph_edges = self.graph_edges.saturating_add(1);
+        if closes {
+            self.mon_note_violation(Violation {
+                kind: MonitorKind::Serializability,
+                client,
+                query,
+                cycle: n,
+                item: idx,
+                write_cycle: t.cycle().number(),
+                detail: u64::from(t.seq()),
+            });
+        }
+    }
+
+    /// Applies deferred shadow-graph node removals for finished queries.
+    fn mon_flush_graph(&mut self, client: u32) {
+        if self.config.policy != MonitorPolicy::Graph {
+            return;
+        }
+        let mut drain: ([u64; 4], u32, bool) = ([0; 4], 0, false);
+        if let Some(lane) = self.lanes.get_mut(client as usize) {
+            if lane.npending == 0 && !lane.pending_spill {
+                return;
+            }
+            drain = (lane.pending_remove, lane.npending, lane.pending_spill);
+            lane.npending = 0;
+            lane.pending_spill = false;
+        }
+        let (ids, count, spill) = drain;
+        if let Some(graph) = self.graphs.get_mut(client as usize) {
+            if spill {
+                // More retirements than slots between feed calls: drop
+                // the shadow graph rather than guess (misses are
+                // possible, false positives are not).
+                graph.clear();
+                return;
+            }
+            for id in ids.iter().take(count as usize) {
+                graph.remove_query(QueryId::new(*id));
+            }
+        }
+    }
+
+    /// Total flight-recorder triggers so far (violations + watch hits).
+    pub fn mon_triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// The first capture-worthy trigger: the first violation, else the
+    /// first watch hit (as an [`MonitorKind::AbortWatch`] pseudo
+    /// violation), else `None`.
+    pub fn mon_first_trigger(&self) -> Option<Violation> {
+        if self.nviol > 0 {
+            return self.violations.first().copied();
+        }
+        if self.nwatch > 0 {
+            return self.watch_hits.first().map(|hit| Violation {
+                kind: MonitorKind::AbortWatch,
+                client: hit.client,
+                query: hit.query,
+                cycle: hit.cycle,
+                item: NO_ITEM,
+                write_cycle: NO_CYCLE,
+                detail: hit.reason.index() as u64,
+            });
+        }
+        None
+    }
+
+    /// Copies out the verdict.
+    pub fn mon_verdict(&self) -> MonitorVerdict {
+        MonitorVerdict {
+            events: self.events,
+            controls: self.controls,
+            commits: self.commits,
+            aborts: self.aborts,
+            checks: self.checks,
+            graph_edges: self.graph_edges,
+            overflows: self.overflows,
+            unknown_actors: self.unknown_actors,
+            violations: self
+                .violations
+                .iter()
+                .take(self.nviol as usize)
+                .copied()
+                .collect(),
+            violations_dropped: self.violations_dropped,
+            watch_hits: self
+                .watch_hits
+                .iter()
+                .take(self.nwatch as usize)
+                .copied()
+                .collect(),
+            watch_dropped: self.watch_dropped,
+        }
+    }
+}
+
+impl Lane {
+    /// The commit-time checks; returns the violation to record, if any.
+    /// Pure integer logic — safe on the event hot path.
+    fn commit_verdict(
+        lane: &Lane,
+        policy: MonitorPolicy,
+        staleness_bound: Option<u64>,
+        client: u32,
+        n: u64,
+    ) -> Option<Violation> {
+        // An armed doom that already fired at an accepted read is not
+        // re-reported; an armed doom with no subsequent read matches the
+        // genuine methods' lazy doom observation, so only the
+        // read-divergence path reports Currency/Coverage.
+        if let Some(pending) = lane.pending_cycle {
+            return Some(Violation {
+                kind: MonitorKind::Serializability,
+                client,
+                query: lane.query,
+                cycle: n,
+                item: pending.item,
+                write_cycle: pending.write_cycle,
+                detail: pending.detail,
+            });
+        }
+        if policy == MonitorPolicy::Snapshot && !lane.overflow && lane.nreads > 0 {
+            let mut max_from = 0u64;
+            let mut min_until = NO_CYCLE;
+            let mut from_item = NO_ITEM;
+            let mut until_item = NO_ITEM;
+            let count = lane.nreads as usize;
+            for slot in lane.reads.iter().take(count) {
+                if slot.valid_from >= max_from {
+                    max_from = slot.valid_from;
+                    from_item = slot.item;
+                }
+                if slot.valid_until < min_until {
+                    min_until = slot.valid_until;
+                    until_item = slot.item;
+                }
+            }
+            if max_from >= min_until {
+                return Some(Violation {
+                    kind: MonitorKind::Serializability,
+                    client,
+                    query: lane.query,
+                    cycle: n,
+                    item: from_item,
+                    write_cycle: min_until,
+                    detail: u64::from(until_item),
+                });
+            }
+        }
+        if let Some(bound) = staleness_bound {
+            let staleness = n.saturating_sub(lane.verified);
+            if staleness > bound {
+                return Some(Violation {
+                    kind: MonitorKind::Currency,
+                    client,
+                    query: lane.query,
+                    cycle: n,
+                    item: NO_ITEM,
+                    write_cycle: NO_CYCLE,
+                    detail: staleness,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// The all-integer verdict of a monitored run. Canonically renderable
+/// ([`MonitorVerdict::render`]) and mergeable across shards in shard
+/// order ([`MonitorVerdict::merge`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorVerdict {
+    /// Events streamed through the engine.
+    pub events: u64,
+    /// Control feeds processed.
+    pub controls: u64,
+    /// Commits observed.
+    pub commits: u64,
+    /// Aborts observed.
+    pub aborts: u64,
+    /// Report entries screened.
+    pub checks: u64,
+    /// Shadow-graph edges added.
+    pub graph_edges: u64,
+    /// Queries whose readset overflowed the mirror capacity.
+    pub overflows: u64,
+    /// Events from actors beyond the configured lane count.
+    pub unknown_actors: u64,
+    /// Retained violations, in detection order.
+    pub violations: Vec<Violation>,
+    /// Violations beyond the retention bound.
+    pub violations_dropped: u64,
+    /// Retained abort-watch hits, in detection order.
+    pub watch_hits: Vec<WatchHit>,
+    /// Watch hits beyond the retention bound.
+    pub watch_dropped: u64,
+}
+
+impl MonitorVerdict {
+    /// Whether the run upheld every invariant.
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty() && self.violations_dropped == 0
+    }
+
+    /// Canonical multi-line rendering: byte-identical across same-seed
+    /// runs.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "monitor-verdict pass={} events={} controls={} commits={} aborts={} checks={} \
+             edges={} violations={} dropped={} watch={} overflows={} unknown={}",
+            u8::from(self.pass()),
+            self.events,
+            self.controls,
+            self.commits,
+            self.aborts,
+            self.checks,
+            self.graph_edges,
+            self.violations.len(),
+            self.violations_dropped,
+            self.watch_hits.len(),
+            self.overflows,
+            self.unknown_actors,
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "{}", v.render());
+        }
+        for hit in &self.watch_hits {
+            let _ = writeln!(
+                out,
+                "watch client={} query={} cycle={} reason={}",
+                hit.client,
+                hit.query,
+                hit.cycle,
+                hit.reason.label()
+            );
+        }
+        out
+    }
+
+    /// Folds `other` into `self` (canonical shard-order merge).
+    pub fn merge(&mut self, other: &MonitorVerdict) {
+        self.events = self.events.saturating_add(other.events);
+        self.controls = self.controls.saturating_add(other.controls);
+        self.commits = self.commits.saturating_add(other.commits);
+        self.aborts = self.aborts.saturating_add(other.aborts);
+        self.checks = self.checks.saturating_add(other.checks);
+        self.graph_edges = self.graph_edges.saturating_add(other.graph_edges);
+        self.overflows = self.overflows.saturating_add(other.overflows);
+        self.unknown_actors = self.unknown_actors.saturating_add(other.unknown_actors);
+        self.violations.extend_from_slice(&other.violations);
+        self.violations_dropped = self
+            .violations_dropped
+            .saturating_add(other.violations_dropped);
+        self.watch_hits.extend_from_slice(&other.watch_hits);
+        self.watch_dropped = self.watch_dropped.saturating_add(other.watch_dropped);
+    }
+}
+
+/// A cheaply cloneable handle over a shared [`MonitorEngine`]. Attached
+/// to an [`Obs`](crate::Obs) via
+/// [`Obs::with_monitors`](crate::Obs::with_monitors), it receives every
+/// emitted event; the typed feed methods carry the per-entry control
+/// information the event stream does not.
+#[derive(Debug, Clone)]
+pub struct Monitors {
+    inner: Arc<Mutex<MonitorEngine>>,
+}
+
+impl Monitors {
+    /// Builds a monitor set for the given configuration.
+    pub fn new(config: MonitorConfig) -> Self {
+        Monitors {
+            inner: Arc::new(Mutex::new(MonitorEngine::new(config))),
+        }
+    }
+
+    /// Streams one event (called by [`Obs::emit`](crate::Obs::emit)).
+    pub fn feed_event(&self, cycle: Cycle, actor: Actor, kind: EventKind) {
+        self.inner.lock().on_event(cycle, actor, kind);
+    }
+
+    /// Typed feed: a control feed for `client` begins at `cycle`.
+    pub fn control_begin(&self, client: u32, cycle: Cycle, window: u32) {
+        self.inner.lock().mon_control_begin(client, cycle, window);
+    }
+
+    /// Typed feed: a dated invalidation-report entry.
+    pub fn report_entry(&self, client: u32, item: ItemId, write_cycle: Cycle) {
+        self.inner
+            .lock()
+            .mon_report_entry(client, item, write_cycle);
+    }
+
+    /// Typed feed: an augmented-report first-writer entry.
+    pub fn augmented_entry(&self, client: u32, item: ItemId, writer: TxnId) {
+        self.inner.lock().mon_augmented_entry(client, item, writer);
+    }
+
+    /// Typed feed: a broadcast serialization-graph diff.
+    pub fn graph_diff(&self, client: u32, diff: &GraphDiff) {
+        self.inner.lock().mon_graph_diff(client, diff);
+    }
+
+    /// Typed feed: the control feed for `cycle` is complete.
+    pub fn control_done(&self, client: u32, cycle: Cycle) {
+        self.inner.lock().mon_control_done(client, cycle);
+    }
+
+    /// Typed feed: an accepted read with its validity metadata.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_meta(
+        &self,
+        client: u32,
+        query: u64,
+        item: ItemId,
+        now: Cycle,
+        valid_from: Cycle,
+        valid_until: Option<Cycle>,
+        writer: Option<TxnId>,
+    ) {
+        self.inner
+            .lock()
+            .mon_read_meta(client, query, item, now, valid_from, valid_until, writer);
+    }
+
+    /// Total flight-recorder triggers so far.
+    pub fn triggers(&self) -> u64 {
+        self.inner.lock().mon_triggers()
+    }
+
+    /// The first capture-worthy trigger, if any.
+    pub fn first_trigger(&self) -> Option<Violation> {
+        self.inner.lock().mon_first_trigger()
+    }
+
+    /// Copies out the current verdict.
+    pub fn verdict(&self) -> MonitorVerdict {
+        self.inner.lock().mon_verdict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(policy: MonitorPolicy, coverage: CoverageRule) -> MonitorEngine {
+        MonitorEngine::new(MonitorConfig::new(2, policy, coverage))
+    }
+
+    fn begin(e: &mut MonitorEngine, client: u32, query: u64, cycle: u64) {
+        e.on_event(
+            Cycle::new(cycle),
+            Actor::Client(client),
+            EventKind::QueryBegun { query },
+        );
+    }
+
+    fn accept_read(e: &mut MonitorEngine, client: u32, query: u64, item: u32, now: u64) {
+        e.mon_read_meta(
+            client,
+            query,
+            ItemId::new(item),
+            Cycle::new(now),
+            Cycle::ZERO,
+            None,
+            None,
+        );
+    }
+
+    fn commit(e: &mut MonitorEngine, client: u32, query: u64, cycle: u64) {
+        e.on_event(
+            Cycle::new(cycle),
+            Actor::Client(client),
+            EventKind::QueryCommitted {
+                query,
+                latency_slots: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn clean_current_run_passes() {
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e, 0, 1, 0);
+        accept_read(&mut e, 0, 1, 7, 0);
+        e.mon_control_begin(0, Cycle::new(1), 1);
+        e.mon_report_entry(0, ItemId::new(9), Cycle::ZERO); // unrelated item
+        e.mon_control_done(0, Cycle::new(1));
+        accept_read(&mut e, 0, 1, 8, 1);
+        commit(&mut e, 0, 1, 1);
+        let v = e.mon_verdict();
+        assert!(v.pass(), "{}", v.render());
+        assert_eq!(v.commits, 1);
+        assert_eq!(v.checks, 1);
+    }
+
+    #[test]
+    fn read_accepted_past_invalidation_is_a_currency_violation() {
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e, 0, 1, 0);
+        accept_read(&mut e, 0, 1, 7, 0);
+        // item 7 updated during cycle 0 (>= verified state 0): the
+        // method must doom the query; a further accepted read diverges.
+        e.mon_control_begin(0, Cycle::new(1), 1);
+        e.mon_report_entry(0, ItemId::new(7), Cycle::ZERO);
+        e.mon_control_done(0, Cycle::new(1));
+        accept_read(&mut e, 0, 1, 8, 1);
+        commit(&mut e, 0, 1, 1);
+        let v = e.mon_verdict();
+        assert!(!v.pass());
+        let viol = v.violations.first().expect("one violation");
+        assert_eq!(viol.kind, MonitorKind::Currency);
+        assert_eq!(viol.item, 7);
+        assert_eq!(viol.write_cycle, 0);
+        assert_eq!(viol.detail, 1, "report cycle");
+    }
+
+    #[test]
+    fn doom_with_no_further_read_matches_lazy_observation() {
+        // The genuine executor may commit before observing the doom; the
+        // monitor only fires on a post-doom accepted read.
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e, 0, 1, 0);
+        accept_read(&mut e, 0, 1, 7, 0);
+        e.mon_control_begin(0, Cycle::new(1), 1);
+        e.mon_report_entry(0, ItemId::new(7), Cycle::ZERO);
+        e.mon_control_done(0, Cycle::new(1));
+        commit(&mut e, 0, 1, 1);
+        assert!(e.mon_verdict().pass());
+    }
+
+    #[test]
+    fn abort_after_doom_is_the_expected_outcome() {
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e, 0, 1, 0);
+        accept_read(&mut e, 0, 1, 7, 0);
+        e.mon_control_begin(0, Cycle::new(1), 1);
+        e.mon_report_entry(0, ItemId::new(7), Cycle::ZERO);
+        e.mon_control_done(0, Cycle::new(1));
+        e.on_event(
+            Cycle::new(1),
+            Actor::Client(0),
+            EventKind::QueryAborted {
+                query: 1,
+                reason: AbortReason::Invalidated,
+            },
+        );
+        assert!(e.mon_verdict().pass());
+    }
+
+    #[test]
+    fn uncovered_gap_then_accepted_read_is_a_coverage_violation() {
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e, 0, 1, 0);
+        e.mon_control_begin(0, Cycle::new(0), 1);
+        e.mon_control_done(0, Cycle::new(0));
+        accept_read(&mut e, 0, 1, 7, 0);
+        // cycles 1..2 missed; window-1 report at cycle 3 cannot cover
+        e.mon_control_begin(0, Cycle::new(3), 1);
+        e.mon_control_done(0, Cycle::new(3));
+        accept_read(&mut e, 0, 1, 8, 3);
+        commit(&mut e, 0, 1, 3);
+        let v = e.mon_verdict();
+        assert_eq!(
+            v.violations.first().map(|v| v.kind),
+            Some(MonitorKind::Coverage)
+        );
+    }
+
+    #[test]
+    fn covered_gap_is_fine() {
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e, 0, 1, 0);
+        e.mon_control_begin(0, Cycle::new(0), 3);
+        e.mon_control_done(0, Cycle::new(0));
+        accept_read(&mut e, 0, 1, 7, 0);
+        // window-3 report at cycle 3 covers the gap
+        e.mon_control_begin(0, Cycle::new(3), 3);
+        e.mon_control_done(0, Cycle::new(3));
+        accept_read(&mut e, 0, 1, 8, 3);
+        commit(&mut e, 0, 1, 3);
+        assert!(e.mon_verdict().pass());
+    }
+
+    #[test]
+    fn strict_gap_dooms_on_any_miss() {
+        let mut e = engine(MonitorPolicy::Graph, CoverageRule::StrictGap);
+        begin(&mut e, 0, 1, 0);
+        accept_read(&mut e, 0, 1, 7, 0);
+        e.on_event(Cycle::new(1), Actor::Client(0), EventKind::MissedCycle);
+        accept_read(&mut e, 0, 1, 8, 2);
+        commit(&mut e, 0, 1, 2);
+        let v = e.mon_verdict();
+        assert_eq!(
+            v.violations.first().map(|v| v.kind),
+            Some(MonitorKind::Coverage)
+        );
+    }
+
+    #[test]
+    fn dependency_edge_closing_a_cycle_fires_online() {
+        // Figure 3: R reads x (writer T0.0); T1.0 overwrites x; T2.0
+        // conflicts with T1.0; R then reads a value written by T2.0.
+        let mut e = engine(MonitorPolicy::Graph, CoverageRule::StrictGap);
+        let t0 = TxnId::new(Cycle::ZERO, 0);
+        let t1 = TxnId::new(Cycle::new(1), 0);
+        let t2 = TxnId::new(Cycle::new(2), 0);
+        begin(&mut e, 0, 1, 1);
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(7),
+            Cycle::new(1),
+            Cycle::ZERO,
+            None,
+            Some(t0),
+        );
+        e.mon_control_begin(0, Cycle::new(2), 1);
+        e.mon_graph_diff(0, &GraphDiff::new(Cycle::new(1), vec![t1], vec![]));
+        e.mon_augmented_entry(0, ItemId::new(7), t1);
+        e.mon_control_done(0, Cycle::new(2));
+        e.mon_control_begin(0, Cycle::new(3), 1);
+        e.mon_graph_diff(0, &GraphDiff::new(Cycle::new(2), vec![t2], vec![(t1, t2)]));
+        e.mon_control_done(0, Cycle::new(3));
+        // the genuine method rejects this read; accepting it diverges
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(9),
+            Cycle::new(3),
+            Cycle::ZERO,
+            None,
+            Some(t2),
+        );
+        let v = e.mon_verdict();
+        assert!(!v.pass());
+        let viol = v.violations.first().expect("violation");
+        assert_eq!(viol.kind, MonitorKind::Serializability);
+        assert_eq!(viol.item, 9);
+        assert_eq!(viol.write_cycle, 2);
+    }
+
+    #[test]
+    fn acyclic_graph_run_passes_and_prunes() {
+        let mut e = engine(MonitorPolicy::Graph, CoverageRule::StrictGap);
+        let t0 = TxnId::new(Cycle::ZERO, 0);
+        begin(&mut e, 0, 1, 1);
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(7),
+            Cycle::new(1),
+            Cycle::ZERO,
+            None,
+            Some(t0),
+        );
+        commit(&mut e, 0, 1, 1);
+        // the deferred node removal flushes at the next feed call
+        e.mon_control_begin(0, Cycle::new(2), 1);
+        e.mon_control_done(0, Cycle::new(2));
+        let v = e.mon_verdict();
+        assert!(v.pass(), "{}", v.render());
+        assert_eq!(v.graph_edges, 1);
+    }
+
+    #[test]
+    fn snapshot_intersection_violation_detected_at_commit() {
+        let mut e = engine(MonitorPolicy::Snapshot, CoverageRule::Ignore);
+        begin(&mut e, 0, 1, 0);
+        // slot A valid [0, 2), slot B valid [3, inf): no common state
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(1),
+            Cycle::new(1),
+            Cycle::ZERO,
+            Some(Cycle::new(2)),
+            None,
+        );
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(2),
+            Cycle::new(3),
+            Cycle::new(3),
+            None,
+            None,
+        );
+        commit(&mut e, 0, 1, 3);
+        let v = e.mon_verdict();
+        let viol = v.violations.first().expect("violation");
+        assert_eq!(viol.kind, MonitorKind::Serializability);
+        assert_eq!(viol.item, 2, "the too-new read");
+        assert_eq!(viol.write_cycle, 2, "the binding valid_until");
+    }
+
+    #[test]
+    fn snapshot_tightening_from_report_entries() {
+        let mut e = engine(MonitorPolicy::Snapshot, CoverageRule::Ignore);
+        begin(&mut e, 0, 1, 0);
+        // read of a version from state 0, open-ended
+        accept_read(&mut e, 0, 1, 7, 0);
+        // item 7 updated during cycle 2: the slot's validity ends at 3
+        e.mon_control_begin(0, Cycle::new(3), 1);
+        e.mon_report_entry(0, ItemId::new(7), Cycle::new(2));
+        e.mon_control_done(0, Cycle::new(3));
+        // a read pinned at state 5 can no longer share a snapshot
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(8),
+            Cycle::new(5),
+            Cycle::new(5),
+            None,
+            None,
+        );
+        commit(&mut e, 0, 1, 5);
+        assert!(!e.mon_verdict().pass());
+    }
+
+    #[test]
+    fn snapshot_consistent_run_passes() {
+        let mut e = engine(MonitorPolicy::Snapshot, CoverageRule::Ignore);
+        begin(&mut e, 0, 1, 0);
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(1),
+            Cycle::new(1),
+            Cycle::ZERO,
+            Some(Cycle::new(4)),
+            None,
+        );
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(2),
+            Cycle::new(2),
+            Cycle::new(3),
+            None,
+            None,
+        );
+        commit(&mut e, 0, 1, 2);
+        assert!(e.mon_verdict().pass());
+    }
+
+    #[test]
+    fn staleness_bound_caps_commit_distance() {
+        let mut cfg = MonitorConfig::new(1, MonitorPolicy::Current, CoverageRule::WindowGap);
+        cfg.staleness_bound = Some(2);
+        let mut e = MonitorEngine::new(cfg);
+        begin(&mut e, 0, 1, 0);
+        accept_read(&mut e, 0, 1, 7, 0);
+        commit(&mut e, 0, 1, 5);
+        let v = e.mon_verdict();
+        let viol = v.violations.first().expect("violation");
+        assert_eq!(viol.kind, MonitorKind::Currency);
+        assert_eq!(viol.detail, 5, "staleness in cycles");
+    }
+
+    #[test]
+    fn stream_monitor_flags_unbalanced_spans_and_cycle_regression() {
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        e.on_event(
+            Cycle::new(2),
+            Actor::Server,
+            EventKind::SpanEnd { name: "x" },
+        );
+        e.on_event(Cycle::new(1), Actor::Server, EventKind::ControlProcessed);
+        let v = e.mon_verdict();
+        assert_eq!(v.violations.len(), 2);
+        assert!(v.violations.iter().all(|v| v.kind == MonitorKind::Stream));
+    }
+
+    #[test]
+    fn watch_filter_records_hits_without_failing_the_verdict() {
+        let mut cfg = MonitorConfig::new(1, MonitorPolicy::Current, CoverageRule::WindowGap);
+        cfg.watch = Some(AbortReason::Invalidated);
+        let mut e = MonitorEngine::new(cfg);
+        begin(&mut e, 0, 1, 0);
+        e.on_event(
+            Cycle::new(1),
+            Actor::Client(0),
+            EventKind::QueryAborted {
+                query: 1,
+                reason: AbortReason::Invalidated,
+            },
+        );
+        let v = e.mon_verdict();
+        assert!(v.pass());
+        assert_eq!(v.watch_hits.len(), 1);
+        assert_eq!(e.mon_triggers(), 1);
+        let trig = e.mon_first_trigger().expect("watch trigger");
+        assert_eq!(trig.kind, MonitorKind::AbortWatch);
+    }
+
+    #[test]
+    fn verdict_render_is_stable_and_violations_roundtrip() {
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e, 0, 1, 0);
+        accept_read(&mut e, 0, 1, 7, 0);
+        e.mon_control_begin(0, Cycle::new(1), 1);
+        e.mon_report_entry(0, ItemId::new(7), Cycle::ZERO);
+        e.mon_control_done(0, Cycle::new(1));
+        accept_read(&mut e, 0, 1, 8, 1);
+        commit(&mut e, 0, 1, 1);
+        let v = e.mon_verdict();
+        let text = v.render();
+        assert!(text.starts_with("monitor-verdict pass=0 "));
+        let line = text.lines().nth(1).expect("violation line");
+        let parsed = Violation::parse(line).expect("roundtrip");
+        assert_eq!(Some(&parsed), v.violations.first());
+        // deterministic: a second identical engine renders identically
+        let mut e2 = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e2, 0, 1, 0);
+        accept_read(&mut e2, 0, 1, 7, 0);
+        e2.mon_control_begin(0, Cycle::new(1), 1);
+        e2.mon_report_entry(0, ItemId::new(7), Cycle::ZERO);
+        e2.mon_control_done(0, Cycle::new(1));
+        accept_read(&mut e2, 0, 1, 8, 1);
+        commit(&mut e2, 0, 1, 1);
+        assert_eq!(text, e2.mon_verdict().render());
+    }
+
+    #[test]
+    fn verdict_merge_concatenates_in_call_order() {
+        let mut a = engine(MonitorPolicy::Current, CoverageRule::WindowGap).mon_verdict();
+        let mut e = engine(MonitorPolicy::Current, CoverageRule::WindowGap);
+        begin(&mut e, 0, 1, 0);
+        accept_read(&mut e, 0, 1, 7, 0);
+        e.mon_control_begin(0, Cycle::new(1), 1);
+        e.mon_report_entry(0, ItemId::new(7), Cycle::ZERO);
+        e.mon_control_done(0, Cycle::new(1));
+        accept_read(&mut e, 0, 1, 8, 1);
+        commit(&mut e, 0, 1, 1);
+        let b = e.mon_verdict();
+        a.merge(&b);
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(a.commits, 1);
+        assert!(!a.pass());
+    }
+
+    #[test]
+    fn readset_overflow_disables_commit_checks_but_is_counted() {
+        let mut cfg = MonitorConfig::new(1, MonitorPolicy::Snapshot, CoverageRule::Ignore);
+        cfg.reads_per_query = 2;
+        let mut e = MonitorEngine::new(cfg);
+        begin(&mut e, 0, 1, 0);
+        // three disjoint-validity reads; the third overflows
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(1),
+            Cycle::ZERO,
+            Cycle::ZERO,
+            Some(Cycle::new(1)),
+            None,
+        );
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(2),
+            Cycle::new(2),
+            Cycle::new(2),
+            Some(Cycle::new(3)),
+            None,
+        );
+        e.mon_read_meta(
+            0,
+            1,
+            ItemId::new(3),
+            Cycle::new(4),
+            Cycle::new(4),
+            None,
+            None,
+        );
+        commit(&mut e, 0, 1, 4);
+        let v = e.mon_verdict();
+        assert!(v.pass(), "overflowed query is skipped, not guessed");
+        assert_eq!(v.overflows, 1);
+    }
+
+    #[test]
+    fn monitors_handle_shares_one_engine() {
+        let m = Monitors::new(MonitorConfig::new(
+            1,
+            MonitorPolicy::Current,
+            CoverageRule::WindowGap,
+        ));
+        let clone = m.clone();
+        m.feed_event(
+            Cycle::ZERO,
+            Actor::Client(0),
+            EventKind::QueryBegun { query: 1 },
+        );
+        clone.read_meta(0, 1, ItemId::new(7), Cycle::ZERO, Cycle::ZERO, None, None);
+        m.control_begin(0, Cycle::new(1), 1);
+        m.report_entry(0, ItemId::new(7), Cycle::ZERO);
+        m.control_done(0, Cycle::new(1));
+        clone.read_meta(0, 1, ItemId::new(8), Cycle::new(1), Cycle::ZERO, None, None);
+        let v = m.verdict();
+        assert_eq!(v.violations.len(), 1);
+        assert_eq!(m.triggers(), 1);
+        assert!(m.first_trigger().is_some());
+    }
+}

@@ -191,7 +191,7 @@ impl SerializationGraph {
         }
         let id = match self.free.pop() {
             Some(id) => {
-                self.nodes[id as usize] = node;
+                self.nodes[id as usize] = node; // bpush-lint: allow(panic-reach) — id came off the free list, always a live arena slot < nodes.len()
                 id
             }
             None => {
@@ -254,12 +254,13 @@ impl SerializationGraph {
     pub fn add_edge(&mut self, from: Node, to: Node) -> bool {
         let f = self.intern(from);
         let t = self.intern(to);
+        // bpush-lint: allow(panic-reach) — f was just interned, so f < nodes.len()
         if self.out_ids[f as usize].contains(&t) {
             return false;
         }
-        self.out_ids[f as usize].push(t);
-        self.out[f as usize].push(to);
-        self.in_ids[t as usize].push(f);
+        self.out_ids[f as usize].push(t); // bpush-lint: allow(panic-reach) — f was just interned, so f < nodes.len()
+        self.out[f as usize].push(to); // bpush-lint: allow(panic-reach) — f was just interned, so f < nodes.len()
+        self.in_ids[t as usize].push(f); // bpush-lint: allow(panic-reach) — t was just interned, so t < nodes.len()
         self.edge_count += 1;
         true
     }

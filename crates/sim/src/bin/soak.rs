@@ -3,8 +3,13 @@
 //! is ever inconsistent. Complements the bounded proptest suites.
 //!
 //! ```text
-//! soak [ITERATIONS]   # default 50
+//! soak [ITERATIONS] [--monitors] [--capture-dir DIR]   # default 50
 //! ```
+//!
+//! With `--monitors`, every run also carries the online invariant
+//! monitors and a flight recorder: a monitor trip fails the soak and
+//! writes the `bpush-capture-v1` capture under `--capture-dir` (default
+//! `monitor-captures/`) for `cargo xtask explain`.
 //!
 //! Exits non-zero on the first violation, printing the offending
 //! configuration for reproduction.
@@ -15,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use bpush_core::Method;
-use bpush_sim::Simulation;
+use bpush_sim::{monitors_for, CaptureSlot, Simulation};
 use bpush_types::{CacheConfig, ClientConfig, Granularity, ServerConfig, SimConfig};
 
 fn random_config(rng: &mut StdRng) -> SimConfig {
@@ -68,10 +73,29 @@ fn random_config(rng: &mut StdRng) -> SimConfig {
 }
 
 fn main() -> ExitCode {
-    let iterations: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let mut iterations: u64 = 50;
+    let mut with_monitors = false;
+    let mut capture_dir = String::from("monitor-captures");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--monitors" => with_monitors = true,
+            "--capture-dir" => match args.next() {
+                Some(dir) => capture_dir = dir,
+                None => {
+                    eprintln!("soak: --capture-dir needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => match other.parse() {
+                Ok(n) => iterations = n,
+                Err(_) => {
+                    eprintln!("soak: unknown argument `{other}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
     let mut rng = StdRng::seed_from_u64(
         std::env::var("SOAK_SEED")
             .ok()
@@ -89,6 +113,19 @@ fn main() -> ExitCode {
                     continue;
                 }
             };
+            let watch = if with_monitors {
+                let monitors = monitors_for(&config, method);
+                let slot = CaptureSlot::new();
+                Some((monitors, slot))
+            } else {
+                None
+            };
+            let sim = match &watch {
+                Some((monitors, slot)) => sim
+                    .with_monitors(monitors.clone())
+                    .with_flight_recorder(8, slot.clone()),
+                None => sim,
+            };
             match sim.run() {
                 Ok(metrics) => {
                     total_queries += metrics.queries;
@@ -102,6 +139,28 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("iteration {i} {method}: {e}\n{config:#?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some((monitors, slot)) = watch {
+                let verdict = monitors.verdict();
+                if !verdict.pass() {
+                    eprintln!(
+                        "iteration {i}: {method} tripped its online monitors\n{}\n{config:#?}",
+                        verdict.render()
+                    );
+                    if let Some(capture) = slot.take() {
+                        let path = format!("{capture_dir}/soak-{i}-{}.capture", method.name());
+                        if let Err(e) = std::fs::create_dir_all(&capture_dir)
+                            .and_then(|()| std::fs::write(&path, capture.render()))
+                        {
+                            eprintln!("soak: writing {path}: {e}");
+                        } else {
+                            eprintln!(
+                                "soak: capture written to {path} (see `cargo xtask explain`)"
+                            );
+                        }
+                    }
                     return ExitCode::FAILURE;
                 }
             }

@@ -62,7 +62,7 @@ pub fn run(scale: Scale) -> Result<Table, BpushError> {
             "overhead % (measured)",
             "overhead % (model)",
             "latency (cycles)",
-            "latency p95",
+            "latency p50/p90/p99",
             "span",
             "cache hit %",
             "currency",
@@ -96,7 +96,12 @@ pub fn run(scale: Scale) -> Result<Table, BpushError> {
             fnum(m.overhead_pct(), 2),
             fnum(model_pct, 2),
             fnum(m.latency_cycles.mean(), 2),
-            fnum(m.latency_hist.quantile(0.95), 2),
+            format!(
+                "{}/{}/{}",
+                fnum(m.latency_hist.quantile(0.5), 2),
+                fnum(m.latency_hist.quantile(0.9), 2),
+                fnum(m.latency_hist.quantile(0.99), 2)
+            ),
             fnum(m.span.mean(), 2),
             m.cache_hit_rate
                 .map_or_else(|| "-".to_owned(), |r| fnum(r.rate() * 100.0, 1)),
@@ -154,6 +159,12 @@ mod tests {
         // validation time parses as a number for every method
         for row in &t.rows {
             let _: f64 = row[11].parse().unwrap();
+        }
+        // the latency percentile column is three non-decreasing numbers
+        for row in &t.rows {
+            let qs: Vec<f64> = row[5].split('/').map(|q| q.parse().unwrap()).collect();
+            assert_eq!(qs.len(), 3, "latency p50/p90/p99 column: {row:?}");
+            assert!(qs[0] <= qs[1] && qs[1] <= qs[2], "{row:?}");
         }
         // abort causes: multiversion aborts nothing, so prints "-"; any
         // method that aborts lists `cause:count` pairs whose counts sum

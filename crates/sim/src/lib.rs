@@ -7,6 +7,11 @@
 //!   in cycles, span, size overhead), validating every committed readset
 //!   against the serializability ground truth.
 //! * [`runner`] fans parameter sweeps out across CPU cores.
+//! * [`monitors_for`] attaches online invariant monitors
+//!   ([`bpush_obs::Monitors`]) that check each method's published
+//!   consistency rules *during* the run; with a flight recorder
+//!   ([`Simulation::with_flight_recorder`]) the first violation dumps a
+//!   replayable `bpush-capture-v1` window into a [`CaptureSlot`].
 //! * [`experiments`] regenerates every table and figure of the paper's
 //!   §5 — see DESIGN.md for the experiment index and EXPERIMENTS.md for
 //!   the recorded outputs.
@@ -36,6 +41,9 @@ pub mod runner;
 mod simulation;
 mod table;
 
-pub use runner::{run_jobs, run_replicated, run_sharded, run_sharded_with_workers, Job};
-pub use simulation::{MethodMetrics, Simulation};
+pub use runner::{
+    run_jobs, run_replicated, run_sharded, run_sharded_monitored,
+    run_sharded_monitored_with_workers, run_sharded_with_workers, Job, MonitoredRun,
+};
+pub use simulation::{monitors_for, CaptureSlot, MethodMetrics, Simulation};
 pub use table::{fnum, Table};

@@ -4,10 +4,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bpush_core::Method;
+use bpush_obs::{Capture, MonitorVerdict};
 use bpush_types::config::MultiversionLayout;
 use bpush_types::{BpushError, SimConfig};
 
-use crate::simulation::{MethodMetrics, Simulation};
+use crate::simulation::{monitors_for, CaptureSlot, MethodMetrics, Simulation};
 
 /// One simulation to run: a method under a configuration.
 #[derive(Debug, Clone)]
@@ -224,6 +225,91 @@ pub fn run_sharded_with_workers(
     merged.ok_or_else(|| BpushError::invalid_config("internal: no shard produced metrics"))
 }
 
+/// A monitored sharded run: the merged metrics, the canonical merged
+/// monitor verdict, and the first flight-recorder capture (if any
+/// monitor fired).
+#[derive(Debug)]
+pub struct MonitoredRun {
+    /// Shard-merged metrics, exactly as [`run_sharded`] produces them.
+    pub metrics: MethodMetrics,
+    /// Per-shard monitor verdicts merged in shard order — the canonical
+    /// merge: byte-identical across worker counts.
+    pub verdict: MonitorVerdict,
+    /// The first capture in shard order, if any shard's monitors fired.
+    pub capture: Option<Capture>,
+}
+
+/// [`run_sharded`] with online invariant monitors and a flight recorder
+/// attached to every shard. See [`run_sharded_monitored_with_workers`].
+///
+/// # Errors
+/// Propagates the first configuration or budget error from any shard.
+pub fn run_sharded_monitored(
+    job: &Job,
+    shards: u32,
+    flight_frames: usize,
+) -> Result<MonitoredRun, BpushError> {
+    run_sharded_monitored_with_workers(job, shards, default_workers(), flight_frames)
+}
+
+/// [`run_sharded_with_workers`] with per-shard monitors: each shard gets
+/// its own [`bpush_obs::Monitors`] handle sized for the *global* client
+/// population ([`monitors_for`]) plus a `flight_frames`-deep flight
+/// recorder, and the shard verdicts are merged in shard order. Because
+/// the partition and merge order depend only on `shards`, the merged
+/// verdict — like the metrics — is byte-identical at any worker count.
+/// (Shard verdicts double-count server-side stream events relative to
+/// an unsharded run, since every shard replays the same server stream;
+/// the per-client invariant checks are partition-invariant.)
+///
+/// # Errors
+/// Propagates the first configuration or budget error from any shard.
+pub fn run_sharded_monitored_with_workers(
+    job: &Job,
+    shards: u32,
+    workers: usize,
+    flight_frames: usize,
+) -> Result<MonitoredRun, BpushError> {
+    job.config.validate()?;
+    let shards = shards.clamp(1, job.config.n_clients.max(1));
+    let bounds = shard_bounds(job.config.n_clients, shards);
+    let results = run_indexed(bounds.len(), workers, |idx| {
+        let range = bounds
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| BpushError::invalid_config("internal: shard index out of range"))?;
+        let monitors = monitors_for(&job.config, job.method);
+        let slot = CaptureSlot::new();
+        let metrics =
+            Simulation::with_client_range(job.config.clone(), job.method, job.layout, range)?
+                .with_monitors(monitors.clone())
+                .with_flight_recorder(flight_frames, slot.clone())
+                .run()?;
+        Ok((metrics, monitors.verdict(), slot.take()))
+    });
+    let mut merged: Option<MonitoredRun> = None;
+    for result in results {
+        let (metrics, verdict, capture) = result?;
+        match &mut merged {
+            None => {
+                merged = Some(MonitoredRun {
+                    metrics,
+                    verdict,
+                    capture,
+                });
+            }
+            Some(acc) => {
+                acc.metrics.merge(&metrics);
+                acc.verdict.merge(&verdict);
+                if acc.capture.is_none() {
+                    acc.capture = capture;
+                }
+            }
+        }
+    }
+    merged.ok_or_else(|| BpushError::invalid_config("internal: no shard produced metrics"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,8 +493,14 @@ mod tests {
                 let many = run_sharded_with_workers(&job, shards, 2).unwrap();
                 assert_eq!(many.queries, one.queries, "{method} at {shards}");
                 assert_eq!(many.aborts, one.aborts, "{method} at {shards}");
-                assert_eq!(many.abort_reasons, one.abort_reasons, "{method} at {shards}");
-                assert_eq!(many.latency_slots, one.latency_slots, "{method} at {shards}");
+                assert_eq!(
+                    many.abort_reasons, one.abort_reasons,
+                    "{method} at {shards}"
+                );
+                assert_eq!(
+                    many.latency_slots, one.latency_slots,
+                    "{method} at {shards}"
+                );
                 assert_eq!(many.span, one.span, "{method} at {shards}");
                 assert_eq!(many.tuning_slots, one.tuning_slots, "{method} at {shards}");
                 assert_eq!(
@@ -439,6 +531,64 @@ mod tests {
         let m = run_sharded(&job, 64).unwrap();
         assert!(m.queries > 0);
         assert_eq!(m.violations, 0);
+    }
+
+    /// The monitored sharded runner upholds the same determinism
+    /// contract as the plain one: per-shard verdicts merged in shard
+    /// order are byte-identical across worker counts, genuine methods
+    /// pass at every shard count, and the merged metrics match the
+    /// unmonitored sharded run exactly.
+    #[test]
+    fn monitored_sharded_runs_merge_canonically() {
+        let mut cfg = tiny_config(5);
+        cfg.n_clients = 4;
+        for method in [Method::InvalidationOnly, Method::Sgt] {
+            let job = Job::new(method, cfg.clone());
+            let base = run_sharded_monitored_with_workers(&job, 4, 1, 8).unwrap();
+            assert!(base.verdict.pass(), "{method}: sharded run flagged");
+            assert!(base.capture.is_none(), "{method}: spurious capture");
+            assert!(base.verdict.commits > 0, "{method}");
+            for workers in [2usize, 3, 8] {
+                let again = run_sharded_monitored_with_workers(&job, 4, workers, 8).unwrap();
+                assert_eq!(
+                    again.verdict.render(),
+                    base.verdict.render(),
+                    "{method} at {workers} workers: verdict not canonical"
+                );
+                assert_eq!(
+                    again.metrics.deterministic_snapshot(),
+                    base.metrics.deterministic_snapshot(),
+                    "{method} at {workers} workers"
+                );
+            }
+            let plain = run_sharded_with_workers(&job, 4, 2).unwrap();
+            assert_eq!(
+                base.metrics.deterministic_snapshot(),
+                plain.deterministic_snapshot(),
+                "{method}: monitors perturbed the sharded metrics"
+            );
+        }
+    }
+
+    /// Per-client query fates are partition-invariant: the commit and
+    /// abort tallies pooled across any shard count equal the single
+    /// shard's. (Control and check tallies legitimately vary with the
+    /// partition — each shard runs only as many cycles as its own
+    /// clients need — so they are excluded by design, like the
+    /// cycle-normalized metrics fields.)
+    #[test]
+    fn monitored_shard_counts_pool_query_fates() {
+        let mut cfg = tiny_config(13);
+        cfg.n_clients = 4;
+        let job = Job::new(Method::InvalidationOnly, cfg);
+        let one = run_sharded_monitored_with_workers(&job, 1, 2, 8).unwrap();
+        assert!(one.verdict.commits > 0);
+        for shards in [2u32, 4] {
+            let many = run_sharded_monitored_with_workers(&job, shards, 2, 8).unwrap();
+            assert_eq!(many.verdict.commits, one.verdict.commits, "{shards}");
+            assert_eq!(many.verdict.aborts, one.verdict.aborts, "{shards}");
+            assert!(many.verdict.pass(), "{shards}");
+        }
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! The cycle-driven simulation engine tying server and clients together.
 
+use std::sync::Arc;
+
+use bpush_broadcast::feed::encode_bcast_segments;
 use bpush_client::{CacheParams, ClientCache, QueryExecutor, QueryOutcome};
 use bpush_core::validator::SerializabilityBatch;
-use bpush_core::{AbortReason, CacheMode, Method};
-use bpush_obs::{Actor, Obs};
+use bpush_core::{AbortReason, CacheMode, Method, ReadOnlyProtocol};
+use bpush_obs::flight::fnv64;
+use bpush_obs::{Actor, Capture, FlightRecorder, MonitorConfig, Monitors, Obs};
 use bpush_server::BroadcastServer;
 use bpush_types::config::MultiversionLayout;
 use bpush_types::seed::SeedSequence;
 use bpush_types::stats::{Histogram, Ratio, Summary};
 use bpush_types::{BpushError, ClientId, Cycle, SimConfig, Slot};
+use parking_lot::Mutex;
 
 /// Everything measured about one method under one configuration.
 #[derive(Debug, Clone)]
@@ -176,6 +181,67 @@ pub struct Simulation {
     server: BroadcastServer,
     clients: Vec<QueryExecutor>,
     obs: Obs,
+    flight: Option<FlightState>,
+}
+
+/// Online monitors sized for `config`, checking the invariant family
+/// `method` guarantees ([`Method::monitor_policy`]). The lane table is
+/// sized for the *global* client population, so the same handle (or a
+/// same-configured one per shard) indexes clients identically in
+/// sharded and unsharded runs.
+pub fn monitors_for(config: &SimConfig, method: Method) -> Monitors {
+    let (policy, coverage) = method.monitor_policy();
+    let mut mc = MonitorConfig::new(config.n_clients, policy, coverage);
+    mc.reads_per_query = config.client.reads_per_query.max(1);
+    Monitors::new(mc)
+}
+
+/// A shared write-once mailbox for the first [`Capture`] of a run: the
+/// flight recorder dumps into it when a monitor fires (or a watched
+/// abort matches), and the harness [`CaptureSlot::take`]s it afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureSlot {
+    inner: Arc<Mutex<Option<Capture>>>,
+}
+
+impl CaptureSlot {
+    /// An empty slot.
+    pub fn new() -> Self {
+        CaptureSlot::default()
+    }
+
+    /// Whether a capture has already been deposited.
+    pub fn is_filled(&self) -> bool {
+        self.lock().is_some()
+    }
+
+    /// Deposits `capture` if the slot is empty; returns whether it was
+    /// stored (the first trigger wins, later ones are dropped).
+    pub fn put_if_empty(&self, capture: Capture) -> bool {
+        let mut slot = self.lock();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(capture);
+        true
+    }
+
+    /// Removes and returns the capture, leaving the slot empty.
+    pub fn take(&self) -> Option<Capture> {
+        self.lock().take()
+    }
+
+    fn lock(&self) -> parking_lot::MutexGuard<'_, Option<Capture>> {
+        self.inner.lock()
+    }
+}
+
+/// The flight-recorder side of a simulation: the bounded frame ring and
+/// the slot the capture is deposited into on trigger.
+#[derive(Debug)]
+struct FlightState {
+    recorder: FlightRecorder,
+    slot: CaptureSlot,
 }
 
 impl Simulation {
@@ -274,6 +340,7 @@ impl Simulation {
             server,
             clients: built,
             obs: Obs::off(),
+            flight: None,
         })
     }
 
@@ -293,6 +360,7 @@ impl Simulation {
             method,
             server,
             clients,
+            flight,
             ..
         } = self;
         Simulation {
@@ -304,7 +372,54 @@ impl Simulation {
                 .map(|c| c.with_obs(obs.clone()))
                 .collect(),
             obs,
+            flight,
         }
+    }
+
+    /// Attaches online invariant monitors: every client's event stream
+    /// (and typed monitor feed) is routed into `monitors`, which check
+    /// the method's published consistency rules *during* the run — see
+    /// [`monitors_for`] for a handle matched to the method. Composes
+    /// with an existing [`Obs`]; attaching monitors alone enables event
+    /// emission without a recording sink.
+    #[must_use]
+    pub fn with_monitors(self, monitors: Monitors) -> Self {
+        let obs = self.obs.clone().with_monitors(monitors);
+        self.with_obs(obs)
+    }
+
+    /// Retains the last `frames` broadcast cycles as wire-format bytes
+    /// and, the first time a monitor fires (or a watched abort reason
+    /// matches), freezes them into a `bpush-capture-v1` [`Capture`]
+    /// deposited into `slot`. Requires [`Simulation::with_monitors`] for
+    /// a trigger to ever fire.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, frames: usize, slot: CaptureSlot) -> Self {
+        self.flight = Some(FlightState {
+            recorder: FlightRecorder::new(frames),
+            slot,
+        });
+        self
+    }
+
+    /// Replaces every client's protocol with a fresh instance from
+    /// `factory` — the fault-injection seam: the monitors' detection
+    /// claims are tested by seeding deliberately broken protocols (e.g.
+    /// `bpush-mc`'s `BrokenInvalidation`) into an otherwise genuine
+    /// simulation. Call before [`Simulation::with_obs`] /
+    /// [`Simulation::with_monitors`] so instrumentation wraps the
+    /// replacement.
+    #[must_use]
+    pub fn with_protocol_factory(
+        mut self,
+        factory: impl Fn() -> Box<dyn ReadOnlyProtocol>,
+    ) -> Self {
+        self.clients = self
+            .clients
+            .into_iter()
+            .map(|c| c.with_protocol(factory()))
+            .collect();
+        self
     }
 
     /// Feeds every client's control reports through the wire codec:
@@ -388,6 +503,10 @@ impl Simulation {
                 });
             }
             let bcast = self.server.run_cycle();
+            if let Some(flight) = self.flight.as_mut() {
+                let bytes = encode_bcast_segments(&bcast, wire_params_for(&self.config));
+                flight.recorder.record_frame(bcast.cycle().number(), &bytes);
+            }
             total_slots += bcast.total_slots();
             cycles += 1;
             let measured = bcast.cycle() >= warmup;
@@ -406,6 +525,39 @@ impl Simulation {
                 }
             }
             validation_ns.record(cycle_started.elapsed().as_nanos() as f64);
+            // Flight-recorder trigger: the first monitor violation (or
+            // watched abort) freezes the retained wire window into a
+            // capture, fingerprinting the affected client's protocol
+            // state at the end of the triggering cycle.
+            if let (Some(flight), Some(mon)) = (self.flight.as_ref(), self.obs.monitors()) {
+                if !flight.slot.is_filled() && mon.triggers() > 0 {
+                    if let Some(trigger) = mon.first_trigger() {
+                        let fingerprint = self
+                            .clients
+                            .iter()
+                            .find(|c| c.client().index() == trigger.client)
+                            .map(|c| fnv64(c.debug_snapshot().as_bytes()))
+                            .unwrap_or(0);
+                        let capture = flight.recorder.capture(
+                            self.method.name(),
+                            self.config.seed,
+                            self.config.n_clients,
+                            // The WireParams::derive quadruple, so
+                            // `cargo xtask explain` can decode the
+                            // frames from the capture alone.
+                            [
+                                self.config.server.broadcast_size,
+                                self.config.server.report_window,
+                                self.config.server.txns_per_cycle,
+                                u32::try_from(self.config.max_cycles).unwrap_or(u32::MAX),
+                            ],
+                            trigger,
+                            fingerprint,
+                        );
+                        flight.slot.put_if_empty(capture);
+                    }
+                }
+            }
             for client in &self.clients {
                 if let Some((nodes, edges)) = client.space_metrics() {
                     peak_graph.0 = peak_graph.0.max(nodes);
@@ -851,5 +1003,160 @@ mod tests {
         let mut cfg = quick_config();
         cfg.n_clients = 0;
         assert!(Simulation::new(cfg, Method::InvalidationOnly).is_err());
+    }
+
+    /// The tentpole acceptance check at the monitor level: every genuine
+    /// method passes its own invariant monitors over a full run, with
+    /// the monitors attached through the plain [`Obs`] handle (no
+    /// recording sink needed), and attaching them does not perturb the
+    /// simulation (bit-identical deterministic metrics).
+    #[test]
+    fn every_genuine_method_passes_its_monitors() {
+        for method in Method::ALL {
+            let bare = Simulation::new(quick_config(), method)
+                .unwrap()
+                .run()
+                .unwrap();
+            let monitors = monitors_for(&quick_config(), method);
+            let slot = CaptureSlot::new();
+            let watched = Simulation::new(quick_config(), method)
+                .unwrap()
+                .with_monitors(monitors.clone())
+                .with_flight_recorder(8, slot.clone())
+                .run()
+                .unwrap();
+            let verdict = monitors.verdict();
+            assert!(
+                verdict.pass(),
+                "{method}: genuine protocol flagged online:\n{}",
+                verdict.render()
+            );
+            assert_eq!(verdict.violations.len(), 0, "{method}");
+            assert!(verdict.commits > 0, "{method}: monitors saw no commits");
+            assert!(verdict.controls > 0, "{method}: monitors saw no controls");
+            assert!(slot.take().is_none(), "{method}: spurious capture");
+            assert_eq!(
+                bare.deterministic_snapshot(),
+                watched.deterministic_snapshot(),
+                "{method}: monitors perturbed the simulation"
+            );
+        }
+    }
+
+    /// The headline detection claim: a seeded `BrokenInvalidation`
+    /// protocol (off-by-one staleness check, previously caught only by
+    /// the model checker) is caught *online* by the currency monitor
+    /// during a normal simulation run, and the flight recorder dumps a
+    /// parseable `bpush-capture-v1` capture naming the violating read.
+    #[test]
+    fn broken_invalidation_is_caught_online_with_capture() {
+        let monitors = monitors_for(&quick_config(), Method::InvalidationOnly);
+        let slot = CaptureSlot::new();
+        Simulation::new(quick_config(), Method::InvalidationOnly)
+            .unwrap()
+            .with_protocol_factory(|| Box::new(bpush_mc::BrokenInvalidation::new()))
+            .with_monitors(monitors.clone())
+            .with_flight_recorder(8, slot.clone())
+            .run()
+            .unwrap();
+        let verdict = monitors.verdict();
+        assert!(!verdict.pass(), "the seeded bug must be flagged online");
+        assert!(monitors.triggers() >= 1);
+        let first = verdict.violations.first().expect("a retained violation");
+        assert_eq!(first.kind, bpush_obs::monitor::MonitorKind::Currency);
+
+        let capture = slot.take().expect("flight recorder must have dumped");
+        assert_eq!(capture.method, "inv-only");
+        assert_eq!(capture.seed, quick_config().seed);
+        assert_eq!(capture.clients, quick_config().n_clients);
+        assert_eq!(capture.trigger, *first, "capture trigger = first violation");
+        assert!(!capture.frames.is_empty(), "capture retains wire frames");
+        assert_ne!(capture.fingerprint, 0, "protocol state fingerprinted");
+        let text = capture.render();
+        let back = bpush_obs::Capture::parse(&text).expect("capture roundtrips");
+        assert_eq!(back, capture);
+    }
+
+    /// Same-seed monitored runs produce byte-identical verdicts and
+    /// captures — the determinism contract forensics relies on.
+    #[test]
+    fn same_seed_verdicts_and_captures_are_byte_identical() {
+        let run = || {
+            let monitors = monitors_for(&quick_config(), Method::InvalidationOnly);
+            let slot = CaptureSlot::new();
+            Simulation::new(quick_config(), Method::InvalidationOnly)
+                .unwrap()
+                .with_protocol_factory(|| Box::new(bpush_mc::BrokenInvalidation::new()))
+                .with_monitors(monitors.clone())
+                .with_flight_recorder(8, slot.clone())
+                .run()
+                .unwrap();
+            let capture = slot.take().expect("capture");
+            (monitors.verdict().render(), capture.render())
+        };
+        let (verdict_a, capture_a) = run();
+        let (verdict_b, capture_b) = run();
+        assert_eq!(verdict_a, verdict_b, "verdicts must be byte-identical");
+        assert_eq!(capture_a, capture_b, "captures must be byte-identical");
+    }
+
+    /// Monitors compose with the wire feed and a recording sink: the
+    /// decoded reports drive the same typed feed, so the verdict is
+    /// identical to the struct-fed run's.
+    #[test]
+    fn monitors_compose_with_wire_feed_and_recording() {
+        let struct_fed = monitors_for(&quick_config(), Method::Sgt);
+        Simulation::new(quick_config(), Method::Sgt)
+            .unwrap()
+            .with_monitors(struct_fed.clone())
+            .run()
+            .unwrap();
+        let wire_fed = monitors_for(&quick_config(), Method::Sgt);
+        Simulation::new(quick_config(), Method::Sgt)
+            .unwrap()
+            .with_wire_feed()
+            .with_obs(Obs::recording(1 << 14))
+            .with_monitors(wire_fed.clone())
+            .run()
+            .unwrap();
+        assert!(struct_fed.verdict().pass());
+        assert_eq!(
+            struct_fed.verdict().render(),
+            wire_fed.verdict().render(),
+            "wire feed or recording sink perturbed the monitors"
+        );
+    }
+
+    #[test]
+    fn capture_slot_is_write_once() {
+        let slot = CaptureSlot::new();
+        assert!(!slot.is_filled());
+        assert!(slot.take().is_none());
+        let mut fr = bpush_obs::FlightRecorder::new(2);
+        fr.record_frame(1, &[0xaa]);
+        let cap = |seed| {
+            fr.capture(
+                "m",
+                seed,
+                1,
+                [1, 1, 1, 1],
+                bpush_obs::Violation {
+                    kind: bpush_obs::monitor::MonitorKind::Currency,
+                    client: 0,
+                    query: 1,
+                    cycle: 2,
+                    item: 3,
+                    write_cycle: 1,
+                    detail: 0,
+                },
+                7,
+            )
+        };
+        assert!(slot.put_if_empty(cap(1)));
+        assert!(slot.is_filled());
+        assert!(!slot.put_if_empty(cap(2)), "first trigger wins");
+        let kept = slot.take().expect("filled");
+        assert_eq!(kept.seed, 1);
+        assert!(!slot.is_filled(), "take drains the slot");
     }
 }

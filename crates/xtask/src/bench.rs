@@ -35,7 +35,7 @@ use bpush_server::BroadcastServer;
 use bpush_sgraph::baseline::BaselineGraph;
 use bpush_sgraph::{Node, SerializationGraph};
 use bpush_sim::experiments::{config_for, defaults, Scale};
-use bpush_sim::{run_sharded_with_workers, Job, Simulation};
+use bpush_sim::{monitors_for, run_sharded_with_workers, Job, Simulation};
 use bpush_types::config::MultiversionLayout;
 use bpush_types::{BpushError, Cycle, Granularity, ItemId, QueryId, ServerConfig, TxnId};
 
@@ -334,13 +334,10 @@ impl WireFixture {
             for chunk in stream.chunks(64) {
                 feed.push(chunk);
             }
-            loop {
-                // The fixture encoded these bytes itself; malformed
-                // input here is a framing bug worth a loud stop.
-                // lint: allow(panic) — fixture-encoded bytes; a decode failure is a framing bug
-                let Some(seg) = feed.pop().expect("well-formed fixture stream") else {
-                    break;
-                };
+            // The fixture encoded these bytes itself; malformed
+            // input here is a framing bug worth a loud stop.
+            // lint: allow(panic) — fixture-encoded bytes; a decode failure is a framing bug
+            while let Some(seg) = feed.pop().expect("well-formed fixture stream") {
                 // lint: allow(panic) — fixture-encoded bytes; a decode failure is a framing bug
                 match decode_segment(seg, self.params).expect("well-formed fixture stream") {
                     DecodedSegment::Control(ctrl) => protocol.on_control(&ctrl),
@@ -516,6 +513,43 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, BpushError> {
         return Err(BpushError::invalid_config(
             "sharded runner metrics diverged across worker counts",
         ));
+    }
+
+    // PR-10: the online invariant monitors' overhead — one SGT run bare
+    // and one with the monitor engine attached (SGT carries the
+    // heaviest monitor, the incremental serializability graph). The
+    // differential check: monitors observe but never perturb, so the
+    // two metric snapshots must be byte-identical and the monitored
+    // run's verdict must pass. The checked-in BENCH_10.json locks the
+    // overhead ceiling (monitors-on >= 90% of monitors-off throughput)
+    // in tests/json_schema.rs.
+    let mon_config = config_for(Method::Sgt, base.clone());
+    let start = Instant::now();
+    let off_metrics = Simulation::new(mon_config.clone(), Method::Sgt)?.run()?;
+    let off_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let monitors = monitors_for(&mon_config, Method::Sgt);
+    let start = Instant::now();
+    let on_metrics = Simulation::new(mon_config.clone(), Method::Sgt)?
+        .with_monitors(monitors.clone())
+        .run()?;
+    let on_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if off_metrics.deterministic_snapshot() != on_metrics.deterministic_snapshot() {
+        return Err(BpushError::invalid_config(
+            "monitors perturbed the simulation metrics",
+        ));
+    }
+    if !monitors.verdict().pass() {
+        return Err(BpushError::invalid_config(
+            "a genuine method tripped its monitors in the bench run",
+        ));
+    }
+    for (name, ns) in [("monitors-off", off_ns), ("monitors-on", on_ns)] {
+        substrate.push(SubstrateBench {
+            name: name.to_owned(),
+            iters: 1,
+            total_ns: ns,
+            ns_per_iter: ns,
+        });
     }
 
     Ok(BenchReport {
@@ -720,7 +754,7 @@ mod tests {
     fn quick_bench_produces_full_report() {
         let report = run_bench(true).unwrap();
         assert!(report.quick);
-        assert_eq!(report.substrate.len(), 11);
+        assert_eq!(report.substrate.len(), 13);
         assert_eq!(report.substrate[0].name, "sgt-substrate-interned");
         assert_eq!(report.substrate[1].name, "sgt-substrate-baseline");
         for name in [
@@ -733,6 +767,8 @@ mod tests {
             "sharded-runner-1w",
             "sharded-runner-2w",
             "sharded-runner-4w",
+            "monitors-off",
+            "monitors-on",
         ] {
             assert!(
                 report.substrate.iter().any(|s| s.name == name),

@@ -72,6 +72,7 @@
 pub mod analysis;
 pub mod bench;
 pub mod callgraph;
+pub mod explain;
 pub mod items;
 pub mod jsonv;
 pub mod lex;

@@ -16,6 +16,9 @@
 //!   [--out-dir <dir>]` — run one fixed-seed traced simulation and
 //!   write `trace.json` (chrome `trace_event`, Perfetto-loadable),
 //!   `trace.ndjson`, and the `bpush-trace-v1` `metrics.json`.
+//! * `cargo xtask explain <file> [--json]` — abort forensics: walk a
+//!   flight-recorder capture (`bpush-capture-v1`) or a traced run's
+//!   `metrics.json` and print the causal chain behind the trigger.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -69,7 +72,15 @@ commands:
       and metrics.json (the all-integer bpush-trace-v1 report) under
       <dir> (default: the workspace root). Two invocations with the
       same flags produce byte-identical files; `--json` additionally
-      prints the metrics report to stdout.";
+      prints the metrics report to stdout.
+  explain <file> [--json]
+      Abort forensics: sniffs <file> as either a flight-recorder
+      capture (bpush-capture-v1) or a traced run's metrics.json
+      (bpush-trace-v1) and prints the causal chain — the violating
+      invalidation-report entry, the conflicting write's cycle, the
+      cycle distance, and the method-specific rule that fired (or, for
+      a trace, the counter-based abort breakdown). `--json` emits the
+      single-line bpush-explain-v1 document instead.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,6 +99,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         Some("mc") => mc(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("trace") => trace(&args[1..]),
+        Some("explain") => explain(&args[1..]),
         Some("help") | Some("--help") | None => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -477,6 +489,36 @@ fn bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         let trajectory = xtask::bench::load_trajectory(&find_workspace_root()?)?;
         print!("\n{}", xtask::bench::render_trajectory(&trajectory));
         println!("\nwrote {}", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn explain(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut json = false;
+    let mut file: Option<PathBuf> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown explain option `{other}`\n{USAGE}").into());
+            }
+            path => {
+                if file.replace(PathBuf::from(path)).is_some() {
+                    return Err("explain takes exactly one input file".into());
+                }
+            }
+        }
+    }
+    let Some(path) = file else {
+        return Err(format!("explain needs a capture or metrics.json file\n{USAGE}").into());
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let explanation = xtask::explain::explain(&text)?;
+    if json {
+        println!("{}", xtask::explain::render_json(&explanation));
+    } else {
+        print!("{}", xtask::explain::render_text(&explanation));
     }
     Ok(ExitCode::SUCCESS)
 }

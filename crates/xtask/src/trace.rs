@@ -94,7 +94,8 @@ pub fn run_trace(method: Method, quick: bool) -> Result<TraceReport, BpushError>
 /// document (one line, no trailing newline). Committed/aborted are the
 /// simulator's counts; `events`, `dropped`, `counters`, and
 /// `histograms` come from the observability snapshot, histograms as
-/// their non-empty log2 buckets only.
+/// their non-empty log2 buckets only, each with its integer
+/// midpoint-of-bucket `p50`/`p90`/`p99` estimates.
 #[must_use]
 pub fn render_metrics_json(report: &TraceReport) -> String {
     use bpush_obs::Log2Histogram;
@@ -125,11 +126,15 @@ pub fn render_metrics_json(report: &TraceReport) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"name\":\"{name}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            "{{\"name\":\"{name}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
             hist.count(),
             hist.sum(),
             hist.min().unwrap_or(0),
-            hist.max().unwrap_or(0)
+            hist.max().unwrap_or(0),
+            hist.p50().unwrap_or(0),
+            hist.p90().unwrap_or(0),
+            hist.p99().unwrap_or(0)
         ));
         for (j, (k, count)) in hist.nonzero_buckets().into_iter().enumerate() {
             if j > 0 {

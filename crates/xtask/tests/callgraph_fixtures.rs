@@ -304,6 +304,8 @@ fn hot_path_set_covers_the_pr3_hot_functions() {
         "core::word_blocks",
         "core::is_disjoint_from",
         "core::is_disjoint_from_augmented",
+        // PR-10 monitor feed: every simulation event funnels through here.
+        "obs::on_event",
     ];
     for name in REQUIRED {
         assert!(
@@ -325,6 +327,7 @@ fn sans_io_surface_covers_the_protocol_core() {
         "crates/broadcast/src/wire.rs",
         "crates/core/src/protocol.rs",
         "crates/core/src/readset.rs",
+        "crates/obs/src/monitor.rs",
     ] {
         assert!(
             report.sans_io_files.iter().any(|f| f == file),
@@ -346,6 +349,9 @@ fn protocol_enum_surface_covers_the_wire_vocabulary() {
         "DecodedSegment",
         "Granularity",
         "Method",
+        "MonitorKind",
+        "MonitorPolicy",
+        "CoverageRule",
         "ProtocolStep",
         "ReadDirective",
         "ReadOutcome",
@@ -391,13 +397,16 @@ fn suppression_budget_stays_within_ceiling() {
             // failure there IS the bug the decorator exists to surface)
             // and two bench-fixture expects on self-encoded bytes.
             Rule::Panic => 40,
-            Rule::Casts => 3,     // currently 2 (u32 length field in segment framing)
-            Rule::HotAlloc => 6,  // currently 4 (amortized growth sites)
+            Rule::Casts => 3, // currently 2 (u32 length field in segment framing)
+            Rule::HotAlloc => 6, // currently 4 (amortized growth sites)
             Rule::LockOrder => 2, // currently 1 (name-resolution over-approximation)
-            // currently 21: structurally-bounded hot-path indexing (CSR
+            // currently 26: structurally-bounded hot-path indexing (CSR
             // arena slots, galloping-probe brackets) and nonzero-by-
             // construction divisors — each carries its invariant inline.
-            Rule::PanicReach => 22,
+            // PR-10 made the monitor feed an L12 entry surface, which
+            // newly reaches the sgraph intern/add_edge CSR slots (+5,
+            // interned-id-is-dense invariants).
+            Rule::PanicReach => 27,
             _ => 0,
         }
     };
@@ -412,5 +421,5 @@ fn suppression_budget_stays_within_ceiling() {
             ceiling(*rule)
         );
     }
-    assert!(total <= 68, "workspace-wide allow budget exceeded: {total}");
+    assert!(total <= 73, "workspace-wide allow budget exceeded: {total}");
 }

@@ -578,9 +578,10 @@ fn checked_in_pr8_report_holds_the_word_parallel_floor() {
 /// The documented `bpush-trace-v1` schema: `{"schema", "method",
 /// "seed", "quick", "cycles", "queries", "committed", "aborted",
 /// "events", "dropped", "counters": [{"name", "value"}], "histograms":
-/// [{"name", "count", "sum", "min", "max", "buckets": [{"floor",
-/// "ceil", "count"}]}]}`, all numbers unsigned integers, keys in that
-/// order.
+/// [{"name", "count", "sum", "min", "max", "p50", "p90", "p99",
+/// "buckets": [{"floor", "ceil", "count"}]}]}`, all numbers unsigned
+/// integers, keys in that order; the percentile estimates are ordered
+/// within `[min, max]` whenever the histogram is non-empty.
 fn assert_trace_schema(root: &Json) {
     assert_eq!(
         root.keys(),
@@ -612,7 +613,22 @@ fn assert_trace_schema(root: &Json) {
         let _ = c.get("value").as_u64();
     }
     for h in root.get("histograms").as_arr() {
-        assert_eq!(h.keys(), ["name", "count", "sum", "min", "max", "buckets"]);
+        assert_eq!(
+            h.keys(),
+            ["name", "count", "sum", "min", "max", "p50", "p90", "p99", "buckets"]
+        );
+        if h.get("count").as_u64() > 0 {
+            let (min, max) = (h.get("min").as_u64(), h.get("max").as_u64());
+            let (p50, p90, p99) = (
+                h.get("p50").as_u64(),
+                h.get("p90").as_u64(),
+                h.get("p99").as_u64(),
+            );
+            assert!(
+                min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max,
+                "percentiles must be ordered within [min, max]: {h:?}"
+            );
+        }
         let mut bucket_total = 0;
         for b in h.get("buckets").as_arr() {
             assert_eq!(b.keys(), ["floor", "ceil", "count"]);
@@ -667,4 +683,178 @@ fn trace_json_matches_the_documented_schema() {
         let _ = e.get("pid").as_u64();
         let _ = e.get("tid").as_u64();
     }
+}
+
+// ---------------------------------------------------------------------
+// bpush-explain-v1 (`cargo xtask explain --json`)
+// ---------------------------------------------------------------------
+
+/// Runs the seeded `BrokenInvalidation` mutant under monitors with the
+/// flight recorder attached and returns the rendered capture (the same
+/// fixture `xtask::explain`'s own tests use).
+fn broken_capture_fixture() -> String {
+    let config = bpush_types::SimConfig {
+        server: bpush_types::ServerConfig {
+            broadcast_size: 200,
+            update_range: 100,
+            server_read_range: 200,
+            updates_per_cycle: 20,
+            txns_per_cycle: 5,
+            ..bpush_types::ServerConfig::default()
+        },
+        client: bpush_types::ClientConfig {
+            read_range: 100,
+            reads_per_query: 6,
+            ..bpush_types::ClientConfig::default()
+        },
+        n_clients: 3,
+        queries_per_client: 15,
+        warmup_cycles: 3,
+        max_cycles: 20_000,
+        seed: 99,
+    };
+    let method = bpush_core::Method::InvalidationOnly;
+    let slot = bpush_sim::CaptureSlot::new();
+    let sim = bpush_sim::Simulation::new(config.clone(), method)
+        .unwrap()
+        .with_protocol_factory(|| Box::new(bpush_mc::BrokenInvalidation::new()))
+        .with_monitors(bpush_sim::monitors_for(&config, method))
+        .with_flight_recorder(8, slot.clone());
+    sim.run().unwrap();
+    slot.take().expect("the mutant trips a capture").render()
+}
+
+/// `cargo xtask explain --json` on a capture emits the single-line
+/// `bpush-explain-v1` document with a locked key order.
+#[test]
+fn explain_capture_json_matches_the_documented_schema() {
+    let capture = broken_capture_fixture();
+    let explanation = xtask::explain::explain(&capture).unwrap();
+    let root = parse_json(&xtask::explain::render_json(&explanation));
+    assert_eq!(
+        root.keys(),
+        [
+            "schema",
+            "input",
+            "method",
+            "seed",
+            "clients",
+            "kind",
+            "client",
+            "query",
+            "cycle",
+            "item",
+            "write_cycle",
+            "report_cycle",
+            "cycle_distance",
+            "report_entry_found",
+            "rule",
+            "frames",
+            "dropped",
+            "fingerprint",
+        ]
+    );
+    assert_eq!(root.get("schema").as_str(), "bpush-explain-v1");
+    assert_eq!(root.get("input").as_str(), "capture");
+    assert_eq!(root.get("method").as_str(), "inv-only");
+    assert!([
+        "currency",
+        "serializability",
+        "coverage",
+        "stream",
+        "abort-watch"
+    ]
+    .contains(&root.get("kind").as_str()));
+    let _ = root.get("seed").as_u64();
+    let _ = root.get("clients").as_u64();
+    let _ = root.get("client").as_u64();
+    let _ = root.get("query").as_u64();
+    let _ = root.get("cycle").as_u64();
+    // The resolution keys are nullable integers.
+    for key in ["item", "write_cycle", "report_cycle", "cycle_distance"] {
+        match root.get(key) {
+            Json::Num(_) | Json::Null => {}
+            other => panic!("`{key}` must be an integer or null, got {other:?}"),
+        }
+    }
+    // The mutant capture resolves fully: the acceptance criterion.
+    assert!(root.get("report_entry_found").as_bool());
+    assert!(root.get("rule").as_str().starts_with("inv-only: "));
+    assert!(root.get("frames").as_u64() >= 1, "at least one ring frame");
+    let _ = root.get("dropped").as_u64();
+    let fp = root.get("fingerprint").as_str();
+    assert_eq!(fp.len(), 16, "fingerprint is 16 hex digits: {fp:?}");
+    assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+}
+
+/// `cargo xtask explain --json` on a `metrics.json` trace emits the
+/// trace variant of `bpush-explain-v1` with a locked key order.
+#[test]
+fn explain_trace_json_matches_the_documented_schema() {
+    let report = xtask::trace::run_trace(bpush_core::Method::InvalidationOnly, true).unwrap();
+    let metrics = xtask::trace::render_metrics_json(&report);
+    let explanation = xtask::explain::explain(&metrics).unwrap();
+    let root = parse_json(&xtask::explain::render_json(&explanation));
+    assert_eq!(
+        root.keys(),
+        [
+            "schema",
+            "input",
+            "method",
+            "seed",
+            "quick",
+            "queries",
+            "committed",
+            "aborted",
+            "aborts",
+        ]
+    );
+    assert_eq!(root.get("schema").as_str(), "bpush-explain-v1");
+    assert_eq!(root.get("input").as_str(), "trace");
+    assert_eq!(root.get("method").as_str(), "inv-only");
+    assert!(root.get("quick").as_bool());
+    let queries = root.get("queries").as_u64();
+    let committed = root.get("committed").as_u64();
+    let aborted = root.get("aborted").as_u64();
+    assert_eq!(committed + aborted, queries);
+    let mut breakdown = 0;
+    for entry in root.get("aborts").as_arr() {
+        assert_eq!(entry.keys(), ["reason", "count"]);
+        assert!(!entry.get("reason").as_str().is_empty());
+        breakdown += entry.get("count").as_u64();
+    }
+    assert_eq!(breakdown, aborted, "abort reasons partition the aborts");
+}
+
+/// The checked-in `BENCH_10.json` parses, satisfies the schema, and
+/// holds the PR-10 monitor-overhead ceiling: the monitors-on substrate
+/// run must retain at least 90% of the monitors-off throughput.
+#[test]
+fn checked_in_pr10_report_holds_the_monitor_overhead_floor() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_10.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let root = parse_json(text.trim_end());
+    assert_bench_schema(&root);
+    assert!(!root.get("quick").as_bool(), "check in a full-scale report");
+
+    let substrate = root.get("substrate").as_arr();
+    let total_ns_of = |name: &str| -> u64 {
+        substrate
+            .iter()
+            .find(|s| s.get("name").as_str() == name)
+            .unwrap_or_else(|| panic!("BENCH_10.json is missing substrate entry `{name}`"))
+            .get("total_ns")
+            .as_u64()
+    };
+    let off_ns = total_ns_of("monitors-off");
+    let on_ns = total_ns_of("monitors-on");
+    let retained_pct = off_ns.saturating_mul(100) / on_ns.max(1);
+    assert!(
+        retained_pct >= 90,
+        "the monitored run must retain >= 90% of unmonitored throughput, \
+         got {retained_pct}% (wall-clock and machine-dependent: regenerate \
+         BENCH_10.json with `cargo xtask bench --json --out BENCH_10.json` \
+         on a quiet machine at full scale — see EXPERIMENTS.md)"
+    );
 }
